@@ -1,0 +1,96 @@
+//! Microbenchmarks of the dense block kernels at the paper's block size
+//! (B = 48) and nearby sizes. These are our stand-ins for the Paragon's
+//! hand-optimized BLAS; the simulator's rate curve is calibrated separately,
+//! but these benches document what the host actually achieves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dense::kernels::{flops, gemm_abt_sub, potrf, syrk_lt_sub, trsm_right_lower_trans};
+use std::hint::black_box;
+
+fn spd(n: usize) -> Vec<f64> {
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+        }
+        a[i * n + i] += n as f64;
+    }
+    a
+}
+
+fn bench_potrf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("potrf");
+    for n in [16usize, 48, 96] {
+        let a = spd(n);
+        g.throughput(Throughput::Elements(flops::bfac(n)));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || a.clone(),
+                |mut m| potrf(black_box(&mut m), n).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trsm_right_lower_trans");
+    for n in [16usize, 48] {
+        let mut l = spd(n);
+        potrf(&mut l, n).unwrap();
+        let m = 96;
+        let x: Vec<f64> = (0..m * n).map(|t| (t % 17) as f64 * 0.3).collect();
+        g.throughput(Throughput::Elements(flops::bdiv(m, n)));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || x.clone(),
+                |mut xm| trsm_right_lower_trans(black_box(&l), n, &mut xm, m),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_abt_sub");
+    for k in [16usize, 48] {
+        let (m, n) = (96, 96);
+        let a: Vec<f64> = (0..m * k).map(|t| (t % 13) as f64 * 0.1).collect();
+        let bmat: Vec<f64> = (0..n * k).map(|t| (t % 11) as f64 * 0.2).collect();
+        let cmat = vec![0.0; m * n];
+        g.throughput(Throughput::Elements(flops::bmod(m, n, k)));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter_batched(
+                || cmat.clone(),
+                |mut cm| gemm_abt_sub(black_box(&mut cm), &a, &bmat, m, n, k),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_syrk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("syrk_lt_sub");
+    let (n, k) = (96usize, 48usize);
+    let a: Vec<f64> = (0..n * k).map(|t| (t % 7) as f64 * 0.4).collect();
+    let cmat = vec![0.0; n * n];
+    g.throughput(Throughput::Elements((n as u64) * (n as u64 + 1) * k as u64));
+    g.bench_function("96x48", |b| {
+        b.iter_batched(
+            || cmat.clone(),
+            |mut cm| syrk_lt_sub(black_box(&mut cm), &a, n, k),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_potrf, bench_trsm, bench_gemm, bench_syrk
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! One Criterion bench per paper table/figure: measures regenerating each
+//! experiment at Tiny scale (the full-scale numbers are produced by the
+//! `repro` binary; these benches keep the regeneration paths exercised and
+//! timed).
+
+use bench::{experiments as ex, Ctx};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparsemat::gen::SuiteScale;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repro_tiny");
+    group.sample_size(10);
+    group.bench_function("table1_matrix_stats", |b| {
+        b.iter(|| {
+            let mut ctx = Ctx::new(SuiteScale::Tiny);
+            ex::matrix_stats(&mut ctx, false)
+        })
+    });
+    group.bench_function("figure1_efficiency_and_balance", |b| {
+        b.iter(|| {
+            let mut ctx = Ctx::new(SuiteScale::Tiny);
+            ex::figure1(&mut ctx)
+        })
+    });
+    group.bench_function("table2_cyclic_balances", |b| {
+        b.iter(|| {
+            let mut ctx = Ctx::new(SuiteScale::Tiny);
+            ex::table2(&mut ctx)
+        })
+    });
+    group.bench_function("table3_bcsstk31_heuristics", |b| {
+        b.iter(|| {
+            let mut ctx = Ctx::new(SuiteScale::Tiny);
+            ex::table3(&mut ctx)
+        })
+    });
+    group.bench_function("tables45_sweep_one_p", |b| {
+        b.iter(|| {
+            let ctx = Ctx::new(SuiteScale::Tiny);
+            ex::sweep(&ctx, ctx.p_small[0])
+        })
+    });
+    group.bench_function("table6_large_stats", |b| {
+        b.iter(|| {
+            let mut ctx = Ctx::new(SuiteScale::Tiny);
+            ex::matrix_stats(&mut ctx, true)
+        })
+    });
+    group.bench_function("table7_large_performance", |b| {
+        b.iter(|| {
+            let mut ctx = Ctx::new(SuiteScale::Tiny);
+            ex::table7(&mut ctx)
+        })
+    });
+    group.bench_function("alt_heuristic", |b| {
+        b.iter(|| {
+            let ctx = Ctx::new(SuiteScale::Tiny);
+            ex::alt_heuristic(&ctx)
+        })
+    });
+    group.bench_function("coprime_grids", |b| {
+        b.iter(|| {
+            let ctx = Ctx::new(SuiteScale::Tiny);
+            ex::coprime_grids(&ctx)
+        })
+    });
+    group.bench_function("ablation_subtree", |b| {
+        b.iter(|| {
+            let ctx = Ctx::new(SuiteScale::Tiny);
+            ex::ablation_subtree(&ctx)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

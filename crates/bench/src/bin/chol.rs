@@ -1,0 +1,242 @@
+//! Command-line sparse Cholesky solver.
+//!
+//! ```text
+//! chol <matrix.mtx> [options]
+//!
+//!   --rhs <file>        right-hand side, one value per line (default: A·1)
+//!   --out <file>        write the solution, one value per line
+//!   -p <N>              virtual processors (default 1 = sequential)
+//!   --block-size <B>    block size (default 48)
+//!   --mapping <name>    cyclic | heuristic (default heuristic)
+//!   --ordering <name>   auto | natural (default auto = minimum degree)
+//!   --simulate          also report a simulated Paragon run at P
+//!   --stats             print analysis statistics and balance report
+//! ```
+//!
+//! Reads a symmetric real Matrix Market file, factors it, solves, and
+//! reports the relative residual.
+
+use cholesky_core::{MachineModel, OrderingChoice, Solver, SolverOptions};
+use std::io::{BufRead, BufReader, Write};
+
+struct Opts {
+    matrix: String,
+    rhs: Option<String>,
+    out: Option<String>,
+    p: usize,
+    block_size: usize,
+    mapping: String,
+    ordering: OrderingChoice,
+    simulate: bool,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chol <matrix.mtx> [--rhs f] [--out f] [-p N] [--block-size B] \
+         [--mapping cyclic|heuristic] [--ordering auto|natural] [--simulate] [--stats]"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> Opts {
+    let mut o = Opts {
+        matrix: String::new(),
+        rhs: None,
+        out: None,
+        p: 1,
+        block_size: 48,
+        mapping: "heuristic".into(),
+        ordering: OrderingChoice::Auto,
+        simulate: false,
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--rhs" => o.rhs = args.next(),
+            "--out" => o.out = args.next(),
+            "-p" => o.p = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--block-size" => {
+                o.block_size = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--mapping" => {
+                o.mapping = args.next().unwrap_or_else(|| usage());
+                if !matches!(o.mapping.as_str(), "cyclic" | "heuristic") {
+                    eprintln!("unknown mapping {}", o.mapping);
+                    usage();
+                }
+            }
+            "--ordering" => {
+                o.ordering = match args.next().as_deref() {
+                    Some("auto") => OrderingChoice::Auto,
+                    Some("natural") => OrderingChoice::Natural,
+                    _ => usage(),
+                }
+            }
+            "--simulate" => o.simulate = true,
+            "--stats" => o.stats = true,
+            f if f.starts_with('-') => usage(),
+            m if o.matrix.is_empty() => o.matrix = m.to_string(),
+            _ => usage(),
+        }
+    }
+    if o.matrix.is_empty() {
+        usage();
+    }
+    o
+}
+
+fn main() {
+    let o = parse();
+    let file = std::fs::File::open(&o.matrix).unwrap_or_else(|e| {
+        eprintln!("cannot open {}: {e}", o.matrix);
+        std::process::exit(1);
+    });
+    let a = sparsemat::io::read_matrix_market(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {}: {e}", o.matrix);
+        std::process::exit(1);
+    });
+    let n = a.n();
+    eprintln!("matrix: {n} equations, {} stored entries", a.pattern().nnz());
+
+    let opts = SolverOptions {
+        block_size: o.block_size,
+        ordering: o.ordering,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let solver = Solver::analyze(&a, &opts);
+    eprintln!(
+        "analysis: NZ(L) = {}, {:.1} Mflops, {} supernodes ({:.2}s)",
+        solver.stats().nnz_l,
+        solver.stats().ops as f64 / 1e6,
+        solver.analysis.supernodes.count(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let b: Vec<f64> = match &o.rhs {
+        Some(path) => {
+            let f = std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open rhs {path}: {e}");
+                std::process::exit(1);
+            });
+            BufReader::new(f)
+                .lines()
+                .map(|l| {
+                    l.expect("read rhs").trim().parse().unwrap_or_else(|_| {
+                        eprintln!("rhs file contains a non-numeric line");
+                        std::process::exit(1);
+                    })
+                })
+                .collect()
+        }
+        None => {
+            // Default: b = A·1, so the exact solution is all-ones.
+            let ones = vec![1.0; n];
+            let mut b = vec![0.0; n];
+            a.mul_vec(&ones, &mut b);
+            b
+        }
+    };
+    if b.len() != n {
+        eprintln!("rhs has {} values but the matrix has {n} equations", b.len());
+        std::process::exit(1);
+    }
+
+    let t1 = std::time::Instant::now();
+    let (factor, asg) = if o.p <= 1 {
+        (solver.factor_seq(), None)
+    } else {
+        // Accept any processor count: fall back to the most-square grid
+        // when P is not a perfect square.
+        let s = (o.p as f64).sqrt().round() as usize;
+        let grid = if s * s == o.p {
+            cholesky_core::ProcGrid::square(o.p)
+        } else {
+            eprintln!("note: P = {} is not a perfect square; using a near-square grid", o.p);
+            cholesky_core::ProcGrid::near_square(o.p)
+        };
+        let (row, col) = match o.mapping.as_str() {
+            "cyclic" => (
+                cholesky_core::RowPolicy::Heuristic(cholesky_core::Heuristic::Cyclic),
+                cholesky_core::ColPolicy::Heuristic(cholesky_core::Heuristic::Cyclic),
+            ),
+            "heuristic" => (
+                cholesky_core::RowPolicy::Heuristic(cholesky_core::Heuristic::IncreasingDepth),
+                cholesky_core::ColPolicy::Heuristic(cholesky_core::Heuristic::Cyclic),
+            ),
+            other => {
+                eprintln!("unknown mapping {other}");
+                std::process::exit(2);
+            }
+        };
+        let asg = solver.assign_on_grid(grid, row, col);
+        (solver.factor_parallel(&asg), Some(asg))
+    };
+    let factor = factor.unwrap_or_else(|e| {
+        eprintln!("factorization failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "factor: {:.2}s ({} virtual processor{}), residual {:.2e}",
+        t1.elapsed().as_secs_f64(),
+        o.p,
+        if o.p == 1 { "" } else { "s" },
+        solver.residual(&factor)
+    );
+
+    let x = match &asg {
+        Some(asg) => solver.solve_parallel(&factor, asg, &b),
+        None => solver.solve(&factor, &b),
+    };
+
+    // Solution quality: ‖A·x − b‖∞ / ‖b‖∞.
+    let mut ax = vec![0.0; n];
+    a.mul_vec(&x, &mut ax);
+    let denom = b.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-300);
+    let err = ax
+        .iter()
+        .zip(&b)
+        .fold(0.0f64, |m, (&p, &q)| m.max((p - q).abs()))
+        / denom;
+    eprintln!("solve: relative residual {err:.2e}");
+
+    if o.stats {
+        if let Some(asg) = &asg {
+            let rep = solver.balance(asg);
+            let comm = solver.comm(asg);
+            eprintln!(
+                "balance: overall {:.2} (row {:.2}, col {:.2}, diag {:.2}); comm {} msgs / {} elements",
+                rep.overall, rep.row, rep.col, rep.diag, comm.messages, comm.elements
+            );
+        }
+        let cp = solver.critical_path(&MachineModel::paragon());
+        eprintln!(
+            "critical path: {:.4}s modeled, max speedup {:.1}",
+            cp.length_s,
+            cp.max_speedup()
+        );
+    }
+    if o.simulate {
+        let asg = asg.unwrap_or_else(|| solver.assign_heuristic(o.p.max(2)));
+        let out = solver.simulate(&asg, &MachineModel::paragon());
+        eprintln!(
+            "simulated Paragon: {:.3}s makespan, efficiency {:.2}, {:.0} Mflops",
+            out.report.makespan_s,
+            out.efficiency,
+            out.mflops(solver.stats().ops)
+        );
+    }
+
+    if let Some(path) = &o.out {
+        let mut f = std::fs::File::create(path).expect("create output");
+        for v in &x {
+            writeln!(f, "{v:.17e}").expect("write output");
+        }
+        eprintln!("solution written to {path}");
+    } else {
+        let preview: Vec<String> = x.iter().take(5).map(|v| format!("{v:.6}")).collect();
+        eprintln!("x[0..5] = [{}]", preview.join(", "));
+    }
+}

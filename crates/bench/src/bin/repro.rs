@@ -1,0 +1,168 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--scale full|medium|tiny] [--md <path>]
+//!
+//! experiments:
+//!   table1 table2 table3 tables45 figure1 table6 table7
+//!   alt coprime subtree blocksize discussion 1d2d slownet all
+//! ```
+//!
+//! `--md <path>` additionally appends the output as markdown (used to build
+//! EXPERIMENTS.md); `--json <path>` writes the tables as structured JSON for
+//! downstream tooling.
+
+use bench::experiments as ex;
+use bench::table::TextTable;
+use bench::Ctx;
+use sparsemat::gen::SuiteScale;
+use std::io::Write;
+use std::time::Instant;
+
+struct Args {
+    what: String,
+    scale: SuiteScale,
+    md: Option<String>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut what = "all".to_string();
+    let mut scale = SuiteScale::Full;
+    let mut md = None;
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("full") => SuiteScale::Full,
+                    Some("medium") => SuiteScale::Medium,
+                    Some("tiny") => SuiteScale::Tiny,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--md" => md = args.next(),
+            "--json" => json = args.next(),
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}");
+                std::process::exit(2);
+            }
+            name => what = name.to_string(),
+        }
+    }
+    Args { what, scale, md, json }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut tables: Vec<TextTable> = Vec::new();
+    let t0 = Instant::now();
+    let mut ctx = Ctx::new(args.scale);
+    let run = |name: &str, what: &str| what == "all" || what == name;
+
+    if run("table1", &args.what) {
+        tables.push(ex::matrix_stats(&mut ctx, false));
+    }
+    if run("figure1", &args.what) {
+        tables.push(ex::figure1(&mut ctx));
+    }
+    if run("table2", &args.what) {
+        tables.push(ex::table2(&mut ctx));
+    }
+    if run("table3", &args.what) {
+        tables.push(ex::table3(&mut ctx));
+    }
+    // The big sweeps re-analyze per matrix; free the cache first.
+    if run("tables45", &args.what) {
+        ctx = Ctx::new(args.scale);
+        tables.extend(ex::tables_4_and_5(&ctx));
+    }
+    if run("alt", &args.what) {
+        tables.push(ex::alt_heuristic(&ctx));
+    }
+    if run("coprime", &args.what) {
+        tables.push(ex::coprime_grids(&ctx));
+    }
+    if run("table6", &args.what) {
+        tables.push(ex::matrix_stats(&mut ctx, true));
+    }
+    if run("table7", &args.what) {
+        ctx = Ctx::new(args.scale);
+        tables.push(ex::table7(&mut ctx));
+    }
+    if run("subtree", &args.what) {
+        tables.push(ex::ablation_subtree(&ctx));
+    }
+    if run("blocksize", &args.what) {
+        // Matrix names embed the scaled dimension; use the first cube.
+        let cube = ctx
+            .paper_problems()
+            .into_iter()
+            .find(|p| p.name.starts_with("CUBE"))
+            .expect("suite contains a cube problem")
+            .name;
+        tables.push(ex::ablation_block_size(&ctx, &cube));
+        tables.push(ex::ablation_stagewise_block_size(&ctx, &cube));
+    }
+    if run("discussion", &args.what) {
+        tables.push(ex::discussion(&ctx));
+    }
+    if run("1d2d", &args.what) {
+        // Use a 3-D problem: its tall block columns update many panels, the
+        // regime where the 1-D mapping's O(P) volume growth shows.
+        let cube = ctx
+            .paper_problems()
+            .into_iter()
+            .find(|p| p.name.starts_with("CUBE"))
+            .expect("suite contains a cube problem")
+            .name;
+        tables.push(ex::one_d_vs_two_d(&ctx, &cube));
+        let grid = ctx
+            .paper_problems()
+            .into_iter()
+            .find(|p| p.name.starts_with("GRID"))
+            .expect("suite contains a grid problem")
+            .name;
+        tables.push(ex::task_granularity_critical_path(&ctx, &grid));
+    }
+    if run("slownet", &args.what) {
+        // GRID150: the subtree map already breaks even on the Paragon there,
+        // so the network ablation shows the crossover cleanly.
+        let name = ctx
+            .paper_problems()
+            .into_iter()
+            .find(|p| p.name.starts_with("GRID"))
+            .expect("suite contains a grid problem")
+            .name;
+        tables.push(ex::slow_network(&ctx, &name));
+    }
+
+    for t in &tables {
+        println!("{t}");
+    }
+    eprintln!("[{} experiment(s), {:.1}s]", tables.len(), t0.elapsed().as_secs_f64());
+
+    if let Some(path) = args.json {
+        let out = serde_json::to_string_pretty(&tables).expect("serialize tables");
+        std::fs::write(&path, out).expect("write json output");
+        eprintln!("[wrote json to {path}]");
+    }
+    if let Some(path) = args.md {
+        let mut out = String::new();
+        for t in &tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open markdown output");
+        f.write_all(out.as_bytes()).expect("write markdown output");
+        eprintln!("[appended markdown to {path}]");
+    }
+}

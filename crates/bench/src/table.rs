@@ -1,0 +1,144 @@
+//! Minimal aligned text-table formatting for experiment output.
+
+/// A simple text table: header plus rows, rendered with aligned columns.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct TextTable {
+    /// Optional title printed above the table.
+    pub title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as GitHub-flavored markdown (used for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.header.iter().map(|_| "---|").collect::<String>()
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        if !self.title.is_empty() {
+            writeln!(f, "== {} ==", self.title)?;
+        }
+        let line = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            let mut parts = Vec::with_capacity(ncol);
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:>w$}", c, w = width[i]));
+            }
+            writeln!(f, "{}", parts.join("  "))
+        };
+        line(f, &self.header)?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio as a percentage improvement string (`+18%`).
+pub fn pct(improvement: f64) -> String {
+    format!("{:+.0}%", improvement * 100.0)
+}
+
+/// Formats a 0..1 balance as the paper does (two decimals).
+pub fn bal(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new("T", &["name", "x"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["bb".into(), "22".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("name   x"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn json_serialization_includes_rows() {
+        let mut t = TextTable::new("T", &["a"]);
+        t.row(vec!["x".into()]);
+        let j = serde_json::to_string(&t).unwrap();
+        assert!(j.contains("\"title\":\"T\""));
+        assert!(j.contains("\"x\""));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = TextTable::new("Title", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### Title"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_is_checked() {
+        let mut t = TextTable::new("", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.18349), "+18%");
+        assert_eq!(pct(-0.052), "-5%");
+        assert_eq!(bal(0.456), "0.46");
+    }
+}

@@ -1,0 +1,23 @@
+//! 2-D block decomposition of the sparse factor and the per-block work model.
+//!
+//! Blocks are formed exactly as in the paper (Section 2.1/2.2): the columns
+//! are divided into `N` contiguous subsets — always *within* supernodes, so
+//! block columns have regular internal structure — and the identical
+//! partition is applied to the rows. Block `L[I][J]` holds the elements
+//! falling in row subset `I` and column subset `J`; within a block every row
+//! is either entirely zero or dense.
+//!
+//! The work model (Section 3.2) approximates the runtime a block costs its
+//! owner: the floating point operations performed on behalf of the block
+//! plus a fixed `1000`-op charge per distinct block operation, reflecting
+//! the fixed cost the authors measured in their factorization code.
+
+pub mod ops;
+pub mod partition;
+pub mod structure;
+pub mod work;
+
+pub use ops::{for_each_bmod, BmodOp};
+pub use partition::BlockPartition;
+pub use structure::{Block, BlockCol, BlockMatrix};
+pub use work::{BlockWork, WorkModel};

@@ -1,0 +1,141 @@
+//! Enumeration of the block operations (paper Section 2.1).
+//!
+//! The factorization consists of `BFAC(K,K)` (factor a diagonal block),
+//! `BDIV(I,K)` (triangular solve of an off-diagonal block), and
+//! `BMOD(I,J,K)` (update `L[I][J] -= L[I][K]·L[J][K]ᵀ`). `BFAC`/`BDIV`
+//! are one per block and implicit in the structure; `BMOD`s are pairs of
+//! blocks within a source block column, enumerated by [`for_each_bmod`].
+
+use crate::structure::BlockMatrix;
+
+/// One `BMOD(I, J, K)` operation with its operand shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BmodOp {
+    /// Destination row panel `I`.
+    pub i: u32,
+    /// Destination column panel `J` (`K < J ≤ I`).
+    pub j: u32,
+    /// Source block column `K`.
+    pub k: u32,
+    /// Index of the source block `L[I][K]` within column `K`'s block list.
+    pub src_a: u32,
+    /// Index of the source block `L[J][K]` within column `K`'s block list.
+    pub src_b: u32,
+    /// Dense rows of `L[I][K]`.
+    pub r_a: u32,
+    /// Dense rows of `L[J][K]`.
+    pub r_b: u32,
+    /// Width of block column `K`.
+    pub c_k: u32,
+}
+
+impl BmodOp {
+    /// Floating point operations of this update (symmetric rank-k form when
+    /// the destination is a diagonal block).
+    #[inline]
+    pub fn flops(&self) -> u64 {
+        if self.i == self.j {
+            // syrk: lower triangle only.
+            (self.r_a as u64) * (self.r_a as u64 + 1) * (self.c_k as u64)
+        } else {
+            2 * (self.r_a as u64) * (self.r_b as u64) * (self.c_k as u64)
+        }
+    }
+}
+
+/// Visits every `BMOD(I, J, K)` in the factorization, in source-column-major
+/// order (all updates out of block column `K = 0`, then `K = 1`, ...).
+///
+/// For each pair of off-diagonal blocks `L[I][K]`, `L[J][K]` with `I ≥ J`,
+/// there is exactly one update, destined for `L[I][J]`.
+pub fn for_each_bmod(bm: &BlockMatrix, mut f: impl FnMut(BmodOp)) {
+    let c_k_of = |k: usize| bm.col_width(k) as u32;
+    for k in 0..bm.num_panels() {
+        let blocks = &bm.cols[k].blocks;
+        let c_k = c_k_of(k);
+        // blocks[0] is the diagonal block; sources are the rest.
+        for b in 1..blocks.len() {
+            for a in b..blocks.len() {
+                f(BmodOp {
+                    i: blocks[a].row_panel,
+                    j: blocks[b].row_panel,
+                    k: k as u32,
+                    src_a: a as u32,
+                    src_b: b as u32,
+                    r_a: blocks[a].hi - blocks[a].lo,
+                    r_b: blocks[b].hi - blocks[b].lo,
+                    c_k,
+                });
+            }
+        }
+    }
+}
+
+/// Total `BFAC + BDIV + BMOD` operation count (the "distinct block
+/// operations" of the paper's work measure).
+pub fn total_block_ops(bm: &BlockMatrix) -> u64 {
+    let mut bmods = 0u64;
+    for_each_bmod(bm, |_| bmods += 1);
+    bmods + bm.num_blocks() as u64 // one BFAC or BDIV per block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbolic::{AmalgParams, Supernodes};
+
+    fn bm(k: usize, bs: usize) -> BlockMatrix {
+        let p = sparsemat::gen::grid2d(k);
+        let a = p.matrix.pattern();
+        let parent = symbolic::etree(a);
+        let counts = symbolic::col_counts(a, &parent);
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::default());
+        BlockMatrix::build(sn, bs)
+    }
+
+    #[test]
+    fn destinations_exist_in_structure() {
+        let m = bm(8, 4);
+        for_each_bmod(&m, |op| {
+            let found = m.find_block(op.i as usize, op.j as usize);
+            assert!(found.is_some(), "missing destination ({}, {})", op.i, op.j);
+            assert!(op.k < op.j || (op.j == op.i && op.k < op.i));
+            assert!(op.j <= op.i);
+            assert!(op.r_a >= 1 && op.r_b >= 1 && op.c_k >= 1);
+        });
+    }
+
+    #[test]
+    fn dense_bmod_count_is_binomial() {
+        // Dense n=6 with B=2: one supernode, 3 panels. Column 0 has 2
+        // off-diagonal blocks -> 3 pairs; column 1 has 1 -> 1 pair.
+        let p = sparsemat::gen::dense(6);
+        let a = p.matrix.pattern();
+        let parent = symbolic::etree(a);
+        let counts = symbolic::col_counts(a, &parent);
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let m = BlockMatrix::build(sn, 2);
+        let mut n_ops = 0;
+        for_each_bmod(&m, |_| n_ops += 1);
+        assert_eq!(n_ops, 3 + 1);
+        assert_eq!(total_block_ops(&m), 4 + 6);
+    }
+
+    #[test]
+    fn bmod_flops_formulas() {
+        let off = BmodOp { i: 2, j: 1, k: 0, src_a: 2, src_b: 1, r_a: 3, r_b: 4, c_k: 5 };
+        assert_eq!(off.flops(), 2 * 3 * 4 * 5);
+        let diag = BmodOp { i: 2, j: 2, k: 0, src_a: 2, src_b: 2, r_a: 3, r_b: 3, c_k: 5 };
+        assert_eq!(diag.flops(), 3 * 4 * 5);
+    }
+
+    #[test]
+    fn source_indices_point_at_right_blocks() {
+        let m = bm(6, 3);
+        for_each_bmod(&m, |op| {
+            let col = &m.cols[op.k as usize];
+            assert_eq!(col.blocks[op.src_a as usize].row_panel, op.i);
+            assert_eq!(col.blocks[op.src_b as usize].row_panel, op.j);
+        });
+    }
+}

@@ -1,0 +1,224 @@
+//! Partition of the matrix columns (and identically, rows) into block
+//! panels aligned with supernode boundaries.
+
+use symbolic::Supernodes;
+
+/// The common row/column partition: contiguous panels of at most `block_size`
+/// columns, never straddling a supernode boundary (paper Section 3.1:
+/// "column subsets are always subsets of supernodes, so some block columns
+/// will have fewer than `B` columns").
+#[derive(Debug, Clone)]
+pub struct BlockPartition {
+    /// `first_col[p]..first_col[p+1]` are the columns of panel `p`.
+    pub first_col: Vec<u32>,
+    /// Panel containing each column.
+    pub panel_of_col: Vec<u32>,
+    /// Supernode each panel belongs to.
+    pub sn_of_panel: Vec<u32>,
+    /// Depth of each panel in the *panel* elimination tree (used by the
+    /// Increasing Depth mapping heuristic). Panels of one supernode form a
+    /// chain — so for a dense matrix, increasing depth is exactly
+    /// decreasing panel number, as the paper intends.
+    pub depth: Vec<u32>,
+    /// The block size `B` used to build the partition.
+    pub block_size: usize,
+}
+
+impl BlockPartition {
+    /// Splits each supernode into panels of width at most `block_size`.
+    ///
+    /// Widths are balanced within a supernode: a 50-column supernode at
+    /// `B = 48` becomes 25+25, not 48+2, matching the "as close to B as
+    /// possible" subset-size rule of the paper.
+    pub fn new(sn: &Supernodes, block_size: usize) -> Self {
+        Self::with_width_fn(sn, |_, _| block_size, block_size)
+    }
+
+    /// Splits each supernode into panels whose maximum width is chosen per
+    /// supernode: `width_of(supernode, depth)`.
+    ///
+    /// This supports the paper's Section 5 block-size experiments: varying
+    /// the block size between early (deep) and late (shallow) stages of the
+    /// factorization, or by mapped processor row/column. `nominal` is
+    /// recorded as the partition's `block_size`.
+    pub fn with_width_fn(
+        sn: &Supernodes,
+        width_of: impl Fn(usize, u32) -> usize,
+        nominal: usize,
+    ) -> Self {
+        let block_size = nominal;
+        assert!(block_size >= 1);
+        let mut first_col = vec![0u32];
+        let mut sn_of_panel = Vec::new();
+        for s in 0..sn.count() {
+            let cols = sn.cols(s);
+            let w = cols.len();
+            let local_b = width_of(s, sn.depth[s]).max(1);
+            let pieces = w.div_ceil(local_b);
+            // Balanced chunk widths: first `rem` pieces get one extra column.
+            let base = w / pieces;
+            let rem = w % pieces;
+            let mut start = cols.start;
+            for p in 0..pieces {
+                let width = base + usize::from(p < rem);
+                start += width;
+                first_col.push(start as u32);
+                sn_of_panel.push(s as u32);
+            }
+            debug_assert_eq!(start, cols.end);
+        }
+        let n = sn.n();
+        let np = first_col.len() - 1;
+        let mut panel_of_col = vec![0u32; n];
+        for p in 0..np {
+            for j in first_col[p]..first_col[p + 1] {
+                panel_of_col[j as usize] = p as u32;
+            }
+        }
+        // Panel-tree depth: within a supernode, panel p's parent is p + 1;
+        // the last panel's parent holds the first structure row beyond the
+        // supernode's columns. Parents have larger indices, so one
+        // descending pass suffices.
+        let mut depth = vec![0u32; np];
+        for p in (0..np).rev() {
+            let s = sn_of_panel[p] as usize;
+            let last_of_sn = first_col[p + 1] as usize == sn.cols(s).end;
+            let parent = if last_of_sn {
+                sn.rows[s]
+                    .iter()
+                    .find(|&&r| r as usize >= sn.cols(s).end)
+                    .map(|&r| panel_of_col[r as usize])
+            } else {
+                Some(p as u32 + 1)
+            };
+            if let Some(par) = parent {
+                depth[p] = depth[par as usize] + 1;
+            }
+        }
+        Self { first_col, panel_of_col, sn_of_panel, depth, block_size }
+    }
+
+    /// Number of panels `N`.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.first_col.len() - 1
+    }
+
+    /// Column range of panel `p`.
+    #[inline]
+    pub fn cols(&self, p: usize) -> std::ops::Range<usize> {
+        self.first_col[p] as usize..self.first_col[p + 1] as usize
+    }
+
+    /// Width of panel `p`.
+    #[inline]
+    pub fn width(&self, p: usize) -> usize {
+        (self.first_col[p + 1] - self.first_col[p]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbolic::AmalgParams;
+
+    fn supernodes_of(k: usize) -> Supernodes {
+        let p = sparsemat::gen::grid2d(k);
+        let a = p.matrix.pattern();
+        let parent = symbolic::etree(a);
+        let counts = symbolic::col_counts(a, &parent);
+        Supernodes::compute(a, &parent, &counts, &AmalgParams::default())
+    }
+
+    #[test]
+    fn partition_is_exact_cover_aligned_with_supernodes() {
+        let sn = supernodes_of(8);
+        let bp = BlockPartition::new(&sn, 4);
+        assert_eq!(bp.first_col[0], 0);
+        assert_eq!(*bp.first_col.last().unwrap() as usize, sn.n());
+        for p in 0..bp.count() {
+            assert!(bp.width(p) >= 1 && bp.width(p) <= 4);
+            // Panel within one supernode.
+            let s = bp.sn_of_panel[p] as usize;
+            let sc = sn.cols(s);
+            assert!(sc.start <= bp.cols(p).start && bp.cols(p).end <= sc.end);
+        }
+        for j in 0..sn.n() {
+            let p = bp.panel_of_col[j] as usize;
+            assert!(bp.cols(p).contains(&j));
+        }
+    }
+
+    #[test]
+    fn widths_are_balanced() {
+        // One dense supernode of 50 cols at B = 48 must split 25 + 25.
+        let p = sparsemat::gen::dense(50);
+        let a = p.matrix.pattern();
+        let parent = symbolic::etree(a);
+        let counts = symbolic::col_counts(a, &parent);
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        assert_eq!(sn.count(), 1);
+        let bp = BlockPartition::new(&sn, 48);
+        assert_eq!(bp.count(), 2);
+        assert_eq!(bp.width(0), 25);
+        assert_eq!(bp.width(1), 25);
+    }
+
+    #[test]
+    fn block_size_one_gives_column_blocks() {
+        let sn = supernodes_of(4);
+        let bp = BlockPartition::new(&sn, 1);
+        assert_eq!(bp.count(), sn.n());
+    }
+
+    #[test]
+    fn width_fn_controls_per_supernode_block_size() {
+        let sn = supernodes_of(8);
+        // Deep supernodes (eliminated early) get wide panels, shallow ones
+        // narrow panels.
+        let bp = BlockPartition::with_width_fn(
+            &sn,
+            |_, depth| if depth >= 2 { 8 } else { 2 },
+            4,
+        );
+        assert_eq!(bp.block_size, 4);
+        for p in 0..bp.count() {
+            let s = bp.sn_of_panel[p] as usize;
+            let cap = if sn.depth[s] >= 2 { 8 } else { 2 };
+            assert!(bp.width(p) <= cap, "panel {p} width {} > {cap}", bp.width(p));
+        }
+        // Exact cover still holds.
+        assert_eq!(*bp.first_col.last().unwrap() as usize, sn.n());
+    }
+
+    #[test]
+    fn dense_panel_depths_decrease_with_panel_number() {
+        // A dense matrix is one supernode: the panel tree is a chain, so
+        // increasing depth must equal decreasing panel number (paper: ID is
+        // the sparse refinement of DN).
+        let p = sparsemat::gen::dense(20);
+        let a = p.matrix.pattern();
+        let parent = symbolic::etree(a);
+        let counts = symbolic::col_counts(a, &parent);
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let bp = BlockPartition::new(&sn, 4);
+        assert_eq!(bp.count(), 5);
+        for p in 0..bp.count() {
+            assert_eq!(bp.depth[p] as usize, bp.count() - 1 - p);
+        }
+    }
+
+    #[test]
+    fn panel_depths_respect_panel_tree() {
+        let sn = supernodes_of(8);
+        let bp = BlockPartition::new(&sn, 4);
+        // Within a supernode depths decrease by one per panel; the overall
+        // root panel (the last one) has depth 0.
+        assert_eq!(bp.depth[bp.count() - 1], 0);
+        for p in 1..bp.count() {
+            if bp.sn_of_panel[p] == bp.sn_of_panel[p - 1] {
+                assert_eq!(bp.depth[p - 1], bp.depth[p] + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Row-major BLAS-3 style kernels.
+
+use crate::NotPositiveDefinite;
+
+/// In-place Cholesky factorization of the lower triangle of a row-major
+/// `n × n` matrix: on success `a` holds `L` with `A = L·Lᵀ`.
+///
+/// Only the lower triangle is read or written; the strict upper triangle is
+/// left untouched. This is the `BFAC` primitive applied to diagonal blocks.
+pub fn potrf(a: &mut [f64], n: usize) -> Result<(), NotPositiveDefinite> {
+    assert_eq!(a.len(), n * n);
+    for k in 0..n {
+        // Pivot: a[k][k] -= Σ_{t<k} a[k][t]²
+        let (head, tail) = a.split_at_mut(k * n + k);
+        let row_k = &head[k * n..];
+        let mut d = tail[0];
+        for &v in &row_k[..k] {
+            d -= v * v;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(NotPositiveDefinite { pivot: k });
+        }
+        let d = d.sqrt();
+        tail[0] = d;
+        let inv = 1.0 / d;
+        // Column below pivot: a[i][k] = (a[i][k] - Σ_t a[i][t]·a[k][t]) / d
+        for i in (k + 1)..n {
+            let (upper, lower) = a.split_at_mut(i * n);
+            let row_k = &upper[k * n..k * n + k];
+            let row_i = &mut lower[..k + 1];
+            let mut s = row_i[k];
+            for (&x, &y) in row_i[..k].iter().zip(row_k) {
+                s -= x * y;
+            }
+            row_i[k] = s * inv;
+        }
+    }
+    Ok(())
+}
+
+/// Solves `X := X · L⁻ᵀ` where `l` is the row-major lower-triangular `n × n`
+/// Cholesky factor of a diagonal block and `x` is row-major `m × n`.
+///
+/// This is the `BDIV` primitive: each row of an off-diagonal block is solved
+/// against the diagonal block's factor. Row `xᵢ·Lᵀ = bᵢ` is a forward
+/// substitution `L·xᵢᵀ = bᵢᵀ`.
+pub fn trsm_right_lower_trans(l: &[f64], n: usize, x: &mut [f64], m: usize) {
+    assert_eq!(l.len(), n * n);
+    assert_eq!(x.len(), m * n);
+    for row in x.chunks_exact_mut(n) {
+        for j in 0..n {
+            let lj = &l[j * n..j * n + j];
+            let mut s = row[j];
+            for (&xv, &lv) in row[..j].iter().zip(lj) {
+                s -= xv * lv;
+            }
+            row[j] = s / l[j * n + j];
+        }
+    }
+}
+
+/// Computes `C := C − A·Bᵀ` with row-major `A (m × k)`, `B (n × k)`,
+/// `C (m × n)`. This is the `BMOD` primitive for off-diagonal destinations.
+///
+/// Columns of `C` (rows of `B`) are processed four at a time with
+/// independent accumulators, so each load of an `A` element feeds four
+/// multiply-adds and the compiler can keep the accumulators in registers.
+pub fn gemm_abt_sub(c: &mut [f64], a: &[f64], b: &[f64], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    if k == 0 || m == 0 || n == 0 {
+        return;
+    }
+    let n4 = n - n % 4;
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j < n4 {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+            for t in 0..k {
+                let x = arow[t];
+                s0 += x * b0[t];
+                s1 += x * b1[t];
+                s2 += x * b2[t];
+                s3 += x * b3[t];
+            }
+            crow[j] -= s0;
+            crow[j + 1] -= s1;
+            crow[j + 2] -= s2;
+            crow[j + 3] -= s3;
+            j += 4;
+        }
+        for j in n4..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut s = 0.0;
+            for (&x, &y) in arow.iter().zip(brow) {
+                s += x * y;
+            }
+            crow[j] -= s;
+        }
+    }
+}
+
+/// Computes the lower triangle of `C := C − A·Aᵀ` with row-major `A (n × k)`
+/// and `C (n × n)`. This is the `BMOD` primitive when source and destination
+/// row blocks coincide (a symmetric rank-k update of a diagonal block).
+pub fn syrk_lt_sub(c: &mut [f64], a: &[f64], n: usize, k: usize) {
+    assert_eq!(a.len(), n * k);
+    assert_eq!(c.len(), n * n);
+    for i in 0..n {
+        let arow_i = &a[i * k..(i + 1) * k];
+        for j in 0..=i {
+            let arow_j = &a[j * k..(j + 1) * k];
+            let mut s = 0.0;
+            for (&x, &y) in arow_i.iter().zip(arow_j) {
+                s += x * y;
+            }
+            c[i * n + j] -= s;
+        }
+    }
+}
+
+/// Solves `L·x = b` in place for one right-hand side, with `l` the row-major
+/// lower-triangular `n × n` factor (used by the distributed forward solve on
+/// diagonal blocks).
+pub fn trsv_lower(l: &[f64], n: usize, x: &mut [f64]) {
+    assert_eq!(l.len(), n * n);
+    assert_eq!(x.len(), n);
+    for i in 0..n {
+        let row = &l[i * n..i * n + i];
+        let mut s = x[i];
+        for (&lv, &xv) in row.iter().zip(x.iter()) {
+            s -= lv * xv;
+        }
+        x[i] = s / l[i * n + i];
+    }
+}
+
+/// Solves `Lᵀ·x = b` in place for one right-hand side (distributed backward
+/// solve on diagonal blocks).
+pub fn trsv_lower_trans(l: &[f64], n: usize, x: &mut [f64]) {
+    assert_eq!(l.len(), n * n);
+    assert_eq!(x.len(), n);
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for j in (i + 1)..n {
+            s -= l[j * n + i] * x[j];
+        }
+        x[i] = s / l[i * n + i];
+    }
+}
+
+/// Flop count conventions used consistently by the work model, the machine
+/// model and the reported Mflops numbers (multiply-add = 2 flops; the square
+/// root and divisions of `potrf` count as 1 each).
+pub mod flops {
+    /// Flops to factor a dense `c × c` lower-triangular diagonal block.
+    #[inline]
+    pub fn bfac(c: usize) -> u64 {
+        let c = c as u64;
+        // Σ_k [1 (sqrt) + 2k (pivot update) + (c-1-k)(2k+1)]
+        (c * c * c) / 3 + c * c / 2 + c / 6 + c
+    }
+
+    /// Flops for a triangular solve of an `r × c` block against a `c × c`
+    /// factor.
+    #[inline]
+    pub fn bdiv(r: usize, c: usize) -> u64 {
+        (r as u64) * (c as u64) * (c as u64)
+    }
+
+    /// Flops for `C -= A·Bᵀ` with `A (r1 × c)`, `B (r2 × c)`.
+    #[inline]
+    pub fn bmod(r1: usize, r2: usize, c: usize) -> u64 {
+        2 * (r1 as u64) * (r2 as u64) * (c as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul_lt(l: &[f64], n: usize) -> Vec<f64> {
+        // full L·Lᵀ using only the lower triangle of l
+        let at = |i: usize, j: usize| if j <= i { l[i * n + j] } else { 0.0 };
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += at(i, k) * at(j, k);
+                }
+                out[i * n + j] = s;
+            }
+        }
+        out
+    }
+
+    fn spd_test_matrix(n: usize) -> Vec<f64> {
+        // A = M·Mᵀ + n·I with M[i][j] = 1/(1+i+j)
+        let m: Vec<f64> = (0..n * n)
+            .map(|t| 1.0 / (1.0 + (t / n + t % n) as f64))
+            .collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = if i == j { n as f64 } else { 0.0 };
+                for k in 0..n {
+                    s += m[i * n + k] * m[j * n + k];
+                }
+                a[i * n + j] = s;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn potrf_reconstructs() {
+        for n in [1, 2, 3, 5, 8, 17] {
+            let a = spd_test_matrix(n);
+            let mut l = a.clone();
+            potrf(&mut l, n).unwrap();
+            let back = matmul_lt(&l, n);
+            for i in 0..n {
+                for j in 0..=i {
+                    assert!(
+                        (back[i * n + j] - a[i * n + j]).abs() < 1e-9,
+                        "n={n} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let mut a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert_eq!(potrf(&mut a, 2).unwrap_err(), NotPositiveDefinite { pivot: 1 });
+        let mut z = vec![0.0];
+        assert_eq!(potrf(&mut z, 1).unwrap_err(), NotPositiveDefinite { pivot: 0 });
+    }
+
+    #[test]
+    fn potrf_leaves_upper_triangle_untouched() {
+        let n = 4;
+        let mut a = spd_test_matrix(n);
+        a[3] = 777.0; // position (0, 3): upper triangle
+        potrf(&mut a, n).unwrap();
+        assert_eq!(a[3], 777.0);
+    }
+
+    #[test]
+    fn trsm_solves_rows() {
+        let n = 4;
+        let a = spd_test_matrix(n);
+        let mut l = a.clone();
+        potrf(&mut l, n).unwrap();
+        // B = X·Lᵀ for known X
+        let m = 3;
+        let x_true: Vec<f64> = (0..m * n).map(|t| (t as f64) * 0.5 - 1.0).collect();
+        let mut b = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for t in 0..=j {
+                    s += x_true[i * n + t] * l[j * n + t];
+                }
+                b[i * n + j] = s;
+            }
+        }
+        trsm_right_lower_trans(&l, n, &mut b, m);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference() {
+        let (m, n, k) = (5, 7, 4);
+        let a: Vec<f64> = (0..m * k).map(|t| (t as f64).sin()).collect();
+        let b: Vec<f64> = (0..n * k).map(|t| (t as f64).cos()).collect();
+        let mut c: Vec<f64> = (0..m * n).map(|t| t as f64).collect();
+        let mut c_ref = c.clone();
+        gemm_abt_sub(&mut c, &a, &b, m, n, k);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for t in 0..k {
+                    s += a[i * k + t] * b[j * k + t];
+                }
+                c_ref[i * n + j] -= s;
+            }
+        }
+        for (x, y) in c.iter().zip(&c_ref) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_handles_degenerate_dims() {
+        let mut c = vec![5.0];
+        gemm_abt_sub(&mut c, &[], &[], 1, 1, 0);
+        assert_eq!(c, vec![5.0]);
+        let mut empty: Vec<f64> = vec![];
+        gemm_abt_sub(&mut empty, &[], &[1.0], 0, 1, 1);
+    }
+
+    #[test]
+    fn syrk_matches_gemm_lower() {
+        let (n, k) = (6, 3);
+        let a: Vec<f64> = (0..n * k).map(|t| (t as f64) * 0.25 - 1.5).collect();
+        let mut c1 = vec![1.0; n * n];
+        let mut c2 = vec![1.0; n * n];
+        syrk_lt_sub(&mut c1, &a, n, k);
+        gemm_abt_sub(&mut c2, &a, &a, n, n, k);
+        for i in 0..n {
+            for j in 0..=i {
+                assert!((c1[i * n + j] - c2[i * n + j]).abs() < 1e-12);
+            }
+        }
+        // Upper triangle untouched by syrk.
+        assert_eq!(c1[5], 1.0); // position (0, 5): upper triangle
+    }
+
+    #[test]
+    fn trsv_solves_against_reference() {
+        let n = 6;
+        let a = spd_test_matrix(n);
+        let mut l = a.clone();
+        potrf(&mut l, n).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+        // b = L·x
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..=i {
+                b[i] += l[i * n + j] * x_true[j];
+            }
+        }
+        trsv_lower(&l, n, &mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-12);
+        }
+        // bt = Lᵀ·x
+        let mut bt = vec![0.0; n];
+        for i in 0..n {
+            for j in i..n {
+                bt[i] += l[j * n + i] * x_true[j];
+            }
+        }
+        trsv_lower_trans(&l, n, &mut bt);
+        for (got, want) in bt.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trsv_composes_to_full_solve() {
+        // L(Lᵀx) = A x round trip.
+        let n = 5;
+        let a = spd_test_matrix(n);
+        let mut l = a.clone();
+        potrf(&mut l, n).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.5).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                let (r, c) = if i >= j { (i, j) } else { (j, i) };
+                b[i] += a[r * n + c] * x_true[j];
+            }
+        }
+        trsv_lower(&l, n, &mut b);
+        trsv_lower_trans(&l, n, &mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flop_counts_match_dense_formulas() {
+        // Dense Cholesky of order n ≈ n³/3; our bfac is the exact loop count.
+        // 1³/3 + 1²/2 + 1/6 + 1 = 0 + 0 + 0 + 1 (integer division)
+        assert_eq!(flops::bfac(1), 1);
+        // 2³/3 + 2²/2 + 2/6 + 2 = 2 + 2 + 0 + 2
+        assert_eq!(flops::bfac(2), 6);
+        assert_eq!(flops::bdiv(3, 4), 48);
+        assert_eq!(flops::bmod(2, 3, 4), 48);
+    }
+}

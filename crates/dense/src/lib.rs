@@ -1,0 +1,36 @@
+//! Dense kernels used by the block factorization primitives.
+//!
+//! The block fan-out method spends essentially all of its arithmetic inside
+//! three Level-3 BLAS-shaped kernels (the paper, Section 3.1, uses
+//! hand-optimized Paragon BLAS for the same three):
+//!
+//! * [`potrf`] — Cholesky factorization of a diagonal block (`BFAC`),
+//! * [`trsm_right_lower_trans`] — triangular solve `X := X·L⁻ᵀ` (`BDIV`),
+//! * [`gemm_abt_sub`] / [`syrk_lt_sub`] — `C := C − A·Bᵀ` (`BMOD`).
+//!
+//! All matrices are **row-major**: a block stores its dense rows
+//! contiguously, which makes `A·Bᵀ` a sequence of cache-friendly row dot
+//! products.
+
+pub mod kernels;
+pub mod mat;
+
+pub use kernels::{
+    gemm_abt_sub, potrf, syrk_lt_sub, trsm_right_lower_trans, trsv_lower, trsv_lower_trans,
+};
+pub use mat::DenseMat;
+
+/// Error returned when a diagonal block is not positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Index (within the block) of the first non-positive pivot.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite at pivot {}", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}

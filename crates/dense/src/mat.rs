@@ -1,0 +1,146 @@
+//! A small owned row-major dense matrix, used by tests, examples and the
+//! assembled-factor solve path.
+
+use std::ops::{Index, IndexMut};
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMat {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a row-major data vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Underlying row-major storage.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying storage.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `self · other`, the plain matrix product.
+    pub fn matmul(&self, other: &DenseMat) -> DenseMat {
+        assert_eq!(self.cols, other.rows);
+        let mut out = DenseMat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMat {
+        let mut out = DenseMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute element difference to another matrix of equal shape.
+    pub fn max_abs_diff(&self, other: &DenseMat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for DenseMat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_and_rows() {
+        let mut m = DenseMat::zeros(2, 3);
+        m[(1, 2)] = 7.0;
+        assert_eq!(m.row(1), &[0.0, 0.0, 7.0]);
+        m.row_mut(0)[0] = 1.0;
+        assert_eq!(m[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = DenseMat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMat::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[2.0, 1.0, 4.0, 3.0]);
+        let t = a.transpose();
+        assert_eq!(t.data(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let a = DenseMat::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = DenseMat::from_vec(1, 2, vec![1.5, 2.25]);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the dense kernels against naive linear algebra.
+
+use dense::kernels::{gemm_abt_sub, potrf, syrk_lt_sub, trsm_right_lower_trans};
+use proptest::prelude::*;
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = (usize, Vec<f64>)> {
+    (1usize..max_dim).prop_flat_map(|n| {
+        proptest::collection::vec(-2.0f64..2.0, n * n).prop_map(move |v| (n, v))
+    })
+}
+
+/// Makes an SPD matrix from arbitrary square data: `A = M·Mᵀ + n·I`.
+fn spd_of(n: usize, m: &[f64]) -> Vec<f64> {
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = if i == j { n as f64 + 1.0 } else { 0.0 };
+            for k in 0..n {
+                s += m[i * n + k] * m[j * n + k];
+            }
+            a[i * n + j] = s;
+        }
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn potrf_reconstructs_spd_input((n, m) in arb_matrix(14)) {
+        let a = spd_of(n, &m);
+        let mut l = a.clone();
+        potrf(&mut l, n).unwrap();
+        // Diagonal entries positive.
+        for i in 0..n {
+            prop_assert!(l[i * n + i] > 0.0);
+        }
+        // L·Lᵀ == A on the lower triangle.
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for k in 0..=j {
+                    s += l[i * n + k] * l[j * n + k];
+                }
+                prop_assert!(
+                    (s - a[i * n + j]).abs() < 1e-8 * (1.0 + a[i * n + j].abs()),
+                    "entry ({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_inverts_multiplication((n, m) in arb_matrix(10), rows in 1usize..8) {
+        let a = spd_of(n, &m);
+        let mut l = a;
+        potrf(&mut l, n).unwrap();
+        // X·Lᵀ = B  ⇒ trsm(B) == X.
+        let x: Vec<f64> = (0..rows * n).map(|t| ((t * 13 % 7) as f64) - 3.0).collect();
+        let mut b = vec![0.0; rows * n];
+        for r in 0..rows {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..=j {
+                    s += x[r * n + k] * l[j * n + k];
+                }
+                b[r * n + j] = s;
+            }
+        }
+        trsm_right_lower_trans(&l, n, &mut b, rows);
+        for (got, want) in b.iter().zip(&x) {
+            prop_assert!((got - want).abs() < 1e-7, "{} vs {}", got, want);
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive(
+        m in 1usize..10,
+        n in 1usize..10,
+        k in 0usize..8,
+        seed in any::<u32>(),
+    ) {
+        let f = |t: usize| (((t as u32).wrapping_mul(seed | 1) >> 16) % 17) as f64 - 8.0;
+        let a: Vec<f64> = (0..m * k).map(f).collect();
+        let b: Vec<f64> = (0..n * k).map(|t| f(t + 31)).collect();
+        let c0: Vec<f64> = (0..m * n).map(|t| f(t + 77)).collect();
+        let mut c = c0.clone();
+        gemm_abt_sub(&mut c, &a, &b, m, n, k);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = c0[i * n + j];
+                for t in 0..k {
+                    s -= a[i * k + t] * b[j * k + t];
+                }
+                prop_assert!((c[i * n + j] - s).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_equals_gemm_on_lower_triangle(
+        n in 1usize..10,
+        k in 0usize..8,
+        seed in any::<u32>(),
+    ) {
+        let f = |t: usize| (((t as u32).wrapping_mul(seed | 1) >> 13) % 23) as f64 * 0.25 - 2.0;
+        let a: Vec<f64> = (0..n * k).map(f).collect();
+        let mut c1 = vec![0.5; n * n];
+        let mut c2 = vec![0.5; n * n];
+        syrk_lt_sub(&mut c1, &a, n, k);
+        gemm_abt_sub(&mut c2, &a, &a, n, n, k);
+        for i in 0..n {
+            for j in 0..=i {
+                prop_assert!((c1[i * n + j] - c2[i * n + j]).abs() < 1e-12);
+            }
+            // Strict upper triangle untouched by syrk.
+            for j in (i + 1)..n {
+                prop_assert_eq!(c1[i * n + j], 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_rejects_symmetric_indefinite((n, m) in arb_matrix(8)) {
+        prop_assume!(n >= 2);
+        // A = M·Mᵀ − large·I is symmetric but indefinite (or negative).
+        let mut a = spd_of(n, &m);
+        let shift = 10.0 * n as f64
+            + a.iter().fold(0.0f64, |mx, &v| mx.max(v.abs()));
+        for i in 0..n {
+            a[i * n + i] -= shift;
+        }
+        prop_assert!(potrf(&mut a, n).is_err());
+    }
+}

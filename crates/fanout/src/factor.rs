@@ -1,0 +1,220 @@
+//! Numeric block storage for the factor.
+//!
+//! Each block column stores its blocks contiguously: the dense `c × c`
+//! diagonal block first (row-major; only the lower triangle is meaningful),
+//! then each off-diagonal block as `r × c` row-major dense rows.
+
+use blockmat::BlockMatrix;
+use sparsemat::SymCscMatrix;
+use std::sync::Arc;
+
+/// The numeric factor (or, before factorization, the scattered input
+/// matrix) in block form.
+#[derive(Debug, Clone)]
+pub struct NumericFactor {
+    /// The symbolic block structure.
+    pub bm: Arc<BlockMatrix>,
+    /// Per block column: concatenated block buffers.
+    pub data: Vec<Vec<f64>>,
+    /// Per block column: offset of each block in `data[j]`.
+    pub offsets: Vec<Vec<usize>>,
+}
+
+impl NumericFactor {
+    /// Allocates zeroed storage and scatters the (already permuted) matrix
+    /// `a` into it. Entries of `a` must fall inside the block structure.
+    pub fn from_matrix(bm: Arc<BlockMatrix>, a: &SymCscMatrix) -> Self {
+        assert_eq!(bm.sn.n(), a.n());
+        let np = bm.num_panels();
+        let mut data = Vec::with_capacity(np);
+        let mut offsets = Vec::with_capacity(np);
+        for j in 0..np {
+            let c = bm.col_width(j);
+            let mut offs = Vec::with_capacity(bm.cols[j].blocks.len());
+            let mut len = 0usize;
+            for (b, blk) in bm.cols[j].blocks.iter().enumerate() {
+                offs.push(len);
+                len += if b == 0 { c * c } else { blk.nrows() * c };
+            }
+            data.push(vec![0.0; len]);
+            offsets.push(offs);
+        }
+        let mut f = Self { bm, data, offsets };
+        f.scatter(a);
+        f
+    }
+
+    fn scatter(&mut self, a: &SymCscMatrix) {
+        let bm = self.bm.clone();
+        for j in 0..a.n() {
+            let pj = bm.partition.panel_of_col[j] as usize;
+            let c = bm.col_width(pj);
+            let col_off = j - bm.partition.cols(pj).start;
+            for (&i, &v) in a.col_rows(j).iter().zip(a.col_values(j)) {
+                let i = i as usize;
+                let pi = bm.partition.panel_of_col[i] as usize;
+                let b = bm
+                    .find_block(pi, pj)
+                    .unwrap_or_else(|| panic!("entry ({i},{j}) outside block structure"));
+                let blk = bm.cols[pj].blocks[b];
+                let buf_off = self.offsets[pj][b];
+                let pos = if b == 0 {
+                    // Diagonal block: dense c×c, row (i - panel start).
+                    let r = i - bm.partition.cols(pj).start;
+                    r * c + col_off
+                } else {
+                    let rows = bm.block_rows(pj, &blk);
+                    let r = rows
+                        .binary_search(&(i as u32))
+                        .unwrap_or_else(|_| panic!("row {i} not dense in block ({pi},{pj})"));
+                    r * c + col_off
+                };
+                self.data[pj][buf_off + pos] = v;
+            }
+        }
+    }
+
+    /// Borrow of block `b` of block column `j`.
+    #[inline]
+    pub fn block(&self, j: usize, b: usize) -> &[f64] {
+        let lo = self.offsets[j][b];
+        let hi = self
+            .offsets[j]
+            .get(b + 1)
+            .copied()
+            .unwrap_or(self.data[j].len());
+        &self.data[j][lo..hi]
+    }
+
+    /// Mutable borrow of block `b` of block column `j`.
+    #[inline]
+    pub fn block_mut(&mut self, j: usize, b: usize) -> &mut [f64] {
+        let lo = self.offsets[j][b];
+        let hi = self
+            .offsets[j]
+            .get(b + 1)
+            .copied()
+            .unwrap_or(self.data[j].len());
+        &mut self.data[j][lo..hi]
+    }
+
+    /// The factor entry `L[i][j]` (global indices, `i ≥ j`), or 0 when the
+    /// position is outside the stored structure.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let bm = &self.bm;
+        let pj = bm.partition.panel_of_col[j] as usize;
+        let pi = bm.partition.panel_of_col[i] as usize;
+        let Some(b) = bm.find_block(pi, pj) else { return 0.0 };
+        let c = bm.col_width(pj);
+        let col_off = j - bm.partition.cols(pj).start;
+        if b == 0 {
+            let r = i - bm.partition.cols(pj).start;
+            if r < col_off {
+                return 0.0; // upper triangle of the diagonal block
+            }
+            return self.block(pj, 0)[r * c + col_off];
+        }
+        let blk = bm.cols[pj].blocks[b];
+        match bm.block_rows(pj, &blk).binary_search(&(i as u32)) {
+            Ok(r) => self.block(pj, b)[r * c + col_off],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Extracts the factor as column-compressed arrays
+    /// `(col_ptr, row_idx, values)` over the stored structure (explicit
+    /// zeros from amalgamation included), rows ascending within columns and
+    /// diagonal first. Used by the triangular solver.
+    pub fn to_csc(&self) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+        let bm = &self.bm;
+        let n = bm.sn.n();
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        for j in 0..n {
+            let pj = bm.partition.panel_of_col[j] as usize;
+            let c = bm.col_width(pj);
+            let col_off = j - bm.partition.cols(pj).start;
+            for (b, blk) in bm.cols[pj].blocks.iter().enumerate() {
+                if b == 0 {
+                    for r in col_off..c {
+                        row_idx.push((bm.partition.cols(pj).start + r) as u32);
+                        values.push(self.block(pj, 0)[r * c + col_off]);
+                    }
+                } else {
+                    let rows = bm.block_rows(pj, blk);
+                    let buf = self.block(pj, b);
+                    for (r, &gi) in rows.iter().enumerate() {
+                        row_idx.push(gi);
+                        values.push(buf[r * c + col_off]);
+                    }
+                }
+            }
+            col_ptr[j + 1] = row_idx.len();
+        }
+        (col_ptr, row_idx, values)
+    }
+
+    /// Reconstructs `L·Lᵀ` densely — test helper for small problems.
+    pub fn llt_dense(&self) -> dense::DenseMat {
+        let n = self.bm.sn.n();
+        let mut l = dense::DenseMat::zeros(n, n);
+        let (cp, ri, vals) = self.to_csc();
+        for j in 0..n {
+            for e in cp[j]..cp[j + 1] {
+                l[(ri[e] as usize, j)] = vals[e];
+            }
+        }
+        let lt = l.transpose();
+        l.matmul(&lt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbolic::AmalgParams;
+
+    fn build(k: usize, bs: usize) -> (Arc<BlockMatrix>, SymCscMatrix) {
+        let p = sparsemat::gen::grid2d(k);
+        let perm = ordering::order_problem(&p);
+        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let pa = analysis.perm.apply_to_matrix(&p.matrix);
+        let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
+        (bm, pa)
+    }
+
+    #[test]
+    fn scatter_roundtrips_matrix_entries() {
+        let (bm, a) = build(6, 3);
+        let f = NumericFactor::from_matrix(bm, &a);
+        for j in 0..a.n() {
+            for (&i, &v) in a.col_rows(j).iter().zip(a.col_values(j)) {
+                assert_eq!(f.get(i as usize, j), v, "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn unset_structure_positions_are_zero() {
+        let (bm, a) = build(6, 3);
+        let f = NumericFactor::from_matrix(bm.clone(), &a);
+        // Find a structural position not present in A: count nonzero slots.
+        let stored: usize = f.data.iter().map(|d| d.len()).sum();
+        assert!(stored > a.pattern().nnz(), "fill must create zero slots");
+    }
+
+    #[test]
+    fn to_csc_is_sorted_with_diagonal_first() {
+        let (bm, a) = build(5, 2);
+        let f = NumericFactor::from_matrix(bm, &a);
+        let (cp, ri, _) = f.to_csc();
+        for j in 0..a.n() {
+            let rows = &ri[cp[j]..cp[j + 1]];
+            assert_eq!(rows[0] as usize, j, "diagonal first in col {j}");
+            for w in rows.windows(2) {
+                assert!(w[0] < w[1], "unsorted rows in col {j}");
+            }
+        }
+    }
+}

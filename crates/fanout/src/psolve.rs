@@ -1,0 +1,510 @@
+//! Distributed triangular solve with the block factor.
+//!
+//! The factorization leaves `L` distributed by block ownership; a production
+//! solver must also solve `L·Lᵀ·x = b` without first gathering the factor.
+//! This module runs both substitution phases with the same SPMD structure as
+//! the factorization: one thread per virtual processor, data-driven.
+//!
+//! * **Forward** (`L·y = b`), panels ascending: the owner of diagonal block
+//!   `(K,K)` computes `y_K` once all row-`K` contributions have arrived,
+//!   then broadcasts `y_K` to the owners of column `K`'s off-diagonal
+//!   blocks; each such owner turns block `(I,K)` into a partial
+//!   `L[I][K]·y_K` shipped to the owner of `(I,I)`.
+//! * **Backward** (`Lᵀ·x = y`), panels descending: `x_J` is broadcast to the
+//!   owners of the blocks *in block row `J`*; block `(J,I)` contributes
+//!   `L[J][I]ᵀ·x_J` to panel `I`.
+//!
+//! The two phases chain without a barrier: the last panel's backward solve
+//! is enabled the moment its forward solve finishes.
+
+use crate::factor::NumericFactor;
+use crate::plan::Plan;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dense::kernels::{trsv_lower, trsv_lower_trans};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Static structure for the distributed solve.
+#[derive(Debug, Clone)]
+pub struct SolvePlan {
+    /// Owner of each panel's solution piece (the diagonal block's owner).
+    pub x_owner: Vec<u32>,
+    /// Forward: number of off-diagonal blocks in block row `I` (expected
+    /// partial contributions before `y_I` can be computed).
+    pub fwd_contrib: Vec<u32>,
+    /// Backward: number of off-diagonal blocks in block column `I`.
+    pub bwd_contrib: Vec<u32>,
+    /// Blocks by row panel: `(col, block_index)` for every off-diagonal
+    /// block whose row panel is `J` (drives the backward broadcast).
+    pub row_blocks: Vec<Vec<(u32, u32)>>,
+    /// Forward broadcast targets per panel (owners of the column's
+    /// off-diagonal blocks, owner of the diagonal excluded).
+    pub fwd_dests: Vec<Vec<u32>>,
+    /// Backward broadcast targets per panel (owners of row-`J` blocks).
+    pub bwd_dests: Vec<Vec<u32>>,
+    /// Total messages each processor will receive across both phases.
+    pub expected_recv: Vec<u64>,
+}
+
+impl SolvePlan {
+    /// Builds the solve structure for a factor distribution.
+    pub fn build(plan: &Plan, bm: &blockmat::BlockMatrix) -> Self {
+        let np = bm.num_panels();
+        let p = plan.p;
+        let x_owner: Vec<u32> = (0..np).map(|j| plan.owner[j][0]).collect();
+        let mut fwd_contrib = vec![0u32; np];
+        let mut bwd_contrib = vec![0u32; np];
+        let mut row_blocks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); np];
+        for j in 0..np {
+            for (b, blk) in bm.cols[j].blocks.iter().enumerate().skip(1) {
+                fwd_contrib[blk.row_panel as usize] += 1;
+                bwd_contrib[j] += 1;
+                row_blocks[blk.row_panel as usize].push((j as u32, b as u32));
+            }
+        }
+        let mut stamp = vec![u32::MAX; p];
+        let mut ctr = 0u32;
+        let mut dedup = |list: Vec<u32>, me: u32| -> Vec<u32> {
+            ctr += 1;
+            stamp[me as usize] = ctr;
+            let mut out = Vec::new();
+            for q in list {
+                if stamp[q as usize] != ctr {
+                    stamp[q as usize] = ctr;
+                    out.push(q);
+                }
+            }
+            out
+        };
+        let mut fwd_dests = Vec::with_capacity(np);
+        let mut bwd_dests = Vec::with_capacity(np);
+        for j in 0..np {
+            let owners: Vec<u32> = (1..bm.cols[j].blocks.len())
+                .map(|b| plan.owner[j][b])
+                .collect();
+            fwd_dests.push(dedup(owners, x_owner[j]));
+            let owners: Vec<u32> = row_blocks[j]
+                .iter()
+                .map(|&(c, b)| plan.owner[c as usize][b as usize])
+                .collect();
+            bwd_dests.push(dedup(owners, x_owner[j]));
+        }
+        // Expected receives: broadcast messages + partial messages.
+        let mut expected_recv = vec![0u64; p];
+        for j in 0..np {
+            for &q in fwd_dests[j].iter().chain(&bwd_dests[j]) {
+                expected_recv[q as usize] += 1;
+            }
+            // Partials: one per off-diagonal block, from its owner to the
+            // destination panel's owner — unless they coincide (local).
+            for (b, blk) in bm.cols[j].blocks.iter().enumerate().skip(1) {
+                let src = plan.owner[j][b];
+                if src != x_owner[blk.row_panel as usize] {
+                    expected_recv[x_owner[blk.row_panel as usize] as usize] += 1;
+                }
+                if src != x_owner[j] {
+                    expected_recv[x_owner[j] as usize] += 1;
+                }
+            }
+        }
+        Self {
+            x_owner,
+            fwd_contrib,
+            bwd_contrib,
+            row_blocks,
+            fwd_dests,
+            bwd_dests,
+            expected_recv,
+        }
+    }
+}
+
+enum Msg {
+    /// Forward solution piece `y_K`.
+    Y(u32, Arc<Vec<f64>>),
+    /// Forward partial `L[I][K]·y_K`, accumulated into panel `I`.
+    FwdPartial(u32, Vec<f64>),
+    /// Backward solution piece `x_J`.
+    X(u32, Arc<Vec<f64>>),
+    /// Backward partial `L[J][I]ᵀ·x_J`, accumulated into panel `I`.
+    BwdPartial(u32, Vec<f64>),
+}
+
+/// Solves `L·Lᵀ·x = b` with the distributed factor (permuted ordering).
+///
+/// `plan` must be the factorization plan whose ownership matches how `f`
+/// was (or would be) distributed. The result equals
+/// [`crate::solve::solve`] up to floating-point summation order.
+pub fn solve_threaded(f: &NumericFactor, plan: &Plan, b: &[f64]) -> Vec<f64> {
+    let bm = f.bm.clone();
+    let n = bm.sn.n();
+    assert_eq!(b.len(), n);
+    let sp = Arc::new(SolvePlan::build(plan, &bm));
+    let p = plan.p;
+    let (senders, receivers): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
+        (0..p).map(|_| unbounded()).unzip();
+
+    let pieces: Vec<(u32, Vec<f64>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (me, rx) in receivers.into_iter().enumerate() {
+            let senders = senders.clone();
+            let sp = sp.clone();
+            let bm = bm.clone();
+            handles.push(scope.spawn({
+                let f = &*f;
+                let plan = &*plan;
+                let b = &*b;
+                move || solve_worker(me as u32, f, plan, &sp, &bm, b, rx, senders)
+            }));
+        }
+        drop(senders);
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("solve worker panicked"))
+            .collect()
+    });
+
+    let mut x = vec![0.0; n];
+    for (panel, piece) in pieces {
+        let range = bm.partition.cols(panel as usize);
+        x[range].copy_from_slice(&piece);
+    }
+    x
+}
+
+struct PanelState {
+    /// Remaining forward contributions, then `u32::MAX` once solved.
+    fwd_remaining: u32,
+    bwd_remaining: u32,
+    /// Forward accumulator, initialized to `b_I`.
+    fwd_acc: Vec<f64>,
+    /// Backward accumulator, initialized to zero; `y_I` subtracted in later.
+    bwd_acc: Vec<f64>,
+    y: Option<Arc<Vec<f64>>>,
+    x: Option<Arc<Vec<f64>>>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_worker(
+    me: u32,
+    f: &NumericFactor,
+    plan: &Plan,
+    sp: &SolvePlan,
+    bm: &blockmat::BlockMatrix,
+    b: &[f64],
+    rx: Receiver<Msg>,
+    senders: Vec<Sender<Msg>>,
+) -> Vec<(u32, Vec<f64>)> {
+    let np = bm.num_panels();
+    // Panels whose solution this processor owns.
+    let mut panels: HashMap<u32, PanelState> = HashMap::new();
+    for j in 0..np {
+        if sp.x_owner[j] == me {
+            let range = bm.partition.cols(j);
+            panels.insert(
+                j as u32,
+                PanelState {
+                    fwd_remaining: sp.fwd_contrib[j],
+                    bwd_remaining: sp.bwd_contrib[j],
+                    fwd_acc: b[range].to_vec(),
+                    bwd_acc: vec![0.0; bm.col_width(j)],
+                    y: None,
+                    x: None,
+                },
+            );
+        }
+    }
+    // Received broadcast pieces.
+    let mut ys: HashMap<u32, Arc<Vec<f64>>> = HashMap::new();
+    let mut xs: HashMap<u32, Arc<Vec<f64>>> = HashMap::new();
+    // Owned off-diagonal blocks grouped by column (forward) — row grouping
+    // comes from sp.row_blocks filtered by ownership.
+    let mut col_blocks: Vec<Vec<u32>> = vec![Vec::new(); np];
+    for j in 0..np {
+        for b_idx in 1..bm.cols[j].blocks.len() {
+            if plan.owner[j][b_idx] == me {
+                col_blocks[j].push(b_idx as u32);
+            }
+        }
+    }
+
+    // Work queue of panels that just got their y (forward) or x (backward)
+    // computed locally, to process like received broadcasts.
+    let mut expected = sp.expected_recv[me as usize];
+    let mut queue: Vec<Msg> = Vec::new();
+
+    // Kick off: owned panels with zero forward contributions.
+    let ready: Vec<u32> = panels
+        .iter()
+        .filter(|(_, st)| st.fwd_remaining == 0)
+        .map(|(&j, _)| j)
+        .collect();
+    let mut sorted_ready = ready;
+    sorted_ready.sort_unstable();
+    for j in sorted_ready {
+        complete_forward(me, f, sp, bm, &mut panels, j, &senders, &mut queue);
+    }
+
+    loop {
+        // Drain locally-generated messages first.
+        while let Some(msg) = queue.pop() {
+            handle(
+                me, f, plan, sp, bm, msg, &mut panels, &mut ys, &mut xs, &col_blocks,
+                &senders, &mut queue,
+            );
+        }
+        if expected == 0 && panels.values().all(|st| st.x.is_some()) {
+            break;
+        }
+        match rx.recv() {
+            Ok(msg) => {
+                expected -= 1;
+                handle(
+                    me, f, plan, sp, bm, msg, &mut panels, &mut ys, &mut xs, &col_blocks,
+                    &senders, &mut queue,
+                );
+            }
+            Err(_) => break, // all senders gone; nothing more can arrive
+        }
+    }
+
+    panels
+        .into_iter()
+        .map(|(j, st)| {
+            let x = st.x.expect("panel solved");
+            (j, (*x).clone())
+        })
+        .collect()
+}
+
+/// Processes one message (or locally generated event).
+#[allow(clippy::too_many_arguments)]
+fn handle(
+    me: u32,
+    f: &NumericFactor,
+    plan: &Plan,
+    sp: &SolvePlan,
+    bm: &blockmat::BlockMatrix,
+    msg: Msg,
+    panels: &mut HashMap<u32, PanelState>,
+    ys: &mut HashMap<u32, Arc<Vec<f64>>>,
+    xs: &mut HashMap<u32, Arc<Vec<f64>>>,
+    col_blocks: &[Vec<u32>],
+    senders: &[Sender<Msg>],
+    queue: &mut Vec<Msg>,
+) {
+    match msg {
+        Msg::Y(k, y) => {
+            ys.insert(k, y.clone());
+            // Every owned off-diagonal block (I, k) contributes L[I][k]·y_k.
+            let c = bm.col_width(k as usize);
+            for &b_idx in &col_blocks[k as usize] {
+                let blk = bm.cols[k as usize].blocks[b_idx as usize];
+                let buf = f.block(k as usize, b_idx as usize);
+                let r = blk.nrows();
+                let mut partial = vec![0.0; r];
+                for p in 0..r {
+                    let row = &buf[p * c..(p + 1) * c];
+                    let mut s = 0.0;
+                    for (lv, yv) in row.iter().zip(y.iter()) {
+                        s += lv * yv;
+                    }
+                    partial[p] = s;
+                }
+                // Scatter positions: block rows relative to the row panel.
+                let i = blk.row_panel;
+                let rows = bm.block_rows(k as usize, &blk);
+                let start = bm.partition.cols(i as usize).start as u32;
+                let mut dense_part = vec![0.0; bm.col_width(i as usize)];
+                for (p, &gr) in rows.iter().enumerate() {
+                    dense_part[(gr - start) as usize] = partial[p];
+                }
+                let dest = sp.x_owner[i as usize];
+                if dest == me {
+                    queue.push(Msg::FwdPartial(i, dense_part));
+                } else {
+                    let _ = senders[dest as usize].send(Msg::FwdPartial(i, dense_part));
+                }
+            }
+        }
+        Msg::FwdPartial(i, v) => {
+            let st = panels.get_mut(&i).expect("we own the destination panel");
+            for (a, pv) in st.fwd_acc.iter_mut().zip(&v) {
+                *a -= pv;
+            }
+            st.fwd_remaining -= 1;
+            if st.fwd_remaining == 0 {
+                complete_forward(me, f, sp, bm, panels, i, senders, queue);
+            }
+        }
+        Msg::X(j, x) => {
+            xs.insert(j, x.clone());
+            // Owned blocks with row panel j contribute L[j][i]ᵀ·x_j to
+            // panel i.
+            let j_start = bm.partition.cols(j as usize).start as u32;
+            for &(col, b_idx) in &sp.row_blocks[j as usize] {
+                if plan.owner[col as usize][b_idx as usize] != me {
+                    continue;
+                }
+                let blk = bm.cols[col as usize].blocks[b_idx as usize];
+                let buf = f.block(col as usize, b_idx as usize);
+                let c = bm.col_width(col as usize);
+                let rows = bm.block_rows(col as usize, &blk);
+                let mut partial = vec![0.0; c];
+                for (p, &gr) in rows.iter().enumerate() {
+                    let xv = x[(gr - j_start) as usize];
+                    let row = &buf[p * c..(p + 1) * c];
+                    for (q, lv) in row.iter().enumerate() {
+                        partial[q] += lv * xv;
+                    }
+                }
+                let dest = sp.x_owner[col as usize];
+                if dest == me {
+                    queue.push(Msg::BwdPartial(col, partial));
+                } else {
+                    let _ = senders[dest as usize].send(Msg::BwdPartial(col, partial));
+                }
+            }
+        }
+        Msg::BwdPartial(i, v) => {
+            let st = panels.get_mut(&i).expect("we own the destination panel");
+            for (a, pv) in st.bwd_acc.iter_mut().zip(&v) {
+                *a += pv;
+            }
+            st.bwd_remaining -= 1;
+            if st.bwd_remaining == 0 && st.y.is_some() {
+                complete_backward(me, f, sp, bm, panels, i, senders, queue);
+            }
+        }
+    }
+}
+
+/// Computes `y_I` and broadcasts it; chains into the backward phase when
+/// possible.
+#[allow(clippy::too_many_arguments)]
+fn complete_forward(
+    me: u32,
+    f: &NumericFactor,
+    sp: &SolvePlan,
+    bm: &blockmat::BlockMatrix,
+    panels: &mut HashMap<u32, PanelState>,
+    i: u32,
+    senders: &[Sender<Msg>],
+    queue: &mut Vec<Msg>,
+) {
+    let st = panels.get_mut(&i).expect("owned panel");
+    let c = bm.col_width(i as usize);
+    let mut y = std::mem::take(&mut st.fwd_acc);
+    trsv_lower(f.block(i as usize, 0), c, &mut y);
+    let y = Arc::new(y);
+    st.y = Some(y.clone());
+    st.fwd_remaining = u32::MAX; // solved marker
+    for &q in &sp.fwd_dests[i as usize] {
+        let _ = senders[q as usize].send(Msg::Y(i, y.clone()));
+    }
+    // Our own blocks in column i may contribute forward partials.
+    queue.push(Msg::Y(i, y));
+    // Backward may already be enabled (e.g. the last panel).
+    let st = panels.get_mut(&i).expect("owned panel");
+    if st.bwd_remaining == 0 {
+        complete_backward(me, f, sp, bm, panels, i, senders, queue);
+    }
+}
+
+/// Computes `x_I` from `y_I` and the accumulated backward contributions,
+/// broadcasts it to row-`I` block owners.
+#[allow(clippy::too_many_arguments)]
+fn complete_backward(
+    _me: u32,
+    f: &NumericFactor,
+    sp: &SolvePlan,
+    bm: &blockmat::BlockMatrix,
+    panels: &mut HashMap<u32, PanelState>,
+    i: u32,
+    senders: &[Sender<Msg>],
+    queue: &mut Vec<Msg>,
+) {
+    let st = panels.get_mut(&i).expect("owned panel");
+    debug_assert!(st.x.is_none());
+    let c = bm.col_width(i as usize);
+    let y = st.y.as_ref().expect("forward done");
+    let mut x: Vec<f64> = y.iter().zip(&st.bwd_acc).map(|(a, b)| a - b).collect();
+    trsv_lower_trans(f.block(i as usize, 0), c, &mut x);
+    let x = Arc::new(x);
+    st.x = Some(x.clone());
+    for &q in &sp.bwd_dests[i as usize] {
+        let _ = senders[q as usize].send(Msg::X(i, x.clone()));
+    }
+    queue.push(Msg::X(i, x));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::factorize_seq;
+    use blockmat::{BlockMatrix, BlockWork, WorkModel};
+    use mapping::Assignment;
+    use symbolic::AmalgParams;
+
+    fn prepared(
+        prob: &sparsemat::Problem,
+        bs: usize,
+        p: usize,
+    ) -> (NumericFactor, Plan, sparsemat::SymCscMatrix) {
+        let perm = ordering::order_problem(prob);
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+        let pa = analysis.perm.apply_to_matrix(&prob.matrix);
+        let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
+        let w = BlockWork::compute(&bm, &WorkModel::default());
+        let asg = Assignment::cyclic(&bm, &w, p);
+        let plan = Plan::build(&bm, &asg);
+        let mut f = NumericFactor::from_matrix(bm, &pa);
+        factorize_seq(&mut f).unwrap();
+        (f, plan, pa)
+    }
+
+    #[test]
+    fn distributed_solve_matches_sequential() {
+        for p in [1usize, 4, 9] {
+            let prob = sparsemat::gen::grid2d(9);
+            let (f, plan, pa) = prepared(&prob, 3, p);
+            let n = pa.n();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin() + 1.5).collect();
+            let x_seq = crate::solve::solve(&f, &b);
+            let x_par = solve_threaded(&f, &plan, &b);
+            for (i, (a, c)) in x_seq.iter().zip(&x_par).enumerate() {
+                assert!((a - c).abs() < 1e-9, "p={p} x[{i}]: {a} vs {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_solve_on_irregular_problem() {
+        let prob = sparsemat::gen::bcsstk_like("bk", 150, 4);
+        let (f, plan, pa) = prepared(&prob, 5, 4);
+        let n = pa.n();
+        let x_true: Vec<f64> = (0..n).map(|i| 2.0 - (i % 7) as f64 * 0.3).collect();
+        let mut b = vec![0.0; n];
+        pa.mul_vec(&x_true, &mut b);
+        let x = solve_threaded(&f, &plan, &b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-7, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn solve_plan_counts_are_consistent() {
+        let prob = sparsemat::gen::grid2d(10);
+        let (f, plan, _) = prepared(&prob, 4, 4);
+        let sp = SolvePlan::build(&plan, &f.bm);
+        let np = f.bm.num_panels();
+        // Total forward contributions == total off-diagonal blocks ==
+        // total backward contributions.
+        let offdiag: u32 = (0..np).map(|j| f.bm.cols[j].blocks.len() as u32 - 1).sum();
+        assert_eq!(sp.fwd_contrib.iter().sum::<u32>(), offdiag);
+        assert_eq!(sp.bwd_contrib.iter().sum::<u32>(), offdiag);
+        // Row-block lists cover each off-diagonal block once.
+        let listed: usize = sp.row_blocks.iter().map(Vec::len).sum();
+        assert_eq!(listed as u32, offdiag);
+    }
+}

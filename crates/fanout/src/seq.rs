@@ -1,0 +1,223 @@
+//! Sequential right-looking block factorization, plus the numeric kernels
+//! shared by every executor.
+
+use crate::factor::NumericFactor;
+use crate::Error;
+use blockmat::BlockMatrix;
+use dense::kernels::{gemm_abt_sub, potrf, syrk_lt_sub, trsm_right_lower_trans};
+
+/// Factors `f` in place sequentially: for each block column `K` ascending,
+/// `BFAC(K,K)`, then `BDIV(I,K)` for its off-diagonal blocks, then every
+/// `BMOD` sourced from column `K`.
+pub fn factorize_seq(f: &mut NumericFactor) -> Result<(), Error> {
+    let bm = f.bm.clone();
+    let mut scratch = Vec::new();
+    for k in 0..bm.num_panels() {
+        factor_block_column(f, &bm, k)?;
+        // Right-looking updates out of column k.
+        let (head, tail) = f.data.split_at_mut(k + 1);
+        let src_col = &head[k];
+        let offsets = &f.offsets;
+        let blocks = &bm.cols[k].blocks;
+        let c_k = bm.col_width(k);
+        for b in 1..blocks.len() {
+            for a in b..blocks.len() {
+                let dest_j = blocks[b].row_panel as usize;
+                let dest_i = blocks[a].row_panel as usize;
+                let di = bm
+                    .find_block(dest_i, dest_j)
+                    .expect("BMOD destination exists");
+                let dest_buf_all = &mut tail[dest_j - k - 1];
+                let lo = offsets[dest_j][di];
+                let hi = offsets[dest_j]
+                    .get(di + 1)
+                    .copied()
+                    .unwrap_or(dest_buf_all.len());
+                apply_bmod(
+                    &bm,
+                    &mut dest_buf_all[lo..hi],
+                    dest_i,
+                    dest_j,
+                    di,
+                    &src_col[offsets[k][a]..],
+                    bm.block_rows(k, &blocks[a]),
+                    &src_col[offsets[k][b]..],
+                    bm.block_rows(k, &blocks[b]),
+                    c_k,
+                    &mut scratch,
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `BFAC` on the diagonal block of column `k`, then `BDIV` on each of its
+/// off-diagonal blocks. Requires all `BMOD`s into column `k` to be applied.
+pub(crate) fn factor_block_column(
+    f: &mut NumericFactor,
+    bm: &BlockMatrix,
+    k: usize,
+) -> Result<(), Error> {
+    let c = bm.col_width(k);
+    let nblk = bm.cols[k].blocks.len();
+    let col = &mut f.data[k];
+    let (diag, rest) = col.split_at_mut(c * c);
+    potrf(diag, c).map_err(|e| Error::NotPositiveDefinite {
+        col: bm.partition.cols(k).start + e.pivot,
+    })?;
+    if nblk > 1 {
+        // All off-diagonal blocks are contiguous after the diagonal block;
+        // solve them in one call (their total row count × c).
+        let m = rest.len() / c;
+        trsm_right_lower_trans(diag, c, rest, m);
+    }
+    Ok(())
+}
+
+/// Applies one `BMOD(I, J, K)`: `dest -= A·Bᵀ` scattered through the
+/// destination block's row/column index maps.
+///
+/// * `a_buf`/`a_rows` — the completed source block `L[I][K]` and its global
+///   rows (only the leading `a_rows.len()·c_k` of `a_buf` are read);
+/// * `b_buf`/`b_rows` — the source `L[J][K]`;
+/// * for a diagonal destination (`I == J`, which implies `A == B`) only the
+///   lower triangle is updated.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_bmod(
+    bm: &BlockMatrix,
+    dest: &mut [f64],
+    dest_i: usize,
+    dest_j: usize,
+    dest_b: usize,
+    a_buf: &[f64],
+    a_rows: &[u32],
+    b_buf: &[f64],
+    b_rows: &[u32],
+    c_k: usize,
+    scratch: &mut Vec<f64>,
+) {
+    let ra = a_rows.len();
+    let rb = b_rows.len();
+    let c_dest = bm.col_width(dest_j);
+    let dest_start = bm.partition.cols(dest_j).start as u32;
+    if dest_i == dest_j {
+        // Diagonal destination: symmetric rank-c_k update, lower triangle.
+        debug_assert_eq!(a_rows, b_rows);
+        scratch.clear();
+        scratch.resize(ra * ra, 0.0);
+        syrk_lt_sub(scratch, &a_buf[..ra * c_k], ra, c_k);
+        for p in 0..ra {
+            let rd = (a_rows[p] - dest_start) as usize;
+            for q in 0..=p {
+                let cd = (a_rows[q] - dest_start) as usize;
+                dest[rd * c_dest + cd] += scratch[p * ra + q];
+            }
+        }
+    } else {
+        scratch.clear();
+        scratch.resize(ra * rb, 0.0);
+        gemm_abt_sub(scratch, &a_buf[..ra * c_k], &b_buf[..rb * c_k], ra, rb, c_k);
+        // Destination rows: a_rows is a subset of the dest block's rows;
+        // both sorted → merged scan.
+        let blk = bm.cols[dest_j].blocks[dest_b];
+        let dest_rows = bm.block_rows(dest_j, &blk);
+        let mut cursor = 0usize;
+        for (p, &gr) in a_rows.iter().enumerate() {
+            while dest_rows[cursor] != gr {
+                cursor += 1;
+                debug_assert!(cursor < dest_rows.len(), "source row missing in destination");
+            }
+            let drow = &mut dest[cursor * c_dest..(cursor + 1) * c_dest];
+            let srow = &scratch[p * rb..(p + 1) * rb];
+            for (q, &gc) in b_rows.iter().enumerate() {
+                drow[(gc - dest_start) as usize] += srow[q];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use symbolic::AmalgParams;
+
+    fn factor_problem(p: &sparsemat::Problem, bs: usize) -> (NumericFactor, sparsemat::SymCscMatrix) {
+        let perm = ordering::order_problem(p);
+        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let pa = analysis.perm.apply_to_matrix(&p.matrix);
+        let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
+        let mut f = NumericFactor::from_matrix(bm, &pa);
+        factorize_seq(&mut f).unwrap();
+        (f, pa)
+    }
+
+    #[test]
+    fn dense_factor_reconstructs() {
+        let p = sparsemat::gen::dense(24);
+        let (f, pa) = factor_problem(&p, 5);
+        let llt = f.llt_dense();
+        for i in 0..24 {
+            for j in 0..=i {
+                assert!(
+                    (llt[(i, j)] - pa.get(i, j)).abs() < 1e-8,
+                    "entry ({i},{j}): {} vs {}",
+                    llt[(i, j)],
+                    pa.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_factor_reconstructs() {
+        for bs in [1, 3, 48] {
+            let p = sparsemat::gen::grid2d(7);
+            let (f, pa) = factor_problem(&p, bs);
+            let llt = f.llt_dense();
+            let n = p.n();
+            for i in 0..n {
+                for j in 0..=i {
+                    assert!(
+                        (llt[(i, j)] - pa.get(i, j)).abs() < 1e-8,
+                        "bs={bs} entry ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn irregular_factor_reconstructs() {
+        let p = sparsemat::gen::bcsstk_like("T", 90, 5);
+        let (f, pa) = factor_problem(&p, 4);
+        let llt = f.llt_dense();
+        let n = p.n();
+        let mut max_err: f64 = 0.0;
+        for i in 0..n {
+            for j in 0..=i {
+                max_err = max_err.max((llt[(i, j)] - pa.get(i, j)).abs());
+            }
+        }
+        assert!(max_err < 1e-8, "max error {max_err}");
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let a = sparsemat::SymCscMatrix::from_coords(
+            2,
+            &[(0, 0, 1.0), (1, 0, 2.0), (1, 1, 1.0)],
+        )
+        .unwrap();
+        let parent = symbolic::etree(a.pattern());
+        let counts = symbolic::col_counts(a.pattern(), &parent);
+        let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgParams::off());
+        let bm = Arc::new(BlockMatrix::build(sn, 2));
+        let mut f = NumericFactor::from_matrix(bm, &a);
+        assert_eq!(
+            factorize_seq(&mut f).unwrap_err(),
+            Error::NotPositiveDefinite { col: 1 }
+        );
+    }
+}

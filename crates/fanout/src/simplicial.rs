@@ -1,0 +1,204 @@
+//! Simplicial (column-at-a-time) left-looking Cholesky — the classical
+//! sequential algorithm the paper's "ops to factor" column refers to, and
+//! the 1-D baseline the block method is motivated against.
+//!
+//! Uses the SPARSPAK-style link-list formulation: when column `k` completes,
+//! it is linked onto the list of the next row it updates; column `j` applies
+//! exactly the updates of columns whose current first off-diagonal row is
+//! `j`. No supernodes, no BLAS-3 — every update is a scalar `axpy`, which is
+//! precisely why the paper moves to blocks.
+
+use crate::factor::NumericFactor;
+use crate::Error;
+use sparsemat::SymCscMatrix;
+
+/// The factor in plain CSC form (rows ascending, diagonal first per column).
+#[derive(Debug, Clone)]
+pub struct CscFactor {
+    /// Column pointers (length `n + 1`).
+    pub col_ptr: Vec<usize>,
+    /// Row indices.
+    pub row_idx: Vec<u32>,
+    /// Values.
+    pub values: Vec<f64>,
+    /// Floating point operations actually performed (multiply-adds counted
+    /// as 2, divisions and the square root as 1 each).
+    pub flops: u64,
+}
+
+/// Factors the (permuted) matrix `a` column by column over the given factor
+/// structure (typically `NumericFactor::to_csc()`'s pattern from a symbolic
+/// analysis, or any superset of the true structure).
+///
+/// `col_ptr`/`row_idx` describe the structure of `L`; values are computed.
+pub fn factorize_simplicial(
+    a: &SymCscMatrix,
+    col_ptr: &[usize],
+    row_idx: &[u32],
+) -> Result<CscFactor, Error> {
+    let n = a.n();
+    assert_eq!(col_ptr.len(), n + 1);
+    let mut values = vec![0.0f64; row_idx.len()];
+    // link[j]: head of the list of columns whose next update row is j;
+    // next[k]: next column in k's list; first[k]: cursor into column k.
+    let mut link = vec![u32::MAX; n];
+    let mut next = vec![u32::MAX; n];
+    let mut first = vec![0usize; n];
+    // Dense accumulation workspace.
+    let mut w = vec![0.0f64; n];
+    let mut flops = 0u64;
+
+    for j in 0..n {
+        // Scatter A(:, j), lower part.
+        for (&i, &v) in a.col_rows(j).iter().zip(a.col_values(j)) {
+            w[i as usize] = v;
+        }
+        // Apply updates from all columns k whose next row is j.
+        let mut k = link[j];
+        while k != u32::MAX {
+            let k_us = k as usize;
+            let nk = next[k_us];
+            let p = first[k_us];
+            let end = col_ptr[k_us + 1];
+            let ljk = values[p];
+            // w[i] -= l_ik · l_jk for the remaining structure of column k.
+            for idx in p..end {
+                w[row_idx[idx] as usize] -= values[idx] * ljk;
+            }
+            flops += 2 * (end - p) as u64;
+            // Re-link column k to its next update row.
+            first[k_us] = p + 1;
+            if p + 1 < end {
+                let r = row_idx[p + 1] as usize;
+                next[k_us] = link[r];
+                link[r] = k;
+            }
+            k = nk;
+        }
+        // Finish column j.
+        let cj = col_ptr[j];
+        debug_assert_eq!(row_idx[cj] as usize, j, "diagonal first");
+        let d = w[j];
+        if d <= 0.0 || !d.is_finite() {
+            return Err(Error::NotPositiveDefinite { col: j });
+        }
+        let d = d.sqrt();
+        flops += 1;
+        values[cj] = d;
+        w[j] = 0.0;
+        let inv = 1.0 / d;
+        for idx in cj + 1..col_ptr[j + 1] {
+            let r = row_idx[idx] as usize;
+            values[idx] = w[r] * inv;
+            w[r] = 0.0;
+            flops += 1;
+        }
+        // Link column j for its first off-diagonal row.
+        first[j] = cj + 1;
+        if cj + 1 < col_ptr[j + 1] {
+            let r = row_idx[cj + 1] as usize;
+            next[j] = link[r];
+            link[r] = j as u32;
+        }
+    }
+    Ok(CscFactor { col_ptr: col_ptr.to_vec(), row_idx: row_idx.to_vec(), values, flops })
+}
+
+/// Convenience: runs the simplicial factorization over the block structure's
+/// column pattern and returns the factor plus measured flops.
+pub fn factorize_simplicial_from(f: &NumericFactor, a: &SymCscMatrix) -> Result<CscFactor, Error> {
+    let (cp, ri, _) = f.to_csc();
+    factorize_simplicial(a, &cp, &ri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockmat::BlockMatrix;
+    use std::sync::Arc;
+    use symbolic::AmalgParams;
+
+    fn prepared(prob: &sparsemat::Problem, bs: usize) -> (NumericFactor, SymCscMatrix) {
+        let perm = ordering::order_problem(prob);
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::off());
+        let pa = analysis.perm.apply_to_matrix(&prob.matrix);
+        let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
+        (NumericFactor::from_matrix(bm, &pa), pa)
+    }
+
+    #[test]
+    fn simplicial_matches_block_factor() {
+        let prob = sparsemat::gen::grid2d(8);
+        let (mut f, pa) = prepared(&prob, 3);
+        let simp = factorize_simplicial_from(&f, &pa).unwrap();
+        crate::factorize_seq(&mut f).unwrap();
+        let (_, _, block_vals) = f.to_csc();
+        for (i, (s, b)) in simp.values.iter().zip(&block_vals).enumerate() {
+            assert!((s - b).abs() < 1e-10, "value {i}: {s} vs {b}");
+        }
+    }
+
+    #[test]
+    fn measured_flops_match_ops_formula_without_amalgamation() {
+        // The paper's "ops to factor" formula Σ η(η+3) and the simplicial
+        // algorithm's actual flops differ only in how the column completion
+        // is charged: per column, the formula counts η²+3η while the
+        // algorithm performs η²+2η+1, so over the whole factor
+        //   flops = ops − (nnz_l − n)          (exactly).
+        let prob = sparsemat::gen::bcsstk_like("bk", 90, 3);
+        let perm = ordering::order_problem(&prob);
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::off());
+        let pa = analysis.perm.apply_to_matrix(&prob.matrix);
+        let n = pa.n() as u64;
+        let bm = Arc::new(BlockMatrix::build(analysis.supernodes, 4));
+        let f = NumericFactor::from_matrix(bm, &pa);
+        let simp = factorize_simplicial_from(&f, &pa).unwrap();
+        assert_eq!(
+            simp.flops + analysis.stats.nnz_l,
+            analysis.stats.ops + n,
+            "flop identity violated"
+        );
+    }
+
+    #[test]
+    fn simplicial_detects_indefinite() {
+        let a = SymCscMatrix::from_coords(2, &[(0, 0, 1.0), (1, 0, 2.0), (1, 1, 1.0)]).unwrap();
+        let cp = vec![0usize, 2, 3];
+        let ri = vec![0u32, 1, 1];
+        assert_eq!(
+            factorize_simplicial(&a, &cp, &ri).unwrap_err(),
+            Error::NotPositiveDefinite { col: 1 }
+        );
+    }
+
+    #[test]
+    fn simplicial_solves_correctly_via_csc() {
+        let prob = sparsemat::gen::cube3d(4);
+        let (f, pa) = prepared(&prob, 4);
+        let simp = factorize_simplicial_from(&f, &pa).unwrap();
+        // Forward/backward substitution directly on the CSC factor.
+        let n = pa.n();
+        let x_true: Vec<f64> = (0..n).map(|i| (i % 5) as f64 + 1.0).collect();
+        let mut b = vec![0.0; n];
+        pa.mul_vec(&x_true, &mut b);
+        let mut x = b;
+        for j in 0..n {
+            let d = simp.values[simp.col_ptr[j]];
+            x[j] /= d;
+            let xj = x[j];
+            for e in simp.col_ptr[j] + 1..simp.col_ptr[j + 1] {
+                x[simp.row_idx[e] as usize] -= simp.values[e] * xj;
+            }
+        }
+        for j in (0..n).rev() {
+            let mut s = x[j];
+            for e in simp.col_ptr[j] + 1..simp.col_ptr[j + 1] {
+                s -= simp.values[e] * x[simp.row_idx[e] as usize];
+            }
+            x[j] = s / simp.values[simp.col_ptr[j]];
+        }
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the fan-out executors: protocol invariants and
+//! numeric agreement on random SPD problems under random configurations.
+
+use blockmat::{BlockMatrix, BlockWork, WorkModel};
+use fanout::{NumericFactor, Plan};
+use mapping::{Assignment, ColPolicy, Heuristic, ProcGrid, RowPolicy};
+use proptest::prelude::*;
+use sparsemat::{Problem, SymCscMatrix};
+use std::sync::Arc;
+use symbolic::AmalgParams;
+
+fn arb_spd(max_n: usize) -> impl Strategy<Value = SymCscMatrix> {
+    (3usize..max_n, proptest::collection::vec((0u32..1000, 0u32..1000, 0.2f64..3.0), 0..100))
+        .prop_map(|(n, raw)| {
+            let edges: Vec<(u32, u32, f64)> = raw
+                .into_iter()
+                .map(|(a, b, w)| (a % n as u32, b % n as u32, w))
+                .filter(|(a, b, _)| a != b)
+                .collect();
+            sparsemat::gen::spd_from_edges(n, &edges)
+        })
+}
+
+fn analyzed(a: &SymCscMatrix, bs: usize) -> (Arc<BlockMatrix>, SymCscMatrix, BlockWork) {
+    let prob = Problem::new("prop", a.clone(), None, sparsemat::gen::OrderingHint::MinimumDegree);
+    let perm = ordering::order_problem(&prob);
+    let analysis = symbolic::analyze(a.pattern(), &perm, &AmalgParams::default());
+    let pa = analysis.perm.apply_to_matrix(a);
+    let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
+    let w = BlockWork::compute(&bm, &WorkModel::default());
+    (bm, pa, w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn plan_invariants_hold_for_random_grids(
+        a in arb_spd(40),
+        bs in 1usize..6,
+        pr in 1usize..4,
+        pc in 1usize..4,
+    ) {
+        let (bm, _, w) = analyzed(&a, bs);
+        let grid = ProcGrid::new(pr, pc);
+        let asg = Assignment::build(
+            &bm,
+            &w,
+            grid,
+            RowPolicy::Heuristic(Heuristic::DecreasingWork),
+            ColPolicy::Heuristic(Heuristic::Cyclic),
+            None,
+        );
+        let plan = Plan::build(&bm, &asg);
+        // CP bound on recipients.
+        for col in &plan.send_to {
+            for list in col {
+                prop_assert!(list.len() <= pr + pc);
+            }
+        }
+        // Receives balance sends.
+        let sends: u64 = plan
+            .send_to
+            .iter()
+            .flat_map(|c| c.iter().map(|l| l.len() as u64))
+            .sum();
+        prop_assert_eq!(plan.expected_recv.iter().sum::<u64>(), sends);
+        // Total pending equals BMOD count.
+        let mut bmods = 0u64;
+        blockmat::for_each_bmod(&bm, |_| bmods += 1);
+        let pend: u64 = plan
+            .pending
+            .iter()
+            .flat_map(|c| c.iter().map(|&x| x as u64))
+            .sum();
+        prop_assert_eq!(pend, bmods);
+    }
+
+    #[test]
+    fn threaded_and_seq_and_sim_agree(
+        a in arb_spd(30),
+        bs in 1usize..5,
+        p in 1usize..6,
+    ) {
+        let (bm, pa, w) = analyzed(&a, bs);
+        let grid = ProcGrid::near_square(p);
+        let asg = Assignment::build(
+            &bm,
+            &w,
+            grid,
+            RowPolicy::Heuristic(Heuristic::IncreasingDepth),
+            ColPolicy::Heuristic(Heuristic::Cyclic),
+            None,
+        );
+        let plan = Plan::build(&bm, &asg);
+        // Numerics: threaded == sequential.
+        let mut f_seq = NumericFactor::from_matrix(bm.clone(), &pa);
+        fanout::factorize_seq(&mut f_seq).unwrap();
+        let mut f_par = NumericFactor::from_matrix(bm.clone(), &pa);
+        fanout::factorize_threaded(&mut f_par, &plan).unwrap();
+        let (_, _, vs) = f_seq.to_csc();
+        let (_, _, vp) = f_par.to_csc();
+        for (x, y) in vs.iter().zip(&vp) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+        // Simulation completes with sane outcome under both policies.
+        let plan = Arc::new(plan);
+        let model = simgrid::MachineModel::paragon();
+        for policy in [fanout::SimPolicy::DataDriven, fanout::SimPolicy::CriticalPathPriority] {
+            let out = fanout::simulate_with_policy(&bm, &plan, &model, policy);
+            prop_assert!(out.report.makespan_s > 0.0);
+            prop_assert!(out.efficiency > 0.0 && out.efficiency <= 1.0 + 1e-9);
+            // Critical path lower-bounds any schedule.
+            let cp = fanout::critical_path(&bm, &model);
+            prop_assert!(out.report.makespan_s >= cp.length_s * 0.999);
+        }
+    }
+
+    #[test]
+    fn distributed_solve_agrees_with_gathered_solve(
+        a in arb_spd(25),
+        bs in 1usize..5,
+        p in 1usize..5,
+    ) {
+        let (bm, pa, w) = analyzed(&a, bs);
+        let asg = Assignment::cyclic(&bm, &w, p * p);
+        let plan = Plan::build(&bm, &asg);
+        let mut f = NumericFactor::from_matrix(bm.clone(), &pa);
+        fanout::factorize_seq(&mut f).unwrap();
+        let n = pa.n();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) * 0.5 - 3.0).collect();
+        let x1 = fanout::solve(&f, &b);
+        let x2 = fanout::solve_threaded(&f, &plan, &b);
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert!((u - v).abs() < 1e-8 * (1.0 + u.abs()), "{} vs {}", u, v);
+        }
+    }
+
+    #[test]
+    fn factor_residual_is_small_for_any_structure(a in arb_spd(35), bs in 1usize..6) {
+        let (bm, pa, _) = analyzed(&a, bs);
+        let mut f = NumericFactor::from_matrix(bm, &pa);
+        fanout::factorize_seq(&mut f).unwrap();
+        prop_assert!(fanout::residual_norm(&pa, &f) < 1e-10);
+    }
+}

@@ -1,0 +1,262 @@
+//! Final block-to-processor assignment: domains + a 2-D map of the root
+//! portion.
+
+use crate::domains::{DomainPlan, ROOT};
+use crate::grid::ProcGrid;
+use crate::heuristics::{alt_row_map, greedy_map, subtree_col_map, Heuristic};
+use blockmat::{BlockMatrix, BlockWork};
+
+/// A Cartesian-product mapping: independent panel → processor-row and
+/// panel → processor-column functions (paper Section 2.4). CP mappings
+/// bound each block's communication to one grid row plus one grid column.
+#[derive(Debug, Clone)]
+pub struct CpMap {
+    /// The processor grid.
+    pub grid: ProcGrid,
+    /// Panel → processor row.
+    pub map_i: Vec<u32>,
+    /// Panel → processor column.
+    pub map_j: Vec<u32>,
+}
+
+impl CpMap {
+    /// Owner of block `L[I][J]` under the pure 2-D map (ignoring domains).
+    #[inline]
+    pub fn owner(&self, i: usize, j: usize) -> usize {
+        self.grid.rank(self.map_i[i] as usize, self.map_j[j] as usize)
+    }
+
+    /// True if `map_i == map_j` on a square grid (a *symmetric Cartesian*
+    /// map, which the paper proves always suffers diagonal imbalance).
+    pub fn is_symmetric_cartesian(&self) -> bool {
+        self.grid.pr == self.grid.pc && self.map_i == self.map_j
+    }
+}
+
+/// Row mapping policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowPolicy {
+    /// One of the five Section 4 heuristics on aggregate block-row work.
+    Heuristic(Heuristic),
+    /// The Section 4.2 alternative: minimize per-processor maxima given the
+    /// already-chosen column map.
+    AltPerProcessor,
+}
+
+/// Column mapping policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColPolicy {
+    /// One of the five Section 4 heuristics on aggregate block-column work.
+    Heuristic(Heuristic),
+    /// The Section 5 subtree-to-processor-columns communication reducer.
+    Subtree,
+}
+
+/// A complete assignment of blocks to processors.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// The processor grid.
+    pub grid: ProcGrid,
+    /// `owner[j][b]`: linear rank owning block `b` of block column `j`.
+    pub owner: Vec<Vec<u32>>,
+    /// The 2-D map used for the root portion.
+    pub cp: CpMap,
+    /// Domain plan, if domains are in use.
+    pub domains: Option<DomainPlan>,
+    /// `eligible[j]`: true when block column `j` is 2-D mapped (root
+    /// portion), false when owned by a domain processor.
+    pub eligible: Vec<bool>,
+}
+
+impl Assignment {
+    /// Builds an assignment.
+    ///
+    /// The heuristics balance only root-portion work: the row/column
+    /// aggregates fed to the greedy partitioner exclude blocks owned through
+    /// domains (those are balanced separately by domain selection).
+    pub fn build(
+        bm: &BlockMatrix,
+        work: &BlockWork,
+        grid: ProcGrid,
+        row: RowPolicy,
+        col: ColPolicy,
+        domains: Option<DomainPlan>,
+    ) -> Self {
+        let np = bm.num_panels();
+        let eligible: Vec<bool> = match &domains {
+            Some(d) => (0..np).map(|j| d.domain_of_panel[j] == ROOT).collect(),
+            None => vec![true; np],
+        };
+        // Root-restricted aggregates.
+        let mut row_work = vec![0u64; np];
+        let mut col_work = vec![0u64; np];
+        for j in 0..np {
+            if !eligible[j] {
+                continue;
+            }
+            for (b, blk) in bm.cols[j].blocks.iter().enumerate() {
+                let w = work.per_block[j][b];
+                row_work[blk.row_panel as usize] += w;
+                col_work[j] += w;
+            }
+        }
+        let depth = &bm.partition.depth;
+        let map_j = match col {
+            ColPolicy::Heuristic(h) => greedy_map(h, &col_work, depth, &eligible, grid.pc),
+            ColPolicy::Subtree => subtree_col_map(bm, work, grid.pc),
+        };
+        let map_i = match row {
+            RowPolicy::Heuristic(h) => greedy_map(h, &row_work, depth, &eligible, grid.pr),
+            RowPolicy::AltPerProcessor => {
+                alt_row_map(bm, work, &map_j, &eligible, grid.pr, grid.pc)
+            }
+        };
+        let cp = CpMap { grid, map_i, map_j };
+        let mut owner = Vec::with_capacity(np);
+        for j in 0..np {
+            let col_owner: Vec<u32> = if eligible[j] {
+                bm.cols[j]
+                    .blocks
+                    .iter()
+                    .map(|blk| cp.owner(blk.row_panel as usize, j) as u32)
+                    .collect()
+            } else {
+                let d = domains.as_ref().unwrap();
+                let q = d.proc_of_domain[d.domain_of_panel[j] as usize];
+                vec![q; bm.cols[j].blocks.len()]
+            };
+            owner.push(col_owner);
+        }
+        Self { grid, owner, cp, domains, eligible }
+    }
+
+    /// Convenience: the paper's default configuration — a square grid,
+    /// cyclic row and column maps, domains on.
+    pub fn cyclic(bm: &BlockMatrix, work: &BlockWork, p: usize) -> Self {
+        let grid = ProcGrid::square(p);
+        let domains = DomainPlan::select(bm, work, p, &Default::default());
+        Self::build(
+            bm,
+            work,
+            grid,
+            RowPolicy::Heuristic(Heuristic::Cyclic),
+            ColPolicy::Heuristic(Heuristic::Cyclic),
+            Some(domains),
+        )
+    }
+
+    /// Total work per processor under this assignment.
+    pub fn per_proc_work(&self, work: &BlockWork) -> Vec<u64> {
+        let mut load = vec![0u64; self.grid.p()];
+        for (j, col) in self.owner.iter().enumerate() {
+            for (b, &q) in col.iter().enumerate() {
+                load[q as usize] += work.per_block[j][b];
+            }
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockmat::WorkModel;
+    use symbolic::AmalgParams;
+
+    fn setup(k: usize) -> (BlockMatrix, BlockWork) {
+        let p = sparsemat::gen::grid2d(k);
+        let perm = ordering::order_problem(&p);
+        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let bm = BlockMatrix::build(analysis.supernodes, 4);
+        let w = BlockWork::compute(&bm, &WorkModel::default());
+        (bm, w)
+    }
+
+    #[test]
+    fn owners_in_range_and_work_conserved() {
+        let (bm, w) = setup(10);
+        let asg = Assignment::cyclic(&bm, &w, 4);
+        for col in &asg.owner {
+            for &q in col {
+                assert!((q as usize) < 4);
+            }
+        }
+        let load = asg.per_proc_work(&w);
+        assert_eq!(load.iter().sum::<u64>(), w.total);
+    }
+
+    #[test]
+    fn cyclic_without_domains_matches_modular_rule() {
+        let (bm, w) = setup(8);
+        let grid = ProcGrid::square(4);
+        let asg = Assignment::build(
+            &bm,
+            &w,
+            grid,
+            RowPolicy::Heuristic(Heuristic::Cyclic),
+            ColPolicy::Heuristic(Heuristic::Cyclic),
+            None,
+        );
+        for (j, col) in bm.cols.iter().enumerate() {
+            for (b, blk) in col.blocks.iter().enumerate() {
+                let i = blk.row_panel as usize;
+                let expect = grid.rank(i % 2, j % 2);
+                assert_eq!(asg.owner[j][b] as usize, expect);
+            }
+        }
+        assert!(asg.cp.is_symmetric_cartesian());
+    }
+
+    #[test]
+    fn domain_columns_have_single_owner() {
+        let (bm, w) = setup(12);
+        let asg = Assignment::cyclic(&bm, &w, 4);
+        let d = asg.domains.as_ref().unwrap();
+        for j in 0..bm.num_panels() {
+            if d.domain_of_panel[j] != ROOT {
+                let col = &asg.owner[j];
+                assert!(col.iter().all(|&q| q == col[0]), "domain column split");
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_improves_worst_processor() {
+        let (bm, w) = setup(16);
+        let grid = ProcGrid::square(4);
+        let cyc = Assignment::build(
+            &bm,
+            &w,
+            grid,
+            RowPolicy::Heuristic(Heuristic::Cyclic),
+            ColPolicy::Heuristic(Heuristic::Cyclic),
+            None,
+        );
+        let heu = Assignment::build(
+            &bm,
+            &w,
+            grid,
+            RowPolicy::Heuristic(Heuristic::DecreasingWork),
+            ColPolicy::Heuristic(Heuristic::DecreasingNumber),
+            None,
+        );
+        let max_cyc = *cyc.per_proc_work(&w).iter().max().unwrap();
+        let max_heu = *heu.per_proc_work(&w).iter().max().unwrap();
+        assert!(max_heu <= max_cyc, "heuristic {max_heu} vs cyclic {max_cyc}");
+    }
+
+    #[test]
+    fn subtree_and_alt_policies_build() {
+        let (bm, w) = setup(10);
+        let grid = ProcGrid::new(2, 2);
+        let asg = Assignment::build(
+            &bm,
+            &w,
+            grid,
+            RowPolicy::AltPerProcessor,
+            ColPolicy::Subtree,
+            None,
+        );
+        assert_eq!(asg.owner.len(), bm.num_panels());
+    }
+}

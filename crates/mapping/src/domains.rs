@@ -1,0 +1,218 @@
+//! Domains (paper Section 2.3): disjoint elimination-tree subtrees assigned
+//! wholly to single processors.
+//!
+//! The block fan-out method does not 2-D-map the entire matrix: the bottom of
+//! the elimination tree is split into subtrees ("domains") chosen to spread
+//! the domain work evenly, each owned by one processor with a 1-D
+//! block-column mapping; only the remaining "root portion" is 2-D mapped.
+//! Domains mainly reduce interprocessor communication.
+
+use blockmat::{BlockMatrix, BlockWork};
+
+/// Marker for panels in the root (2-D mapped) portion.
+pub const ROOT: u32 = u32::MAX;
+
+/// Domain selection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainParams {
+    /// Target number of domains per processor. More domains → finer
+    /// balancing of the domain portion at slightly less locality.
+    pub per_proc: usize,
+}
+
+impl Default for DomainParams {
+    fn default() -> Self {
+        Self { per_proc: 4 }
+    }
+}
+
+/// The selected domains and their processor assignment.
+#[derive(Debug, Clone)]
+pub struct DomainPlan {
+    /// For each panel: its domain id, or [`ROOT`] for root-portion panels.
+    pub domain_of_panel: Vec<u32>,
+    /// Owning processor of each domain.
+    pub proc_of_domain: Vec<u32>,
+    /// Work of each domain (sum of its block columns' work).
+    pub domain_work: Vec<u64>,
+    /// Total domain work per processor (after LPT packing).
+    pub proc_work: Vec<u64>,
+}
+
+impl DomainPlan {
+    /// Share of total work kept in domains.
+    pub fn domain_fraction(&self, work: &BlockWork) -> f64 {
+        let dom: u64 = self.domain_work.iter().sum();
+        dom as f64 / work.total as f64
+    }
+
+    /// Selects domains for `p` processors.
+    ///
+    /// Starting from the supernode-forest roots, repeatedly expands the
+    /// heaviest candidate subtree into its children (moving the expanded
+    /// supernode to the root portion) until no candidate exceeds its fair
+    /// share of the remaining pool (`pool / (per_proc · p)`); then packs the
+    /// surviving subtrees onto processors largest-first (LPT).
+    pub fn select(bm: &BlockMatrix, work: &BlockWork, p: usize, params: &DomainParams) -> Self {
+        let sn = &bm.sn;
+        let num_sn = sn.count();
+        let np = bm.num_panels();
+        // Work and subtree work per supernode.
+        let mut sn_work = vec![0u64; num_sn];
+        for j in 0..np {
+            sn_work[bm.partition.sn_of_panel[j] as usize] += work.col_work[j];
+        }
+        let mut subtree = sn_work.clone();
+        let mut sub_size = vec![1u32; num_sn];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); num_sn];
+        let mut roots: Vec<u32> = Vec::new();
+        for s in 0..num_sn {
+            match sn.parent[s] {
+                symbolic::NONE => roots.push(s as u32),
+                par => {
+                    subtree[par as usize] += subtree[s];
+                    sub_size[par as usize] += sub_size[s];
+                    children[par as usize].push(s as u32);
+                }
+            }
+        }
+
+        // Candidate pool, expanded heaviest-first.
+        use std::collections::BinaryHeap;
+        let mut heap: BinaryHeap<(u64, u32)> =
+            roots.iter().map(|&s| (subtree[s as usize], s)).collect();
+        let mut pool: u64 = heap.iter().map(|&(w, _)| w).sum();
+        let mut accepted: Vec<u32> = Vec::new();
+        let target_count = (params.per_proc * p).max(1);
+        while let Some((w, s)) = heap.pop() {
+            let threshold = pool / target_count as u64;
+            if w > threshold {
+                if children[s as usize].is_empty() {
+                    // An oversized leaf supernode (e.g. the single supernode
+                    // of a dense matrix) cannot be split; 2-D map it instead
+                    // of handing one processor a giant domain.
+                    pool -= subtree[s as usize];
+                } else {
+                    // Expand: s itself joins the root portion.
+                    pool -= sn_work[s as usize];
+                    for &c in &children[s as usize] {
+                        heap.push((subtree[c as usize], c));
+                    }
+                }
+            } else {
+                accepted.push(s);
+            }
+        }
+
+        // Mark domain panels. A supernode subtree is the contiguous
+        // supernode range [s - size + 1, s] (postordered tree).
+        let mut domain_of_panel = vec![ROOT; np];
+        let mut domain_work = Vec::with_capacity(accepted.len());
+        accepted.sort_unstable();
+        for (d, &s) in accepted.iter().enumerate() {
+            let s = s as usize;
+            let lo = s + 1 - sub_size[s] as usize;
+            let mut w = 0u64;
+            for j in 0..np {
+                let js = bm.partition.sn_of_panel[j] as usize;
+                if js >= lo && js <= s {
+                    domain_of_panel[j] = d as u32;
+                    w += work.col_work[j];
+                }
+            }
+            domain_work.push(w);
+        }
+
+        // LPT packing onto processors.
+        let mut order: Vec<u32> = (0..accepted.len() as u32).collect();
+        order.sort_by_key(|&d| std::cmp::Reverse(domain_work[d as usize]));
+        let mut proc_work = vec![0u64; p];
+        let mut proc_of_domain = vec![0u32; accepted.len()];
+        for d in order {
+            let mut best = 0;
+            for q in 1..p {
+                if proc_work[q] < proc_work[best] {
+                    best = q;
+                }
+            }
+            proc_of_domain[d as usize] = best as u32;
+            proc_work[best] += domain_work[d as usize];
+        }
+        Self { domain_of_panel, proc_of_domain, domain_work, proc_work }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockmat::WorkModel;
+    use symbolic::AmalgParams;
+
+    fn setup(k: usize) -> (BlockMatrix, BlockWork) {
+        let p = sparsemat::gen::grid2d(k);
+        let perm = ordering::order_problem(&p);
+        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let bm = BlockMatrix::build(analysis.supernodes, 4);
+        let w = BlockWork::compute(&bm, &WorkModel::default());
+        (bm, w)
+    }
+
+    #[test]
+    fn domains_are_upward_closed_complement() {
+        // The root portion must be closed under taking parents: if a panel is
+        // in a domain, every panel below it in column order that shares its
+        // supernode subtree is too. Equivalent check: for every supernode in
+        // the root portion, its sn-tree parent is also root portion.
+        let (bm, w) = setup(12);
+        let plan = DomainPlan::select(&bm, &w, 4, &DomainParams::default());
+        let sn = &bm.sn;
+        let mut sn_is_root = vec![false; sn.count()];
+        for j in 0..bm.num_panels() {
+            if plan.domain_of_panel[j] == ROOT {
+                sn_is_root[bm.partition.sn_of_panel[j] as usize] = true;
+            }
+        }
+        for s in 0..sn.count() {
+            if sn_is_root[s] && sn.parent[s] != symbolic::NONE {
+                assert!(sn_is_root[sn.parent[s] as usize], "root portion not upward closed");
+            }
+        }
+    }
+
+    #[test]
+    fn panels_of_one_supernode_share_domain() {
+        let (bm, w) = setup(12);
+        let plan = DomainPlan::select(&bm, &w, 4, &DomainParams::default());
+        for j in 1..bm.num_panels() {
+            if bm.partition.sn_of_panel[j] == bm.partition.sn_of_panel[j - 1] {
+                assert_eq!(plan.domain_of_panel[j], plan.domain_of_panel[j - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn domain_work_is_roughly_balanced() {
+        let (bm, w) = setup(16);
+        let p = 4;
+        let plan = DomainPlan::select(&bm, &w, p, &DomainParams::default());
+        assert!(!plan.domain_work.is_empty());
+        let max = *plan.proc_work.iter().max().unwrap();
+        let min = *plan.proc_work.iter().min().unwrap();
+        // LPT over >= per_proc subtrees per processor keeps spread modest.
+        assert!(max <= 2 * min.max(1) + plan.domain_work.iter().copied().max().unwrap());
+        // Domains must capture a nontrivial share of the work on a grid, and
+        // must leave a root portion (on a 2-D grid most work sits in the top
+        // separators, so the fraction is modest at this size).
+        let frac = plan.domain_fraction(&w);
+        assert!(frac > 0.03 && frac < 0.95, "domain fraction {frac}");
+        let root_panels = plan.domain_of_panel.iter().filter(|&&d| d == ROOT).count();
+        assert!(root_panels > 0 && root_panels < bm.num_panels());
+    }
+
+    #[test]
+    fn single_processor_gets_everything() {
+        let (bm, w) = setup(8);
+        let plan = DomainPlan::select(&bm, &w, 1, &DomainParams { per_proc: 1 });
+        assert!(plan.proc_of_domain.iter().all(|&q| q == 0));
+    }
+}

@@ -1,0 +1,446 @@
+//! The row/column remapping heuristics of Section 4.
+//!
+//! All heuristics share one greedy number-partitioning core: iterate over
+//! block rows (or columns) in some order, assigning each to the processor
+//! row (column) with the least work mapped so far. The heuristics differ
+//! only in the iteration order.
+
+use blockmat::{BlockMatrix, BlockWork};
+
+/// A mapping heuristic for one dimension (rows or columns) of the block
+/// matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Heuristic {
+    /// `mapI[I] = I mod Pr` — the traditional 2-D cyclic (torus-wrap) map.
+    Cyclic,
+    /// Greedy in order of decreasing work (the standard number-partitioning
+    /// order).
+    DecreasingWork,
+    /// Greedy in order of increasing panel number (a comparison baseline).
+    IncreasingNumber,
+    /// Greedy in order of decreasing panel number (work generally grows with
+    /// the panel number).
+    DecreasingNumber,
+    /// Greedy in order of increasing elimination-tree depth (the sparse
+    /// refinement of decreasing number).
+    IncreasingDepth,
+}
+
+impl Heuristic {
+    /// All five heuristics, in the paper's table order.
+    pub const ALL: [Heuristic; 5] = [
+        Heuristic::Cyclic,
+        Heuristic::DecreasingWork,
+        Heuristic::IncreasingNumber,
+        Heuristic::DecreasingNumber,
+        Heuristic::IncreasingDepth,
+    ];
+
+    /// The paper's abbreviation (CY, DW, IN, DN, ID).
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Heuristic::Cyclic => "CY",
+            Heuristic::DecreasingWork => "DW",
+            Heuristic::IncreasingNumber => "IN",
+            Heuristic::DecreasingNumber => "DN",
+            Heuristic::IncreasingDepth => "ID",
+        }
+    }
+
+    /// Full display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Heuristic::Cyclic => "Cyclic",
+            Heuristic::DecreasingWork => "Decr. Work",
+            Heuristic::IncreasingNumber => "Inc. Number",
+            Heuristic::DecreasingNumber => "Decr. Number",
+            Heuristic::IncreasingDepth => "Inc. Depth",
+        }
+    }
+}
+
+/// Computes a panel → processor-row (or column) map.
+///
+/// * `work[I]` — aggregate work of panel `I` in this dimension (only panels
+///   with `eligible[I]` participate in load balancing; ineligible panels —
+///   e.g. domain panels whose blocks are owned via the domain rule — still
+///   get a deterministic cyclic slot so the map is total).
+/// * `depth[I]` — elimination-tree depth, used by [`Heuristic::IncreasingDepth`].
+/// * `parts` — number of processor rows (columns).
+///
+/// ```
+/// use mapping::{greedy_map, Heuristic};
+///
+/// // One heavy panel and four light ones onto two processor rows: the
+/// // decreasing-work order isolates the heavy panel.
+/// let work = [100, 10, 10, 10, 10];
+/// let depth = [0; 5];
+/// let eligible = [true; 5];
+/// let m = greedy_map(Heuristic::DecreasingWork, &work, &depth, &eligible, 2);
+/// let heavy_row = m[0];
+/// for i in 1..5 {
+///     assert_ne!(m[i], heavy_row, "light panel {i} shares the heavy row");
+/// }
+/// ```
+pub fn greedy_map(
+    h: Heuristic,
+    work: &[u64],
+    depth: &[u32],
+    eligible: &[bool],
+    parts: usize,
+) -> Vec<u32> {
+    let n = work.len();
+    assert_eq!(depth.len(), n);
+    assert_eq!(eligible.len(), n);
+    assert!(parts >= 1);
+    let mut map = vec![0u32; n];
+    // Ineligible panels: cyclic over their own subsequence (deterministic,
+    // irrelevant for balance).
+    let mut next = 0u32;
+    for i in 0..n {
+        if !eligible[i] {
+            map[i] = next % parts as u32;
+            next += 1;
+        }
+    }
+    let mut order: Vec<u32> = (0..n as u32).filter(|&i| eligible[i as usize]).collect();
+    match h {
+        Heuristic::Cyclic => {
+            for i in order {
+                map[i as usize] = i % parts as u32;
+            }
+            return map;
+        }
+        Heuristic::DecreasingWork => {
+            order.sort_by_key(|&i| std::cmp::Reverse((work[i as usize], i)));
+        }
+        Heuristic::IncreasingNumber => {}
+        Heuristic::DecreasingNumber => order.reverse(),
+        Heuristic::IncreasingDepth => {
+            // Stable by panel number within a depth; the paper breaks ties
+            // arbitrarily.
+            order.sort_by_key(|&i| depth[i as usize]);
+        }
+    }
+    let mut mapped = vec![0u64; parts];
+    for i in order {
+        let r = argmin(&mapped);
+        map[i as usize] = r as u32;
+        mapped[r] += work[i as usize];
+    }
+    map
+}
+
+fn argmin(xs: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The Section 4.2 alternative row heuristic: given a fixed column map,
+/// choose each block row's processor row to minimize the maximum work on any
+/// single *processor* (not processor row). Rows are considered in decreasing
+/// aggregate-work order.
+///
+/// Returns the row map. `col_map` must already be defined for every panel.
+pub fn alt_row_map(
+    bm: &BlockMatrix,
+    work: &BlockWork,
+    col_map: &[u32],
+    eligible: &[bool],
+    pr: usize,
+    pc: usize,
+) -> Vec<u32> {
+    let np = bm.num_panels();
+    assert_eq!(col_map.len(), np);
+    // Per block row: work aggregated by processor column.
+    let mut row_by_pc: Vec<Vec<u64>> = vec![vec![0u64; pc]; np];
+    let mut row_total = vec![0u64; np];
+    for j in 0..np {
+        if !eligible[j] {
+            continue; // domain column: its blocks are not 2-D mapped
+        }
+        let c = col_map[j] as usize;
+        for (b, blk) in bm.cols[j].blocks.iter().enumerate() {
+            let w = work.per_block[j][b];
+            row_by_pc[blk.row_panel as usize][c] += w;
+            row_total[blk.row_panel as usize] += w;
+        }
+    }
+    let mut order: Vec<u32> = (0..np as u32).filter(|&i| eligible[i as usize]).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse((row_total[i as usize], i)));
+    let mut load = vec![vec![0u64; pc]; pr];
+    let mut map = vec![0u32; np];
+    // Ineligible rows: cyclic (consistent with greedy_map).
+    let mut next = 0u32;
+    for i in 0..np {
+        if !eligible[i] {
+            map[i] = next % pr as u32;
+            next += 1;
+        }
+    }
+    for i in order {
+        let contrib = &row_by_pc[i as usize];
+        let mut best_r = 0usize;
+        let mut best_max = u64::MAX;
+        for r in 0..pr {
+            let worst = (0..pc).map(|c| load[r][c] + contrib[c]).max().unwrap_or(0);
+            if worst < best_max {
+                best_max = worst;
+                best_r = r;
+            }
+        }
+        map[i as usize] = best_r as u32;
+        for c in 0..pc {
+            load[best_r][c] += contrib[c];
+        }
+    }
+    map
+}
+
+/// The Section 5 communication-reducing column map: processor *columns* are
+/// divided recursively among elimination-tree subtrees in proportion to
+/// their work, so each subtree's block columns live on a sub-slice of the
+/// grid's columns. Within a subtree's slice the columns are assigned
+/// cyclically.
+///
+/// `sn_parent`/`sn_work` describe the supernode tree (work per supernode's
+/// block columns); the result maps *panels*.
+pub fn subtree_col_map(bm: &BlockMatrix, work: &BlockWork, pc: usize) -> Vec<u32> {
+    let sn = &bm.sn;
+    let num_sn = sn.count();
+    // Work per supernode = sum of its panels' column work.
+    let mut sn_work = vec![0u64; num_sn];
+    for j in 0..bm.num_panels() {
+        sn_work[bm.partition.sn_of_panel[j] as usize] += work.col_work[j];
+    }
+    // Subtree work, bottom-up (parents have larger indices).
+    let mut subtree = sn_work.clone();
+    for s in 0..num_sn {
+        let p = sn.parent[s];
+        if p != symbolic::NONE {
+            subtree[p as usize] += subtree[s];
+        }
+    }
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); num_sn];
+    let mut roots = Vec::new();
+    for s in 0..num_sn {
+        let p = sn.parent[s];
+        if p == symbolic::NONE {
+            roots.push(s as u32);
+        } else {
+            children[p as usize].push(s as u32);
+        }
+    }
+    // Recursive proportional split of processor-column ranges.
+    let mut sn_range: Vec<(u32, u32)> = vec![(0, pc as u32); num_sn];
+    let mut stack: Vec<(u32, u32, u32)> = roots.iter().map(|&r| (r, 0, pc as u32)).collect();
+    while let Some((s, lo, hi)) = stack.pop() {
+        sn_range[s as usize] = (lo, hi);
+        let kids = &children[s as usize];
+        if kids.is_empty() {
+            continue;
+        }
+        let span = hi - lo;
+        if span <= 1 {
+            for &c in kids {
+                stack.push((c, lo, hi));
+            }
+            continue;
+        }
+        let total: u64 = kids.iter().map(|&c| subtree[c as usize]).sum::<u64>().max(1);
+        // Largest-first proportional allocation of whole columns.
+        let mut ordered: Vec<u32> = kids.clone();
+        ordered.sort_by_key(|&c| std::cmp::Reverse(subtree[c as usize]));
+        let mut cursor = lo;
+        let mut remaining = total;
+        let mut remaining_span = span;
+        for &c in &ordered {
+            let w = subtree[c as usize];
+            let give = if remaining == 0 {
+                0
+            } else {
+                ((w as u128 * remaining_span as u128 / remaining as u128) as u32)
+                    .min(remaining_span)
+            };
+            let give = give.max(u32::from(remaining_span >= (ordered.len() as u32)));
+            let give = give.min(remaining_span);
+            if give == 0 {
+                // Out of columns: share the last slot.
+                stack.push((c, hi - 1, hi));
+                continue;
+            }
+            stack.push((c, cursor, cursor + give));
+            cursor += give;
+            remaining_span -= give;
+            remaining = remaining.saturating_sub(w);
+        }
+    }
+    // Panels: cyclic within their supernode's column range.
+    let mut map = vec![0u32; bm.num_panels()];
+    for j in 0..bm.num_panels() {
+        let s = bm.partition.sn_of_panel[j] as usize;
+        let (lo, hi) = sn_range[s];
+        let span = (hi - lo).max(1);
+        map[j] = lo + (j as u32) % span;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockmat::WorkModel;
+    use symbolic::AmalgParams;
+
+    fn setup(k: usize) -> (BlockMatrix, BlockWork) {
+        let p = sparsemat::gen::grid2d(k);
+        let perm = ordering::order_problem(&p);
+        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let bm = BlockMatrix::build(analysis.supernodes, 4);
+        let w = BlockWork::compute(&bm, &WorkModel::default());
+        (bm, w)
+    }
+
+    #[test]
+    fn cyclic_is_modular() {
+        let work = vec![5u64; 10];
+        let depth = vec![0u32; 10];
+        let eligible = vec![true; 10];
+        let m = greedy_map(Heuristic::Cyclic, &work, &depth, &eligible, 4);
+        for i in 0..10 {
+            assert_eq!(m[i], (i % 4) as u32);
+        }
+    }
+
+    #[test]
+    fn greedy_maps_are_total_and_in_range() {
+        let (bm, w) = setup(8);
+        let depth: Vec<u32> = bm.partition.depth.clone();
+        let eligible = vec![true; bm.num_panels()];
+        for h in Heuristic::ALL {
+            let m = greedy_map(h, &w.row_work, &depth, &eligible, 3);
+            assert_eq!(m.len(), bm.num_panels());
+            assert!(m.iter().all(|&r| r < 3));
+            // Every processor row receives at least one panel when there are
+            // enough panels.
+            for r in 0..3u32 {
+                assert!(m.contains(&r), "{h:?} starves row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn decreasing_work_balances_pathological_input() {
+        // One huge value plus many small: DW puts the huge one alone.
+        let mut work = vec![1u64; 9];
+        work[0] = 100;
+        let depth = vec![0u32; 9];
+        let eligible = vec![true; 9];
+        let m = greedy_map(Heuristic::DecreasingWork, &work, &depth, &eligible, 2);
+        let part0: u64 = (0..9).filter(|&i| m[i] == 0).map(|i| work[i]).sum();
+        let part1: u64 = (0..9).filter(|&i| m[i] == 1).map(|i| work[i]).sum();
+        assert_eq!(part0.max(part1), 100);
+        // Cyclic would give 100 + 4 on row 0.
+        let mc = greedy_map(Heuristic::Cyclic, &work, &depth, &eligible, 2);
+        let c0: u64 = (0..9).filter(|&i| mc[i] == 0).map(|i| work[i]).sum();
+        assert!(c0 > 100);
+    }
+
+    #[test]
+    fn ineligible_panels_get_cyclic_slots() {
+        let work = vec![7u64; 6];
+        let depth = vec![0u32; 6];
+        let eligible = vec![false, false, true, true, false, true];
+        let m = greedy_map(Heuristic::DecreasingWork, &work, &depth, &eligible, 2);
+        // Ineligible panels 0,1,4 get 0,1,0.
+        assert_eq!(m[0], 0);
+        assert_eq!(m[1], 1);
+        assert_eq!(m[4], 0);
+    }
+
+    #[test]
+    fn alt_row_map_no_worse_than_row_aggregate_greedy() {
+        let (bm, w) = setup(10);
+        let np = bm.num_panels();
+        let eligible = vec![true; np];
+        let (pr, pc) = (2, 2);
+        let col_map = greedy_map(
+            Heuristic::Cyclic,
+            &w.col_work,
+            &bm.partition.depth,
+            &eligible,
+            pc,
+        );
+        let alt = alt_row_map(&bm, &w, &col_map, &eligible, pr, pc);
+        let dw = greedy_map(
+            Heuristic::DecreasingWork,
+            &w.row_work,
+            &bm.partition.depth,
+            &eligible,
+            pr,
+        );
+        let max_load = |row_map: &[u32]| -> u64 {
+            let mut load = vec![0u64; pr * pc];
+            for j in 0..np {
+                for (b, blk) in bm.cols[j].blocks.iter().enumerate() {
+                    let r = row_map[blk.row_panel as usize] as usize;
+                    let c = col_map[j] as usize;
+                    load[r * pc + c] += w.per_block[j][b];
+                }
+            }
+            load.into_iter().max().unwrap()
+        };
+        assert!(max_load(&alt) <= max_load(&dw));
+    }
+
+    #[test]
+    fn subtree_col_map_is_total_and_in_range() {
+        let (bm, w) = setup(12);
+        let m = subtree_col_map(&bm, &w, 4);
+        assert_eq!(m.len(), bm.num_panels());
+        assert!(m.iter().all(|&c| c < 4));
+        for c in 0..4u32 {
+            assert!(m.contains(&c), "column {c} unused");
+        }
+    }
+
+    #[test]
+    fn subtree_map_separates_sibling_subtrees() {
+        // On a grid with a clean top separator, the two halves should end up
+        // on disjoint processor-column ranges.
+        let (bm, w) = setup(16);
+        let m = subtree_col_map(&bm, &w, 8);
+        // The root supernode's two child subtrees:
+        let sn = &bm.sn;
+        let root = (0..sn.count()).rfind(|&s| sn.parent[s] == symbolic::NONE).unwrap();
+        let kids: Vec<usize> = (0..sn.count())
+            .filter(|&s| sn.parent[s] != symbolic::NONE && sn.parent[s] as usize == root)
+            .collect();
+        if kids.len() >= 2 {
+            let cols_of = |s0: usize| -> std::collections::BTreeSet<u32> {
+                // Panels of the subtree rooted at s0 (contiguous supernode
+                // ranges are not guaranteed, so walk descendants).
+                let mut desc = vec![false; sn.count()];
+                desc[s0] = true;
+                for s in (0..s0).rev() {
+                    let p = sn.parent[s];
+                    if p != symbolic::NONE && desc[p as usize] {
+                        desc[s] = true;
+                    }
+                }
+                (0..bm.num_panels())
+                    .filter(|&j| desc[bm.partition.sn_of_panel[j] as usize])
+                    .map(|j| m[j])
+                    .collect()
+            };
+            let a = cols_of(kids[0]);
+            let b = cols_of(kids[1]);
+            assert!(a.is_disjoint(&b), "subtrees share processor columns: {a:?} vs {b:?}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Block-to-processor mappings (Sections 2.4 and 4 of the paper).
+//!
+//! A block mapping assigns every nonzero block `L[I][J]` to a processor in a
+//! `Pr × Pc` grid. This crate provides:
+//!
+//! * [`ProcGrid`] — the processor grid, including the *relatively prime*
+//!   dimension variant of Section 4.2;
+//! * [`Heuristic`] — the five row/column mapping strategies of Section 4:
+//!   cyclic (CY), decreasing work (DW), increasing number (IN), decreasing
+//!   number (DN), and increasing depth (ID), applied independently to rows
+//!   and columns of the block matrix (a Cartesian-product mapping);
+//! * [`CpMap`] — the resulting Cartesian-product map;
+//! * [`alt_row_map`] — the Section 4.2 "alternative" heuristic that places
+//!   block rows to minimize the maximum *per-processor* (not per-row) work;
+//! * [`subtree_col_map`] — the Section 5 communication-reducing variant that
+//!   divides processor columns among elimination-tree subtrees;
+//! * [`DomainPlan`] — the fan-out method's domain portion: disjoint subtrees
+//!   assigned wholly to single processors (Section 2.3);
+//! * [`Assignment`] — the final per-block ownership table combining domains
+//!   with a 2-D map of the root portion.
+
+pub mod assignment;
+pub mod domains;
+pub mod grid;
+pub mod heuristics;
+
+pub use assignment::{Assignment, ColPolicy, CpMap, RowPolicy};
+pub use domains::{DomainPlan, DomainParams};
+pub use grid::ProcGrid;
+pub use heuristics::{alt_row_map, greedy_map, subtree_col_map, Heuristic};

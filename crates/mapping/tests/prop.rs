@@ -1,0 +1,157 @@
+//! Property-based tests for mappings, domains and assignments.
+
+use blockmat::{BlockMatrix, BlockWork, WorkModel};
+use mapping::{
+    alt_row_map, greedy_map, Assignment, ColPolicy, DomainParams, DomainPlan, Heuristic,
+    ProcGrid, RowPolicy,
+};
+use proptest::prelude::*;
+use sparsemat::{Problem, SparsityPattern};
+
+fn arb_block_matrix(max_n: usize) -> impl Strategy<Value = BlockMatrix> {
+    (4usize..max_n, 1usize..6, proptest::collection::vec((0u32..1000, 0u32..1000), 0..120))
+        .prop_map(|(n, bs, raw)| {
+            let edges: Vec<(u32, u32)> = raw
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .filter(|(a, b)| a != b)
+                .collect();
+            let pattern = SparsityPattern::from_coords(n, edges).unwrap();
+            let a = sparsemat::gen::spd_from_edges(
+                n,
+                &pattern
+                    .iter()
+                    .filter(|(r, c)| r != c)
+                    .map(|(r, c)| (r, c, 1.0))
+                    .collect::<Vec<_>>(),
+            );
+            let prob = Problem::new("prop", a, None, sparsemat::gen::OrderingHint::MinimumDegree);
+            let perm = ordering::order_problem(&prob);
+            let analysis =
+                symbolic::analyze(prob.matrix.pattern(), &perm, &symbolic::AmalgParams::default());
+            BlockMatrix::build(analysis.supernodes, bs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn greedy_map_is_total_and_balanced_for_dw(
+        work in proptest::collection::vec(0u64..10_000, 1..60),
+        parts in 1usize..8,
+    ) {
+        let n = work.len();
+        let depth = vec![0u32; n];
+        let eligible = vec![true; n];
+        let m = greedy_map(Heuristic::DecreasingWork, &work, &depth, &eligible, parts);
+        prop_assert_eq!(m.len(), n);
+        prop_assert!(m.iter().all(|&r| (r as usize) < parts));
+        // LPT guarantee: max load ≤ ideal + largest item.
+        let total: u64 = work.iter().sum();
+        let largest = work.iter().copied().max().unwrap_or(0);
+        let mut loads = vec![0u64; parts];
+        for (i, &r) in m.iter().enumerate() {
+            loads[r as usize] += work[i];
+        }
+        let max = loads.into_iter().max().unwrap();
+        prop_assert!(
+            max <= total / parts as u64 + largest,
+            "max {} vs bound {}",
+            max,
+            total / parts as u64 + largest
+        );
+    }
+
+    #[test]
+    fn all_heuristics_produce_valid_total_maps(
+        work in proptest::collection::vec(0u64..1000, 1..40),
+        parts in 1usize..6,
+        depths in proptest::collection::vec(0u32..12, 1..40),
+    ) {
+        let n = work.len().min(depths.len());
+        let work = &work[..n];
+        let depths = &depths[..n];
+        let eligible = vec![true; n];
+        for h in Heuristic::ALL {
+            let m = greedy_map(h, work, depths, &eligible, parts);
+            prop_assert_eq!(m.len(), n);
+            prop_assert!(m.iter().all(|&r| (r as usize) < parts));
+        }
+    }
+
+    #[test]
+    fn assignment_owner_table_is_consistent_with_cp_map(bm in arb_block_matrix(60)) {
+        let w = BlockWork::compute(&bm, &WorkModel::default());
+        let grid = ProcGrid::new(2, 3);
+        let asg = Assignment::build(
+            &bm,
+            &w,
+            grid,
+            RowPolicy::Heuristic(Heuristic::DecreasingNumber),
+            ColPolicy::Heuristic(Heuristic::IncreasingDepth),
+            None,
+        );
+        for (j, col) in bm.cols.iter().enumerate() {
+            prop_assert!(asg.eligible[j]);
+            for (b, blk) in col.blocks.iter().enumerate() {
+                let expect = asg.cp.owner(blk.row_panel as usize, j) as u32;
+                prop_assert_eq!(asg.owner[j][b], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn domains_cover_subtrees_and_balance_work(bm in arb_block_matrix(80)) {
+        let w = BlockWork::compute(&bm, &WorkModel::default());
+        for p in [2usize, 5] {
+            let plan = DomainPlan::select(&bm, &w, p, &DomainParams::default());
+            // Every domain id in range; proc assignment in range.
+            for &d in &plan.domain_of_panel {
+                prop_assert!(d == mapping::domains::ROOT || (d as usize) < plan.domain_work.len());
+            }
+            for &q in &plan.proc_of_domain {
+                prop_assert!((q as usize) < p);
+            }
+            // Work accounting: per-proc sums equal domain sums.
+            let mut per_proc = vec![0u64; p];
+            for (d, &q) in plan.proc_of_domain.iter().enumerate() {
+                per_proc[q as usize] += plan.domain_work[d];
+            }
+            prop_assert_eq!(per_proc, plan.proc_work);
+        }
+    }
+
+    #[test]
+    fn alt_row_map_is_total(bm in arb_block_matrix(50)) {
+        let w = BlockWork::compute(&bm, &WorkModel::default());
+        let np = bm.num_panels();
+        let eligible = vec![true; np];
+        let (pr, pc) = (3usize, 2usize);
+        let col_map = greedy_map(
+            Heuristic::Cyclic,
+            &w.col_work,
+            &bm.partition.depth,
+            &eligible,
+            pc,
+        );
+        let m = alt_row_map(&bm, &w, &col_map, &eligible, pr, pc);
+        prop_assert_eq!(m.len(), np);
+        prop_assert!(m.iter().all(|&r| (r as usize) < pr));
+    }
+
+    #[test]
+    fn coprime_grids_really_are_coprime(p in 2usize..400) {
+        if let Some(g) = ProcGrid::coprime(p) {
+            prop_assert_eq!(g.p(), p);
+            let gcd = {
+                let (mut a, mut b) = (g.pr, g.pc);
+                while b != 0 {
+                    (a, b) = (b, a % b);
+                }
+                a
+            };
+            prop_assert_eq!(gcd, 1);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the ordering algorithms.
+
+use ordering::{minimum_degree, nested_dissection, reference, BaseOrdering, NdOptions};
+use proptest::prelude::*;
+use sparsemat::{Graph, Permutation, SparsityPattern};
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec(((0..n as u32), (0..n as u32)), 0..3 * n).prop_map(
+            move |edges| {
+                let edges: Vec<(u32, u32)> =
+                    edges.into_iter().filter(|(a, b)| a != b).collect();
+                let p = SparsityPattern::from_coords(n, edges).unwrap();
+                Graph::from_pattern(&p)
+            },
+        )
+    })
+}
+
+/// Random tree on n vertices: parent[i] < i chosen arbitrarily.
+fn arb_tree(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec(any::<u32>(), n - 1).prop_map(move |raw| {
+            let edges: Vec<(u32, u32)> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| ((i + 1) as u32, r % (i as u32 + 1)))
+                .collect();
+            let p = SparsityPattern::from_coords(n, edges).unwrap();
+            Graph::from_pattern(&p)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn minimum_degree_is_a_permutation(g in arb_graph(50)) {
+        let p = minimum_degree(&g);
+        prop_assert_eq!(p.len(), g.n());
+        let mut seen = vec![false; g.n()];
+        for k in 0..g.n() {
+            let v = p.old_of_new(k);
+            prop_assert!(!seen[v]);
+            seen[v] = true;
+        }
+    }
+
+    #[test]
+    fn minimum_degree_orders_trees_with_zero_fill(g in arb_tree(40)) {
+        // Perfect-elimination orderings exist for trees; minimum degree
+        // always finds one (it can always eliminate a leaf).
+        let p = minimum_degree(&g);
+        prop_assert_eq!(reference::fill_edges(&g, &p), 0);
+    }
+
+    #[test]
+    fn minimum_degree_never_loses_to_reverse_natural_badly(g in arb_graph(30)) {
+        // A weak sanity bound: MD fill is no more than the worst of the
+        // natural and reversed-natural orders (MD is a greedy heuristic,
+        // not optimal, but it should not be pathological).
+        let p = minimum_degree(&g);
+        let f_md = reference::fill_edges(&g, &p);
+        let nat = Permutation::identity(g.n());
+        let rev = Permutation::from_old_of_new(
+            (0..g.n() as u32).rev().collect(),
+        ).unwrap();
+        let worst = reference::fill_edges(&g, &nat).max(reference::fill_edges(&g, &rev));
+        prop_assert!(f_md <= worst, "md {} vs worst-of-two {}", f_md, worst);
+    }
+
+    #[test]
+    fn nested_dissection_is_a_permutation_with_any_coords(
+        g in arb_graph(40),
+        seed in any::<u64>(),
+    ) {
+        // Pseudo-random coordinates: ND must emit a valid permutation no
+        // matter the geometry.
+        let mut s = seed;
+        let mut coords = Vec::with_capacity(g.n());
+        for _ in 0..g.n() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((s >> 33) & 0xffff) as f32 / 65535.0;
+            let y = ((s >> 17) & 0xffff) as f32 / 65535.0;
+            coords.push([x, y, 0.0]);
+        }
+        for base in [BaseOrdering::Natural, BaseOrdering::MinimumDegree] {
+            let opts = NdOptions { base_cutoff: 4, base };
+            let p = nested_dissection(&g, &coords, &opts);
+            prop_assert_eq!(p.len(), g.n());
+            let mut seen = vec![false; g.n()];
+            for k in 0..g.n() {
+                let v = p.old_of_new(k);
+                prop_assert!(!seen[v]);
+                seen[v] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn elimination_game_fill_is_order_of_magnitude_sane(g in arb_graph(25)) {
+        // Fill can never exceed the complete graph minus original edges.
+        let p = minimum_degree(&g);
+        let fill = reference::fill_edges(&g, &p);
+        let n = g.n();
+        let max_possible = n * (n - 1) / 2 - g.edge_count() / 2;
+        prop_assert!(fill <= max_possible);
+        // factor nnz = original (counted once per undirected edge reachable)
+        // + fill; sanity: nnz_lower >= fill.
+        let nnz = reference::factor_nnz_lower(&g, &p);
+        prop_assert!(nnz >= fill);
+    }
+}

@@ -1,0 +1,23 @@
+//! A discrete-event simulator of a distributed-memory message-passing
+//! multiprocessor, with a machine model calibrated to the Intel Paragon of
+//! the paper (Section 3.1).
+//!
+//! The paper's experiments ran on a 196-node Paragon XP/S: 50 µs message
+//! latency, ~40 MB/s effective point-to-point bandwidth for the message
+//! sizes the code uses, and 20–40 Mflop/s per node for the Level-3 BLAS
+//! block kernels depending on operand sizes. We reproduce that regime in
+//! [`MachineModel::paragon`], and run the *actual* block fan-out protocol on
+//! the simulated machine (see the `fanout` crate), so that load imbalance,
+//! critical path and communication delays all emerge from the same
+//! data-driven execution the real code performs.
+//!
+//! The simulator core is generic: [`Agent`]s exchange typed messages; each
+//! node is a single sequential processor that handles one message at a time,
+//! accumulating compute time via [`Ctx::compute`] and sending messages via
+//! [`Ctx::send`].
+
+pub mod machine;
+pub mod sim;
+
+pub use machine::MachineModel;
+pub use sim::{Agent, Ctx, NodeStats, SimReport, Simulator};

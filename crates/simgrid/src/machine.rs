@@ -1,0 +1,91 @@
+//! Machine timing model.
+
+/// Timing parameters of the simulated machine.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineModel {
+    /// One-way message latency in seconds.
+    pub latency_s: f64,
+    /// Point-to-point bandwidth in bytes/second (effective, not peak).
+    pub bandwidth_bps: f64,
+    /// CPU time the sender spends per message (protocol overhead).
+    pub send_overhead_s: f64,
+    /// Peak per-node block-kernel rate in flop/s, reached for large operands.
+    pub peak_flops: f64,
+    /// Operand width at which the kernel reaches half of `peak_flops`
+    /// (saturation model: `rate(c) = peak · c / (c + half_width)`).
+    pub half_width: f64,
+    /// Fixed per-block-operation cost, in equivalent flops (matches the
+    /// `1000` of the paper's work measure).
+    pub fixed_op_flops: f64,
+}
+
+impl MachineModel {
+    /// The paper's Intel Paragon (OSF/1 R1.2): 50 µs latency, 40 MB/s
+    /// effective bandwidth, 20–40 Mflops per node depending on block sizes.
+    pub fn paragon() -> Self {
+        Self {
+            latency_s: 50e-6,
+            bandwidth_bps: 40e6,
+            send_overhead_s: 10e-6,
+            peak_flops: 45e6,
+            half_width: 7.0,
+            fixed_op_flops: 1000.0,
+        }
+    }
+
+    /// Kernel rate in flop/s for operands of characteristic width `c`
+    /// (the block column width: the inner dimension of `BMOD`, the
+    /// triangular-solve order of `BDIV`).
+    ///
+    /// Saturates at `peak_flops`; `c = 48` (the paper's block size) gives
+    /// ≈ 0.87 · peak ≈ 39 Mflops, `c = 8` gives ≈ 24 Mflops, matching the
+    /// paper's reported 20–40 Mflops band.
+    pub fn rate(&self, c: usize) -> f64 {
+        self.peak_flops * c as f64 / (c as f64 + self.half_width)
+    }
+
+    /// Wall time to execute one block operation of `flops` floating point
+    /// operations at width `c`, including the fixed per-operation cost.
+    pub fn op_time(&self, flops: u64, c: usize) -> f64 {
+        (flops as f64 + self.fixed_op_flops) / self.rate(c)
+    }
+
+    /// Wall time from send to delivery for a message of `bytes`, excluding
+    /// sender CPU overhead.
+    pub fn wire_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paragon_rates_match_paper_band() {
+        let m = MachineModel::paragon();
+        let r48 = m.rate(48);
+        let r4 = m.rate(4);
+        assert!(r48 > 35e6 && r48 < 45e6, "rate(48) = {r48}");
+        assert!(r4 > 10e6 && r4 < 25e6, "rate(4) = {r4}");
+        assert!(m.rate(1000) < m.peak_flops);
+    }
+
+    #[test]
+    fn op_time_includes_fixed_cost() {
+        let m = MachineModel::paragon();
+        let t0 = m.op_time(0, 48);
+        assert!(t0 > 0.0);
+        let t = m.op_time(221_184, 48); // 48³·2 flops
+        assert!(t > t0);
+        // ~221k flops at ~39 Mflops ≈ 5.7 ms.
+        assert!(t > 4e-3 && t < 8e-3, "t = {t}");
+    }
+
+    #[test]
+    fn wire_time_is_latency_plus_transfer() {
+        let m = MachineModel::paragon();
+        let t = m.wire_time(40_000);
+        assert!((t - (50e-6 + 1e-3)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the discrete-event simulator: conservation,
+//! causality, and determinism under randomized workloads.
+
+use proptest::prelude::*;
+use simgrid::{Agent, Ctx, MachineModel, Simulator};
+
+/// A randomized forwarding agent: on start, node 0 injects `tokens`
+/// messages; every receipt computes a little and forwards the token to a
+/// predetermined next hop until its TTL expires. Each node logs receive
+/// times to verify causality.
+struct Hopper {
+    /// (next_hop, compute_seconds) per ttl step, shared route table.
+    route: Vec<(usize, f64)>,
+    tokens: usize,
+    log: Vec<f64>,
+}
+
+impl Agent for Hopper {
+    type Msg = u32; // remaining ttl
+
+    fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+        if ctx.me() == 0 {
+            for t in 0..self.tokens {
+                let ttl = (self.route.len() - 1) as u32;
+                ctx.compute(1e-5 * (t + 1) as f64);
+                let (hop, _) = self.route[ttl as usize];
+                ctx.send(hop, 256, ttl);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<u32>, _from: usize, ttl: u32) {
+        self.log.push(ctx.now());
+        let (_, work) = self.route[ttl as usize];
+        ctx.compute(work);
+        if ttl > 0 {
+            let (hop, _) = self.route[(ttl - 1) as usize];
+            ctx.send(hop, 256, ttl - 1);
+        }
+    }
+}
+
+fn model() -> MachineModel {
+    MachineModel::paragon()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn conservation_and_causality(
+        p in 2usize..6,
+        tokens in 1usize..8,
+        raw_route in proptest::collection::vec((0usize..100, 1u32..200), 1..12),
+    ) {
+        let route: Vec<(usize, f64)> = raw_route
+            .iter()
+            .map(|&(h, w)| (h % p, w as f64 * 1e-6))
+            .collect();
+        let nodes: Vec<Hopper> = (0..p)
+            .map(|_| Hopper { route: route.clone(), tokens, log: Vec::new() })
+            .collect();
+        let mut sim = Simulator::new(nodes, model());
+        let report = sim.run();
+        // Conservation: every sent message is received.
+        let sent: u64 = report.nodes.iter().map(|n| n.msgs_sent).sum();
+        let received: u64 = report.nodes.iter().map(|n| n.msgs_received).sum();
+        prop_assert_eq!(sent, received);
+        prop_assert_eq!(sent, (tokens * route.len()) as u64);
+        // Makespan dominates every node's busy time.
+        for n in &report.nodes {
+            prop_assert!(n.busy_s <= report.makespan_s + 1e-12);
+        }
+        // Utilization in (0, 1].
+        let u = report.utilization();
+        prop_assert!(u > 0.0 && u <= 1.0 + 1e-12);
+        // Causality: every receive strictly after the wire latency from t=0.
+        let nodes = sim.into_nodes();
+        for h in &nodes {
+            for &t in &h.log {
+                prop_assert!(t >= model().latency_s);
+            }
+        }
+        // Per-node logs are nondecreasing (a node handles one message at a
+        // time, in increasing simulated time).
+        for h in &nodes {
+            for w in h.log.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        p in 2usize..5,
+        tokens in 1usize..6,
+        raw_route in proptest::collection::vec((0usize..50, 1u32..100), 1..8),
+    ) {
+        let route: Vec<(usize, f64)> = raw_route
+            .iter()
+            .map(|&(h, w)| (h % p, w as f64 * 1e-6))
+            .collect();
+        let run = || {
+            let nodes: Vec<Hopper> = (0..p)
+                .map(|_| Hopper { route: route.clone(), tokens, log: Vec::new() })
+                .collect();
+            let mut sim = Simulator::new(nodes, model());
+            let r = sim.run();
+            (r.makespan_s, r.total_msgs(), r.total_bytes())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wire_time_monotone_in_bytes(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let m = model();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(m.wire_time(lo) <= m.wire_time(hi));
+        prop_assert!(m.wire_time(lo) >= m.latency_s);
+    }
+
+    #[test]
+    fn op_time_monotone_in_flops(f1 in 0u64..10_000_000, f2 in 0u64..10_000_000, c in 1usize..128) {
+        let m = model();
+        let (lo, hi) = (f1.min(f2), f1.max(f2));
+        prop_assert!(m.op_time(lo, c) <= m.op_time(hi, c));
+        // Wider operands never slow the rate.
+        prop_assert!(m.rate(c + 1) >= m.rate(c));
+    }
+}

@@ -1,0 +1,195 @@
+//! Symmetric matrices stored as their lower triangle in CSC form.
+
+use crate::{Error, Result, SparsityPattern};
+
+/// A sparse symmetric matrix, stored as the lower triangle (diagonal included)
+/// in compressed sparse column form.
+///
+/// The numeric factorization code requires the matrix to be positive definite;
+/// the generators in [`crate::gen`] produce strictly diagonally dominant
+/// matrices, which are SPD by Gershgorin's theorem.
+///
+/// ```
+/// use sparsemat::SymCscMatrix;
+///
+/// // [ 4 -1  0 ]
+/// // [-1  4 -1 ]   (entries may be given in either triangle)
+/// // [ 0 -1  4 ]
+/// let a = SymCscMatrix::from_coords(3, &[
+///     (0, 0, 4.0), (0, 1, -1.0), (1, 1, 4.0), (2, 1, -1.0), (2, 2, 4.0),
+/// ]).unwrap();
+/// assert_eq!(a.get(1, 0), -1.0);
+/// let mut y = vec![0.0; 3];
+/// a.mul_vec(&[1.0, 1.0, 1.0], &mut y);
+/// assert_eq!(y, vec![3.0, 2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymCscMatrix {
+    pattern: SparsityPattern,
+    values: Vec<f64>,
+}
+
+impl SymCscMatrix {
+    /// Builds a matrix from a pattern and matching values.
+    ///
+    /// Requires one value per stored entry and a structurally full diagonal.
+    pub fn new(pattern: SparsityPattern, values: Vec<f64>) -> Result<Self> {
+        if values.len() != pattern.nnz() {
+            return Err(Error::Format(format!(
+                "value count {} does not match nnz {}",
+                values.len(),
+                pattern.nnz()
+            )));
+        }
+        for j in 0..pattern.n() {
+            if pattern.col(j).first() != Some(&(j as u32)) {
+                return Err(Error::MissingDiagonal { col: j });
+            }
+        }
+        Ok(Self { pattern, values })
+    }
+
+    /// Builds a matrix from `(row, col, value)` coordinates. Entries are
+    /// mirrored to the lower triangle; duplicates are summed; missing diagonal
+    /// entries are created as zero.
+    pub fn from_coords(n: usize, coords: &[(u32, u32, f64)]) -> Result<Self> {
+        let pattern =
+            SparsityPattern::from_coords(n, coords.iter().map(|&(r, c, _)| (r, c)))?;
+        let mut values = vec![0.0; pattern.nnz()];
+        for &(r, c, v) in coords {
+            let (r, c) = if r >= c { (r, c) } else { (c, r) };
+            let off = pattern
+                .col(c as usize)
+                .binary_search(&r)
+                .expect("pattern built from same coords");
+            values[pattern.col_ptr()[c as usize] + off] += v;
+        }
+        Self::new(pattern, values)
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.pattern.n()
+    }
+
+    /// The structure of the stored lower triangle.
+    #[inline]
+    pub fn pattern(&self) -> &SparsityPattern {
+        &self.pattern
+    }
+
+    /// All stored values, aligned with `pattern().row_idx()`.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Row indices of column `j` (lower triangle, diagonal first).
+    #[inline]
+    pub fn col_rows(&self, j: usize) -> &[u32] {
+        self.pattern.col(j)
+    }
+
+    /// Values of column `j`, aligned with [`Self::col_rows`].
+    #[inline]
+    pub fn col_values(&self, j: usize) -> &[f64] {
+        &self.values[self.pattern.col_ptr()[j]..self.pattern.col_ptr()[j + 1]]
+    }
+
+    /// The value at `(i, j)` with `i ≥ j`, or zero if structurally absent.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self.pattern.col(j).binary_search(&(i as u32)) {
+            Ok(off) => self.values[self.pattern.col_ptr()[j] + off],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Computes `y = A·x`, expanding the symmetric structure on the fly.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n());
+        assert_eq!(y.len(), self.n());
+        y.fill(0.0);
+        for j in 0..self.n() {
+            let xj = x[j];
+            let rows = self.col_rows(j);
+            let vals = self.col_values(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                let i = i as usize;
+                y[i] += v * xj;
+                if i != j {
+                    y[j] += v * x[i];
+                }
+            }
+        }
+    }
+
+    /// Destructures into pattern and values.
+    pub fn into_parts(self) -> (SparsityPattern, Vec<f64>) {
+        (self.pattern, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3x3 SPD test matrix
+    /// [ 4 -1  0]
+    /// [-1  4 -1]
+    /// [ 0 -1  4]
+    fn tridiag() -> SymCscMatrix {
+        SymCscMatrix::from_coords(
+            3,
+            &[
+                (0, 0, 4.0),
+                (1, 0, -1.0),
+                (1, 1, 4.0),
+                (2, 1, -1.0),
+                (2, 2, 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_from_coords() {
+        let a = tridiag();
+        assert_eq!(a.n(), 3);
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed_and_upper_mirrored() {
+        let a = SymCscMatrix::from_coords(2, &[(0, 1, -1.0), (1, 0, -2.0), (0, 0, 1.0), (1, 1, 1.0)])
+            .unwrap();
+        assert_eq!(a.get(1, 0), -3.0);
+    }
+
+    #[test]
+    fn matvec_uses_symmetry() {
+        let a = tridiag();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.mul_vec(&x, &mut y);
+        assert_eq!(y, [4.0 - 2.0, -1.0 + 8.0 - 3.0, -2.0 + 12.0]);
+    }
+
+    #[test]
+    fn value_count_must_match() {
+        let p = SparsityPattern::new(1, vec![0, 1], vec![0]).unwrap();
+        assert!(SymCscMatrix::new(p, vec![]).is_err());
+    }
+
+    #[test]
+    fn diagonal_must_be_present() {
+        // pattern with an empty column 1 -> invalid for SymCscMatrix
+        let p = SparsityPattern::new(2, vec![0, 1, 1], vec![0]).unwrap();
+        assert_eq!(
+            SymCscMatrix::new(p, vec![1.0]).unwrap_err(),
+            Error::MissingDiagonal { col: 1 }
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Synthetic airline fleet assignment LP normal equations (10FLEET stand-in).
+//!
+//! 10FLEET in the paper is `A·Aᵀ` of the constraint matrix of a fleet
+//! assignment linear program. Such LPs have a time-space network structure:
+//! each LP column (an aircraft rotation) covers a short, mostly contiguous run
+//! of constraint rows (flight legs in a time window), plus a coupling row per
+//! fleet (a nearly dense constraint). `A·Aᵀ` therefore consists of many small
+//! cliques over windowed row subsets plus a few rows coupled to everything —
+//! which is why its factor is so dense (the paper reports 426 nonzeros per
+//! column of L on average).
+
+use super::{spd_from_edges, OrderingHint, Problem};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the synthetic fleet assignment LP.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSpec {
+    /// Number of constraint rows = matrix dimension.
+    pub rows: usize,
+    /// Number of LP columns (rotations).
+    pub cols: usize,
+    /// Width of the time window a rotation's legs fall into.
+    pub window: usize,
+    /// Number of leg rows covered by each rotation.
+    pub picks: usize,
+    /// Number of fleet coupling rows (placed at the end of the row range;
+    /// each rotation also covers one of them).
+    pub fleets: usize,
+    /// Fraction of rotations that are "long-haul": their legs split across
+    /// two independent time windows. These couple distant row bands and are
+    /// what makes the factor's tail dense, as in the real 10FLEET problem.
+    pub long_haul_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        Self {
+            rows: 11222,
+            cols: 26000,
+            window: 160,
+            picks: 6,
+            fleets: 24,
+            long_haul_frac: 0.10,
+            seed: 0x10F1EE7,
+        }
+    }
+}
+
+/// Builds `A·Aᵀ` for the synthetic fleet LP described by `spec`.
+pub fn fleet_from_spec(name: &str, spec: &FleetSpec) -> Problem {
+    let FleetSpec { rows, cols, window, picks, fleets, long_haul_frac, seed } = *spec;
+    assert!(rows > fleets && picks >= 1);
+    let leg_rows = rows - fleets;
+    let window = window.min(leg_rows);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    let mut members: Vec<u32> = Vec::with_capacity(picks + 1);
+    for _ in 0..cols {
+        members.clear();
+        let start = rng.gen_range(0..leg_rows.saturating_sub(window).max(1));
+        let second_start = if rng.gen::<f64>() < long_haul_frac {
+            rng.gen_range(0..leg_rows.saturating_sub(window).max(1))
+        } else {
+            start
+        };
+        for k in 0..picks {
+            let s = if k % 2 == 0 { start } else { second_start };
+            members.push((s + rng.gen_range(0..window)) as u32);
+        }
+        members.sort_unstable();
+        members.dedup();
+        // One coupling row per rotation.
+        members.push((leg_rows + rng.gen_range(0..fleets)) as u32);
+        // The rotation contributes a clique to A·Aᵀ.
+        for a in 0..members.len() {
+            for b in (a + 1)..members.len() {
+                edges.push((members[a], members[b], 1.0));
+            }
+        }
+    }
+    let matrix = spd_from_edges(rows, &edges);
+    Problem::new(name, matrix, None, OrderingHint::MinimumDegree)
+}
+
+/// 10FLEET-like problem of dimension `rows`, with defaults scaled from the
+/// paper's problem size.
+pub fn fleet_like(name: &str, rows: usize, seed: u64) -> Problem {
+    let d = FleetSpec::default();
+    let scale = rows as f64 / d.rows as f64;
+    let spec = FleetSpec {
+        rows,
+        cols: ((d.cols as f64 * scale) as usize).max(8),
+        window: ((d.window as f64 * scale.sqrt()) as usize).clamp(4, rows),
+        picks: d.picks,
+        fleets: ((d.fleets as f64 * scale).ceil() as usize).clamp(2, rows / 2),
+        long_haul_frac: d.long_haul_frac,
+        seed,
+    };
+    fleet_from_spec(name, &spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn coupling_rows_have_high_degree() {
+        let spec = FleetSpec { rows: 500, cols: 1500, window: 40, picks: 5, fleets: 4, long_haul_frac: 0.0, seed: 3 };
+        let p = fleet_from_spec("T", &spec);
+        let g = Graph::from_pattern(p.matrix.pattern());
+        let leg_avg: f64 =
+            (0..496).map(|v| g.degree(v) as f64).sum::<f64>() / 496.0;
+        let coupling_avg: f64 =
+            (496..500).map(|v| g.degree(v) as f64).sum::<f64>() / 4.0;
+        assert!(
+            coupling_avg > 10.0 * leg_avg,
+            "coupling {coupling_avg} vs legs {leg_avg}"
+        );
+    }
+
+    #[test]
+    fn deterministic_and_spd_shaped() {
+        let a = fleet_like("T", 300, 5);
+        let b = fleet_like("T", 300, 5);
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.n(), 300);
+        assert!(a.matrix.pattern().has_full_diagonal());
+    }
+
+    #[test]
+    fn windowed_structure_is_banded_plus_dense_rows() {
+        let spec = FleetSpec { rows: 400, cols: 800, window: 20, picks: 4, fleets: 2, long_haul_frac: 0.0, seed: 9 };
+        let p = fleet_from_spec("T", &spec);
+        // Leg-leg edges must stay within the window width.
+        for j in 0..(400 - 2) {
+            for &i in p.matrix.col_rows(j) {
+                let i = i as usize;
+                if i < 400 - 2 && i != j {
+                    assert!(i - j < 20, "edge ({i},{j}) exceeds window");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Synthetic irregular finite-element problems.
+//!
+//! Stand-ins for the Harwell-Boeing BCSSTK structural matrices and the
+//! COPTER2 rotor model: multi-dof nodes placed randomly in a (possibly very
+//! anisotropic) box, connected to all neighbors within an interaction radius.
+//! This reproduces the structural regime that matters for the paper's load
+//! balance study: ragged supernodes, deep uneven elimination trees, and
+//! moderate fill under minimum degree — in contrast to the regular
+//! grid/cube/dense problems.
+
+use super::{spd_from_edges, OrderingHint, Problem};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the random finite-element generator.
+#[derive(Debug, Clone, Copy)]
+pub struct IrregularSpec {
+    /// Number of physical mesh nodes (matrix dimension is `nodes × dofs`).
+    pub nodes: usize,
+    /// Degrees of freedom per node (3 for the BCSSTK-like problems).
+    pub dofs: usize,
+    /// Domain box dimensions; anisotropy shapes the elimination tree.
+    pub box_dims: [f32; 3],
+    /// Desired average number of neighbor nodes.
+    pub target_degree: f64,
+    /// RNG seed; generation is fully deterministic given the spec.
+    pub seed: u64,
+}
+
+/// Generates the random geometric multi-dof mesh described by `spec`.
+///
+/// Points are sampled uniformly in the box; two nodes interact when their
+/// distance is below a radius chosen so the expected neighbor count matches
+/// `target_degree`. Each node contributes a dense `dofs × dofs` diagonal
+/// sub-block, and interacting nodes contribute dense off-diagonal sub-blocks,
+/// exactly like an assembled stiffness matrix.
+pub fn irregular_mesh(name: &str, spec: &IrregularSpec) -> Problem {
+    let IrregularSpec { nodes, dofs, box_dims, target_degree, seed } = *spec;
+    assert!(nodes > 0 && dofs > 0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let pts: Vec<[f32; 3]> = (0..nodes)
+        .map(|_| {
+            [
+                rng.gen::<f32>() * box_dims[0],
+                rng.gen::<f32>() * box_dims[1],
+                rng.gen::<f32>() * box_dims[2],
+            ]
+        })
+        .collect();
+
+    let radius = interaction_radius(nodes, box_dims, target_degree);
+    let node_edges = radius_edges(&pts, radius, box_dims);
+
+    // Expand nodes to dof blocks.
+    let n = nodes * dofs;
+    let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(
+        node_edges.len() * dofs * dofs + nodes * dofs * (dofs - 1) / 2,
+    );
+    for v in 0..nodes {
+        for a in 0..dofs {
+            for b in (a + 1)..dofs {
+                edges.push(((v * dofs + a) as u32, (v * dofs + b) as u32, 1.0));
+            }
+        }
+    }
+    for &(u, v, d) in &node_edges {
+        let w = 1.0 / (1.0 + d as f64);
+        for a in 0..dofs {
+            for b in 0..dofs {
+                edges.push(((u as usize * dofs + a) as u32, (v as usize * dofs + b) as u32, w));
+            }
+        }
+    }
+    let matrix = spd_from_edges(n, &edges);
+    let coords = (0..n).map(|i| pts[i / dofs]).collect();
+    Problem::new(name, matrix, Some(coords), OrderingHint::MinimumDegree)
+}
+
+/// BCSSTK-like structural problem of dimension `n` (rounded down to a
+/// multiple of 3 dofs). Compact, mildly anisotropic 3-D domain.
+pub fn bcsstk_like(name: &str, n: usize, seed: u64) -> Problem {
+    let spec = IrregularSpec {
+        nodes: (n / 3).max(1),
+        dofs: 3,
+        box_dims: [2.0, 1.3, 1.0],
+        target_degree: 13.0,
+        seed,
+    };
+    irregular_mesh(name, &spec)
+}
+
+/// COPTER2-like rotor blade: a long, thin, moderately dense 3-D mesh.
+pub fn copter_like(name: &str, n: usize, seed: u64) -> Problem {
+    let spec = IrregularSpec {
+        nodes: (n / 3).max(1),
+        dofs: 3,
+        box_dims: [12.0, 2.0, 1.0],
+        target_degree: 16.0,
+        seed,
+    };
+    irregular_mesh(name, &spec)
+}
+
+/// Chooses the radius so the expected number of neighbors (Poisson point
+/// process in the box, ignoring boundary effects) is `target_degree`.
+fn interaction_radius(nodes: usize, box_dims: [f32; 3], target_degree: f64) -> f32 {
+    let vol = (box_dims[0] as f64) * (box_dims[1] as f64) * (box_dims[2] as f64);
+    let density = nodes as f64 / vol;
+    let r3 = target_degree / (density * 4.0 / 3.0 * std::f64::consts::PI);
+    (r3.cbrt() as f32).max(1e-6)
+}
+
+/// All point pairs within `radius`, found with a uniform bucket grid.
+/// Returns `(u, v, distance)` with `u < v`.
+fn radius_edges(pts: &[[f32; 3]], radius: f32, box_dims: [f32; 3]) -> Vec<(u32, u32, f32)> {
+    let cell = radius;
+    let dims = [
+        ((box_dims[0] / cell).ceil() as usize).max(1),
+        ((box_dims[1] / cell).ceil() as usize).max(1),
+        ((box_dims[2] / cell).ceil() as usize).max(1),
+    ];
+    let cell_of = |p: &[f32; 3]| {
+        let cx = ((p[0] / cell) as usize).min(dims[0] - 1);
+        let cy = ((p[1] / cell) as usize).min(dims[1] - 1);
+        let cz = ((p[2] / cell) as usize).min(dims[2] - 1);
+        (cx, cy, cz)
+    };
+    let flat = |c: (usize, usize, usize)| c.0 + dims[0] * (c.1 + dims[1] * c.2);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+    for (i, p) in pts.iter().enumerate() {
+        buckets[flat(cell_of(p))].push(i as u32);
+    }
+    let r2 = radius * radius;
+    let mut edges = Vec::new();
+    for (i, p) in pts.iter().enumerate() {
+        let (cx, cy, cz) = cell_of(p);
+        for dz in cz.saturating_sub(1)..(cz + 2).min(dims[2]) {
+            for dy in cy.saturating_sub(1)..(cy + 2).min(dims[1]) {
+                for dx in cx.saturating_sub(1)..(cx + 2).min(dims[0]) {
+                    for &j in &buckets[flat((dx, dy, dz))] {
+                        if (j as usize) <= i {
+                            continue;
+                        }
+                        let q = &pts[j as usize];
+                        let d2 = (p[0] - q[0]).powi(2)
+                            + (p[1] - q[1]).powi(2)
+                            + (p[2] - q[2]).powi(2);
+                        if d2 <= r2 {
+                            edges.push((i as u32, j, d2.sqrt()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = bcsstk_like("T", 300, 7);
+        let b = bcsstk_like("T", 300, 7);
+        assert_eq!(a.matrix, b.matrix);
+        let c = bcsstk_like("T", 300, 8);
+        assert_ne!(a.matrix, c.matrix);
+    }
+
+    #[test]
+    fn dimension_is_nodes_times_dofs() {
+        let p = bcsstk_like("T", 301, 1);
+        assert_eq!(p.n(), (301 / 3) * 3);
+        assert_eq!(p.coords.as_ref().unwrap().len(), p.n());
+    }
+
+    #[test]
+    fn dof_blocks_are_fully_connected() {
+        let p = bcsstk_like("T", 30, 3);
+        let g = Graph::from_pattern(p.matrix.pattern());
+        // dofs 0,1,2 of node 0 must be mutually adjacent.
+        assert!(g.neighbors(0).contains(&1));
+        assert!(g.neighbors(0).contains(&2));
+        assert!(g.neighbors(1).contains(&2));
+    }
+
+    #[test]
+    fn average_degree_near_target() {
+        let spec = IrregularSpec {
+            nodes: 4000,
+            dofs: 1,
+            box_dims: [1.0, 1.0, 1.0],
+            target_degree: 12.0,
+            seed: 42,
+        };
+        let p = irregular_mesh("T", &spec);
+        let g = Graph::from_pattern(p.matrix.pattern());
+        let avg = g.edge_count() as f64 / g.n() as f64;
+        // Boundary effects push the realized degree below target; accept a
+        // generous band.
+        assert!(avg > 6.0 && avg < 14.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn copter_is_anisotropic_and_connected_enough() {
+        let p = copter_like("T", 600, 9);
+        let g = Graph::from_pattern(p.matrix.pattern());
+        let alive = vec![true; g.n()];
+        let comps = g.components(&alive);
+        // A long thin domain at this density may have a few stragglers but
+        // the bulk must be one component.
+        let largest = comps.iter().map(Vec::len).max().unwrap();
+        assert!(largest * 10 >= g.n() * 9, "largest component {largest}/{}", g.n());
+    }
+}

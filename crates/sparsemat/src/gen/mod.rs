@@ -1,0 +1,127 @@
+//! Deterministic benchmark matrix generators.
+//!
+//! The paper evaluates on three matrix families:
+//!
+//! 1. **Regular** problems — dense matrices and 5-point/7-point finite
+//!    difference operators on 2-D grids and 3-D cubes ([`regular`]).
+//! 2. **Irregular structural** problems — the Harwell-Boeing BCSSTK matrices
+//!    and the COPTER2 helicopter rotor model. The original files are not
+//!    redistributable here, so [`irregular`] generates synthetic
+//!    finite-element stiffness patterns in the same structural regime
+//!    (multi-dof nodes on an irregular 3-D point cloud).
+//! 3. **Linear programming** normal equations — 10FLEET. [`fleet`] builds
+//!    `A·Aᵀ` of a synthetic time-space fleet assignment LP.
+//!
+//! All generators are deterministic given their seed, and produce strictly
+//! diagonally dominant (hence SPD) matrices so that every executor can
+//! factor them without pivoting.
+
+pub mod fleet;
+pub mod irregular;
+pub mod regular;
+pub mod suite;
+
+pub use fleet::fleet_like;
+pub use irregular::{bcsstk_like, copter_like, IrregularSpec};
+pub use regular::{cube3d, dense, grid2d};
+pub use suite::{large_suite, paper_suite, scaled_paper_suite, SuiteScale};
+
+use crate::SymCscMatrix;
+
+/// How a generated problem should be ordered before factorization, matching
+/// the paper's experimental design (Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingHint {
+    /// Regular grid/cube problems: geometric nested dissection
+    /// ("asymptotically optimal orderings for these problems").
+    NestedDissection,
+    /// Irregular problems: multiple minimum degree.
+    MinimumDegree,
+    /// Dense problems: any ordering (no fill either way).
+    Natural,
+}
+
+/// A named benchmark problem: the matrix, optional node coordinates (used by
+/// geometric nested dissection), and the ordering the paper applies to it.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// Display name, matching the paper's tables (e.g. `"BCSSTK31"`).
+    pub name: String,
+    /// The SPD matrix (lower triangle).
+    pub matrix: SymCscMatrix,
+    /// Physical coordinates per index, when the problem is geometric.
+    pub coords: Option<Vec<[f32; 3]>>,
+    /// The fill-reducing ordering the paper uses for this problem.
+    pub ordering: OrderingHint,
+}
+
+impl Problem {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        matrix: SymCscMatrix,
+        coords: Option<Vec<[f32; 3]>>,
+        ordering: OrderingHint,
+    ) -> Self {
+        Self { name: name.into(), matrix, coords, ordering }
+    }
+
+    /// Matrix dimension (the paper's "Equations" column).
+    pub fn n(&self) -> usize {
+        self.matrix.n()
+    }
+}
+
+/// Builds a strictly diagonally dominant SPD matrix from undirected weighted
+/// edges: off-diagonal `(i, j)` gets `-|w|`, and each diagonal entry is set to
+/// `1 + Σ|row off-diagonals|`, making the matrix SPD by Gershgorin.
+///
+/// Duplicate edges are summed before the dominance computation.
+pub fn spd_from_edges(n: usize, edges: &[(u32, u32, f64)]) -> SymCscMatrix {
+    // Deduplicate into lower-triangle coordinate form first.
+    let mut coords: Vec<(u32, u32, f64)> = edges
+        .iter()
+        .filter(|&&(i, j, _)| i != j)
+        .map(|&(i, j, w)| (i.max(j), i.min(j), -w.abs()))
+        .collect();
+    coords.sort_unstable_by_key(|&(r, c, _)| (c, r));
+    coords.dedup_by(|a, b| {
+        if a.0 == b.0 && a.1 == b.1 {
+            b.2 += a.2;
+            true
+        } else {
+            false
+        }
+    });
+    let mut rowsum = vec![0.0f64; n];
+    for &(r, c, v) in &coords {
+        rowsum[r as usize] += v.abs();
+        rowsum[c as usize] += v.abs();
+    }
+    for (i, s) in rowsum.iter().enumerate() {
+        coords.push((i as u32, i as u32, 1.0 + s));
+    }
+    SymCscMatrix::from_coords(n, &coords).expect("generated coordinates are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spd_from_edges_is_diagonally_dominant() {
+        let a = spd_from_edges(3, &[(0, 1, 2.0), (1, 2, 3.0), (2, 1, 1.0)]);
+        // Row sums: row0 = 2, row1 = 2+4, row2 = 4 (edge (1,2) dedups to -4).
+        assert_eq!(a.get(1, 0), -2.0);
+        assert_eq!(a.get(2, 1), -4.0);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(1, 1), 7.0);
+        assert_eq!(a.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn spd_from_edges_ignores_self_loops() {
+        let a = spd_from_edges(2, &[(0, 0, 9.0), (0, 1, 1.0)]);
+        assert_eq!(a.get(0, 0), 2.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Regular problems: dense matrices, 2-D grids (5-point), 3-D cubes (7-point).
+
+use super::{spd_from_edges, OrderingHint, Problem};
+use crate::SymCscMatrix;
+
+/// A fully dense SPD matrix of dimension `n` (paper problems DENSE1024,
+/// DENSE2048, DENSE4096).
+///
+/// Entries are deterministic: `a[i][j] = -1/(1 + |i-j|)` off the diagonal,
+/// with a diagonally dominant diagonal.
+pub fn dense(n: usize) -> Problem {
+    let mut coords: Vec<(u32, u32, f64)> = Vec::with_capacity(n * (n + 1) / 2);
+    let mut rowsum = vec![0.0f64; n];
+    for j in 0..n {
+        for i in (j + 1)..n {
+            let v = -1.0 / (1.0 + (i - j) as f64);
+            coords.push((i as u32, j as u32, v));
+            rowsum[i] += v.abs();
+            rowsum[j] += v.abs();
+        }
+    }
+    for (i, s) in rowsum.iter().enumerate() {
+        coords.push((i as u32, i as u32, 1.0 + s));
+    }
+    let matrix = SymCscMatrix::from_coords(n, &coords).expect("dense coords valid");
+    Problem::new(format!("DENSE{n}"), matrix, None, OrderingHint::Natural)
+}
+
+/// The 5-point Laplacian-like operator on a `k × k` grid (paper problems
+/// GRID150, GRID300). Node `(x, y)` has index `x + k·y`; coordinates are
+/// attached for geometric nested dissection.
+pub fn grid2d(k: usize) -> Problem {
+    let n = k * k;
+    let idx = |x: usize, y: usize| (x + k * y) as u32;
+    let mut edges = Vec::with_capacity(2 * n);
+    for y in 0..k {
+        for x in 0..k {
+            if x + 1 < k {
+                edges.push((idx(x, y), idx(x + 1, y), 1.0));
+            }
+            if y + 1 < k {
+                edges.push((idx(x, y), idx(x, y + 1), 1.0));
+            }
+        }
+    }
+    let matrix = spd_from_edges(n, &edges);
+    let coords = (0..n)
+        .map(|v| [(v % k) as f32, (v / k) as f32, 0.0])
+        .collect();
+    Problem::new(
+        format!("GRID{k}"),
+        matrix,
+        Some(coords),
+        OrderingHint::NestedDissection,
+    )
+}
+
+/// The 7-point operator on a `k × k × k` cube (paper problems CUBE30, CUBE35,
+/// CUBE40). Node `(x, y, z)` has index `x + k·y + k²·z`.
+pub fn cube3d(k: usize) -> Problem {
+    let n = k * k * k;
+    let idx = |x: usize, y: usize, z: usize| (x + k * y + k * k * z) as u32;
+    let mut edges = Vec::with_capacity(3 * n);
+    for z in 0..k {
+        for y in 0..k {
+            for x in 0..k {
+                if x + 1 < k {
+                    edges.push((idx(x, y, z), idx(x + 1, y, z), 1.0));
+                }
+                if y + 1 < k {
+                    edges.push((idx(x, y, z), idx(x, y + 1, z), 1.0));
+                }
+                if z + 1 < k {
+                    edges.push((idx(x, y, z), idx(x, y, z + 1), 1.0));
+                }
+            }
+        }
+    }
+    let matrix = spd_from_edges(n, &edges);
+    let coords = (0..n)
+        .map(|v| {
+            let x = v % k;
+            let y = (v / k) % k;
+            let z = v / (k * k);
+            [x as f32, y as f32, z as f32]
+        })
+        .collect();
+    Problem::new(
+        format!("CUBE{k}"),
+        matrix,
+        Some(coords),
+        OrderingHint::NestedDissection,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_has_full_lower_triangle() {
+        let p = dense(8);
+        assert_eq!(p.n(), 8);
+        assert_eq!(p.matrix.pattern().nnz(), 8 * 9 / 2);
+        assert_eq!(p.matrix.pattern().nnz_strictly_lower(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn grid_has_five_point_stencil() {
+        let p = grid2d(3);
+        assert_eq!(p.n(), 9);
+        // 2*k*(k-1) = 12 undirected edges + 9 diagonal entries.
+        assert_eq!(p.matrix.pattern().nnz(), 12 + 9);
+        // Interior node 4 (center) has 4 neighbors.
+        let g = crate::Graph::from_pattern(p.matrix.pattern());
+        assert_eq!(g.degree(4), 4);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn cube_has_seven_point_stencil() {
+        let p = cube3d(3);
+        assert_eq!(p.n(), 27);
+        let g = crate::Graph::from_pattern(p.matrix.pattern());
+        // Center node index 13 has 6 neighbors; corner has 3.
+        assert_eq!(g.degree(13), 6);
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn coords_match_layout() {
+        let p = grid2d(4);
+        let coords = p.coords.as_ref().unwrap();
+        assert_eq!(coords[5], [1.0, 1.0, 0.0]); // x=1, y=1 -> index 5
+        let c = cube3d(2);
+        let coords = c.coords.as_ref().unwrap();
+        assert_eq!(coords[7], [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn regular_matrices_are_diagonally_dominant() {
+        for p in [grid2d(4), cube3d(3)] {
+            let a = &p.matrix;
+            for j in 0..a.n() {
+                let mut off = 0.0;
+                for (&i, &v) in a.col_rows(j).iter().zip(a.col_values(j)) {
+                    if i as usize != j {
+                        off += v.abs();
+                    }
+                }
+                assert!(a.get(j, j) > off, "column {j} not dominant");
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's benchmark suites (Tables 1 and 6), with an optional scale
+//! factor so tests can run miniature versions of every problem.
+
+use super::fleet::{fleet_from_spec, FleetSpec};
+use super::irregular::{irregular_mesh, IrregularSpec};
+use super::{cube3d, dense, grid2d, Problem};
+
+/// Scale at which to generate the benchmark suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// Paper-sized problems (Table 1: up to 90,000 equations).
+    Full,
+    /// ~1/8-sized problems for quick experimentation.
+    Medium,
+    /// Tiny problems for unit/integration tests.
+    Tiny,
+}
+
+impl SuiteScale {
+    /// Scales a linear dimension (grid side, cube side).
+    fn dim(&self, full: usize) -> usize {
+        match self {
+            SuiteScale::Full => full,
+            SuiteScale::Medium => (full / 2).max(4),
+            SuiteScale::Tiny => (full / 8).max(3),
+        }
+    }
+
+    /// Scales a matrix order.
+    fn order(&self, full: usize) -> usize {
+        match self {
+            SuiteScale::Full => full,
+            SuiteScale::Medium => (full / 8).max(24),
+            SuiteScale::Tiny => (full / 64).max(24),
+        }
+    }
+}
+
+/// The ten benchmark matrices of Table 1, at the requested scale.
+///
+/// The four BCSSTK problems are synthetic stand-ins (see `crate::gen`
+/// module docs); names are kept so result tables line up with the paper.
+pub fn scaled_paper_suite(scale: SuiteScale) -> Vec<Problem> {
+    vec![
+        dense(scale.order(1024)),
+        dense(scale.order(2048)),
+        grid2d(scale.dim(150)),
+        grid2d(scale.dim(300)),
+        cube3d(scale.dim(30)),
+        cube3d(scale.dim(35)),
+        bcsstk_suite_matrix("BCSSTK15", scale),
+        bcsstk_suite_matrix("BCSSTK29", scale),
+        bcsstk_suite_matrix("BCSSTK31", scale),
+        bcsstk_suite_matrix("BCSSTK33", scale),
+    ]
+}
+
+/// Per-matrix generator specs, calibrated so the synthetic stand-ins land
+/// near the paper's published NZ(L)/ops (Table 1, Table 6). Degree controls
+/// density; box anisotropy controls separator growth and hence fill.
+fn bcsstk_suite_matrix(name: &str, scale: SuiteScale) -> Problem {
+    let (n, deg, bbox, seed) = match name {
+        // (order, target node degree, box dims, seed)
+        "BCSSTK15" => (3948, 18.0, [1.3f32, 1.1, 1.0], 15),
+        "BCSSTK29" => (13992, 11.0, [4.0, 2.0, 1.0], 29),
+        "BCSSTK31" => (35588, 11.0, [7.0, 3.0, 1.1], 31),
+        "BCSSTK33" => (8738, 19.0, [1.0, 1.0, 1.0], 33),
+        _ => unreachable!("unknown suite matrix {name}"),
+    };
+    let spec = IrregularSpec {
+        nodes: (scale.order(n) / 3).max(1),
+        dofs: 3,
+        box_dims: bbox,
+        target_degree: deg,
+        seed,
+    };
+    irregular_mesh(name, &spec)
+}
+
+/// The ten benchmark matrices of Table 1 at full scale.
+pub fn paper_suite() -> Vec<Problem> {
+    scaled_paper_suite(SuiteScale::Full)
+}
+
+/// The larger problems of Table 6 (plus the two carried over from Table 1 are
+/// available from [`paper_suite`]).
+pub fn large_suite(scale: SuiteScale) -> Vec<Problem> {
+    let copter = IrregularSpec {
+        nodes: (scale.order(55476) / 3).max(1),
+        dofs: 3,
+        box_dims: [13.0, 2.5, 1.15],
+        target_degree: 14.0,
+        seed: 2,
+    };
+    let rows = scale.order(11222);
+    let fscale = rows as f64 / 11222.0;
+    let fleet = FleetSpec {
+        rows,
+        cols: ((28000.0 * fscale) as usize).max(8),
+        window: ((180.0 * fscale.sqrt()) as usize).clamp(4, rows),
+        picks: 6,
+        fleets: ((30.0 * fscale).ceil() as usize).clamp(2, rows / 2),
+        long_haul_frac: 0.02,
+        seed: 0x10F1EE7,
+    };
+    vec![
+        dense(scale.order(4096)),
+        cube3d(scale.dim(40)),
+        irregular_mesh("COPTER2", &copter),
+        fleet_from_spec("10FLEET", &fleet),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_suite_has_ten_named_problems() {
+        let suite = scaled_paper_suite(SuiteScale::Tiny);
+        assert_eq!(suite.len(), 10);
+        let names: Vec<&str> = suite.iter().map(|p| p.name.as_str()).collect();
+        assert!(names[6..].iter().all(|n| n.starts_with("BCSSTK")));
+        for p in &suite {
+            assert!(p.n() >= 9, "{} too small: {}", p.name, p.n());
+        }
+    }
+
+    #[test]
+    fn large_suite_names() {
+        let suite = large_suite(SuiteScale::Tiny);
+        let names: Vec<&str> = suite.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names[2], "COPTER2");
+        assert_eq!(names[3], "10FLEET");
+    }
+}

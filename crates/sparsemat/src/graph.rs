@@ -1,0 +1,192 @@
+//! Full (undirected) adjacency structure derived from a symmetric pattern.
+//!
+//! The ordering algorithms (minimum degree, nested dissection) operate on the
+//! adjacency graph of the matrix: both triangles, no self loops.
+
+use crate::SparsityPattern;
+
+/// Undirected adjacency lists in compressed form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adj_ptr: Vec<usize>,
+    adj: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds the adjacency graph of a symmetric matrix given its lower
+    /// triangle pattern. Diagonal entries are dropped; every off-diagonal
+    /// entry `(i, j)` produces edges `i → j` and `j → i`.
+    pub fn from_pattern(p: &SparsityPattern) -> Self {
+        let n = p.n();
+        let mut deg = vec![0usize; n];
+        for (r, c) in p.iter() {
+            if r != c {
+                deg[r as usize] += 1;
+                deg[c as usize] += 1;
+            }
+        }
+        let mut adj_ptr = vec![0usize; n + 1];
+        for v in 0..n {
+            adj_ptr[v + 1] = adj_ptr[v] + deg[v];
+        }
+        let mut adj = vec![0u32; adj_ptr[n]];
+        let mut next = adj_ptr.clone();
+        for (r, c) in p.iter() {
+            if r != c {
+                adj[next[r as usize]] = c;
+                next[r as usize] += 1;
+                adj[next[c as usize]] = r;
+                next[c as usize] += 1;
+            }
+        }
+        for v in 0..n {
+            adj[adj_ptr[v]..adj_ptr[v + 1]].sort_unstable();
+        }
+        Self { adj_ptr, adj }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj_ptr.len() - 1
+    }
+
+    /// Number of directed edges (twice the undirected edge count).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbors of vertex `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[self.adj_ptr[v]..self.adj_ptr[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj_ptr[v + 1] - self.adj_ptr[v]
+    }
+
+    /// Breadth-first search from `start` over vertices where `alive` is true.
+    /// Returns `(visited_vertices_in_bfs_order, level_of_each_visited)`.
+    pub fn bfs(&self, start: usize, alive: &[bool]) -> (Vec<u32>, Vec<u32>) {
+        debug_assert!(alive[start]);
+        let mut order = Vec::new();
+        let mut level = Vec::new();
+        let mut seen = vec![false; self.n()];
+        seen[start] = true;
+        order.push(start as u32);
+        level.push(0u32);
+        let mut head = 0;
+        while head < order.len() {
+            let v = order[head] as usize;
+            let lv = level[head];
+            head += 1;
+            for &w in self.neighbors(v) {
+                let w = w as usize;
+                if alive[w] && !seen[w] {
+                    seen[w] = true;
+                    order.push(w as u32);
+                    level.push(lv + 1);
+                }
+            }
+        }
+        (order, level)
+    }
+
+    /// Finds a pseudo-peripheral vertex of the component containing `start`
+    /// (restricted to `alive` vertices) by repeated BFS, as in the
+    /// Gibbs–Poole–Stockmeyer/George–Liu scheme.
+    pub fn pseudo_peripheral(&self, start: usize, alive: &[bool]) -> usize {
+        let (order, levels) = self.bfs(start, alive);
+        let mut ecc = *levels.last().unwrap_or(&0);
+        let mut frontier_last = order[order.len() - 1] as usize;
+        loop {
+            let (order2, levels2) = self.bfs(frontier_last, alive);
+            let ecc2 = *levels2.last().unwrap_or(&0);
+            if ecc2 > ecc {
+                ecc = ecc2;
+                frontier_last = order2[order2.len() - 1] as usize;
+            } else {
+                return frontier_last;
+            }
+        }
+    }
+
+    /// Connected components over `alive` vertices. Returns one representative
+    /// vertex list per component, each in BFS order.
+    pub fn components(&self, alive: &[bool]) -> Vec<Vec<u32>> {
+        let mut seen = vec![false; self.n()];
+        let mut comps = Vec::new();
+        for s in 0..self.n() {
+            if alive[s] && !seen[s] {
+                let (order, _) = self.bfs(s, alive);
+                for &v in &order {
+                    seen[v as usize] = true;
+                }
+                comps.push(order);
+            }
+        }
+        comps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        // 0 - 1 - 2 - 3
+        let p = SparsityPattern::from_coords(4, vec![(1, 0), (2, 1), (3, 2)]).unwrap();
+        Graph::from_pattern(&p)
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_sorted() {
+        let g = path4();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn bfs_levels() {
+        let g = path4();
+        let alive = vec![true; 4];
+        let (order, level) = g.bfs(0, &alive);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(level, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_respects_alive_mask() {
+        let g = path4();
+        let alive = vec![true, true, false, true];
+        let (order, _) = g.bfs(0, &alive);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn pseudo_peripheral_on_path_is_an_endpoint() {
+        let g = path4();
+        let alive = vec![true; 4];
+        let v = g.pseudo_peripheral(1, &alive);
+        assert!(v == 0 || v == 3);
+    }
+
+    #[test]
+    fn components_found() {
+        // Two components: 0-1 and 2 (isolated), 3 masked out.
+        let p = SparsityPattern::from_coords(4, vec![(1, 0)]).unwrap();
+        let g = Graph::from_pattern(&p);
+        let alive = vec![true, true, true, false];
+        let comps = g.components(&alive);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2]);
+    }
+}

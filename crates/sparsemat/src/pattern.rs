@@ -1,0 +1,217 @@
+//! Compressed sparse column structure without numerical values.
+
+use crate::{Error, Result};
+
+/// The nonzero structure of a sparse matrix in compressed sparse column form.
+///
+/// For the symmetric matrices used throughout this workspace the pattern holds
+/// the *lower triangle including the diagonal*: column `j` lists the rows
+/// `i ≥ j` with a structural nonzero, strictly increasing, and the first entry
+/// of every column is the diagonal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsityPattern {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+}
+
+impl SparsityPattern {
+    /// Builds a pattern from raw CSC arrays, validating the invariants:
+    /// monotone `col_ptr` of length `n + 1`, strictly increasing in-bounds row
+    /// indices per column.
+    pub fn new(n: usize, col_ptr: Vec<usize>, row_idx: Vec<u32>) -> Result<Self> {
+        if col_ptr.len() != n + 1 || col_ptr[0] != 0 || col_ptr[n] != row_idx.len() {
+            return Err(Error::MalformedColPtr);
+        }
+        for j in 0..n {
+            if col_ptr[j] > col_ptr[j + 1] {
+                return Err(Error::MalformedColPtr);
+            }
+            let rows = &row_idx[col_ptr[j]..col_ptr[j + 1]];
+            for w in rows.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(Error::UnsortedRows { col: j });
+                }
+            }
+            if let Some(&last) = rows.last() {
+                if last as usize >= n {
+                    return Err(Error::IndexOutOfBounds {
+                        index: last as usize,
+                        n,
+                    });
+                }
+            }
+        }
+        Ok(Self { n, col_ptr, row_idx })
+    }
+
+    /// Builds a pattern without checking invariants.
+    ///
+    /// Used internally by algorithms that construct columns in sorted order by
+    /// construction. Debug builds still assert the invariants.
+    pub fn new_unchecked(n: usize, col_ptr: Vec<usize>, row_idx: Vec<u32>) -> Self {
+        debug_assert!(Self::new(n, col_ptr.clone(), row_idx.clone()).is_ok());
+        Self { n, col_ptr, row_idx }
+    }
+
+    /// Builds a lower-triangular pattern from an unsorted list of `(row, col)`
+    /// coordinates. Entries are mirrored into the lower triangle, deduplicated
+    /// and sorted; missing diagonal entries are added.
+    pub fn from_coords(n: usize, coords: impl IntoIterator<Item = (u32, u32)>) -> Result<Self> {
+        let mut per_col: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (r, c) in coords {
+            let (r, c) = if r >= c { (r, c) } else { (c, r) };
+            if r as usize >= n {
+                return Err(Error::IndexOutOfBounds { index: r as usize, n });
+            }
+            per_col[c as usize].push(r);
+        }
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        col_ptr.push(0usize);
+        let mut row_idx = Vec::new();
+        for (j, rows) in per_col.iter_mut().enumerate() {
+            rows.push(j as u32); // ensure diagonal
+            rows.sort_unstable();
+            rows.dedup();
+            row_idx.extend_from_slice(rows);
+            col_ptr.push(row_idx.len());
+        }
+        Ok(Self { n, col_ptr, row_idx })
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of stored entries (lower triangle including diagonal).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Number of stored entries strictly below the diagonal.
+    ///
+    /// This matches the "NZ in L" convention of Table 1 of the paper, which
+    /// excludes the diagonal (e.g. DENSE1024 reports `1024·1023/2 = 523776`).
+    pub fn nnz_strictly_lower(&self) -> usize {
+        (0..self.n)
+            .map(|j| self.col(j).iter().filter(|&&r| r as usize != j).count())
+            .sum()
+    }
+
+    /// Column pointer array of length `n + 1`.
+    #[inline]
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Concatenated row indices.
+    #[inline]
+    pub fn row_idx(&self) -> &[u32] {
+        &self.row_idx
+    }
+
+    /// Row indices of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[u32] {
+        &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
+
+    /// Number of entries in column `j`.
+    #[inline]
+    pub fn col_len(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// True if every column's first stored row is its diagonal.
+    pub fn has_full_diagonal(&self) -> bool {
+        (0..self.n).all(|j| self.col(j).first() == Some(&(j as u32)))
+    }
+
+    /// Returns `true` if entry `(i, j)` with `i ≥ j` is structurally nonzero.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i >= j);
+        self.col(j).binary_search(&(i as u32)).is_ok()
+    }
+
+    /// Iterates over all `(row, col)` pairs of the stored lower triangle.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n).flat_map(move |j| self.col(j).iter().map(move |&r| (r, j as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri3() -> SparsityPattern {
+        // [ x . . ]
+        // [ x x . ]
+        // [ . x x ]
+        SparsityPattern::new(3, vec![0, 2, 4, 5], vec![0, 1, 1, 2, 2]).unwrap()
+    }
+
+    #[test]
+    fn build_and_query() {
+        let p = tri3();
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.nnz(), 5);
+        assert_eq!(p.nnz_strictly_lower(), 2);
+        assert_eq!(p.col(0), &[0, 1]);
+        assert!(p.contains(1, 0));
+        assert!(!p.contains(2, 0));
+        assert!(p.has_full_diagonal());
+    }
+
+    #[test]
+    fn rejects_bad_col_ptr() {
+        assert_eq!(
+            SparsityPattern::new(2, vec![0, 1], vec![0]).unwrap_err(),
+            Error::MalformedColPtr
+        );
+        assert_eq!(
+            SparsityPattern::new(2, vec![0, 2, 1], vec![0, 1]).unwrap_err(),
+            Error::MalformedColPtr
+        );
+    }
+
+    #[test]
+    fn rejects_unsorted_rows() {
+        assert_eq!(
+            SparsityPattern::new(2, vec![0, 2, 2], vec![1, 0]).unwrap_err(),
+            Error::UnsortedRows { col: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_rows() {
+        assert!(SparsityPattern::new(2, vec![0, 2, 2], vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        assert_eq!(
+            SparsityPattern::new(2, vec![0, 1, 2], vec![0, 5]).unwrap_err(),
+            Error::IndexOutOfBounds { index: 5, n: 2 }
+        );
+    }
+
+    #[test]
+    fn from_coords_mirrors_dedups_and_adds_diagonal() {
+        // Provide (0,1) in the upper triangle and a duplicate (1,0).
+        let p = SparsityPattern::from_coords(3, vec![(0, 1), (1, 0), (2, 1)]).unwrap();
+        assert_eq!(p.col(0), &[0, 1]);
+        assert_eq!(p.col(1), &[1, 2]);
+        assert_eq!(p.col(2), &[2]);
+        assert!(p.has_full_diagonal());
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let p = tri3();
+        let all: Vec<_> = p.iter().collect();
+        assert_eq!(all, vec![(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]);
+    }
+}

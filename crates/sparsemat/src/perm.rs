@@ -1,0 +1,244 @@
+//! Symmetric permutations.
+
+use crate::{Error, Result, SparsityPattern, SymCscMatrix};
+
+/// A permutation of `0..n`, stored in both directions to make composition and
+/// application unambiguous.
+///
+/// `new_of_old[i]` is the new label of old index `i`; `old_of_new[k]` is the
+/// old index that ends up at new position `k`. Applying the permutation to a
+/// symmetric matrix produces `B = P·A·Pᵀ` with
+/// `B[new_of_old[i]][new_of_old[j]] = A[i][j]`.
+///
+/// ```
+/// use sparsemat::Permutation;
+///
+/// // Elimination order: old vertex 2 first, then 0, then 1.
+/// let p = Permutation::from_old_of_new(vec![2, 0, 1]).unwrap();
+/// assert_eq!(p.new_of_old(2), 0);
+/// assert_eq!(p.then(&p.inverse()), Permutation::identity(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    new_of_old: Vec<u32>,
+    old_of_new: Vec<u32>,
+}
+
+impl Permutation {
+    /// Identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        let v: Vec<u32> = (0..n as u32).collect();
+        Self { new_of_old: v.clone(), old_of_new: v }
+    }
+
+    /// Builds from the `new_of_old` direction, validating bijectivity.
+    pub fn from_new_of_old(new_of_old: Vec<u32>) -> Result<Self> {
+        let n = new_of_old.len();
+        let mut old_of_new = vec![u32::MAX; n];
+        for (old, &new) in new_of_old.iter().enumerate() {
+            let new = new as usize;
+            if new >= n || old_of_new[new] != u32::MAX {
+                return Err(Error::InvalidPermutation);
+            }
+            old_of_new[new] = old as u32;
+        }
+        Ok(Self { new_of_old, old_of_new })
+    }
+
+    /// Builds from the `old_of_new` direction (an ordering: position `k` holds
+    /// the old index eliminated `k`-th), validating bijectivity.
+    pub fn from_old_of_new(old_of_new: Vec<u32>) -> Result<Self> {
+        let p = Self::from_new_of_old(old_of_new)?;
+        Ok(Self { new_of_old: p.old_of_new, old_of_new: p.new_of_old })
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// True for the empty permutation.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// New label of old index `i`.
+    #[inline]
+    pub fn new_of_old(&self, i: usize) -> usize {
+        self.new_of_old[i] as usize
+    }
+
+    /// Old index at new position `k`.
+    #[inline]
+    pub fn old_of_new(&self, k: usize) -> usize {
+        self.old_of_new[k] as usize
+    }
+
+    /// The full `new_of_old` vector.
+    #[inline]
+    pub fn new_of_old_vec(&self) -> &[u32] {
+        &self.new_of_old
+    }
+
+    /// The full `old_of_new` vector.
+    #[inline]
+    pub fn old_of_new_vec(&self) -> &[u32] {
+        &self.old_of_new
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Self {
+        Self {
+            new_of_old: self.old_of_new.clone(),
+            old_of_new: self.new_of_old.clone(),
+        }
+    }
+
+    /// Composition: applies `self` first, then `after`.
+    ///
+    /// The result maps old index `i` to `after.new_of_old(self.new_of_old(i))`.
+    pub fn then(&self, after: &Permutation) -> Self {
+        assert_eq!(self.len(), after.len());
+        let new_of_old: Vec<u32> = self
+            .new_of_old
+            .iter()
+            .map(|&mid| after.new_of_old[mid as usize])
+            .collect();
+        Self::from_new_of_old(new_of_old).expect("composition of bijections")
+    }
+
+    /// Applies the permutation symmetrically to a pattern: returns the lower
+    /// triangle structure of `P·A·Pᵀ`.
+    pub fn apply_to_pattern(&self, a: &SparsityPattern) -> SparsityPattern {
+        let n = a.n();
+        assert_eq!(n, self.len());
+        // Count entries per new column.
+        let mut counts = vec![0usize; n];
+        for (r, c) in a.iter() {
+            let ni = self.new_of_old[r as usize];
+            let nj = self.new_of_old[c as usize];
+            let col = ni.min(nj);
+            counts[col as usize] += 1;
+        }
+        let mut col_ptr = vec![0usize; n + 1];
+        for j in 0..n {
+            col_ptr[j + 1] = col_ptr[j] + counts[j];
+        }
+        let mut row_idx = vec![0u32; a.nnz()];
+        let mut next = col_ptr.clone();
+        for (r, c) in a.iter() {
+            let ni = self.new_of_old[r as usize];
+            let nj = self.new_of_old[c as usize];
+            let (row, col) = if ni >= nj { (ni, nj) } else { (nj, ni) };
+            row_idx[next[col as usize]] = row;
+            next[col as usize] += 1;
+        }
+        // Sort rows within each new column.
+        for j in 0..n {
+            row_idx[col_ptr[j]..col_ptr[j + 1]].sort_unstable();
+        }
+        SparsityPattern::new_unchecked(n, col_ptr, row_idx)
+    }
+
+    /// Applies the permutation symmetrically to a matrix: returns `P·A·Pᵀ`.
+    pub fn apply_to_matrix(&self, a: &SymCscMatrix) -> SymCscMatrix {
+        let n = a.n();
+        assert_eq!(n, self.len());
+        let mut coords = Vec::with_capacity(a.pattern().nnz());
+        for j in 0..n {
+            for (&r, &v) in a.col_rows(j).iter().zip(a.col_values(j)) {
+                let ni = self.new_of_old[r as usize];
+                let nj = self.new_of_old[j];
+                coords.push((ni.max(nj), ni.min(nj), v));
+            }
+        }
+        SymCscMatrix::from_coords(n, &coords).expect("permuted matrix is well formed")
+    }
+
+    /// Applies the permutation to a vector: `out[new_of_old[i]] = x[i]`.
+    pub fn apply_to_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len());
+        let mut out = vec![0.0; x.len()];
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            out[new as usize] = x[old];
+        }
+        out
+    }
+
+    /// Inverse application to a vector: `out[i] = x[new_of_old[i]]`.
+    pub fn apply_inverse_to_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len());
+        let mut out = vec![0.0; x.len()];
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            out[old] = x[new as usize];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(4);
+        assert_eq!(p.new_of_old(2), 2);
+        assert_eq!(p.old_of_new(3), 3);
+    }
+
+    #[test]
+    fn rejects_non_bijection() {
+        assert!(Permutation::from_new_of_old(vec![0, 0]).is_err());
+        assert!(Permutation::from_new_of_old(vec![0, 7]).is_err());
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::from_new_of_old(vec![2, 0, 1]).unwrap();
+        let id = p.then(&p.inverse());
+        assert_eq!(id, Permutation::identity(3));
+    }
+
+    #[test]
+    fn old_of_new_constructor_matches() {
+        // Ordering: eliminate old node 2 first, then 0, then 1.
+        let p = Permutation::from_old_of_new(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.new_of_old(2), 0);
+        assert_eq!(p.new_of_old(0), 1);
+        assert_eq!(p.new_of_old(1), 2);
+    }
+
+    #[test]
+    fn matrix_permutation_moves_entries() {
+        // A = [4 -1; -1 5], swap the two indices.
+        let a = SymCscMatrix::from_coords(2, &[(0, 0, 4.0), (1, 0, -1.0), (1, 1, 5.0)]).unwrap();
+        let p = Permutation::from_new_of_old(vec![1, 0]).unwrap();
+        let b = p.apply_to_matrix(&a);
+        assert_eq!(b.get(0, 0), 5.0);
+        assert_eq!(b.get(1, 1), 4.0);
+        assert_eq!(b.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn vector_permutation_roundtrip() {
+        let p = Permutation::from_new_of_old(vec![2, 0, 1]).unwrap();
+        let x = vec![10.0, 20.0, 30.0];
+        let y = p.apply_to_vec(&x);
+        assert_eq!(y, vec![20.0, 30.0, 10.0]);
+        assert_eq!(p.apply_inverse_to_vec(&y), x);
+    }
+
+    #[test]
+    fn pattern_permutation_preserves_count_and_diagonal() {
+        let a = SparsityPattern::from_coords(4, vec![(1, 0), (3, 1), (2, 2), (3, 0)]).unwrap();
+        let p = Permutation::from_new_of_old(vec![3, 1, 0, 2]).unwrap();
+        let b = p.apply_to_pattern(&a);
+        assert_eq!(b.nnz(), a.nnz());
+        assert!(b.has_full_diagonal());
+        // (3,1) old -> (2,1) new
+        assert!(b.contains(2, 1));
+    }
+}

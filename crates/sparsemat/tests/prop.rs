@@ -1,0 +1,160 @@
+//! Property-based tests for the sparse matrix substrate.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use sparsemat::{gen, io, Graph, Permutation, SparsityPattern, SymCscMatrix};
+
+fn arb_perm(n: usize) -> impl Strategy<Value = Permutation> {
+    Just(()).prop_perturb(move |_, mut rng| {
+        let mut v: Vec<u32> = (0..n as u32).collect();
+        // Fisher-Yates with proptest's rng for shrink-stability.
+        for i in (1..n).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+        Permutation::from_new_of_old(v).unwrap()
+    })
+}
+
+fn arb_edges(n: usize, max_m: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec(((0..n as u32), (0..n as u32)), 0..max_m)
+        .prop_map(|es| es.into_iter().filter(|(a, b)| a != b).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn permutation_inverse_roundtrips(n in 1usize..40, seed in any::<u64>()) {
+        let _ = seed;
+        let p_strategy = arb_perm(n);
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let p = p_strategy.new_tree(&mut runner).unwrap().current();
+        let id = p.then(&p.inverse());
+        prop_assert_eq!(id, Permutation::identity(n));
+    }
+
+    #[test]
+    fn pattern_permutation_preserves_nnz_and_validity(
+        n in 2usize..30,
+        edges in arb_edges(30, 60),
+    ) {
+        let edges: Vec<(u32, u32)> =
+            edges.into_iter().filter(|&(a, b)| (a as usize) < n && (b as usize) < n).collect();
+        let a = SparsityPattern::from_coords(n, edges).unwrap();
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let p = arb_perm(n).new_tree(&mut runner).unwrap().current();
+        let b = p.apply_to_pattern(&a);
+        prop_assert_eq!(b.nnz(), a.nnz());
+        prop_assert!(b.has_full_diagonal());
+        // Double permutation by the inverse restores the original.
+        let back = p.inverse().apply_to_pattern(&b);
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn matrix_permutation_preserves_quadratic_form(
+        n in 2usize..20,
+        edges in arb_edges(20, 40),
+    ) {
+        let weighted: Vec<(u32, u32, f64)> = edges
+            .into_iter()
+            .filter(|&(a, b)| (a as usize) < n && (b as usize) < n)
+            .map(|(a, b)| (a, b, 1.0 + ((a + b) % 5) as f64))
+            .collect();
+        let a = gen::spd_from_edges(n, &weighted);
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let p = arb_perm(n).new_tree(&mut runner).unwrap().current();
+        let pa = p.apply_to_matrix(&a);
+        // xᵀAx must equal (Px)ᵀ(PAPᵀ)(Px).
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let px = p.apply_to_vec(&x);
+        let mut ax = vec![0.0; n];
+        a.mul_vec(&x, &mut ax);
+        let mut pax = vec![0.0; n];
+        pa.mul_vec(&px, &mut pax);
+        let q1: f64 = x.iter().zip(&ax).map(|(u, v)| u * v).sum();
+        let q2: f64 = px.iter().zip(&pax).map(|(u, v)| u * v).sum();
+        prop_assert!((q1 - q2).abs() < 1e-9 * q1.abs().max(1.0));
+    }
+
+    #[test]
+    fn graph_is_symmetric_without_self_loops(
+        n in 1usize..30,
+        edges in arb_edges(30, 80),
+    ) {
+        let edges: Vec<(u32, u32)> =
+            edges.into_iter().filter(|&(a, b)| (a as usize) < n && (b as usize) < n).collect();
+        let p = SparsityPattern::from_coords(n, edges).unwrap();
+        let g = Graph::from_pattern(&p);
+        for v in 0..n {
+            for &w in g.neighbors(v) {
+                prop_assert_ne!(w as usize, v, "self loop");
+                prop_assert!(g.neighbors(w as usize).contains(&(v as u32)), "asymmetric edge");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(n in 1usize..20, edges in arb_edges(20, 40)) {
+        let weighted: Vec<(u32, u32, f64)> = edges
+            .into_iter()
+            .filter(|&(a, b)| (a as usize) < n && (b as usize) < n)
+            .map(|(a, b)| (a, b, (a as f64) - (b as f64) * 0.5))
+            .collect();
+        let a = gen::spd_from_edges(n, &weighted);
+        let mut buf = Vec::new();
+        io::write_matrix_market(&a, &mut buf).unwrap();
+        let b = io::read_matrix_market(std::io::BufReader::new(&buf[..])).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spd_from_edges_is_strictly_diagonally_dominant(
+        n in 1usize..25,
+        edges in arb_edges(25, 50),
+    ) {
+        let weighted: Vec<(u32, u32, f64)> = edges
+            .into_iter()
+            .filter(|&(a, b)| (a as usize) < n && (b as usize) < n)
+            .map(|(a, b)| (a, b, 0.5 + (a % 3) as f64))
+            .collect();
+        let a = gen::spd_from_edges(n, &weighted);
+        let mut row_abs = vec![0.0f64; n];
+        let mut diag = vec![0.0f64; n];
+        for j in 0..n {
+            for (&i, &v) in a.col_rows(j).iter().zip(a.col_values(j)) {
+                let i = i as usize;
+                if i == j {
+                    diag[j] = v;
+                } else {
+                    row_abs[i] += v.abs();
+                    row_abs[j] += v.abs();
+                }
+            }
+        }
+        for j in 0..n {
+            prop_assert!(diag[j] > row_abs[j], "row {j}: {} <= {}", diag[j], row_abs[j]);
+        }
+    }
+
+    #[test]
+    fn suite_generators_are_deterministic(seed in 0u64..1000) {
+        let a = gen::bcsstk_like("x", 60, seed);
+        let b = gen::bcsstk_like("x", 60, seed);
+        prop_assert_eq!(a.matrix, b.matrix);
+        let f1 = gen::fleet_like("y", 50, seed);
+        let f2 = gen::fleet_like("y", 50, seed);
+        prop_assert_eq!(f1.matrix, f2.matrix);
+    }
+}
+
+/// Deterministic SymCscMatrix construction sanity (non-proptest).
+#[test]
+fn from_coords_matches_get() {
+    let coords = [(3u32, 1u32, 2.5f64), (1, 1, 4.0), (0, 0, 1.0), (2, 2, 1.0), (3, 3, 9.0)];
+    let a = SymCscMatrix::from_coords(4, &coords).unwrap();
+    assert_eq!(a.get(3, 1), 2.5);
+    assert_eq!(a.get(1, 1), 4.0);
+    assert_eq!(a.get(2, 1), 0.0);
+}

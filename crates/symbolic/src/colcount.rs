@@ -1,0 +1,112 @@
+//! Exact factor column counts without forming `L`.
+
+use crate::etree::NONE;
+use sparsemat::SparsityPattern;
+
+/// Computes, for each column `j`, the number of nonzeros of `L(:, j)`
+/// *including* the diagonal, via row-subtree traversal.
+///
+/// Row `i` of `L` is nonzero in exactly the columns of the "row subtree": the
+/// nodes on etree paths from each `j` (with `a_ij ≠ 0`, `j < i`) up toward
+/// `i`. Walking each path until a node already visited for row `i` touches
+/// every column of row `i` exactly once, so the total cost is `O(nnz(L))`.
+pub fn col_counts(a: &SparsityPattern, parent: &[u32]) -> Vec<u32> {
+    let n = a.n();
+    assert_eq!(parent.len(), n);
+    // The mark array is keyed by row, so all entries of one row must be
+    // walked together: use the strictly-lower row structure (CSR).
+    let (row_ptr, row_cols) = crate::etree::lower_row_structure(a);
+
+    let mut count = vec![1u32; n]; // diagonal
+    let mut mark = vec![NONE; n];
+    for i in 0..n {
+        for &j in &row_cols[row_ptr[i]..row_ptr[i + 1]] {
+            // Walk the etree from j toward i; stop at nodes already visited
+            // for this row. Every column of row i is visited exactly once.
+            let mut c = j as usize;
+            while c != i && mark[c] != i as u32 {
+                mark[c] = i as u32;
+                count[c] += 1;
+                let p = parent[c];
+                if p == NONE {
+                    break;
+                }
+                c = p as usize;
+            }
+        }
+    }
+    count
+}
+
+/// Total strictly-below-diagonal nonzeros of `L` from column counts
+/// (the paper's "NZ in L" convention).
+pub fn nnz_l_strictly_lower(counts: &[u32]) -> u64 {
+    counts.iter().map(|&c| (c - 1) as u64).sum()
+}
+
+/// Standard sequential factorization operation count `Σ_k η_k(η_k + 3)`
+/// where `η_k = counts[k] - 1`; for dense order-n this is `n³/3 + O(n²)`,
+/// matching the paper's Table 1.
+pub fn sequential_ops(counts: &[u32]) -> u64 {
+    counts
+        .iter()
+        .map(|&c| {
+            let eta = (c - 1) as u64;
+            eta * (eta + 3)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etree::etree;
+    use sparsemat::SparsityPattern;
+
+    fn counts_of(n: usize, lower: &[(u32, u32)]) -> Vec<u32> {
+        let a = SparsityPattern::from_coords(n, lower.iter().copied()).unwrap();
+        let parent = etree(&a);
+        col_counts(&a, &parent)
+    }
+
+    #[test]
+    fn tridiagonal_has_two_per_column() {
+        let c = counts_of(4, &[(1, 0), (2, 1), (3, 2)]);
+        assert_eq!(c, vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn fill_is_counted() {
+        // (1,0) and (2,0): eliminating 0 fills (2,1).
+        let c = counts_of(3, &[(1, 0), (2, 0)]);
+        assert_eq!(c, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn dense_counts() {
+        let mut lower = Vec::new();
+        for i in 0..5u32 {
+            for j in 0..i {
+                lower.push((i, j));
+            }
+        }
+        let c = counts_of(5, &lower);
+        assert_eq!(c, vec![5, 4, 3, 2, 1]);
+        assert_eq!(nnz_l_strictly_lower(&c), 10);
+        // Σ η(η+3): 4·7 + 3·6 + 2·5 + 1·4 + 0 = 28+18+10+4 = 60
+        assert_eq!(sequential_ops(&c), 60);
+    }
+
+    #[test]
+    fn counts_match_reference_on_grid() {
+        let p = sparsemat::gen::grid2d(6);
+        let g = sparsemat::Graph::from_pattern(p.matrix.pattern());
+        let perm = sparsemat::Permutation::identity(g.n());
+        let cols = ordering::reference::eliminate(&g, &perm);
+        let parent = etree(p.matrix.pattern());
+        let counts = col_counts(p.matrix.pattern(), &parent);
+        for (j, col) in cols.iter().enumerate() {
+            assert_eq!(counts[j] as usize, col.len() + 1, "column {j}");
+        }
+    }
+}

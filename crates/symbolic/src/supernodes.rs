@@ -1,0 +1,411 @@
+//! Fundamental supernodes, supernodal symbolic structure, and relaxed
+//! amalgamation.
+//!
+//! A supernode is a set of adjacent factor columns sharing one nonzero
+//! structure below a dense diagonal block (paper Section 2.2). Amalgamation
+//! (Ashcraft & Grimes, the paper's reference [1]) merges a supernode into its
+//! parent when doing so adds only a tolerable number of explicit zeros; the
+//! paper uses it in all experiments.
+
+use crate::etree::NONE;
+use sparsemat::SparsityPattern;
+
+/// Relaxed amalgamation parameters: a child supernode is merged into its
+/// (column-adjacent) parent when the *cumulative* explicit zeros of the
+/// merged supernode stay below `max_added_zeros`, or below `max_zero_frac`
+/// of its nonzeros. Tracking the cumulative count (not the per-merge delta)
+/// prevents merge cascades from silently densifying the factor.
+#[derive(Debug, Clone, Copy)]
+pub struct AmalgParams {
+    /// Absolute cap on cumulative explicit zeros per merged supernode.
+    pub max_added_zeros: u64,
+    /// Relative cap: cumulative zeros / merged supernode nonzeros.
+    pub max_zero_frac: f64,
+}
+
+impl Default for AmalgParams {
+    fn default() -> Self {
+        Self { max_added_zeros: 128, max_zero_frac: 0.10 }
+    }
+}
+
+impl AmalgParams {
+    /// Disables amalgamation entirely.
+    pub fn off() -> Self {
+        Self { max_added_zeros: 0, max_zero_frac: 0.0 }
+    }
+}
+
+/// The supernode partition of the factor columns plus the symbolic structure
+/// of each supernode.
+#[derive(Debug, Clone)]
+pub struct Supernodes {
+    /// `first_col[s]..first_col[s+1]` are the columns of supernode `s`.
+    pub first_col: Vec<u32>,
+    /// Supernode containing each column.
+    pub sn_of_col: Vec<u32>,
+    /// Sorted row structure of each supernode, *including* its own columns.
+    /// Column `j` of supernode `s` has structure `rows[s] ∩ {≥ j}`.
+    pub rows: Vec<Box<[u32]>>,
+    /// Parent in the supernode elimination tree ([`NONE`] for roots).
+    pub parent: Vec<u32>,
+    /// Depth in the supernode tree (roots at 0).
+    pub depth: Vec<u32>,
+}
+
+impl Supernodes {
+    /// Number of supernodes.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.first_col.len() - 1
+    }
+
+    /// Number of matrix columns.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.sn_of_col.len()
+    }
+
+    /// Column range of supernode `s`.
+    #[inline]
+    pub fn cols(&self, s: usize) -> std::ops::Range<usize> {
+        self.first_col[s] as usize..self.first_col[s + 1] as usize
+    }
+
+    /// Width (number of columns) of supernode `s`.
+    #[inline]
+    pub fn width(&self, s: usize) -> usize {
+        (self.first_col[s + 1] - self.first_col[s]) as usize
+    }
+
+    /// Factor nonzeros stored for supernode `s` (trapezoid: the diagonal
+    /// block's lower triangle plus dense below-rows).
+    pub fn nnz(&self, s: usize) -> u64 {
+        trapezoid_nnz(self.width(s) as u64, self.rows[s].len() as u64)
+    }
+
+    /// Total stored factor nonzeros (including the diagonal and any explicit
+    /// zeros introduced by amalgamation).
+    pub fn total_nnz(&self) -> u64 {
+        (0..self.count()).map(|s| self.nnz(s)).sum()
+    }
+
+    /// Computes supernodes for a (postordered) matrix pattern: detection,
+    /// symbolic structure, and relaxed amalgamation.
+    ///
+    /// `parent` is the elimination tree and `counts` the factor column
+    /// counts of `a` (see [`crate::col_counts`]).
+    pub fn compute(
+        a: &SparsityPattern,
+        parent: &[u32],
+        counts: &[u32],
+        amalg: &AmalgParams,
+    ) -> Self {
+        let n = a.n();
+        assert_eq!(parent.len(), n);
+        assert_eq!(counts.len(), n);
+        if n == 0 {
+            return Self {
+                first_col: vec![0],
+                sn_of_col: Vec::new(),
+                rows: Vec::new(),
+                parent: Vec::new(),
+                depth: Vec::new(),
+            };
+        }
+
+        // --- Fundamental supernode detection. ---
+        let mut first_col: Vec<u32> = vec![0];
+        for j in 1..n {
+            let continues =
+                parent[j - 1] == j as u32 && counts[j] == counts[j - 1] - 1;
+            if !continues {
+                first_col.push(j as u32);
+            }
+        }
+        first_col.push(n as u32);
+        let num_sn = first_col.len() - 1;
+        let mut sn_of_col = vec![0u32; n];
+        for s in 0..num_sn {
+            for j in first_col[s]..first_col[s + 1] {
+                sn_of_col[j as usize] = s as u32;
+            }
+        }
+
+        // --- Supernodal symbolic structure, ascending. ---
+        let mut rows: Vec<Vec<u32>> = Vec::with_capacity(num_sn);
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); num_sn];
+        let mut stamp = vec![u32::MAX; n];
+        for s in 0..num_sn {
+            let (a_s, b_s) = (first_col[s] as usize, first_col[s + 1] as usize - 1);
+            let mut r: Vec<u32> = Vec::with_capacity(counts[a_s] as usize);
+            // Own columns (diagonal block is dense).
+            for j in a_s..=b_s {
+                stamp[j] = s as u32;
+                r.push(j as u32);
+            }
+            // Original entries of member columns.
+            for j in a_s..=b_s {
+                for &i in a.col(j) {
+                    let i = i as usize;
+                    if stamp[i] != s as u32 {
+                        stamp[i] = s as u32;
+                        r.push(i as u32);
+                    }
+                }
+            }
+            // Child supernode contributions (rows beyond the child's columns).
+            for &c in &children[s] {
+                let c = c as usize;
+                let b_c = first_col[c + 1] - 1;
+                for &i in rows[c].iter() {
+                    if i > b_c && stamp[i as usize] != s as u32 {
+                        stamp[i as usize] = s as u32;
+                        r.push(i);
+                    }
+                }
+            }
+            r.sort_unstable();
+            // Attach to the supernode tree: parent holds the first row
+            // below our columns.
+            if let Some(&f) = r.iter().find(|&&i| i as usize > b_s) {
+                children[sn_of_col[f as usize] as usize].push(s as u32);
+            }
+            rows.push(r);
+        }
+
+        // --- Relaxed amalgamation (merge into column-adjacent parent). ---
+        // Group state, indexed by the group's *top* original supernode.
+        let mut group_of: Vec<u32> = (0..num_sn as u32).collect(); // union-find
+        let mut grp_first: Vec<u32> = (0..num_sn).map(|s| first_col[s]).collect();
+        let mut grp_rows: Vec<Vec<u32>> = rows;
+        let mut grp_zeros: Vec<u64> = vec![0; num_sn];
+        let find = |group_of: &mut Vec<u32>, mut s: u32| -> u32 {
+            while group_of[s as usize] != s {
+                let p = group_of[s as usize];
+                group_of[s as usize] = group_of[p as usize];
+                s = group_of[s as usize];
+            }
+            s
+        };
+        if amalg.max_added_zeros > 0 || amalg.max_zero_frac > 0.0 {
+            for s in 0..num_sn as u32 {
+                if find(&mut group_of, s) != s {
+                    continue; // not a group top
+                }
+                let b_s = first_col[s as usize + 1] - 1;
+                // Parent supernode = owner of first row below our columns.
+                let Some(&f) = grp_rows[s as usize].iter().find(|&&i| i > b_s) else {
+                    continue; // root
+                };
+                let p = find(&mut group_of, sn_of_col[f as usize]);
+                let a_p = grp_first[p as usize];
+                if a_p != b_s + 1 {
+                    continue; // not column-adjacent; cannot keep columns contiguous
+                }
+                let w_g = (b_s + 1 - grp_first[s as usize]) as u64;
+                let w_p = (first_col[p as usize + 1] - a_p) as u64;
+                let h_g = grp_rows[s as usize].len() as u64;
+                let h_p = grp_rows[p as usize].len() as u64;
+                // Merged structure: our columns prepended to the parent rows
+                // (our below-rows are a subset of the parent's structure).
+                let h_m = w_g + h_p;
+                let nnz_m = trapezoid_nnz(w_g + w_p, h_m);
+                let zeros = nnz_m - trapezoid_nnz(w_g, h_g) - trapezoid_nnz(w_p, h_p);
+                let cum_zeros = zeros + grp_zeros[s as usize] + grp_zeros[p as usize];
+                let ok = cum_zeros <= amalg.max_added_zeros
+                    || (cum_zeros as f64) <= amalg.max_zero_frac * nnz_m as f64;
+                if !ok {
+                    continue;
+                }
+                // Merge group s into group p.
+                group_of[s as usize] = p;
+                grp_zeros[p as usize] = cum_zeros;
+                let mut merged: Vec<u32> =
+                    (grp_first[s as usize]..=b_s).collect();
+                merged.extend_from_slice(&grp_rows[p as usize]);
+                grp_rows[p as usize] = merged;
+                grp_first[p as usize] = grp_first[s as usize];
+                grp_rows[s as usize] = Vec::new();
+            }
+        }
+
+        // --- Renumber groups into the final partition. ---
+        let mut tops: Vec<u32> = (0..num_sn as u32)
+            .filter(|&s| find(&mut group_of, s) == s)
+            .collect();
+        tops.sort_by_key(|&s| grp_first[s as usize]);
+        let mut out_first: Vec<u32> = tops.iter().map(|&s| grp_first[s as usize]).collect();
+        out_first.push(n as u32);
+        let out_rows: Vec<Box<[u32]>> = tops
+            .iter()
+            .map(|&s| std::mem::take(&mut grp_rows[s as usize]).into_boxed_slice())
+            .collect();
+        let num_out = tops.len();
+        let mut out_sn_of_col = vec![0u32; n];
+        for s in 0..num_out {
+            for j in out_first[s]..out_first[s + 1] {
+                out_sn_of_col[j as usize] = s as u32;
+            }
+        }
+        // Supernode tree over the final partition.
+        let mut out_parent = vec![NONE; num_out];
+        for s in 0..num_out {
+            let b_s = out_first[s + 1] - 1;
+            if let Some(&f) = out_rows[s].iter().find(|&&i| i > b_s) {
+                out_parent[s] = out_sn_of_col[f as usize];
+            }
+        }
+        let mut out_depth = vec![0u32; num_out];
+        // Parents have larger indices; descending pass sets depths top-down.
+        for s in (0..num_out).rev() {
+            let p = out_parent[s];
+            if p != NONE {
+                out_depth[s] = out_depth[p as usize] + 1;
+            }
+        }
+        Self {
+            first_col: out_first,
+            sn_of_col: out_sn_of_col,
+            rows: out_rows,
+            parent: out_parent,
+            depth: out_depth,
+        }
+    }
+}
+
+/// Nonzeros of a trapezoidal supernode: width `w`, total structure height
+/// `h ≥ w` (the first `w` rows form the dense lower-triangular diagonal
+/// block).
+#[inline]
+fn trapezoid_nnz(w: u64, h: u64) -> u64 {
+    debug_assert!(h >= w);
+    w * h - w * (w - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{col_counts, etree};
+    use sparsemat::{Graph, Permutation, SparsityPattern};
+
+    fn build(n: usize, lower: &[(u32, u32)], amalg: &AmalgParams) -> Supernodes {
+        let a = SparsityPattern::from_coords(n, lower.iter().copied()).unwrap();
+        let parent = etree(&a);
+        let counts = col_counts(&a, &parent);
+        Supernodes::compute(&a, &parent, &counts, amalg)
+    }
+
+    #[test]
+    fn dense_matrix_is_one_supernode() {
+        let mut lower = Vec::new();
+        for i in 0..6u32 {
+            for j in 0..i {
+                lower.push((i, j));
+            }
+        }
+        let sn = build(6, &lower, &AmalgParams::off());
+        assert_eq!(sn.count(), 1);
+        assert_eq!(sn.width(0), 6);
+        assert_eq!(sn.rows[0].len(), 6);
+        assert_eq!(sn.total_nnz(), 21);
+        assert_eq!(sn.parent[0], NONE);
+    }
+
+    #[test]
+    fn tridiagonal_supernodes_are_pairsish() {
+        // Tridiagonal: counts are [2,2,...,2,1]; col j-1 has parent j and
+        // count[j] == count[j-1] - 1 only at the last column.
+        let sn = build(5, &[(1, 0), (2, 1), (3, 2), (4, 3)], &AmalgParams::off());
+        // Supernodes: {0},{1},{2},{3,4}.
+        assert_eq!(sn.count(), 4);
+        assert_eq!(sn.width(3), 2);
+    }
+
+    #[test]
+    fn structure_matches_reference_elimination() {
+        let p = sparsemat::gen::grid2d(6);
+        let a = p.matrix.pattern();
+        let parent = etree(a);
+        let counts = col_counts(a, &parent);
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let g = Graph::from_pattern(a);
+        let reference = ordering::reference::eliminate(&g, &Permutation::identity(a.n()));
+        for j in 0..a.n() {
+            let s = sn.sn_of_col[j] as usize;
+            let ours: Vec<u32> = sn.rows[s]
+                .iter()
+                .copied()
+                .filter(|&i| i as usize > j)
+                .collect();
+            let want: Vec<u32> = reference[j].iter().copied().collect();
+            assert_eq!(ours, want, "column {j}");
+        }
+    }
+
+    #[test]
+    fn amalgamation_reduces_supernode_count_and_adds_zeros() {
+        let p = sparsemat::gen::grid2d(8);
+        let a = p.matrix.pattern();
+        let parent = etree(a);
+        let counts = col_counts(a, &parent);
+        let exact = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let relaxed = Supernodes::compute(
+            a,
+            &parent,
+            &counts,
+            &AmalgParams { max_added_zeros: 16, max_zero_frac: 0.0 },
+        );
+        assert!(relaxed.count() < exact.count());
+        assert!(relaxed.total_nnz() >= exact.total_nnz());
+        // Every exact structure entry survives in the relaxed structure.
+        for j in 0..a.n() {
+            let se = exact.sn_of_col[j] as usize;
+            let sr = relaxed.sn_of_col[j] as usize;
+            for &i in exact.rows[se].iter().filter(|&&i| i as usize >= j) {
+                assert!(relaxed.rows[sr].contains(&i), "col {j} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_exact_cover() {
+        let p = sparsemat::gen::cube3d(4);
+        let a = p.matrix.pattern();
+        let parent = etree(a);
+        let counts = col_counts(a, &parent);
+        for amalg in [AmalgParams::off(), AmalgParams::default()] {
+            let sn = Supernodes::compute(a, &parent, &counts, &amalg);
+            assert_eq!(sn.first_col[0], 0);
+            assert_eq!(*sn.first_col.last().unwrap(), a.n() as u32);
+            for s in 0..sn.count() {
+                assert!(sn.first_col[s] < sn.first_col[s + 1]);
+                // Row list starts with the supernode's own columns.
+                let w = sn.width(s);
+                for (k, &r) in sn.rows[s][..w].iter().enumerate() {
+                    assert_eq!(r, sn.first_col[s] + k as u32);
+                }
+                // Parent is above.
+                if sn.parent[s] != NONE {
+                    assert!(sn.parent[s] as usize > s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depths_decrease_toward_root() {
+        let p = sparsemat::gen::grid2d(6);
+        let a = p.matrix.pattern();
+        let parent = etree(a);
+        let counts = col_counts(a, &parent);
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        for s in 0..sn.count() {
+            if sn.parent[s] != NONE {
+                assert_eq!(sn.depth[s], sn.depth[sn.parent[s] as usize] + 1);
+            } else {
+                assert_eq!(sn.depth[s], 0);
+            }
+        }
+    }
+}

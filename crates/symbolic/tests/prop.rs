@@ -1,0 +1,143 @@
+//! Property-based tests: symbolic analysis against the naive
+//! elimination-game oracle on random graphs.
+
+use ordering::reference;
+use proptest::prelude::*;
+use sparsemat::{Graph, Permutation, SparsityPattern};
+use symbolic::{col_counts, etree, postorder, AmalgParams, Supernodes, NONE};
+
+fn arb_pattern(max_n: usize) -> impl Strategy<Value = SparsityPattern> {
+    (2usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec(((0..n as u32), (0..n as u32)), 0..3 * n).prop_map(
+            move |edges| {
+                let edges: Vec<(u32, u32)> =
+                    edges.into_iter().filter(|(a, b)| a != b).collect();
+                SparsityPattern::from_coords(n, edges).unwrap()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn etree_parents_are_above_children(a in arb_pattern(40)) {
+        let parent = etree(&a);
+        for (j, &p) in parent.iter().enumerate() {
+            prop_assert!(p == NONE || (p as usize) > j);
+        }
+    }
+
+    #[test]
+    fn etree_parent_is_first_below_diagonal_factor_row(a in arb_pattern(30)) {
+        // parent[j] = min { i > j : L[i][j] ≠ 0 } — verify against the
+        // elimination game.
+        let g = Graph::from_pattern(&a);
+        let cols = reference::eliminate(&g, &Permutation::identity(a.n()));
+        let parent = etree(&a);
+        for j in 0..a.n() {
+            let want = cols[j].iter().next().copied();
+            let got = (parent[j] != NONE).then_some(parent[j]);
+            prop_assert_eq!(got, want, "column {}", j);
+        }
+    }
+
+    #[test]
+    fn col_counts_match_elimination_game(a in arb_pattern(35)) {
+        let g = Graph::from_pattern(&a);
+        let cols = reference::eliminate(&g, &Permutation::identity(a.n()));
+        let parent = etree(&a);
+        let counts = col_counts(&a, &parent);
+        for j in 0..a.n() {
+            prop_assert_eq!(counts[j] as usize, cols[j].len() + 1, "column {}", j);
+        }
+    }
+
+    #[test]
+    fn postorder_produces_postordered_relabeling(a in arb_pattern(40)) {
+        let parent = etree(&a);
+        let po = postorder(&parent);
+        let relabeled = symbolic::etree::relabel(&parent, &po);
+        prop_assert!(symbolic::etree::is_postordered(&relabeled));
+        // Postorder of an already-postordered tree is the identity.
+        let again = postorder(&relabeled);
+        prop_assert_eq!(again, Permutation::identity(a.n()));
+    }
+
+    #[test]
+    fn supernode_structures_match_elimination_game(a in arb_pattern(30)) {
+        // Work on the postordered matrix (supernodes require it).
+        let parent0 = etree(&a);
+        let po = postorder(&parent0);
+        let ap = po.apply_to_pattern(&a);
+        let parent = etree(&ap);
+        let counts = col_counts(&ap, &parent);
+        let sn = Supernodes::compute(&ap, &parent, &counts, &AmalgParams::off());
+        let g = Graph::from_pattern(&ap);
+        let cols = reference::eliminate(&g, &Permutation::identity(ap.n()));
+        for j in 0..ap.n() {
+            let s = sn.sn_of_col[j] as usize;
+            let ours: Vec<u32> = sn.rows[s]
+                .iter()
+                .copied()
+                .filter(|&r| r as usize > j)
+                .collect();
+            let want: Vec<u32> = cols[j].iter().copied().collect();
+            prop_assert_eq!(ours, want, "column {}", j);
+        }
+    }
+
+    #[test]
+    fn amalgamation_only_adds_structure(a in arb_pattern(30)) {
+        let parent0 = etree(&a);
+        let po = postorder(&parent0);
+        let ap = po.apply_to_pattern(&a);
+        let parent = etree(&ap);
+        let counts = col_counts(&ap, &parent);
+        let exact = Supernodes::compute(&ap, &parent, &counts, &AmalgParams::off());
+        let relaxed = Supernodes::compute(
+            &ap,
+            &parent,
+            &counts,
+            &AmalgParams { max_added_zeros: 24, max_zero_frac: 0.3 },
+        );
+        prop_assert!(relaxed.count() <= exact.count());
+        prop_assert!(relaxed.total_nnz() >= exact.total_nnz());
+        for j in 0..ap.n() {
+            let se = exact.sn_of_col[j] as usize;
+            let sr = relaxed.sn_of_col[j] as usize;
+            for &r in exact.rows[se].iter().filter(|&&r| r as usize >= j) {
+                prop_assert!(
+                    relaxed.rows[sr].contains(&r),
+                    "column {} lost row {}",
+                    j,
+                    r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn supernode_partition_is_exact_cover(a in arb_pattern(40)) {
+        let parent0 = etree(&a);
+        let po = postorder(&parent0);
+        let ap = po.apply_to_pattern(&a);
+        let parent = etree(&ap);
+        let counts = col_counts(&ap, &parent);
+        for amalg in [AmalgParams::off(), AmalgParams::default()] {
+            let sn = Supernodes::compute(&ap, &parent, &counts, &amalg);
+            prop_assert_eq!(sn.first_col[0], 0);
+            prop_assert_eq!(*sn.first_col.last().unwrap() as usize, ap.n());
+            for s in 0..sn.count() {
+                prop_assert!(sn.first_col[s] < sn.first_col[s + 1]);
+                // The supernode's own columns lead its row list.
+                let w = sn.width(s);
+                prop_assert!(sn.rows[s].len() >= w);
+                for (k, &r) in sn.rows[s][..w].iter().enumerate() {
+                    prop_assert_eq!(r, sn.first_col[s] + k as u32);
+                }
+            }
+        }
+    }
+}

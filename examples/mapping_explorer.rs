@@ -1,0 +1,64 @@
+//! Mapping explorer: run every row × column heuristic combination on one
+//! matrix and print the balance and simulated-performance grid — a
+//! single-matrix slice of the paper's Tables 4 and 5.
+//!
+//! ```text
+//! cargo run --release --example mapping_explorer [grid_dim] [processors]
+//! ```
+
+use block_fanout_cholesky::core::{
+    ColPolicy, Heuristic, MachineModel, RowPolicy, Solver, SolverOptions,
+};
+use block_fanout_cholesky::sparsemat::gen;
+
+fn main() {
+    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let p: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let problem = gen::grid2d(k);
+    let opts = SolverOptions { block_size: 16, ..Default::default() };
+    let solver = Solver::analyze_problem(&problem, &opts);
+    println!(
+        "{} on P = {p}: {:.1} Mflops, {} block columns\n",
+        problem.name,
+        solver.stats().ops as f64 / 1e6,
+        solver.bm.num_panels()
+    );
+
+    let model = MachineModel::paragon();
+    let mut base = 0.0;
+    println!("rows: overall balance | relative performance (vs cyclic/cyclic)");
+    print!("{:>14}", "row \\ col");
+    for c in Heuristic::ALL {
+        print!("  {:>12}", c.abbrev());
+    }
+    println!();
+    for r in Heuristic::ALL {
+        print!("{:>14}", r.name());
+        for c in Heuristic::ALL {
+            let asg = solver.assign(p, RowPolicy::Heuristic(r), ColPolicy::Heuristic(c));
+            let rep = solver.balance(&asg);
+            let out = solver.simulate(&asg, &model);
+            if base == 0.0 {
+                base = out.report.makespan_s;
+            }
+            print!(
+                "  {:>4.2} | {:>4.2}x",
+                rep.overall,
+                base / out.report.makespan_s
+            );
+        }
+        println!();
+    }
+    println!("\ncommunication volume (elements shipped):");
+    for (label, row, col) in [
+        ("cyclic/cyclic", Heuristic::Cyclic, Heuristic::Cyclic),
+        ("ID rows / CY cols", Heuristic::IncreasingDepth, Heuristic::Cyclic),
+    ] {
+        let asg = solver.assign(p, RowPolicy::Heuristic(row), ColPolicy::Heuristic(col));
+        let comm = solver.comm(&asg);
+        println!("  {label:>18}: {:>10} elements in {} messages", comm.elements, comm.messages);
+    }
+    let sub = solver.assign(p, RowPolicy::Heuristic(Heuristic::IncreasingDepth), ColPolicy::Subtree);
+    let comm = solver.comm(&sub);
+    println!("  {:>18}: {:>10} elements in {} messages", "ID / subtree", comm.elements, comm.messages);
+}

@@ -1,0 +1,46 @@
+//! Scaling study on the simulated Intel Paragon: how the block fan-out
+//! method's performance grows with machine size under the cyclic and
+//! heuristic mappings — a miniature of the paper's Table 7 experiment that
+//! runs in seconds on a laptop.
+//!
+//! ```text
+//! cargo run --release --example paragon_simulation [cube_dim]
+//! ```
+
+use block_fanout_cholesky::core::{MachineModel, Solver, SolverOptions};
+use block_fanout_cholesky::sparsemat::gen;
+
+fn main() {
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let problem = gen::cube3d(k);
+    let solver = Solver::analyze_problem(&problem, &SolverOptions::default());
+    let ops = solver.stats().ops;
+    println!(
+        "{}: n = {}, {:.1} Mflops to factor\n",
+        problem.name,
+        problem.n(),
+        ops as f64 / 1e6
+    );
+    let model = MachineModel::paragon();
+    println!(
+        "{:>5} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "P", "cyclic Mflops", "heur Mflops", "gain", "eff (cyc)", "eff (heur)"
+    );
+    for p in [1usize, 4, 16, 64, 144, 196] {
+        let cyc = solver.simulate(&solver.assign_cyclic(p), &model);
+        let heu = solver.simulate(&solver.assign_heuristic(p), &model);
+        println!(
+            "{:>5} {:>12.0} {:>12.0} {:>7.0}% {:>10.2} {:>10.2}",
+            p,
+            cyc.mflops(ops),
+            heu.mflops(ops),
+            (cyc.report.makespan_s / heu.report.makespan_s - 1.0) * 100.0,
+            cyc.efficiency,
+            heu.efficiency,
+        );
+    }
+    println!("\n(heuristic = increasing-depth rows × cyclic columns, the paper's Table 7 configuration)");
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the Rothberg–Schreiber SC'94 reproduction: re-exports
+//! the whole workspace so examples and integration tests can reach every
+//! layer through one dependency.
+//!
+//! * [`core`] — the high-level solver pipeline (start here),
+//! * [`sparsemat`] — matrices, permutations, generators, I/O,
+//! * [`ordering`] — nested dissection and minimum degree,
+//! * [`symbolic`] — elimination trees, supernodes, amalgamation,
+//! * [`dense`] — the BLAS-3 block kernels,
+//! * [`blockmat`] — the 2-D block structure and work model,
+//! * [`mapping`] — processor grids, cyclic/heuristic maps, domains,
+//! * [`balance`] — load balance statistics and communication volume,
+//! * [`simgrid`] — the discrete-event Paragon model,
+//! * [`fanout`] — the block fan-out executors.
+
+pub use balance;
+pub use blockmat;
+pub use cholesky_core as core;
+pub use dense;
+pub use fanout;
+pub use mapping;
+pub use ordering;
+pub use simgrid;
+pub use sparsemat;
+pub use symbolic;

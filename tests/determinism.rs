@@ -1,0 +1,69 @@
+//! The whole experimental harness is deterministic: seeded generators,
+//! deterministic orderings, tie-stable heuristics, and a deterministic
+//! simulator. These tests pin that property — EXPERIMENTS.md numbers must be
+//! exactly reproducible.
+
+use block_fanout_cholesky::core::{MachineModel, Solver, SolverOptions};
+use block_fanout_cholesky::sparsemat::gen;
+
+#[test]
+fn full_pipeline_is_deterministic_end_to_end() {
+    let run = || {
+        let problem = gen::bcsstk_like("det", 240, 77);
+        let solver = Solver::analyze_problem(
+            &problem,
+            &SolverOptions { block_size: 6, ..Default::default() },
+        );
+        let asg = solver.assign_heuristic(9);
+        let out = solver.simulate(&asg, &MachineModel::paragon());
+        let rep = solver.balance(&asg);
+        let comm = solver.comm(&asg);
+        (
+            solver.stats().nnz_l,
+            solver.stats().ops,
+            out.report.makespan_s.to_bits(),
+            rep.overall.to_bits(),
+            comm.messages,
+            comm.elements,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn numeric_factor_is_bitwise_reproducible_sequentially() {
+    let run = || {
+        let problem = gen::grid2d(10);
+        let solver = Solver::analyze_problem(
+            &problem,
+            &SolverOptions { block_size: 4, ..Default::default() },
+        );
+        let f = solver.factor_seq().unwrap();
+        let (_, _, v) = f.to_csc();
+        v.iter().map(|x| x.to_bits()).fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn experiment_sweep_is_deterministic() {
+    // Replicates the Table 4/5 sweep's inner step (the bench crate is not a
+    // dependency of the umbrella crate).
+    let problem = gen::cube3d(4);
+    let solver = Solver::analyze_problem(
+        &problem,
+        &SolverOptions { block_size: 4, ..Default::default() },
+    );
+    let model = MachineModel::paragon();
+    let mut results = Vec::new();
+    for _ in 0..2 {
+        let mut row = Vec::new();
+        for p in [4usize, 9] {
+            let cyc = solver.simulate(&solver.assign_cyclic(p), &model);
+            let heu = solver.simulate(&solver.assign_heuristic(p), &model);
+            row.push((cyc.report.makespan_s.to_bits(), heu.report.makespan_s.to_bits()));
+        }
+        results.push(row);
+    }
+    assert_eq!(results[0], results[1]);
+}

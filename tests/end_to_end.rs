@@ -1,0 +1,185 @@
+//! Integration tests: the full pipeline (generate → order → analyze → map →
+//! factor → solve) across matrix families, block sizes, processor counts and
+//! executors.
+
+use block_fanout_cholesky::core::{
+    ColPolicy, Heuristic, MachineModel, RowPolicy, Solver, SolverOptions,
+};
+use block_fanout_cholesky::sparsemat::{gen, Problem};
+
+fn opts(block_size: usize) -> SolverOptions {
+    SolverOptions { block_size, ..Default::default() }
+}
+
+fn check_solve(problem: &Problem, solver: &Solver, factor: &block_fanout_cholesky::core::NumericFactor) {
+    let n = problem.n();
+    let x_true: Vec<f64> = (0..n).map(|i| 0.5 + ((i * 7 + 3) % 11) as f64 * 0.1).collect();
+    let mut b = vec![0.0; n];
+    problem.matrix.mul_vec(&x_true, &mut b);
+    let x = solver.solve(factor, &b);
+    for (i, (got, want)) in x.iter().zip(&x_true).enumerate() {
+        assert!((got - want).abs() < 1e-7, "x[{i}] = {got}, want {want}");
+    }
+}
+
+#[test]
+fn every_family_factors_and_solves_sequentially() {
+    let problems = vec![
+        gen::dense(40),
+        gen::grid2d(9),
+        gen::cube3d(4),
+        gen::bcsstk_like("bk", 120, 1),
+        gen::copter_like("cp", 120, 2),
+        gen::fleet_like("fl", 100, 3),
+    ];
+    for problem in &problems {
+        let solver = Solver::analyze_problem(problem, &opts(6));
+        let factor = solver
+            .factor_seq()
+            .unwrap_or_else(|e| panic!("{}: {e}", problem.name));
+        assert!(
+            solver.residual(&factor) < 1e-11,
+            "{} residual too large",
+            problem.name
+        );
+        check_solve(problem, &solver, &factor);
+    }
+}
+
+#[test]
+fn threaded_executor_agrees_with_sequential_across_configs() {
+    let problem = gen::grid2d(12);
+    for bs in [2, 5, 48] {
+        let solver = Solver::analyze_problem(&problem, &opts(bs));
+        let f_seq = solver.factor_seq().unwrap();
+        for p in [1, 4, 9] {
+            for (row, col) in [
+                (RowPolicy::Heuristic(Heuristic::Cyclic), ColPolicy::Heuristic(Heuristic::Cyclic)),
+                (RowPolicy::Heuristic(Heuristic::IncreasingDepth), ColPolicy::Heuristic(Heuristic::Cyclic)),
+                (RowPolicy::AltPerProcessor, ColPolicy::Subtree),
+            ] {
+                let asg = solver.assign(p, row, col);
+                let f_par = solver.factor_parallel(&asg).unwrap();
+                let (_, _, vs) = f_seq.to_csc();
+                let (_, _, vp) = f_par.to_csc();
+                let max_diff = vs
+                    .iter()
+                    .zip(&vp)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                assert!(
+                    max_diff < 1e-9,
+                    "bs={bs} p={p} {row:?}/{col:?}: max diff {max_diff}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulation_efficiency_decreases_with_processor_count() {
+    let problem = gen::grid2d(16);
+    let solver = Solver::analyze_problem(&problem, &opts(4));
+    let model = MachineModel::paragon();
+    let mut prev_eff = f64::INFINITY;
+    let mut prev_time = f64::INFINITY;
+    for p in [1usize, 4, 16] {
+        let out = solver.simulate(&solver.assign_heuristic(p), &model);
+        assert!(out.efficiency <= prev_eff + 1e-9, "efficiency rose at p={p}");
+        assert!(out.report.makespan_s <= prev_time, "runtime rose at p={p}");
+        prev_eff = out.efficiency;
+        prev_time = out.report.makespan_s;
+    }
+}
+
+#[test]
+fn domains_off_still_works_end_to_end() {
+    let problem = gen::cube3d(5);
+    let o = SolverOptions { domains: None, block_size: 6, ..Default::default() };
+    let solver = Solver::analyze_problem(&problem, &o);
+    let asg = solver.assign_cyclic(4);
+    assert!(asg.domains.is_none());
+    let f = solver.factor_parallel(&asg).unwrap();
+    assert!(solver.residual(&f) < 1e-12);
+    check_solve(&problem, &solver, &f);
+}
+
+#[test]
+fn amalgamation_off_still_works_end_to_end() {
+    let problem = gen::bcsstk_like("bk", 90, 7);
+    let o = SolverOptions {
+        amalg: block_fanout_cholesky::core::AmalgParams::off(),
+        block_size: 4,
+        ..Default::default()
+    };
+    let solver = Solver::analyze_problem(&problem, &o);
+    let f = solver.factor_seq().unwrap();
+    assert!(solver.residual(&f) < 1e-12);
+}
+
+#[test]
+fn natural_ordering_factors_correctly() {
+    let problem = gen::grid2d(8);
+    let o = SolverOptions {
+        ordering: block_fanout_cholesky::core::OrderingChoice::Natural,
+        block_size: 4,
+        ..Default::default()
+    };
+    let solver = Solver::analyze_problem(&problem, &o);
+    // Natural ordering on a grid has more fill than ND but must be correct.
+    let f = solver.factor_seq().unwrap();
+    assert!(solver.residual(&f) < 1e-12);
+    check_solve(&problem, &solver, &f);
+}
+
+#[test]
+fn coprime_grid_assignment_runs() {
+    let problem = gen::grid2d(12);
+    let solver = Solver::analyze_problem(&problem, &opts(4));
+    let grid = block_fanout_cholesky::core::ProcGrid::coprime(6).unwrap();
+    let asg = solver.assign_on_grid(
+        grid,
+        RowPolicy::Heuristic(Heuristic::Cyclic),
+        ColPolicy::Heuristic(Heuristic::Cyclic),
+    );
+    let f = solver.factor_parallel(&asg).unwrap();
+    assert!(solver.residual(&f) < 1e-12);
+    let out = solver.simulate(&asg, &MachineModel::paragon());
+    assert!(out.efficiency > 0.0 && out.efficiency <= 1.0);
+}
+
+#[test]
+fn distributed_solve_matches_gathered_solve() {
+    let problem = gen::cube3d(5);
+    let solver = Solver::analyze_problem(&problem, &opts(6));
+    for p in [1, 4, 9] {
+        let asg = solver.assign_heuristic(p);
+        let factor = solver.factor_parallel(&asg).unwrap();
+        let n = problem.n();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos() + 2.0).collect();
+        let mut b = vec![0.0; n];
+        problem.matrix.mul_vec(&x_true, &mut b);
+        let x_gathered = solver.solve(&factor, &b);
+        let x_dist = solver.solve_parallel(&factor, &asg, &b);
+        for (i, (g, d)) in x_gathered.iter().zip(&x_dist).enumerate() {
+            assert!((g - d).abs() < 1e-9, "p={p} x[{i}]: {g} vs {d}");
+        }
+        for (d, want) in x_dist.iter().zip(&x_true) {
+            assert!((d - want).abs() < 1e-7);
+        }
+    }
+}
+
+#[test]
+fn matrix_market_roundtrip_through_pipeline() {
+    use block_fanout_cholesky::sparsemat::io;
+    let problem = gen::bcsstk_like("bk", 60, 11);
+    let mut buf = Vec::new();
+    io::write_matrix_market(&problem.matrix, &mut buf).unwrap();
+    let read_back = io::read_matrix_market(std::io::BufReader::new(&buf[..])).unwrap();
+    assert_eq!(read_back, problem.matrix);
+    let p2 = Problem::new("roundtrip", read_back, None, gen::OrderingHint::MinimumDegree);
+    let solver = Solver::analyze_problem(&p2, &opts(4));
+    let f = solver.factor_seq().unwrap();
+    assert!(solver.residual(&f) < 1e-12);
+}

@@ -1,0 +1,164 @@
+//! Property-based tests over the whole pipeline: random SPD matrices must
+//! analyze, map, factor (all executors) and solve correctly under arbitrary
+//! valid configurations.
+
+use block_fanout_cholesky::core::{
+    ColPolicy, Heuristic, ProcGrid, RowPolicy, Solver, SolverOptions,
+};
+use block_fanout_cholesky::sparsemat::{gen, Problem, SymCscMatrix};
+use proptest::prelude::*;
+
+/// Random SPD matrix: a random undirected edge set made diagonally dominant.
+fn arb_spd(max_n: usize) -> impl Strategy<Value = SymCscMatrix> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        let edges = proptest::collection::vec(
+            ((0..n as u32), (0..n as u32), 0.1f64..5.0),
+            0..(4 * n),
+        );
+        edges.prop_map(move |es| {
+            let edges: Vec<(u32, u32, f64)> =
+                es.into_iter().filter(|(a, b, _)| a != b).collect();
+            gen::spd_from_edges(n, &edges)
+        })
+    })
+}
+
+fn arb_heuristic() -> impl Strategy<Value = Heuristic> {
+    prop_oneof![
+        Just(Heuristic::Cyclic),
+        Just(Heuristic::DecreasingWork),
+        Just(Heuristic::IncreasingNumber),
+        Just(Heuristic::DecreasingNumber),
+        Just(Heuristic::IncreasingDepth),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_spd_factors_and_solves(a in arb_spd(40), bs in 1usize..9) {
+        let n = a.n();
+        let problem = Problem::new("prop", a, None, gen::OrderingHint::MinimumDegree);
+        let solver = Solver::analyze_problem(
+            &problem,
+            &SolverOptions { block_size: bs, ..Default::default() },
+        );
+        let factor = solver.factor_seq().expect("SPD by construction");
+        prop_assert!(solver.residual(&factor) < 1e-10);
+        // Solve against a manufactured solution.
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.25 - 1.0).collect();
+        let mut b = vec![0.0; n];
+        problem.matrix.mul_vec(&x_true, &mut b);
+        let x = solver.solve(&factor, &b);
+        for (got, want) in x.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn threaded_matches_sequential_on_random_input(
+        a in arb_spd(30),
+        bs in 1usize..6,
+        p in 1usize..7,
+        rh in arb_heuristic(),
+        ch in arb_heuristic(),
+    ) {
+        let problem = Problem::new("prop", a, None, gen::OrderingHint::MinimumDegree);
+        let solver = Solver::analyze_problem(
+            &problem,
+            &SolverOptions { block_size: bs, ..Default::default() },
+        );
+        let grid = ProcGrid::near_square(p);
+        let asg = solver.assign_on_grid(
+            grid,
+            RowPolicy::Heuristic(rh),
+            ColPolicy::Heuristic(ch),
+        );
+        let f_seq = solver.factor_seq().unwrap();
+        let f_par = solver.factor_parallel(&asg).unwrap();
+        let (_, _, vs) = f_seq.to_csc();
+        let (_, _, vp) = f_par.to_csc();
+        for (x, y) in vs.iter().zip(&vp) {
+            prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn analysis_invariants_hold(a in arb_spd(50)) {
+        let problem = Problem::new("prop", a, None, gen::OrderingHint::MinimumDegree);
+        let solver = Solver::analyze_problem(&problem, &SolverOptions::default());
+        let n = problem.n();
+        // Permutation is a bijection (checked by construction) that matches
+        // the permuted pattern.
+        prop_assert_eq!(solver.analysis.perm.len(), n);
+        // Supernodes exactly cover the columns.
+        let sn = &solver.analysis.supernodes;
+        prop_assert_eq!(sn.first_col[0], 0);
+        prop_assert_eq!(*sn.first_col.last().unwrap() as usize, n);
+        // Block partition covers every column once.
+        let bp = &solver.bm.partition;
+        for j in 0..n {
+            let p = bp.panel_of_col[j] as usize;
+            prop_assert!(bp.cols(p).contains(&j));
+        }
+        // Work model conservation.
+        prop_assert_eq!(
+            solver.work.row_work.iter().sum::<u64>(),
+            solver.work.total
+        );
+        // Stored factor structure is at least the exact factor size.
+        prop_assert!(sn.total_nnz() >= solver.stats().nnz_l + n as u64);
+    }
+
+    #[test]
+    fn assignment_covers_all_blocks_and_conserves_work(
+        a in arb_spd(40),
+        p in 1usize..10,
+    ) {
+        let problem = Problem::new("prop", a, None, gen::OrderingHint::MinimumDegree);
+        let solver = Solver::analyze_problem(
+            &problem,
+            &SolverOptions { block_size: 3, ..Default::default() },
+        );
+        let grid = ProcGrid::near_square(p);
+        let asg = solver.assign_on_grid(
+            grid,
+            RowPolicy::Heuristic(Heuristic::DecreasingWork),
+            ColPolicy::Heuristic(Heuristic::Cyclic),
+        );
+        let load = asg.per_proc_work(&solver.work);
+        prop_assert_eq!(load.iter().sum::<u64>(), solver.work.total);
+        let rep = solver.balance(&asg);
+        prop_assert!(rep.overall > 0.0 && rep.overall <= 1.0);
+        prop_assert!(rep.row > 0.0 && rep.row <= 1.0);
+        prop_assert!(rep.col > 0.0 && rep.col <= 1.0);
+        prop_assert!(rep.diag > 0.0 && rep.diag <= 1.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_and_bounded(
+        a in arb_spd(30),
+        p in 1usize..6,
+    ) {
+        let problem = Problem::new("prop", a, None, gen::OrderingHint::MinimumDegree);
+        let solver = Solver::analyze_problem(
+            &problem,
+            &SolverOptions { block_size: 4, ..Default::default() },
+        );
+        let grid = ProcGrid::near_square(p);
+        let asg = solver.assign_on_grid(
+            grid,
+            RowPolicy::Heuristic(Heuristic::IncreasingDepth),
+            ColPolicy::Heuristic(Heuristic::Cyclic),
+        );
+        let model = block_fanout_cholesky::core::MachineModel::paragon();
+        let o1 = solver.simulate(&asg, &model);
+        let o2 = solver.simulate(&asg, &model);
+        prop_assert_eq!(o1.report.makespan_s, o2.report.makespan_s);
+        prop_assert!(o1.efficiency > 0.0 && o1.efficiency <= 1.0 + 1e-9);
+        // Makespan is at least the critical chain of any single node's work
+        // and at most the whole sequential time (plus communication).
+        prop_assert!(o1.report.makespan_s * (grid.p() as f64) + 1e-12 >= o1.seq_time_s * 0.999);
+    }
+}
