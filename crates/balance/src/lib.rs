@@ -57,7 +57,7 @@ impl BalanceReport {
         let mut work_j = vec![0u64; np];
         let mut diag_load = vec![0u64; grid.pr];
         let mut total_2d = 0u64;
-        for j in 0..np {
+        for (j, wj) in work_j.iter_mut().enumerate() {
             if !asg.eligible[j] {
                 continue;
             }
@@ -66,7 +66,7 @@ impl BalanceReport {
                 let w = work.per_block[j][b];
                 let i = blk.row_panel as usize;
                 work_i[i] += w;
-                work_j[j] += w;
+                *wj += w;
                 let ri = asg.cp.map_i[i] as usize;
                 diag_load[(ri + grid.pr - cj % grid.pr) % grid.pr] += w;
                 total_2d += w;

@@ -2,9 +2,16 @@
 //! (B = 48) and nearby sizes. These are our stand-ins for the Paragon's
 //! hand-optimized BLAS; the simulator's rate curve is calibrated separately,
 //! but these benches document what the host actually achieves.
+//!
+//! Each kernel is measured twice: `ref/` is the seed scalar implementation
+//! (`dense::kernels::reference`), `packed/` the cache-blocked packed layer
+//! the dispatched entry points now use at these sizes. For a quick
+//! non-criterion sweep that also writes `BENCH_kernels.json`, run the
+//! `kernbench` binary instead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dense::kernels::{flops, gemm_abt_sub, potrf, syrk_lt_sub, trsm_right_lower_trans};
+use dense::kernels::{self, flops, reference};
+use dense::KernelArena;
 use std::hint::black_box;
 
 fn spd(n: usize) -> Vec<f64> {
@@ -20,13 +27,21 @@ fn spd(n: usize) -> Vec<f64> {
 
 fn bench_potrf(c: &mut Criterion) {
     let mut g = c.benchmark_group("potrf");
-    for n in [16usize, 48, 96] {
+    for n in [16usize, 48, 96, 192] {
         let a = spd(n);
         g.throughput(Throughput::Elements(flops::bfac(n)));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+        g.bench_with_input(BenchmarkId::new("ref", n), &n, |b, &n| {
             b.iter_batched(
                 || a.clone(),
-                |mut m| potrf(black_box(&mut m), n).unwrap(),
+                |mut m| reference::potrf(black_box(&mut m), n).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        let mut arena = KernelArena::new();
+        g.bench_with_input(BenchmarkId::new("packed", n), &n, |b, &n| {
+            b.iter_batched(
+                || a.clone(),
+                |mut m| kernels::potrf_with(black_box(&mut m), n, &mut arena).unwrap(),
                 criterion::BatchSize::SmallInput,
             )
         });
@@ -36,16 +51,26 @@ fn bench_potrf(c: &mut Criterion) {
 
 fn bench_trsm(c: &mut Criterion) {
     let mut g = c.benchmark_group("trsm_right_lower_trans");
-    for n in [16usize, 48] {
+    for n in [16usize, 48, 96] {
         let mut l = spd(n);
-        potrf(&mut l, n).unwrap();
+        reference::potrf(&mut l, n).unwrap();
         let m = 96;
         let x: Vec<f64> = (0..m * n).map(|t| (t % 17) as f64 * 0.3).collect();
         g.throughput(Throughput::Elements(flops::bdiv(m, n)));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+        g.bench_with_input(BenchmarkId::new("ref", n), &n, |b, &n| {
             b.iter_batched(
                 || x.clone(),
-                |mut xm| trsm_right_lower_trans(black_box(&l), n, &mut xm, m),
+                |mut xm| reference::trsm_right_lower_trans(black_box(&l), n, &mut xm, m),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        let mut arena = KernelArena::new();
+        g.bench_with_input(BenchmarkId::new("packed", n), &n, |b, &n| {
+            b.iter_batched(
+                || x.clone(),
+                |mut xm| {
+                    kernels::trsm_right_lower_trans_with(black_box(&l), n, &mut xm, m, &mut arena)
+                },
                 criterion::BatchSize::SmallInput,
             )
         });
@@ -55,16 +80,26 @@ fn bench_trsm(c: &mut Criterion) {
 
 fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm_abt_sub");
-    for k in [16usize, 48] {
+    for k in [16usize, 48, 96, 192] {
         let (m, n) = (96, 96);
         let a: Vec<f64> = (0..m * k).map(|t| (t % 13) as f64 * 0.1).collect();
         let bmat: Vec<f64> = (0..n * k).map(|t| (t % 11) as f64 * 0.2).collect();
         let cmat = vec![0.0; m * n];
         g.throughput(Throughput::Elements(flops::bmod(m, n, k)));
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+        g.bench_with_input(BenchmarkId::new("ref", k), &k, |b, &k| {
             b.iter_batched(
                 || cmat.clone(),
-                |mut cm| gemm_abt_sub(black_box(&mut cm), &a, &bmat, m, n, k),
+                |mut cm| reference::gemm_abt_sub(black_box(&mut cm), &a, &bmat, m, n, k),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        let mut arena = KernelArena::new();
+        g.bench_with_input(BenchmarkId::new("packed", k), &k, |b, &k| {
+            b.iter_batched(
+                || cmat.clone(),
+                |mut cm| {
+                    kernels::gemm_abt_sub_with(black_box(&mut cm), &a, &bmat, m, n, k, &mut arena)
+                },
                 criterion::BatchSize::SmallInput,
             )
         });
@@ -74,17 +109,27 @@ fn bench_gemm(c: &mut Criterion) {
 
 fn bench_syrk(c: &mut Criterion) {
     let mut g = c.benchmark_group("syrk_lt_sub");
-    let (n, k) = (96usize, 48usize);
-    let a: Vec<f64> = (0..n * k).map(|t| (t % 7) as f64 * 0.4).collect();
-    let cmat = vec![0.0; n * n];
-    g.throughput(Throughput::Elements((n as u64) * (n as u64 + 1) * k as u64));
-    g.bench_function("96x48", |b| {
-        b.iter_batched(
-            || cmat.clone(),
-            |mut cm| syrk_lt_sub(black_box(&mut cm), &a, n, k),
-            criterion::BatchSize::SmallInput,
-        )
-    });
+    for (n, k) in [(96usize, 48usize), (192, 96)] {
+        let a: Vec<f64> = (0..n * k).map(|t| (t % 7) as f64 * 0.4).collect();
+        let cmat = vec![0.0; n * n];
+        let id = format!("{n}x{k}");
+        g.throughput(Throughput::Elements((n as u64) * (n as u64 + 1) * k as u64));
+        g.bench_function(BenchmarkId::new("ref", &id), |b| {
+            b.iter_batched(
+                || cmat.clone(),
+                |mut cm| reference::syrk_lt_sub(black_box(&mut cm), &a, n, k),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        let mut arena = KernelArena::new();
+        g.bench_function(BenchmarkId::new("packed", &id), |b| {
+            b.iter_batched(
+                || cmat.clone(),
+                |mut cm| kernels::syrk_lt_sub_with(black_box(&mut cm), &a, n, k, &mut arena),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
     g.finish();
 }
 

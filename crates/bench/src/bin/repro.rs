@@ -147,7 +147,8 @@ fn main() {
     eprintln!("[{} experiment(s), {:.1}s]", tables.len(), t0.elapsed().as_secs_f64());
 
     if let Some(path) = args.json {
-        let out = serde_json::to_string_pretty(&tables).expect("serialize tables");
+        let body: Vec<String> = tables.iter().map(|t| format!("  {}", t.to_json())).collect();
+        let out = format!("[\n{}\n]\n", body.join(",\n"));
         std::fs::write(&path, out).expect("write json output");
         eprintln!("[wrote json to {path}]");
     }

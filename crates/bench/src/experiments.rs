@@ -216,8 +216,8 @@ pub fn sweep_table(title: &str, gain: &[[f64; 5]; 5]) -> TextTable {
     let mut t = TextTable::new(title, &header);
     for (ri, rh) in Heuristic::ALL.iter().enumerate() {
         let mut cells = vec![rh.name().to_string()];
-        for ci in 0..5 {
-            cells.push(pct(gain[ri][ci]));
+        for &g in &gain[ri] {
+            cells.push(pct(g));
         }
         t.row(cells);
     }

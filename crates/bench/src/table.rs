@@ -1,7 +1,7 @@
 //! Minimal aligned text-table formatting for experiment output.
 
 /// A simple text table: header plus rows, rendered with aligned columns.
-#[derive(Debug, Clone, Default, serde::Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TextTable {
     /// Optional title printed above the table.
     pub title: String,
@@ -33,6 +33,36 @@ impl TextTable {
     /// True when no rows have been added.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
+    }
+
+    /// Renders as compact JSON (`{"title":...,"header":[...],"rows":[[...]]}`);
+    /// hand-rolled because the offline build has no serde.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"title\":{}", json_str(&self.title)));
+        out.push_str(",\"header\":[");
+        for (i, h) in self.header.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(h));
+        }
+        out.push_str("],\"rows\":[");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (k, cell) in r.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_str(cell));
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Renders as GitHub-flavored markdown (used for EXPERIMENTS.md).
@@ -83,6 +113,25 @@ impl std::fmt::Display for TextTable {
     }
 }
 
+/// Escapes a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Formats a ratio as a percentage improvement string (`+18%`).
 pub fn pct(improvement: f64) -> String {
     format!("{:+.0}%", improvement * 100.0)
@@ -113,9 +162,14 @@ mod tests {
     fn json_serialization_includes_rows() {
         let mut t = TextTable::new("T", &["a"]);
         t.row(vec!["x".into()]);
-        let j = serde_json::to_string(&t).unwrap();
+        let j = t.to_json();
         assert!(j.contains("\"title\":\"T\""));
         assert!(j.contains("\"x\""));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 
     #[test]

@@ -50,7 +50,7 @@ impl BlockWork {
         let mut num_ops = 0u64;
         let mut total_flops = 0u64;
         // BFAC on diagonal blocks, BDIV on off-diagonal blocks.
-        for j in 0..np {
+        for (j, pbj) in per_block.iter_mut().enumerate() {
             let c = bm.col_width(j);
             for (b, blk) in bm.cols[j].blocks.iter().enumerate() {
                 let fl = if b == 0 {
@@ -58,7 +58,7 @@ impl BlockWork {
                 } else {
                     flops::bdiv(blk.nrows(), c)
                 };
-                per_block[j][b] = fl + model.fixed_op_cost;
+                pbj[b] = fl + model.fixed_op_cost;
                 num_ops += 1;
                 total_flops += fl;
             }

@@ -1,0 +1,315 @@
+//! Offline mini-criterion.
+//!
+//! A dependency-free stand-in for the slice of the `criterion` API this
+//! workspace's benches use (`criterion_group!` / `criterion_main!`,
+//! benchmark groups, throughput annotation, `iter` / `iter_batched`).
+//! It measures wall-clock medians over `sample_size` samples and prints one
+//! line per benchmark:
+//!
+//! ```text
+//! gemm_abt_sub/48  median 1.234 ms/iter  (357.1 Melem/s)
+//! ```
+//!
+//! No statistics beyond the median, no plots, no baseline files — the
+//! workspace's tracked numbers live in `BENCH_kernels.json` (see the `bench`
+//! crate), this harness is for interactive `cargo bench` runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for reported rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Conversion for the `bench_function` id argument (plain strings or
+/// [`BenchmarkId`]s).
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Batch sizing hint (accepted for API parity; batches are per-iteration
+/// here, which matches `SmallInput` usage).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    /// Iterations per sample, tuned on the first sample.
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self { samples: Vec::new(), sample_size, iters_per_sample: 0 }
+    }
+
+    /// Times `routine` repeatedly; the routine's result is black-boxed.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up and calibration: find an iteration count that makes one
+        // sample take ≥ ~2 ms so Instant overhead is negligible.
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt >= Duration::from_millis(2) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // Calibrate with one timed call.
+        let input = setup();
+        let t = Instant::now();
+        black_box(routine(input));
+        let once = t.elapsed().max(Duration::from_nanos(50));
+        let per_sample =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos().max(1)).clamp(1, 1 << 16) as u64;
+        self.iters_per_sample = per_sample;
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Median per-iteration time.
+    fn median(&self) -> Duration {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return Duration::ZERO;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s[s.len() / 2] / (self.iters_per_sample as u32)
+    }
+}
+
+fn report(id: &str, median: Duration, throughput: Option<Throughput>) {
+    let ns = median.as_nanos() as f64;
+    let time = if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns/iter")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            format!("  ({:.1} MiB/s)", n as f64 / ns * 1e3 / 1.048_576)
+        }
+        _ => String::new(),
+    };
+    println!("{id:<40} median {time}{rate}");
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes "--bench" plus an optional name filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Self { sample_size: 10, filter }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(&mut self, id: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+        if !self.enabled(id) {
+            return;
+        }
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(id, b.median(), throughput);
+    }
+
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into_id();
+        self.run_one(&id, None, f);
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.c.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let throughput = self.throughput;
+        self.c.run_one(&full, throughput, f);
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id.id);
+        let throughput = self.throughput;
+        self.c.run_one(&full, throughput, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(3);
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.median() > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(2);
+        b.iter_batched(|| vec![1.0f64; 64], |v| v.iter().sum::<f64>(), BatchSize::SmallInput);
+        assert!(b.median() > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| 2 + 2));
+    }
+}

@@ -1,108 +1,298 @@
 //! Row-major BLAS-3 style kernels.
+//!
+//! The public entry points keep the seed's shapes and semantics but dispatch
+//! on problem size: small blocks run the scalar kernels in [`reference`],
+//! larger ones go through the packed, register-tiled core in [`crate::pack`]
+//! (GEMM/SYRK) or through blocked panel algorithms (`potrf`, `trsm`) whose
+//! trailing updates are delegated to the packed core, so a `B = 48+` block
+//! column factors at BLAS-3 rather than BLAS-1 rates.
+//!
+//! Every kernel has a `_with` variant taking an explicit [`KernelArena`];
+//! the plain variants use a per-thread default arena. The `_strided` variants
+//! operate on views into larger buffers (row stride ≥ logical width), which
+//! is what lets the fused BMOD path in the factorization executors write
+//! update products directly into the sparse destination block.
 
+use crate::arena::{KernelArena, PackBufs};
+use crate::pack::{self, Mode};
 use crate::NotPositiveDefinite;
+use std::cell::RefCell;
+
+/// Panel width of the blocked `potrf`/`trsm` algorithms. Matrices at most
+/// this large use the unblocked reference kernels directly. 32 keeps the
+/// scalar panel work (unblocked factor + forward substitution) small while
+/// the packed trailing updates still see a deep enough `k`.
+const NB: usize = 32;
+
+thread_local! {
+    static DEFAULT_ARENA: RefCell<KernelArena> = RefCell::new(KernelArena::new());
+}
+
+/// Runs `f` with this thread's lazily-allocated default [`KernelArena`].
+///
+/// Executors that factor many blocks should allocate one arena per worker
+/// and call the `_with` kernel variants instead; this helper exists so the
+/// plain entry points stay allocation-free in steady state too.
+pub fn with_default_arena<R>(f: impl FnOnce(&mut KernelArena) -> R) -> R {
+    DEFAULT_ARENA.with(|a| f(&mut a.borrow_mut()))
+}
+
+/// True when `C -= A·Bᵀ` of this shape amortizes the packed core's packing
+/// traffic. Kept identical for GEMM and SYRK (`m = n`) so differential tests
+/// comparing the two take the same path for the same shape.
+#[inline]
+fn packed_worthwhile(m: usize, n: usize, k: usize) -> bool {
+    k >= 8 && m >= 8 && n >= 8 && m * n * k >= 8192
+}
+
+/// Panel forward substitution `X := X · L⁻ᵀ` on strided views, solving four
+/// rows of `X` per pass. The four dependence chains are independent and share
+/// every load of `L`, so the compiler can keep four accumulators live; this
+/// is the panel kernel of the blocked `potrf`/`trsm` (the row-at-a-time
+/// original stays in [`reference::trsm_lda`]).
+fn trsm_panel(l: &[f64], ldl: usize, n: usize, x: &mut [f64], ldx: usize, m: usize) {
+    let m4 = m - m % 4;
+    let mut i = 0;
+    while i < m4 {
+        let (r01, r23) = x[i * ldx..].split_at_mut(2 * ldx);
+        let (r0, r1) = r01.split_at_mut(ldx);
+        let (r2, r3) = r23.split_at_mut(ldx);
+        for j in 0..n {
+            let lj = &l[j * ldl..j * ldl + j];
+            let (mut s0, mut s1, mut s2, mut s3) = (r0[j], r1[j], r2[j], r3[j]);
+            for (t, &lv) in lj.iter().enumerate() {
+                s0 -= r0[t] * lv;
+                s1 -= r1[t] * lv;
+                s2 -= r2[t] * lv;
+                s3 -= r3[t] * lv;
+            }
+            let inv = 1.0 / l[j * ldl + j];
+            r0[j] = s0 * inv;
+            r1[j] = s1 * inv;
+            r2[j] = s2 * inv;
+            r3[j] = s3 * inv;
+        }
+        i += 4;
+    }
+    if m4 < m {
+        reference::trsm_lda(l, ldl, n, &mut x[m4 * ldx..], ldx, m - m4);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BFAC: Cholesky factorization of a diagonal block
+// ---------------------------------------------------------------------------
 
 /// In-place Cholesky factorization of the lower triangle of a row-major
 /// `n × n` matrix: on success `a` holds `L` with `A = L·Lᵀ`.
 ///
 /// Only the lower triangle is read or written; the strict upper triangle is
 /// left untouched. This is the `BFAC` primitive applied to diagonal blocks.
+/// Blocks wider than the internal panel size are factored by a blocked
+/// right-looking algorithm whose trailing updates run on the packed SYRK
+/// core.
 pub fn potrf(a: &mut [f64], n: usize) -> Result<(), NotPositiveDefinite> {
     assert_eq!(a.len(), n * n);
-    for k in 0..n {
-        // Pivot: a[k][k] -= Σ_{t<k} a[k][t]²
-        let (head, tail) = a.split_at_mut(k * n + k);
-        let row_k = &head[k * n..];
-        let mut d = tail[0];
-        for &v in &row_k[..k] {
-            d -= v * v;
-        }
-        if d <= 0.0 || !d.is_finite() {
-            return Err(NotPositiveDefinite { pivot: k });
-        }
-        let d = d.sqrt();
-        tail[0] = d;
-        let inv = 1.0 / d;
-        // Column below pivot: a[i][k] = (a[i][k] - Σ_t a[i][t]·a[k][t]) / d
-        for i in (k + 1)..n {
-            let (upper, lower) = a.split_at_mut(i * n);
-            let row_k = &upper[k * n..k * n + k];
-            let row_i = &mut lower[..k + 1];
-            let mut s = row_i[k];
-            for (&x, &y) in row_i[..k].iter().zip(row_k) {
-                s -= x * y;
+    if n <= NB {
+        reference::potrf_lda(a, n, n)
+    } else {
+        with_default_arena(|arena| potrf_with(a, n, arena))
+    }
+}
+
+/// [`potrf`] with an explicit scratch arena.
+pub fn potrf_with(
+    a: &mut [f64],
+    n: usize,
+    arena: &mut KernelArena,
+) -> Result<(), NotPositiveDefinite> {
+    assert_eq!(a.len(), n * n);
+    if n <= NB {
+        return reference::potrf_lda(a, n, n);
+    }
+    let mut k0 = 0;
+    while k0 < n {
+        let nb = (n - k0).min(NB);
+        reference::potrf_lda(&mut a[k0 * n + k0..], n, nb)
+            .map_err(|e| NotPositiveDefinite { pivot: k0 + e.pivot })?;
+        let rem = n - k0 - nb;
+        if rem > 0 {
+            let (w, packs) = arena.wbuf_with_packs(rem * nb);
+            // Copy the sub-diagonal panel A21 out, solve it against L11ᵀ and
+            // write it back: the contiguous copy decouples the borrow from
+            // the trailing update, which reads L21 while writing C22.
+            for r in 0..rem {
+                let src = (k0 + nb + r) * n + k0;
+                w[r * nb..(r + 1) * nb].copy_from_slice(&a[src..src + nb]);
             }
-            row_i[k] = s * inv;
+            trsm_panel(&a[k0 * n + k0..], n, nb, w, nb, rem);
+            for r in 0..rem {
+                let dst = (k0 + nb + r) * n + k0;
+                a[dst..dst + nb].copy_from_slice(&w[r * nb..(r + 1) * nb]);
+            }
+            // Trailing update C22 := C22 − L21·L21ᵀ at BLAS-3 rate.
+            let c22 = &mut a[(k0 + nb) * n + (k0 + nb)..];
+            if packed_worthwhile(rem, rem, nb) {
+                pack::syrk_lt_packed(Mode::Sub, c22, n, w, nb, rem, nb, packs);
+            } else {
+                reference::syrk_lt_lda(c22, n, w, nb, rem, nb);
+            }
         }
+        k0 += nb;
     }
     Ok(())
 }
+
+// ---------------------------------------------------------------------------
+// BDIV: triangular solve of an off-diagonal block
+// ---------------------------------------------------------------------------
 
 /// Solves `X := X · L⁻ᵀ` where `l` is the row-major lower-triangular `n × n`
 /// Cholesky factor of a diagonal block and `x` is row-major `m × n`.
 ///
 /// This is the `BDIV` primitive: each row of an off-diagonal block is solved
-/// against the diagonal block's factor. Row `xᵢ·Lᵀ = bᵢ` is a forward
-/// substitution `L·xᵢᵀ = bᵢᵀ`.
+/// against the diagonal block's factor. For factors wider than the internal
+/// panel size the solve proceeds panel by panel, folding the already-solved
+/// columns into the remaining right-hand side with the packed GEMM core.
 pub fn trsm_right_lower_trans(l: &[f64], n: usize, x: &mut [f64], m: usize) {
     assert_eq!(l.len(), n * n);
     assert_eq!(x.len(), m * n);
-    for row in x.chunks_exact_mut(n) {
-        for j in 0..n {
-            let lj = &l[j * n..j * n + j];
-            let mut s = row[j];
-            for (&xv, &lv) in row[..j].iter().zip(lj) {
-                s -= xv * lv;
-            }
-            row[j] = s / l[j * n + j];
-        }
+    if n <= NB || m == 0 {
+        reference::trsm_lda(l, n, n, x, n, m);
+    } else {
+        with_default_arena(|arena| trsm_right_lower_trans_with(l, n, x, m, arena));
     }
 }
 
+/// [`trsm_right_lower_trans`] with an explicit scratch arena.
+pub fn trsm_right_lower_trans_with(
+    l: &[f64],
+    n: usize,
+    x: &mut [f64],
+    m: usize,
+    arena: &mut KernelArena,
+) {
+    assert_eq!(l.len(), n * n);
+    assert_eq!(x.len(), m * n);
+    if n <= NB || m == 0 {
+        return reference::trsm_lda(l, n, n, x, n, m);
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let nb = (n - j0).min(NB);
+        // Solve the current column panel: X₁ := X₁ · L₁₁⁻ᵀ.
+        trsm_panel(&l[j0 * n + j0..], n, nb, &mut x[j0..], n, m);
+        let rem = n - j0 - nb;
+        if rem > 0 {
+            // Fold into the remaining columns: X₂ := X₂ − X₁·L₂₁ᵀ. The solved
+            // panel is copied out so source and destination (both in `x`)
+            // don't alias.
+            let (w, packs) = arena.wbuf_with_packs(m * nb);
+            for r in 0..m {
+                let src = r * n + j0;
+                w[r * nb..(r + 1) * nb].copy_from_slice(&x[src..src + nb]);
+            }
+            let l21 = &l[(j0 + nb) * n + j0..];
+            let xtail = &mut x[j0 + nb..];
+            if packed_worthwhile(m, rem, nb) {
+                pack::gemm_abt_packed(Mode::Sub, xtail, n, w, nb, l21, n, m, rem, nb, packs);
+            } else {
+                reference::gemm_abt_lda(xtail, n, w, nb, l21, n, m, rem, nb);
+            }
+        }
+        j0 += nb;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BMOD: C := C − A·Bᵀ (GEMM) and C := C − A·Aᵀ (SYRK, lower triangle)
+// ---------------------------------------------------------------------------
+
 /// Computes `C := C − A·Bᵀ` with row-major `A (m × k)`, `B (n × k)`,
 /// `C (m × n)`. This is the `BMOD` primitive for off-diagonal destinations.
-///
-/// Columns of `C` (rows of `B`) are processed four at a time with
-/// independent accumulators, so each load of an `A` element feeds four
-/// multiply-adds and the compiler can keep the accumulators in registers.
 pub fn gemm_abt_sub(c: &mut [f64], a: &[f64], b: &[f64], m: usize, n: usize, k: usize) {
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), n * k);
     assert_eq!(c.len(), m * n);
-    if k == 0 || m == 0 || n == 0 {
-        return;
+    if packed_worthwhile(m, n, k) {
+        with_default_arena(|ar| {
+            pack::gemm_abt_packed(Mode::Sub, c, n, a, k, b, k, m, n, k, ar.packs())
+        });
+    } else {
+        reference::gemm_abt_lda(c, n, a, k, b, k, m, n, k);
     }
-    let n4 = n - n % 4;
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        let mut j = 0;
-        while j < n4 {
-            let b0 = &b[j * k..(j + 1) * k];
-            let b1 = &b[(j + 1) * k..(j + 2) * k];
-            let b2 = &b[(j + 2) * k..(j + 3) * k];
-            let b3 = &b[(j + 3) * k..(j + 4) * k];
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-            for t in 0..k {
-                let x = arow[t];
-                s0 += x * b0[t];
-                s1 += x * b1[t];
-                s2 += x * b2[t];
-                s3 += x * b3[t];
-            }
-            crow[j] -= s0;
-            crow[j + 1] -= s1;
-            crow[j + 2] -= s2;
-            crow[j + 3] -= s3;
-            j += 4;
+}
+
+/// [`gemm_abt_sub`] with an explicit scratch arena.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_abt_sub_with(
+    c: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    m: usize,
+    n: usize,
+    k: usize,
+    arena: &mut KernelArena,
+) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    gemm_abt_sub_strided(c, n, a, k, b, k, m, n, k, arena.packs());
+}
+
+/// `C := C − A·Bᵀ` on strided row-major views (`c`: `m × n` stride `ldc`,
+/// `a`: `m × k` stride `lda`, `b`: `n × k` stride `ldb`), size-dispatched
+/// between the scalar reference and the packed core.
+///
+/// Slices only need to cover the strided extent, so a view of rows inside a
+/// larger block (e.g. a sparse destination block in the fused BMOD path)
+/// works directly.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_abt_sub_strided(
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    packs: &mut PackBufs,
+) {
+    if packed_worthwhile(m, n, k) {
+        pack::gemm_abt_packed(Mode::Sub, c, ldc, a, lda, b, ldb, m, n, k, packs);
+    } else {
+        reference::gemm_abt_lda(c, ldc, a, lda, b, ldb, m, n, k);
+    }
+}
+
+/// `C := A·Bᵀ` (overwrite, no read of `C`) on strided views. Used to compute
+/// an update product into uninitialized scratch without a zeroing pass.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_abt_set_strided(
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    packs: &mut PackBufs,
+) {
+    if packed_worthwhile(m, n, k) {
+        pack::gemm_abt_packed(Mode::Set, c, ldc, a, lda, b, ldb, m, n, k, packs);
+    } else {
+        for r in 0..m {
+            c[r * ldc..r * ldc + n].fill(0.0);
         }
-        for j in n4..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut s = 0.0;
-            for (&x, &y) in arow.iter().zip(brow) {
-                s += x * y;
+        reference::gemm_abt_lda(c, ldc, a, lda, b, ldb, m, n, k);
+        for r in 0..m {
+            for v in &mut c[r * ldc..r * ldc + n] {
+                *v = -*v;
             }
-            crow[j] -= s;
         }
     }
 }
@@ -113,18 +303,65 @@ pub fn gemm_abt_sub(c: &mut [f64], a: &[f64], b: &[f64], m: usize, n: usize, k: 
 pub fn syrk_lt_sub(c: &mut [f64], a: &[f64], n: usize, k: usize) {
     assert_eq!(a.len(), n * k);
     assert_eq!(c.len(), n * n);
-    for i in 0..n {
-        let arow_i = &a[i * k..(i + 1) * k];
-        for j in 0..=i {
-            let arow_j = &a[j * k..(j + 1) * k];
-            let mut s = 0.0;
-            for (&x, &y) in arow_i.iter().zip(arow_j) {
-                s += x * y;
+    if packed_worthwhile(n, n, k) {
+        with_default_arena(|ar| pack::syrk_lt_packed(Mode::Sub, c, n, a, k, n, k, ar.packs()));
+    } else {
+        reference::syrk_lt_lda(c, n, a, k, n, k);
+    }
+}
+
+/// [`syrk_lt_sub`] with an explicit scratch arena.
+pub fn syrk_lt_sub_with(c: &mut [f64], a: &[f64], n: usize, k: usize, arena: &mut KernelArena) {
+    assert_eq!(a.len(), n * k);
+    assert_eq!(c.len(), n * n);
+    syrk_lt_sub_strided(c, n, a, k, n, k, arena.packs());
+}
+
+/// Lower-triangle `C := C − A·Aᵀ` on strided views, size-dispatched.
+pub fn syrk_lt_sub_strided(
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    n: usize,
+    k: usize,
+    packs: &mut PackBufs,
+) {
+    if packed_worthwhile(n, n, k) {
+        pack::syrk_lt_packed(Mode::Sub, c, ldc, a, lda, n, k, packs);
+    } else {
+        reference::syrk_lt_lda(c, ldc, a, lda, n, k);
+    }
+}
+
+/// Lower-triangle `C := A·Aᵀ` (overwrite) on strided views.
+pub fn syrk_lt_set_strided(
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    n: usize,
+    k: usize,
+    packs: &mut PackBufs,
+) {
+    if packed_worthwhile(n, n, k) {
+        pack::syrk_lt_packed(Mode::Set, c, ldc, a, lda, n, k, packs);
+    } else {
+        for r in 0..n {
+            c[r * ldc..r * ldc + r + 1].fill(0.0);
+        }
+        reference::syrk_lt_lda(c, ldc, a, lda, n, k);
+        for r in 0..n {
+            for v in &mut c[r * ldc..r * ldc + r + 1] {
+                *v = -*v;
             }
-            c[i * n + j] -= s;
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Triangular solves for single right-hand sides (distributed solve phase)
+// ---------------------------------------------------------------------------
 
 /// Solves `L·x = b` in place for one right-hand side, with `l` the row-major
 /// lower-triangular `n × n` factor (used by the distributed forward solve on
@@ -153,6 +390,195 @@ pub fn trsv_lower_trans(l: &[f64], n: usize, x: &mut [f64]) {
             s -= l[j * n + i] * x[j];
         }
         x[i] = s / l[i * n + i];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernels
+// ---------------------------------------------------------------------------
+
+/// The unblocked scalar kernels, kept reachable as the differential-testing
+/// baseline for the packed core and as the small-block / panel kernels of the
+/// blocked algorithms. All take explicit row strides so they work on views.
+pub mod reference {
+    use crate::NotPositiveDefinite;
+
+    /// Unblocked in-place Cholesky of an `n × n` view with row stride `lda`.
+    pub fn potrf_lda(a: &mut [f64], lda: usize, n: usize) -> Result<(), NotPositiveDefinite> {
+        if n > 0 {
+            assert!(lda >= n && a.len() >= (n - 1) * lda + n);
+        }
+        for k in 0..n {
+            // Pivot: a[k][k] -= Σ_{t<k} a[k][t]²
+            let (head, tail) = a.split_at_mut(k * lda + k);
+            let row_k = &head[k * lda..];
+            let mut d = tail[0];
+            for &v in &row_k[..k] {
+                d -= v * v;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(NotPositiveDefinite { pivot: k });
+            }
+            let d = d.sqrt();
+            tail[0] = d;
+            let inv = 1.0 / d;
+            // Column below pivot: a[i][k] = (a[i][k] - Σ_t a[i][t]·a[k][t]) / d
+            for i in (k + 1)..n {
+                let (upper, lower) = a.split_at_mut(i * lda);
+                let row_k = &upper[k * lda..k * lda + k];
+                let row_i = &mut lower[..k + 1];
+                let mut s = row_i[k];
+                for (&x, &y) in row_i[..k].iter().zip(row_k) {
+                    s -= x * y;
+                }
+                row_i[k] = s * inv;
+            }
+        }
+        Ok(())
+    }
+
+    /// Unblocked Cholesky of a contiguous `n × n` matrix (the seed `potrf`).
+    pub fn potrf(a: &mut [f64], n: usize) -> Result<(), NotPositiveDefinite> {
+        assert_eq!(a.len(), n * n);
+        potrf_lda(a, n, n)
+    }
+
+    /// Row-wise forward substitution `X := X · L⁻ᵀ` on strided views:
+    /// `l` is `n × n` lower-triangular with stride `ldl`, `x` is `m × n`
+    /// with stride `ldx`.
+    pub fn trsm_lda(l: &[f64], ldl: usize, n: usize, x: &mut [f64], ldx: usize, m: usize) {
+        for i in 0..m {
+            let row = &mut x[i * ldx..i * ldx + n];
+            for j in 0..n {
+                let lj = &l[j * ldl..j * ldl + j];
+                let mut s = row[j];
+                for (&xv, &lv) in row[..j].iter().zip(lj) {
+                    s -= xv * lv;
+                }
+                row[j] = s / l[j * ldl + j];
+            }
+        }
+    }
+
+    /// Contiguous `X := X · L⁻ᵀ` (the seed `trsm_right_lower_trans`).
+    pub fn trsm_right_lower_trans(l: &[f64], n: usize, x: &mut [f64], m: usize) {
+        assert_eq!(l.len(), n * n);
+        assert_eq!(x.len(), m * n);
+        trsm_lda(l, n, n, x, n, m);
+    }
+
+    /// Scalar `C := C − A·Bᵀ` on strided views. Columns of `C` (rows of `B`)
+    /// are processed four at a time with independent accumulators, so each
+    /// load of an `A` element feeds four multiply-adds and the compiler can
+    /// keep the accumulators in registers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_abt_lda(
+        c: &mut [f64],
+        ldc: usize,
+        a: &[f64],
+        lda: usize,
+        b: &[f64],
+        ldb: usize,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        if k == 0 || m == 0 || n == 0 {
+            return;
+        }
+        let n4 = n - n % 4;
+        for i in 0..m {
+            let arow = &a[i * lda..i * lda + k];
+            let crow = &mut c[i * ldc..i * ldc + n];
+            let mut j = 0;
+            while j < n4 {
+                let b0 = &b[j * ldb..j * ldb + k];
+                let b1 = &b[(j + 1) * ldb..(j + 1) * ldb + k];
+                let b2 = &b[(j + 2) * ldb..(j + 2) * ldb + k];
+                let b3 = &b[(j + 3) * ldb..(j + 3) * ldb + k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                for t in 0..k {
+                    let x = arow[t];
+                    s0 += x * b0[t];
+                    s1 += x * b1[t];
+                    s2 += x * b2[t];
+                    s3 += x * b3[t];
+                }
+                crow[j] -= s0;
+                crow[j + 1] -= s1;
+                crow[j + 2] -= s2;
+                crow[j + 3] -= s3;
+                j += 4;
+            }
+            for j in n4..n {
+                let brow = &b[j * ldb..j * ldb + k];
+                let mut s = 0.0;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    s += x * y;
+                }
+                crow[j] -= s;
+            }
+        }
+    }
+
+    /// Contiguous `C := C − A·Bᵀ` (the seed `gemm_abt_sub`).
+    pub fn gemm_abt_sub(c: &mut [f64], a: &[f64], b: &[f64], m: usize, n: usize, k: usize) {
+        assert_eq!(a.len(), m * k);
+        assert_eq!(b.len(), n * k);
+        assert_eq!(c.len(), m * n);
+        gemm_abt_lda(c, n, a, k, b, k, m, n, k);
+    }
+
+    /// Scalar lower-triangle `C := C − A·Aᵀ` on strided views, with the same
+    /// four-column accumulator scheme as [`gemm_abt_lda`] (column blocks are
+    /// aligned identically, so for equal shapes the two produce bitwise-equal
+    /// results on the lower triangle).
+    pub fn syrk_lt_lda(c: &mut [f64], ldc: usize, a: &[f64], lda: usize, n: usize, k: usize) {
+        if n == 0 || k == 0 {
+            return;
+        }
+        for i in 0..n {
+            let arow_i = &a[i * lda..i * lda + k];
+            let crow = &mut c[i * ldc..i * ldc + i + 1];
+            let jend = i + 1;
+            let j4 = jend - jend % 4;
+            let mut j = 0;
+            while j < j4 {
+                let a0 = &a[j * lda..j * lda + k];
+                let a1 = &a[(j + 1) * lda..(j + 1) * lda + k];
+                let a2 = &a[(j + 2) * lda..(j + 2) * lda + k];
+                let a3 = &a[(j + 3) * lda..(j + 3) * lda + k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                for t in 0..k {
+                    let x = arow_i[t];
+                    s0 += x * a0[t];
+                    s1 += x * a1[t];
+                    s2 += x * a2[t];
+                    s3 += x * a3[t];
+                }
+                crow[j] -= s0;
+                crow[j + 1] -= s1;
+                crow[j + 2] -= s2;
+                crow[j + 3] -= s3;
+                j += 4;
+            }
+            for j in j4..jend {
+                let arow_j = &a[j * lda..j * lda + k];
+                let mut s = 0.0;
+                for (&x, &y) in arow_i.iter().zip(arow_j) {
+                    s += x * y;
+                }
+                crow[j] -= s;
+            }
+        }
+    }
+
+    /// Contiguous lower-triangle `C := C − A·Aᵀ` (the seed `syrk_lt_sub`,
+    /// upgraded to the four-wide accumulator scheme).
+    pub fn syrk_lt_sub(c: &mut [f64], a: &[f64], n: usize, k: usize) {
+        assert_eq!(a.len(), n * k);
+        assert_eq!(c.len(), n * n);
+        syrk_lt_lda(c, n, a, k, n, k);
     }
 }
 
@@ -222,7 +648,9 @@ mod tests {
 
     #[test]
     fn potrf_reconstructs() {
-        for n in [1, 2, 3, 5, 8, 17] {
+        // 17 stays on the unblocked path, 96/150 exercise the blocked one
+        // (panel + packed trailing update), 150 includes a ragged last panel.
+        for n in [1, 2, 3, 5, 8, 17, 96, 150] {
             let a = spd_test_matrix(n);
             let mut l = a.clone();
             potrf(&mut l, n).unwrap();
@@ -230,10 +658,26 @@ mod tests {
             for i in 0..n {
                 for j in 0..=i {
                     assert!(
-                        (back[i * n + j] - a[i * n + j]).abs() < 1e-9,
+                        (back[i * n + j] - a[i * n + j]).abs() < 1e-9 * (n as f64),
                         "n={n} ({i},{j})"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_potrf_matches_reference() {
+        let n = 130;
+        let a = spd_test_matrix(n);
+        let mut l_blocked = a.clone();
+        potrf(&mut l_blocked, n).unwrap();
+        let mut l_ref = a.clone();
+        reference::potrf(&mut l_ref, n).unwrap();
+        for i in 0..n {
+            for j in 0..=i {
+                let (x, y) = (l_blocked[i * n + j], l_ref[i * n + j]);
+                assert!((x - y).abs() < 1e-10 * y.abs().max(1.0), "({i},{j})");
             }
         }
     }
@@ -247,12 +691,25 @@ mod tests {
     }
 
     #[test]
-    fn potrf_leaves_upper_triangle_untouched() {
-        let n = 4;
+    fn blocked_potrf_reports_global_pivot() {
+        // Poison a diagonal entry beyond the first panel; the failing pivot
+        // index must come back in global (not panel-relative) coordinates.
+        let n = 120;
+        let bad = 100;
         let mut a = spd_test_matrix(n);
-        a[3] = 777.0; // position (0, 3): upper triangle
-        potrf(&mut a, n).unwrap();
-        assert_eq!(a[3], 777.0);
+        a[bad * n + bad] = -1.0;
+        let err = potrf(&mut a, n).unwrap_err();
+        assert_eq!(err.pivot, bad);
+    }
+
+    #[test]
+    fn potrf_leaves_upper_triangle_untouched() {
+        for n in [4, 96] {
+            let mut a = spd_test_matrix(n);
+            a[3] = 777.0; // position (0, 3): upper triangle
+            potrf(&mut a, n).unwrap();
+            assert_eq!(a[3], 777.0, "n={n}");
+        }
     }
 
     #[test]
@@ -281,6 +738,23 @@ mod tests {
     }
 
     #[test]
+    fn blocked_trsm_matches_reference() {
+        let n = 130; // > NB: takes the panel + GEMM-update path
+        let m = 21;
+        let a = spd_test_matrix(n);
+        let mut l = a.clone();
+        potrf(&mut l, n).unwrap();
+        let x0: Vec<f64> = (0..m * n).map(|t| ((t % 23) as f64) * 0.3 - 2.0).collect();
+        let mut x_blocked = x0.clone();
+        trsm_right_lower_trans(&l, n, &mut x_blocked, m);
+        let mut x_ref = x0.clone();
+        reference::trsm_right_lower_trans(&l, n, &mut x_ref, m);
+        for (i, (got, want)) in x_blocked.iter().zip(&x_ref).enumerate() {
+            assert!((got - want).abs() < 1e-9 * want.abs().max(1.0), "idx={i}");
+        }
+    }
+
+    #[test]
     fn gemm_matches_reference() {
         let (m, n, k) = (5, 7, 4);
         let a: Vec<f64> = (0..m * k).map(|t| (t as f64).sin()).collect();
@@ -303,6 +777,21 @@ mod tests {
     }
 
     #[test]
+    fn gemm_packed_dispatch_matches_reference() {
+        // Large enough that the public entry point takes the packed path.
+        let (m, n, k) = (50, 60, 40);
+        let a: Vec<f64> = (0..m * k).map(|t| ((t % 97) as f64) * 0.02 - 1.0).collect();
+        let b: Vec<f64> = (0..n * k).map(|t| ((t % 89) as f64) * 0.03 - 1.3).collect();
+        let mut c: Vec<f64> = (0..m * n).map(|t| (t % 13) as f64).collect();
+        let mut c_ref = c.clone();
+        gemm_abt_sub(&mut c, &a, &b, m, n, k);
+        reference::gemm_abt_sub(&mut c_ref, &a, &b, m, n, k);
+        for (x, y) in c.iter().zip(&c_ref) {
+            assert!((x - y).abs() < 1e-10 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
     fn gemm_handles_degenerate_dims() {
         let mut c = vec![5.0];
         gemm_abt_sub(&mut c, &[], &[], 1, 1, 0);
@@ -313,19 +802,54 @@ mod tests {
 
     #[test]
     fn syrk_matches_gemm_lower() {
-        let (n, k) = (6, 3);
-        let a: Vec<f64> = (0..n * k).map(|t| (t as f64) * 0.25 - 1.5).collect();
-        let mut c1 = vec![1.0; n * n];
-        let mut c2 = vec![1.0; n * n];
-        syrk_lt_sub(&mut c1, &a, n, k);
-        gemm_abt_sub(&mut c2, &a, &a, n, n, k);
-        for i in 0..n {
-            for j in 0..=i {
-                assert!((c1[i * n + j] - c2[i * n + j]).abs() < 1e-12);
+        for (n, k) in [(6, 3), (48, 48)] {
+            let a: Vec<f64> = (0..n * k).map(|t| (t as f64) * 0.25 - 1.5).collect();
+            let mut c1 = vec![1.0; n * n];
+            let mut c2 = vec![1.0; n * n];
+            syrk_lt_sub(&mut c1, &a, n, k);
+            gemm_abt_sub(&mut c2, &a, &a, n, n, k);
+            for i in 0..n {
+                for j in 0..=i {
+                    assert!(
+                        (c1[i * n + j] - c2[i * n + j]).abs() < 1e-12 * c2[i * n + j].abs().max(1.0),
+                        "n={n} k={k} ({i},{j})"
+                    );
+                }
+            }
+            // Upper triangle untouched by syrk.
+            assert_eq!(c1[n - 1], 1.0); // position (0, n-1): upper triangle
+        }
+    }
+
+    #[test]
+    fn set_strided_variants_match_sub_on_zero() {
+        // SET into garbage scratch must equal zero-then-SUB, for both the
+        // packed (large) and reference (small) dispatch arms.
+        let mut arena = KernelArena::new();
+        for (m, n, k) in [(4, 5, 3), (40, 40, 40)] {
+            let a: Vec<f64> = (0..m * k).map(|t| ((t % 31) as f64) * 0.1).collect();
+            let b: Vec<f64> = (0..n * k).map(|t| ((t % 29) as f64) * 0.2).collect();
+            let mut c_set = vec![f64::NAN; m * n];
+            gemm_abt_set_strided(&mut c_set, n, &a, k, &b, k, m, n, k, arena.packs());
+            let mut c_sub = vec![0.0; m * n];
+            gemm_abt_sub_strided(&mut c_sub, n, &a, k, &b, k, m, n, k, arena.packs());
+            for (s, z) in c_set.iter().zip(&c_sub) {
+                assert!((s - (-z)).abs() < 1e-11 * z.abs().max(1.0), "m={m} n={n} k={k}");
             }
         }
-        // Upper triangle untouched by syrk.
-        assert_eq!(c1[5], 1.0); // position (0, 5): upper triangle
+        for (n, k) in [(5, 3), (40, 40)] {
+            let a: Vec<f64> = (0..n * k).map(|t| ((t % 37) as f64) * 0.1 - 1.0).collect();
+            let mut c_set = vec![f64::NAN; n * n];
+            syrk_lt_set_strided(&mut c_set, n, &a, k, n, k, arena.packs());
+            let mut c_sub = vec![0.0; n * n];
+            syrk_lt_sub_strided(&mut c_sub, n, &a, k, n, k, arena.packs());
+            for i in 0..n {
+                for j in 0..=i {
+                    let (s, z) = (c_set[i * n + j], c_sub[i * n + j]);
+                    assert!((s - (-z)).abs() < 1e-11 * z.abs().max(1.0), "n={n} k={k}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -368,10 +892,10 @@ mod tests {
         potrf(&mut l, n).unwrap();
         let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.5).collect();
         let mut b = vec![0.0; n];
-        for i in 0..n {
-            for j in 0..n {
+        for (i, bi) in b.iter_mut().enumerate() {
+            for (j, &xj) in x_true.iter().enumerate() {
                 let (r, c) = if i >= j { (i, j) } else { (j, i) };
-                b[i] += a[r * n + c] * x_true[j];
+                *bi += a[r * n + c] * xj;
             }
         }
         trsv_lower(&l, n, &mut b);

@@ -1,0 +1,497 @@
+//! Goto-style packed GEMM/SYRK core: a register-tiled microkernel fed by
+//! cache-blocked panel packing.
+//!
+//! The algorithm is the classic three-loop blocking of Goto & van de Geijn:
+//! the operands of `C := C ∓ A·Bᵀ` are cut into `KC`-deep panels, `B`-panels
+//! of `NC` columns are packed into `NR`-wide micro-panels, `A`-panels of `MC`
+//! rows into `MR`-wide micro-panels, and an `MR × NR` register-tile
+//! microkernel walks down the shared `k` dimension reading both packs
+//! contiguously. Edge tiles are zero-padded during packing and masked on
+//! write-back, so every shape runs through the same inner loop.
+//!
+//! The microkernel is written so LLVM turns the `NR`-wide inner loop into
+//! vector FMAs (one `MR=8`, `NR=8` tile is eight 8-lane accumulators on
+//! AVX-512, sixteen 4-lane ones on AVX2). Build with `-C target-cpu=native`
+//! (see `.cargo/config.toml`) to get the full-width code.
+//!
+//! SYRK (`C := C ∓ A·Aᵀ`, lower triangle) reuses the same packing and
+//! microkernel; tiles entirely above the diagonal are skipped before any
+//! arithmetic and tiles straddling it get a masked write-back. Because the
+//! per-element accumulation order is identical to GEMM's (ascending `k`
+//! within each `KC` panel, panels in order), packed SYRK and packed GEMM
+//! produce bitwise-identical values on the lower triangle.
+
+use crate::arena::PackBufs;
+
+/// Register tile height (rows of `C` per microkernel call).
+pub const MR: usize = 8;
+/// Register tile width (columns of `C` per microkernel call).
+pub const NR: usize = 8;
+/// Depth of one packed panel pair (shared `k` extent per blocking pass).
+pub const KC: usize = 256;
+/// Rows of `A` packed per inner pass (`MC·KC` doubles ≈ 256 KiB, sized for L2).
+pub const MC: usize = 128;
+/// Columns of `B` packed per outer pass.
+pub const NC: usize = 512;
+
+/// What a packed kernel does to the destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// `C := C − A·Bᵀ` (the BMOD convention).
+    Sub,
+    /// `C := A·Bᵀ` — overwrites without reading `C`, so scratch destinations
+    /// need no zeroing pass.
+    Set,
+}
+
+/// Per-tile write-back operation. `Set` applies only to the first `KC` panel
+/// of a [`Mode::Set`] call; later panels accumulate with `Add`.
+#[derive(Clone, Copy, PartialEq)]
+enum WriteOp {
+    Sub,
+    Set,
+    Add,
+}
+
+#[inline(always)]
+fn fmadd(a: f64, b: f64, acc: f64) -> f64 {
+    // `mul_add` is only a win when it compiles to the FMA instruction;
+    // without the target feature it calls into libm, which would be ruinous.
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, acc)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + acc
+    }
+}
+
+/// Packs a `rows × kc` strided sub-matrix into `W`-wide micro-panels: panel
+/// `pi` holds rows `pi·W .. pi·W+W` interleaved as `kc` groups of `W`
+/// consecutive values, zero-padded when `rows` is not a multiple of `W`.
+fn pack_panels<const W: usize>(dst: &mut [f64], src: &[f64], ld: usize, rows: usize, kc: usize) {
+    let np = rows.div_ceil(W);
+    for pi in 0..np {
+        let panel = &mut dst[pi * kc * W..(pi + 1) * kc * W];
+        let h = (rows - pi * W).min(W);
+        for r in 0..h {
+            let row = &src[(pi * W + r) * ld..(pi * W + r) * ld + kc];
+            for (p, &v) in row.iter().enumerate() {
+                panel[p * W + r] = v;
+            }
+        }
+        if h < W {
+            for p in 0..kc {
+                for slot in &mut panel[p * W + h..(p + 1) * W] {
+                    *slot = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// The register tile: `acc[r][j] += Σ_p ap[p][r] · bp[p][j]` over one packed
+/// `A` micro-panel and one packed `B` micro-panel.
+#[inline(always)]
+fn microkernel(kc: usize, ap: &[f64], bp: &[f64]) -> [[f64; NR]; MR] {
+    let mut acc = [[0.0f64; NR]; MR];
+    for (a, b) in ap[..kc * MR].chunks_exact(MR).zip(bp[..kc * NR].chunks_exact(NR)) {
+        let a: &[f64; MR] = a.try_into().unwrap();
+        let b: &[f64; NR] = b.try_into().unwrap();
+        for r in 0..MR {
+            let ar = a[r];
+            for j in 0..NR {
+                acc[r][j] = fmadd(ar, b[j], acc[r][j]);
+            }
+        }
+    }
+    acc
+}
+
+/// Writes an `h × w` corner of the accumulator tile into `c` (row stride
+/// `ldc`).
+#[inline(always)]
+fn write_tile(c: &mut [f64], ldc: usize, h: usize, w: usize, acc: &[[f64; NR]; MR], op: WriteOp) {
+    match op {
+        WriteOp::Sub => {
+            for r in 0..h {
+                let row = &mut c[r * ldc..r * ldc + w];
+                for j in 0..w {
+                    row[j] -= acc[r][j];
+                }
+            }
+        }
+        WriteOp::Set => {
+            for r in 0..h {
+                c[r * ldc..r * ldc + w].copy_from_slice(&acc[r][..w]);
+            }
+        }
+        WriteOp::Add => {
+            for r in 0..h {
+                let row = &mut c[r * ldc..r * ldc + w];
+                for j in 0..w {
+                    row[j] += acc[r][j];
+                }
+            }
+        }
+    }
+}
+
+/// Like [`write_tile`] but only touches elements on or below the global
+/// diagonal; `grow`/`gcol` are the global indices of the tile origin.
+#[allow(clippy::too_many_arguments)]
+fn write_tile_lower(
+    c: &mut [f64],
+    ldc: usize,
+    h: usize,
+    w: usize,
+    acc: &[[f64; NR]; MR],
+    op: WriteOp,
+    grow: usize,
+    gcol: usize,
+) {
+    for r in 0..h {
+        let i = grow + r;
+        if i < gcol {
+            continue; // entire row of the tile is above the diagonal
+        }
+        let wmax = w.min(i + 1 - gcol);
+        let row = &mut c[r * ldc..r * ldc + wmax];
+        match op {
+            WriteOp::Sub => {
+                for j in 0..wmax {
+                    row[j] -= acc[r][j];
+                }
+            }
+            WriteOp::Set => row.copy_from_slice(&acc[r][..wmax]),
+            WriteOp::Add => {
+                for j in 0..wmax {
+                    row[j] += acc[r][j];
+                }
+            }
+        }
+    }
+}
+
+/// Runs the microkernel over one packed `mc × nc` block of `C`.
+///
+/// `tri = Some((grow, gcol))` gives the global origin of the block for
+/// lower-triangle masking (SYRK): tiles strictly above the diagonal are
+/// skipped before any arithmetic, tiles straddling it take the masked
+/// write-back. `None` writes every tile (GEMM).
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    c: &mut [f64],
+    ldc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    ap: &[f64],
+    bp: &[f64],
+    op: WriteOp,
+    tri: Option<(usize, usize)>,
+) {
+    for jp in 0..nc.div_ceil(NR) {
+        let j0 = jp * NR;
+        let w = (nc - j0).min(NR);
+        let bpan = &bp[jp * kc * NR..jp * kc * NR + kc * NR];
+        for ip in 0..mc.div_ceil(MR) {
+            let i0 = ip * MR;
+            let h = (mc - i0).min(MR);
+            if let Some((grow, gcol)) = tri {
+                if grow + i0 + h <= gcol + j0 {
+                    continue; // tile entirely above the diagonal
+                }
+            }
+            let apan = &ap[ip * kc * MR..ip * kc * MR + kc * MR];
+            let acc = microkernel(kc, apan, bpan);
+            let ctile = &mut c[i0 * ldc + j0..];
+            match tri {
+                Some((grow, gcol)) if grow + i0 < gcol + j0 + w - 1 => {
+                    write_tile_lower(ctile, ldc, h, w, &acc, op, grow + i0, gcol + j0)
+                }
+                _ => write_tile(ctile, ldc, h, w, &acc, op),
+            }
+        }
+    }
+}
+
+fn zero_rows(c: &mut [f64], ldc: usize, m: usize, n: usize) {
+    for r in 0..m {
+        c[r * ldc..r * ldc + n].fill(0.0);
+    }
+}
+
+#[inline]
+fn write_op(mode: Mode, first_panel: bool) -> WriteOp {
+    match mode {
+        Mode::Sub => WriteOp::Sub,
+        Mode::Set if first_panel => WriteOp::Set,
+        Mode::Set => WriteOp::Add,
+    }
+}
+
+/// Packed, cache-blocked `C := C ∓ A·Bᵀ` on strided row-major views:
+/// `c` is `m × n` with row stride `ldc`, `a` is `m × k` with stride `lda`,
+/// `b` is `n × k` with stride `ldb`. Slices only need to cover the strided
+/// extent (`(rows−1)·ld + cols`), so views into larger buffers work.
+///
+/// Always takes the packed path regardless of problem size — this is the
+/// differential-testing and benchmarking entry point. Size-dispatched
+/// callers should use [`crate::kernels::gemm_abt_sub_strided`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_abt_packed(
+    mode: Mode,
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    packs: &mut PackBufs,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(ldc >= n && c.len() >= (m - 1) * ldc + n, "c view too small");
+    if k == 0 {
+        if mode == Mode::Set {
+            zero_rows(c, ldc, m, n);
+        }
+        return;
+    }
+    assert!(lda >= k && a.len() >= (m - 1) * lda + k, "a view too small");
+    assert!(ldb >= k && b.len() >= (n - 1) * ldb + k, "b view too small");
+
+    let kc_max = k.min(KC);
+    let ap_len = m.min(MC).div_ceil(MR) * MR * kc_max;
+    let bp_len = n.min(NC).div_ceil(NR) * NR * kc_max;
+    let (ap, bp) = packs.get(ap_len, bp_len);
+
+    for jc in (0..n).step_by(NC) {
+        let nc = (n - jc).min(NC);
+        for pc in (0..k).step_by(KC) {
+            let kc = (k - pc).min(KC);
+            let op = write_op(mode, pc == 0);
+            pack_panels::<NR>(bp, &b[jc * ldb + pc..], ldb, nc, kc);
+            for ic in (0..m).step_by(MC) {
+                let mc = (m - ic).min(MC);
+                pack_panels::<MR>(ap, &a[ic * lda + pc..], lda, mc, kc);
+                macro_kernel(&mut c[ic * ldc + jc..], ldc, mc, nc, kc, ap, bp, op, None);
+            }
+        }
+    }
+}
+
+/// Packed, cache-blocked rank-k update of the lower triangle:
+/// `C := C ∓ A·Aᵀ` with `c` an `n × n` view (row stride `ldc`) and `a` an
+/// `n × k` view (stride `lda`). The strict upper triangle of `c` is never
+/// read or written.
+///
+/// Always packed; size-dispatched callers use
+/// [`crate::kernels::syrk_lt_sub_strided`].
+#[allow(clippy::too_many_arguments)]
+pub fn syrk_lt_packed(
+    mode: Mode,
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    n: usize,
+    k: usize,
+    packs: &mut PackBufs,
+) {
+    if n == 0 {
+        return;
+    }
+    assert!(ldc >= n && c.len() >= (n - 1) * ldc + n, "c view too small");
+    if k == 0 {
+        if mode == Mode::Set {
+            for r in 0..n {
+                c[r * ldc..r * ldc + r + 1].fill(0.0);
+            }
+        }
+        return;
+    }
+    assert!(lda >= k && a.len() >= (n - 1) * lda + k, "a view too small");
+
+    let kc_max = k.min(KC);
+    let ap_len = n.min(MC).div_ceil(MR) * MR * kc_max;
+    let bp_len = n.min(NC).div_ceil(NR) * NR * kc_max;
+    let (ap, bp) = packs.get(ap_len, bp_len);
+
+    for jc in (0..n).step_by(NC) {
+        let nc = (n - jc).min(NC);
+        for pc in (0..k).step_by(KC) {
+            let kc = (k - pc).min(KC);
+            let op = write_op(mode, pc == 0);
+            pack_panels::<NR>(bp, &a[jc * lda + pc..], lda, nc, kc);
+            // Row blocks start at the column panel: everything above the
+            // diagonal contributes nothing to the lower triangle.
+            let mut ic = jc;
+            while ic < n {
+                let mc = (n - ic).min(MC);
+                pack_panels::<MR>(ap, &a[ic * lda + pc..], lda, mc, kc);
+                macro_kernel(
+                    &mut c[ic * ldc + jc..],
+                    ldc,
+                    mc,
+                    nc,
+                    kc,
+                    ap,
+                    bp,
+                    op,
+                    Some((ic, jc)),
+                );
+                ic += MC;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_abt(a: &[f64], b: &[f64], m: usize, n: usize, k: usize) -> Vec<f64> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for t in 0..k {
+                    s += a[i * k + t] * b[j * k + t];
+                }
+                out[i * n + j] = s;
+            }
+        }
+        out
+    }
+
+    fn fill(len: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..len).map(f).collect()
+    }
+
+    #[test]
+    fn gemm_packed_matches_naive_various_shapes() {
+        let mut packs = PackBufs::default();
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (8, 8, 8),
+            (9, 7, 13),
+            (17, 23, 31),
+            (40, 40, 40),
+            (65, 3, 70),
+            (2, 70, 5),
+        ] {
+            let a = fill(m * k, |t| (t as f64 * 0.37).sin());
+            let b = fill(n * k, |t| (t as f64 * 0.21).cos());
+            let mut c = fill(m * n, |t| t as f64 * 0.01);
+            let expect: Vec<f64> = c
+                .iter()
+                .zip(naive_abt(&a, &b, m, n, k))
+                .map(|(&cv, p)| cv - p)
+                .collect();
+            gemm_abt_packed(Mode::Sub, &mut c, n, &a, k, &b, k, m, n, k, &mut packs);
+            for (i, (got, want)) in c.iter().zip(&expect).enumerate() {
+                assert!((got - want).abs() < 1e-11, "m={m} n={n} k={k} idx={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_packed_set_mode_crosses_kc_panels() {
+        // k > KC exercises the Set-then-Add continuation across k panels.
+        let (m, n, k) = (9, 11, KC + 37);
+        let a = fill(m * k, |t| ((t % 83) as f64) * 0.03 - 1.0);
+        let b = fill(n * k, |t| ((t % 59) as f64) * 0.05 - 1.4);
+        let mut c = vec![f64::NAN; m * n]; // Set must not read C
+        let mut packs = PackBufs::default();
+        gemm_abt_packed(Mode::Set, &mut c, n, &a, k, &b, k, m, n, k, &mut packs);
+        let expect = naive_abt(&a, &b, m, n, k);
+        for (got, want) in c.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-9 * want.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn gemm_packed_strided_views_leave_gaps_untouched() {
+        let (m, n, k) = (5, 4, 6);
+        let (ldc, lda, ldb) = (n + 3, k + 2, k + 1);
+        let a = fill((m - 1) * lda + k, |t| t as f64 * 0.1);
+        let b = fill((n - 1) * ldb + k, |t| t as f64 * 0.2);
+        let mut c = vec![7.0; (m - 1) * ldc + n];
+        let mut packs = PackBufs::default();
+        gemm_abt_packed(Mode::Sub, &mut c, ldc, &a, lda, &b, ldb, m, n, k, &mut packs);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for t in 0..k {
+                    s += a[i * lda + t] * b[j * ldb + t];
+                }
+                assert!((c[i * ldc + j] - (7.0 - s)).abs() < 1e-12);
+            }
+            // padding between rows untouched
+            if i + 1 < m {
+                for g in n..ldc {
+                    assert_eq!(c[i * ldc + g], 7.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_packed_degenerate_dims() {
+        let mut packs = PackBufs::default();
+        let mut c = vec![5.0];
+        gemm_abt_packed(Mode::Sub, &mut c, 1, &[], 0, &[], 0, 1, 1, 0, &mut packs);
+        assert_eq!(c, vec![5.0]);
+        gemm_abt_packed(Mode::Set, &mut c, 1, &[], 0, &[], 0, 1, 1, 0, &mut packs);
+        assert_eq!(c, vec![0.0]);
+        let mut empty: Vec<f64> = vec![];
+        gemm_abt_packed(Mode::Sub, &mut empty, 1, &[], 1, &[1.0], 1, 0, 1, 1, &mut packs);
+    }
+
+    #[test]
+    fn syrk_packed_matches_gemm_on_lower_and_spares_upper() {
+        let mut packs = PackBufs::default();
+        for &(n, k) in &[(1, 1), (6, 3), (8, 8), (13, 9), (21, 40), (40, 17)] {
+            let a = fill(n * k, |t| (t as f64 * 0.13).sin() - 0.2);
+            let mut c1 = fill(n * n, |t| t as f64 * 0.5);
+            let mut c2 = c1.clone();
+            syrk_lt_packed(Mode::Sub, &mut c1, n, &a, k, n, k, &mut packs);
+            gemm_abt_packed(Mode::Sub, &mut c2, n, &a, k, &a, k, n, n, k, &mut packs);
+            for i in 0..n {
+                for j in 0..=i {
+                    // bitwise: identical accumulation order by construction
+                    assert_eq!(c1[i * n + j], c2[i * n + j], "n={n} k={k} ({i},{j})");
+                }
+                for j in (i + 1)..n {
+                    assert_eq!(c1[i * n + j], (i * n + j) as f64 * 0.5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_packed_set_mode() {
+        let (n, k) = (11, 5);
+        let a = fill(n * k, |t| (t as f64) * 0.07 - 0.3);
+        let mut c = vec![f64::NAN; n * n];
+        let mut packs = PackBufs::default();
+        syrk_lt_packed(Mode::Set, &mut c, n, &a, k, n, k, &mut packs);
+        let full = naive_abt(&a, &a, n, n, k);
+        for i in 0..n {
+            for j in 0..=i {
+                assert!((c[i * n + j] - full[i * n + j]).abs() < 1e-12);
+            }
+            for j in (i + 1)..n {
+                assert!(c[i * n + j].is_nan()); // upper never written
+            }
+        }
+    }
+}

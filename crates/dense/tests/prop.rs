@@ -134,3 +134,256 @@ proptest! {
         prop_assert!(potrf(&mut a, n).is_err());
     }
 }
+
+/// Differential tests: the packed/blocked BLAS-3 layer against the scalar
+/// reference kernels it replaced. The reference implementations stay in the
+/// tree exactly so these comparisons keep running.
+mod packed {
+    use dense::kernels::{self, reference};
+    use dense::pack::{self, Mode, KC, MC, MR, NR};
+    use dense::KernelArena;
+    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random fill in roughly [-0.5, 0.5).
+    fn filled(len: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    fn spd(n: usize) -> Vec<f64> {
+        let m = filled(n * n, 17 + n as u64);
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = if i == j { n as f64 + 1.0 } else { 0.0 };
+                for t in 0..n {
+                    s += m[i * n + t] * m[j * n + t];
+                }
+                a[i * n + j] = s;
+            }
+        }
+        a
+    }
+
+    /// Every (m, n) in `1..=2·MR+1 × 1..=2·NR+1` — all register-tile edge
+    /// cases: exact multiples, one-row/one-column remainders, single tiles.
+    #[test]
+    fn gemm_packed_matches_reference_for_all_small_dims() {
+        let mut arena = KernelArena::new();
+        for m in 1..=2 * MR + 1 {
+            for n in 1..=2 * NR + 1 {
+                for k in [1, 3, MR, 2 * MR + 1] {
+                    let a = filled(m * k, 1);
+                    let b = filled(n * k, 2);
+                    let c0 = filled(m * n, 3);
+                    let mut c_ref = c0.clone();
+                    reference::gemm_abt_sub(&mut c_ref, &a, &b, m, n, k);
+                    let mut c = c0.clone();
+                    pack::gemm_abt_packed(
+                        Mode::Sub, &mut c, n, &a, k, &b, k, m, n, k, arena.packs(),
+                    );
+                    for i in 0..m * n {
+                        assert!(
+                            (c[i] - c_ref[i]).abs() < 1e-11,
+                            "sub m={m} n={n} k={k} idx={i}"
+                        );
+                    }
+                    // Set mode must not read C: poison it with NaN.
+                    let mut c_set = vec![f64::NAN; m * n];
+                    pack::gemm_abt_packed(
+                        Mode::Set, &mut c_set, n, &a, k, &b, k, m, n, k, arena.packs(),
+                    );
+                    let mut want = vec![0.0; m * n];
+                    reference::gemm_abt_sub(&mut want, &a, &b, m, n, k);
+                    for i in 0..m * n {
+                        assert!(
+                            (c_set[i] + want[i]).abs() < 1e-11,
+                            "set m={m} n={n} k={k} idx={i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Same sweep for the symmetric rank-k update; additionally checks the
+    /// strict upper triangle is never touched.
+    #[test]
+    fn syrk_packed_matches_reference_for_all_small_dims() {
+        let mut arena = KernelArena::new();
+        for n in 1..=2 * MR + 1 {
+            for k in [1, 3, MR, 2 * MR + 1] {
+                let a = filled(n * k, 4);
+                let c0 = filled(n * n, 5);
+                let mut c_ref = c0.clone();
+                reference::syrk_lt_sub(&mut c_ref, &a, n, k);
+                let mut c = c0.clone();
+                pack::syrk_lt_packed(Mode::Sub, &mut c, n, &a, k, n, k, arena.packs());
+                for i in 0..n {
+                    for j in 0..=i {
+                        assert!(
+                            (c[i * n + j] - c_ref[i * n + j]).abs() < 1e-11,
+                            "n={n} k={k} ({i},{j})"
+                        );
+                    }
+                    for j in (i + 1)..n {
+                        assert_eq!(c[i * n + j], c0[i * n + j], "upper touched n={n} k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shapes straddling the KC/MC cache-blocking boundaries — multiple
+    /// packed panels per dimension, none an exact multiple of the tile or
+    /// panel sizes.
+    #[test]
+    fn gemm_packed_matches_reference_across_cache_boundaries() {
+        let mut arena = KernelArena::new();
+        for (m, n, k) in [
+            (MC + 5, NR + 3, KC + 13),
+            (MR + 1, 2 * NR + 5, 2 * KC + 1),
+            (MC - 1, 3, KC - 1),
+            (2 * MC + 7, NR, MR),
+        ] {
+            let a = filled(m * k, 6);
+            let b = filled(n * k, 7);
+            let c0 = filled(m * n, 8);
+            let mut c_ref = c0.clone();
+            reference::gemm_abt_sub(&mut c_ref, &a, &b, m, n, k);
+            let mut c = c0.clone();
+            pack::gemm_abt_packed(Mode::Sub, &mut c, n, &a, k, &b, k, m, n, k, arena.packs());
+            for i in 0..m * n {
+                assert!((c[i] - c_ref[i]).abs() < 1e-10, "m={m} n={n} k={k} idx={i}");
+            }
+        }
+    }
+
+    /// Degenerate extents: every combination with a zero dimension must be
+    /// well-defined — `Sub` is a no-op, `Set` overwrites with the (empty)
+    /// product, i.e. zero.
+    #[test]
+    fn degenerate_dims_are_handled() {
+        let mut arena = KernelArena::new();
+        for (m, n, k) in [(0, 5, 4), (5, 0, 4), (5, 4, 0), (0, 0, 0)] {
+            let a = filled(m * k, 9);
+            let b = filled(n * k, 10);
+            let c0 = filled(m * n, 11);
+            let mut c = c0.clone();
+            pack::gemm_abt_packed(Mode::Sub, &mut c, n.max(1), &a, k, &b, k, m, n, k, arena.packs());
+            assert_eq!(c, c0, "sub must not touch c for m={m} n={n} k={k}");
+            let mut c = c0.clone();
+            pack::gemm_abt_packed(Mode::Set, &mut c, n.max(1), &a, k, &b, k, m, n, k, arena.packs());
+            assert!(c.iter().all(|&v| v == 0.0) || m == 0 || n == 0);
+        }
+        // SYRK with k = 0: Set zeroes the lower triangle only.
+        let c0 = filled(16, 12);
+        let mut c = c0.clone();
+        pack::syrk_lt_packed(Mode::Set, &mut c, 4, &[], 0, 4, 0, arena.packs());
+        for i in 0..4 {
+            for j in 0..4 {
+                if j <= i {
+                    assert_eq!(c[i * 4 + j], 0.0);
+                } else {
+                    assert_eq!(c[i * 4 + j], c0[i * 4 + j]);
+                }
+            }
+        }
+    }
+
+    /// Blocked POTRF/TRSM agree with the scalar reference across the panel
+    /// width NB — sizes below, at, and well above the blocking threshold.
+    #[test]
+    fn blocked_potrf_and_trsm_match_reference() {
+        let mut arena = KernelArena::new();
+        for n in [1, 31, 32, 33, 63, 64, 65, 97, 130] {
+            let a = spd(n);
+            let mut l_ref = a.clone();
+            reference::potrf(&mut l_ref, n).unwrap();
+            let mut l = a.clone();
+            kernels::potrf_with(&mut l, n, &mut arena).unwrap();
+            for i in 0..n {
+                for j in 0..=i {
+                    assert!(
+                        (l[i * n + j] - l_ref[i * n + j]).abs() < 1e-9 * (1.0 + n as f64),
+                        "potrf n={n} ({i},{j})"
+                    );
+                }
+            }
+            for m in [1, 5, 40] {
+                let x0 = filled(m * n, n as u64);
+                let mut x_ref = x0.clone();
+                reference::trsm_right_lower_trans(&l_ref, n, &mut x_ref, m);
+                let mut x = x0.clone();
+                kernels::trsm_right_lower_trans_with(&l_ref, n, &mut x, m, &mut arena);
+                for i in 0..m * n {
+                    assert!(
+                        (x[i] - x_ref[i]).abs() < 1e-8 * (1.0 + x_ref[i].abs()),
+                        "trsm n={n} m={m} idx={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Random dims across the dispatch threshold: the public
+        /// size-dispatched entry points must agree with the reference
+        /// whichever path they take.
+        #[test]
+        fn dispatched_gemm_matches_reference(
+            m in 0usize..40,
+            n in 0usize..40,
+            k in 0usize..70,
+            seed in any::<u32>(),
+        ) {
+            let mut arena = KernelArena::new();
+            let a = filled(m * k, seed as u64);
+            let b = filled(n * k, seed as u64 ^ 0xabcd);
+            let c0 = filled(m * n, seed as u64 ^ 0x1234);
+            let mut c_ref = c0.clone();
+            reference::gemm_abt_sub(&mut c_ref, &a, &b, m, n, k);
+            let mut c = c0.clone();
+            kernels::gemm_abt_sub_with(&mut c, &a, &b, m, n, k, &mut arena);
+            for i in 0..m * n {
+                prop_assert!((c[i] - c_ref[i]).abs() < 1e-10, "idx {}", i);
+            }
+        }
+
+        /// Same for the symmetric update, which must stay bitwise-consistent
+        /// with GEMM on the lower triangle in both the packed and the
+        /// reference pairing (the BMOD scatter relies on this agreement).
+        #[test]
+        fn dispatched_syrk_matches_reference(
+            n in 0usize..40,
+            k in 0usize..70,
+            seed in any::<u32>(),
+        ) {
+            let mut arena = KernelArena::new();
+            let a = filled(n * k, seed as u64 | 1);
+            let c0 = filled(n * n, (seed as u64) << 1);
+            let mut c_ref = c0.clone();
+            reference::syrk_lt_sub(&mut c_ref, &a, n, k);
+            let mut c = c0.clone();
+            kernels::syrk_lt_sub_with(&mut c, &a, n, k, &mut arena);
+            for i in 0..n {
+                for j in 0..=i {
+                    prop_assert!(
+                        (c[i * n + j] - c_ref[i * n + j]).abs() < 1e-10,
+                        "({}, {})", i, j
+                    );
+                }
+                for j in (i + 1)..n {
+                    prop_assert_eq!(c[i * n + j], c0[i * n + j]);
+                }
+            }
+        }
+    }
+}

@@ -15,7 +15,8 @@
 
 use crate::factor::NumericFactor;
 use crate::Error;
-use dense::kernels::{gemm_abt_sub, potrf, trsm_right_lower_trans};
+use dense::kernels::{potrf_with, syrk_lt_sub_with, trsm_right_lower_trans_with};
+use dense::KernelArena;
 use sparsemat::SymCscMatrix;
 use symbolic::NONE;
 
@@ -48,12 +49,19 @@ pub fn factorize_multifrontal(f: &mut NumericFactor, a: &SymCscMatrix) -> Result
     let mut stack: Vec<Update> = Vec::new();
     // Scratch: global row -> position in the current front.
     let mut pos_of_row = vec![u32::MAX; n];
+    // Working buffers reused across supernodes (grown, never freed), plus
+    // the kernel arena holding the packing scratch for the BLAS-3 calls.
+    let mut front: Vec<f64> = Vec::new();
+    let mut f11: Vec<f64> = Vec::new();
+    let mut l21: Vec<f64> = Vec::new();
+    let mut arena = KernelArena::new();
 
-    for s in 0..num_sn {
+    for (s, &n_child) in n_children.iter().enumerate() {
         let rows: &[u32] = &sn.rows[s];
         let m = rows.len();
         let w = sn.width(s);
-        let mut front = vec![0.0f64; m * m];
+        front.clear();
+        front.resize(m * m, 0.0);
         for (p, &r) in rows.iter().enumerate() {
             pos_of_row[r as usize] = p as u32;
         }
@@ -65,7 +73,7 @@ pub fn factorize_multifrontal(f: &mut NumericFactor, a: &SymCscMatrix) -> Result
             }
         }
         // Extended-add the children's update matrices (popped LIFO).
-        for _ in 0..n_children[s] {
+        for _ in 0..n_child {
             let upd = stack.pop().expect("child update on stack");
             for (pi, &ri) in upd.rows.iter().enumerate() {
                 let gp = pos_of_row[ri as usize] as usize;
@@ -82,29 +90,31 @@ pub fn factorize_multifrontal(f: &mut NumericFactor, a: &SymCscMatrix) -> Result
         // Partial factorization of the leading w columns, blocked:
         //   [ F11      ]   F11 = L11·L11ᵀ
         //   [ F21  F22 ]   L21 = F21·L11⁻ᵀ ;  F22 -= L21·L21ᵀ
-        // Pack the pivot block contiguously for the BLAS-3 kernels.
-        let mut f11 = vec![0.0f64; w * w];
+        // Pack the pivot block contiguously for the BLAS-3 kernels. Only the
+        // lower triangle is written (and only it is read downstream), so the
+        // reused buffer needs no zeroing pass.
+        f11.resize(w * w, 0.0);
         for i in 0..w {
             f11[i * w..i * w + i + 1].copy_from_slice(&front[i * m..i * m + i + 1]);
         }
-        potrf(&mut f11, w).map_err(|e| Error::NotPositiveDefinite {
+        potrf_with(&mut f11, w, &mut arena).map_err(|e| Error::NotPositiveDefinite {
             col: sn.cols(s).start + e.pivot,
         })?;
         let t = m - w;
-        let mut l21 = vec![0.0f64; t * w];
+        l21.resize(t * w, 0.0);
         for i in 0..t {
             l21[i * w..(i + 1) * w].copy_from_slice(&front[(w + i) * m..(w + i) * m + w]);
         }
-        trsm_right_lower_trans(&f11, w, &mut l21, t);
-        // Update matrix: U = F22 - L21·L21ᵀ (lower part).
+        trsm_right_lower_trans_with(&f11, w, &mut l21, t, &mut arena);
+        // Update matrix: U = F22 - L21·L21ᵀ (lower part; the strict upper
+        // triangle stays zero — `update` is freshly allocated because it is
+        // moved onto the update stack).
         let mut update = vec![0.0f64; t * t];
         for i in 0..t {
             update[i * t..i * t + i + 1]
                 .copy_from_slice(&front[(w + i) * m + w..(w + i) * m + w + i + 1]);
         }
-        gemm_abt_sub(&mut update, &l21, &l21, t, t, w);
-        // The gemm also wrote the strict upper triangle; harmless — only the
-        // lower part is consumed at assembly.
+        syrk_lt_sub_with(&mut update, &l21, t, w, &mut arena);
 
         // Emit the factor columns into the block storage.
         emit_supernode_columns(f, s, rows, w, m, &f11, &l21);

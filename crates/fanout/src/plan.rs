@@ -66,8 +66,7 @@ impl Plan {
             {
                 ctr += 1;
                 stamp[owner[k][0] as usize] = ctr;
-                for b in 1..m {
-                    let q = owner[k][b];
+                for &q in &owner[k][1..m] {
                     if stamp[q as usize] != ctr {
                         stamp[q as usize] = ctr;
                         send_to[k][0].push(q);

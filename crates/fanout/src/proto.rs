@@ -317,8 +317,8 @@ mod tests {
             logs[q].extend_from_slice(actions);
         };
         let mut actions = Vec::new();
-        for q in 0..p {
-            states[q].start(plan, bm, &mut actions);
+        for (q, st) in states.iter_mut().enumerate() {
+            st.start(plan, bm, &mut actions);
             handle(q, &actions, &mut logs, &mut queue);
         }
         while let Some((dest, j, b)) = queue.pop_front() {
@@ -419,8 +419,8 @@ mod tests {
                         }
                     }
                 };
-            for q in 0..p {
-                states[q].start(&plan, &bm, &mut actions);
+            for st in states.iter_mut() {
+                st.start(&plan, &bm, &mut actions);
                 handle(&actions, &mut pool, &mut completed);
             }
             let mut rng = seed | 1;

@@ -55,10 +55,10 @@ impl SolvePlan {
         let mut fwd_contrib = vec![0u32; np];
         let mut bwd_contrib = vec![0u32; np];
         let mut row_blocks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); np];
-        for j in 0..np {
+        for (j, bc) in bwd_contrib.iter_mut().enumerate() {
             for (b, blk) in bm.cols[j].blocks.iter().enumerate().skip(1) {
                 fwd_contrib[blk.row_panel as usize] += 1;
-                bwd_contrib[j] += 1;
+                *bc += 1;
                 row_blocks[blk.row_panel as usize].push((j as u32, b as u32));
             }
         }
@@ -220,10 +220,10 @@ fn solve_worker(
     // Owned off-diagonal blocks grouped by column (forward) — row grouping
     // comes from sp.row_blocks filtered by ownership.
     let mut col_blocks: Vec<Vec<u32>> = vec![Vec::new(); np];
-    for j in 0..np {
+    for (j, cb) in col_blocks.iter_mut().enumerate() {
         for b_idx in 1..bm.cols[j].blocks.len() {
             if plan.owner[j][b_idx] == me {
-                col_blocks[j].push(b_idx as u32);
+                cb.push(b_idx as u32);
             }
         }
     }

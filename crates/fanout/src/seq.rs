@@ -4,16 +4,20 @@
 use crate::factor::NumericFactor;
 use crate::Error;
 use blockmat::BlockMatrix;
-use dense::kernels::{gemm_abt_sub, potrf, syrk_lt_sub, trsm_right_lower_trans};
+use dense::kernels::{
+    gemm_abt_set_strided, gemm_abt_sub_strided, potrf_with, syrk_lt_set_strided,
+    syrk_lt_sub_strided, trsm_right_lower_trans_with,
+};
+use dense::KernelArena;
 
 /// Factors `f` in place sequentially: for each block column `K` ascending,
 /// `BFAC(K,K)`, then `BDIV(I,K)` for its off-diagonal blocks, then every
 /// `BMOD` sourced from column `K`.
 pub fn factorize_seq(f: &mut NumericFactor) -> Result<(), Error> {
     let bm = f.bm.clone();
-    let mut scratch = Vec::new();
+    let mut arena = KernelArena::new();
     for k in 0..bm.num_panels() {
-        factor_block_column(f, &bm, k)?;
+        factor_block_column(f, &bm, k, &mut arena)?;
         // Right-looking updates out of column k.
         let (head, tail) = f.data.split_at_mut(k + 1);
         let src_col = &head[k];
@@ -44,7 +48,7 @@ pub fn factorize_seq(f: &mut NumericFactor) -> Result<(), Error> {
                     &src_col[offsets[k][b]..],
                     bm.block_rows(k, &blocks[b]),
                     c_k,
-                    &mut scratch,
+                    &mut arena,
                 );
             }
         }
@@ -58,19 +62,20 @@ pub(crate) fn factor_block_column(
     f: &mut NumericFactor,
     bm: &BlockMatrix,
     k: usize,
+    arena: &mut KernelArena,
 ) -> Result<(), Error> {
     let c = bm.col_width(k);
     let nblk = bm.cols[k].blocks.len();
     let col = &mut f.data[k];
     let (diag, rest) = col.split_at_mut(c * c);
-    potrf(diag, c).map_err(|e| Error::NotPositiveDefinite {
+    potrf_with(diag, c, arena).map_err(|e| Error::NotPositiveDefinite {
         col: bm.partition.cols(k).start + e.pivot,
     })?;
     if nblk > 1 {
         // All off-diagonal blocks are contiguous after the diagonal block;
         // solve them in one call (their total row count × c).
         let m = rest.len() / c;
-        trsm_right_lower_trans(diag, c, rest, m);
+        trsm_right_lower_trans_with(diag, c, rest, m, arena);
     }
     Ok(())
 }
@@ -83,6 +88,14 @@ pub(crate) fn factor_block_column(
 /// * `b_buf`/`b_rows` — the source `L[J][K]`;
 /// * for a diagonal destination (`I == J`, which implies `A == B`) only the
 ///   lower triangle is updated.
+///
+/// When the source rows land on a contiguous run of destination rows and the
+/// source columns on a contiguous column range (the common case for the
+/// regular block structures the paper targets), the update is **fused**: the
+/// strided GEMM/SYRK writes straight into the destination block, skipping
+/// the scratch product and the scatter loop entirely. Otherwise the product
+/// is materialized into the arena's scratch (overwrite mode, so no zeroing
+/// pass) and scattered through the index maps as before.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_bmod(
     bm: &BlockMatrix,
@@ -95,43 +108,92 @@ pub(crate) fn apply_bmod(
     b_buf: &[f64],
     b_rows: &[u32],
     c_k: usize,
-    scratch: &mut Vec<f64>,
+    arena: &mut KernelArena,
 ) {
     let ra = a_rows.len();
     let rb = b_rows.len();
+    if ra == 0 || rb == 0 {
+        return;
+    }
     let c_dest = bm.col_width(dest_j);
     let dest_start = bm.partition.cols(dest_j).start as u32;
     if dest_i == dest_j {
         // Diagonal destination: symmetric rank-c_k update, lower triangle.
+        // Rows index the panel's own columns, so the row→dest map is just
+        // `row - dest_start` and contiguity is a single range check.
         debug_assert_eq!(a_rows, b_rows);
-        scratch.clear();
-        scratch.resize(ra * ra, 0.0);
-        syrk_lt_sub(scratch, &a_buf[..ra * c_k], ra, c_k);
-        for p in 0..ra {
-            let rd = (a_rows[p] - dest_start) as usize;
-            for q in 0..=p {
-                let cd = (a_rows[q] - dest_start) as usize;
-                dest[rd * c_dest + cd] += scratch[p * ra + q];
+        let rd0 = (a_rows[0] - dest_start) as usize;
+        if (a_rows[ra - 1] - a_rows[0]) as usize == ra - 1 {
+            // Fused: rank-k update the dest sub-square in place.
+            let view = &mut dest[rd0 * c_dest + rd0..];
+            syrk_lt_sub_strided(view, c_dest, &a_buf[..ra * c_k], c_k, ra, c_k, arena.packs());
+        } else {
+            let (scratch, packs) = arena.scratch_with_packs(ra * ra);
+            syrk_lt_set_strided(scratch, ra, &a_buf[..ra * c_k], c_k, ra, c_k, packs);
+            for p in 0..ra {
+                let rd = (a_rows[p] - dest_start) as usize;
+                let drow = &mut dest[rd * c_dest..rd * c_dest + c_dest];
+                let srow = &scratch[p * ra..p * ra + p + 1];
+                for (q, &s) in srow.iter().enumerate() {
+                    let cd = (a_rows[q] - dest_start) as usize;
+                    drow[cd] -= s;
+                }
             }
         }
     } else {
-        scratch.clear();
-        scratch.resize(ra * rb, 0.0);
-        gemm_abt_sub(scratch, &a_buf[..ra * c_k], &b_buf[..rb * c_k], ra, rb, c_k);
         // Destination rows: a_rows is a subset of the dest block's rows;
-        // both sorted → merged scan.
+        // both sorted → merged scan locates the first one.
         let blk = bm.cols[dest_j].blocks[dest_b];
         let dest_rows = bm.block_rows(dest_j, &blk);
-        let mut cursor = 0usize;
-        for (p, &gr) in a_rows.iter().enumerate() {
-            while dest_rows[cursor] != gr {
-                cursor += 1;
-                debug_assert!(cursor < dest_rows.len(), "source row missing in destination");
-            }
-            let drow = &mut dest[cursor * c_dest..(cursor + 1) * c_dest];
-            let srow = &scratch[p * rb..(p + 1) * rb];
-            for (q, &gc) in b_rows.iter().enumerate() {
-                drow[(gc - dest_start) as usize] += srow[q];
+        let mut cursor0 = 0usize;
+        while dest_rows[cursor0] != a_rows[0] {
+            cursor0 += 1;
+            debug_assert!(cursor0 < dest_rows.len(), "source row missing in destination");
+        }
+        let rows_fuse =
+            cursor0 + ra <= dest_rows.len() && dest_rows[cursor0..cursor0 + ra] == *a_rows;
+        let cols_fuse = (b_rows[rb - 1] - b_rows[0]) as usize == rb - 1;
+        let cd0 = (b_rows[0] - dest_start) as usize;
+        if rows_fuse && cols_fuse {
+            // Fused: multiply straight into the destination rows.
+            let view = &mut dest[cursor0 * c_dest + cd0..];
+            gemm_abt_sub_strided(
+                view,
+                c_dest,
+                &a_buf[..ra * c_k],
+                c_k,
+                &b_buf[..rb * c_k],
+                c_k,
+                ra,
+                rb,
+                c_k,
+                arena.packs(),
+            );
+        } else {
+            let (scratch, packs) = arena.scratch_with_packs(ra * rb);
+            gemm_abt_set_strided(
+                scratch,
+                rb,
+                &a_buf[..ra * c_k],
+                c_k,
+                &b_buf[..rb * c_k],
+                c_k,
+                ra,
+                rb,
+                c_k,
+                packs,
+            );
+            let mut cursor = cursor0;
+            for (p, &gr) in a_rows.iter().enumerate() {
+                while dest_rows[cursor] != gr {
+                    cursor += 1;
+                    debug_assert!(cursor < dest_rows.len(), "source row missing in destination");
+                }
+                let drow = &mut dest[cursor * c_dest..(cursor + 1) * c_dest];
+                let srow = &scratch[p * rb..(p + 1) * rb];
+                for (q, &gc) in b_rows.iter().enumerate() {
+                    drow[(gc - dest_start) as usize] -= srow[q];
+                }
             }
         }
     }

@@ -2,6 +2,12 @@
 //! virtual processor, completed blocks exchanged over channels, fully
 //! data-driven. Validates that the protocol the simulator times is the same
 //! protocol that produces a correct factor.
+//!
+//! Each worker owns mutable slices into the factor's block storage and
+//! factors them **in place** — block data is never copied in or out of the
+//! executor. The only copies made are the `Arc`-shared snapshots of completed
+//! blocks shipped to remote consumers (and none is made when a block has no
+//! remote consumer).
 
 use crate::factor::NumericFactor;
 use crate::plan::Plan;
@@ -10,7 +16,8 @@ use crate::seq::apply_bmod;
 use crate::Error;
 use blockmat::BlockMatrix;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use dense::kernels::{potrf, trsm_right_lower_trans};
+use dense::kernels::{potrf_with, trsm_right_lower_trans_with};
+use dense::KernelArena;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -30,42 +37,34 @@ enum Msg {
 pub fn factorize_threaded(f: &mut NumericFactor, plan: &Plan) -> Result<(), Error> {
     let bm = f.bm.clone();
     let p = plan.p;
-    // Distribute owned block buffers to the virtual processors.
-    let mut owned: Vec<HashMap<(u32, u32), Vec<f64>>> = (0..p).map(|_| HashMap::new()).collect();
-    for j in 0..bm.num_panels() {
-        for b in 0..bm.cols[j].blocks.len() {
-            let q = plan.owner[j][b] as usize;
-            owned[q].insert((j as u32, b as u32), f.block(j, b).to_vec());
-        }
+    // Hand each virtual processor exclusive mutable views of its blocks.
+    let mut owned: Vec<HashMap<(u32, u32), &mut [f64]>> = (0..p).map(|_| HashMap::new()).collect();
+    for ((j, b), slice) in f.split_blocks_mut() {
+        let q = plan.owner[j as usize][b as usize] as usize;
+        owned[q].insert((j, b), slice);
     }
 
     let (senders, receivers): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
         (0..p).map(|_| unbounded()).unzip();
 
-    let results: Vec<Result<HashMap<(u32, u32), Vec<f64>>, Error>> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for (me, (mine, rx)) in owned.into_iter().zip(receivers).enumerate() {
-                let senders = senders.clone();
-                let bm = bm.clone();
-                handles.push(scope.spawn({
-                    let plan = &*plan;
-                    move || worker(me as u32, plan, &bm, mine, rx, senders)
-                }));
-            }
-            drop(senders);
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
+    let results: Vec<Result<(), Error>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (me, (mine, rx)) in owned.into_iter().zip(receivers).enumerate() {
+            let senders = senders.clone();
+            let bm = bm.clone();
+            handles.push(scope.spawn({
+                let plan = &*plan;
+                move || worker(me as u32, plan, &bm, mine, rx, senders)
+            }));
+        }
+        drop(senders);
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
 
     let mut first_err = None;
     for res in results {
-        match res {
-            Ok(blocks) => {
-                for ((j, b), buf) in blocks {
-                    f.block_mut(j as usize, b as usize).copy_from_slice(&buf);
-                }
-            }
-            Err(e) => first_err = Some(first_err.unwrap_or(e)),
+        if let Err(e) = res {
+            first_err = Some(first_err.unwrap_or(e));
         }
     }
     match first_err {
@@ -74,25 +73,26 @@ pub fn factorize_threaded(f: &mut NumericFactor, plan: &Plan) -> Result<(), Erro
     }
 }
 
-struct Worker<'a> {
+struct Worker<'a, 'data> {
     me: u32,
     plan: &'a Plan,
     bm: &'a BlockMatrix,
-    mine: HashMap<(u32, u32), Vec<f64>>,
-    finished: HashMap<(u32, u32), Arc<Vec<f64>>>,
+    /// Blocks this processor owns: in-place views of the factor storage.
+    mine: HashMap<(u32, u32), &'data mut [f64]>,
+    /// Remote blocks received over the channels.
     received: HashMap<(u32, u32), Arc<Vec<f64>>>,
     senders: Vec<Sender<Msg>>,
-    scratch: Vec<f64>,
+    arena: KernelArena,
 }
 
 fn worker(
     me: u32,
     plan: &Plan,
     bm: &BlockMatrix,
-    mine: HashMap<(u32, u32), Vec<f64>>,
+    mine: HashMap<(u32, u32), &mut [f64]>,
     rx: Receiver<Msg>,
     senders: Vec<Sender<Msg>>,
-) -> Result<HashMap<(u32, u32), Vec<f64>>, Error> {
+) -> Result<(), Error> {
     let mut state = ProtocolState::new(plan, bm, me);
     let mut actions = Vec::new();
     let mut w = Worker {
@@ -100,10 +100,9 @@ fn worker(
         plan,
         bm,
         mine,
-        finished: HashMap::new(),
         received: HashMap::new(),
         senders,
-        scratch: Vec::new(),
+        arena: KernelArena::new(),
     };
     state.start(plan, bm, &mut actions);
     if let Err(e) = w.execute(&actions) {
@@ -127,26 +126,13 @@ fn worker(
             }
         }
     }
-    // Fold finished blocks back into plain buffers.
-    for ((j, b), data) in w.finished {
-        w.mine.insert((j, b), Arc::try_unwrap(data).unwrap_or_else(|a| (*a).clone()));
-    }
-    Ok(w.mine)
+    Ok(())
 }
 
-impl Worker<'_> {
-    fn source(&self, j: u32, b: u32) -> &[f64] {
-        if self.plan.owner[j as usize][b as usize] == self.me {
-            self.finished
-                .get(&(j, b))
-                .expect("own source block completed before use")
-        } else {
-            self.received
-                .get(&(j, b))
-                .expect("remote source block received before use")
-        }
-    }
-
+impl<'data> Worker<'_, 'data> {
+    /// Source-block lookup inlined at field level (rather than a `&self`
+    /// method) so the borrow checker can see it is disjoint from
+    /// `self.arena`.
     fn execute(&mut self, actions: &[Action]) -> Result<(), Error> {
         for &act in actions {
             match act {
@@ -156,19 +142,39 @@ impl Worker<'_> {
                     let blk_a = col.blocks[a as usize];
                     let blk_b = col.blocks[b as usize];
                     let dest_i = blk_a.row_panel as usize;
-                    let mut dest = self
+                    // Take the destination view out of the map so the source
+                    // lookups can borrow the map immutably; sources are in
+                    // other columns (k < dest_j), so no self-alias.
+                    let dest = self
                         .mine
                         .remove(&(dest_j, dest_b))
                         .expect("we own the BMOD destination");
-                    // Sources live in other columns' maps; a/b != dest key
-                    // because the source column k < dest_j.
-                    let mut scratch = std::mem::take(&mut self.scratch);
                     {
-                        let a_buf = self.source(k, a);
-                        let b_buf = self.source(k, b);
+                        let a_buf: &[f64] = if self.plan.owner[k as usize][a as usize] == self.me {
+                            self.mine
+                                .get(&(k, a))
+                                .map(|s| &**s)
+                                .expect("own source block completed before use")
+                        } else {
+                            self.received
+                                .get(&(k, a))
+                                .map(|x| x.as_slice())
+                                .expect("remote source block received before use")
+                        };
+                        let b_buf: &[f64] = if self.plan.owner[k as usize][b as usize] == self.me {
+                            self.mine
+                                .get(&(k, b))
+                                .map(|s| &**s)
+                                .expect("own source block completed before use")
+                        } else {
+                            self.received
+                                .get(&(k, b))
+                                .map(|x| x.as_slice())
+                                .expect("remote source block received before use")
+                        };
                         apply_bmod(
                             self.bm,
-                            &mut dest,
+                            &mut *dest,
                             dest_i,
                             blk_b.row_panel as usize,
                             dest_b as usize,
@@ -177,37 +183,48 @@ impl Worker<'_> {
                             b_buf,
                             self.bm.block_rows(k as usize, &blk_b),
                             c_k,
-                            &mut scratch,
+                            &mut self.arena,
                         );
                     }
-                    self.scratch = scratch;
                     self.mine.insert((dest_j, dest_b), dest);
                 }
                 Action::Complete { j, b } => {
-                    let mut buf = self
+                    let buf = self
                         .mine
                         .remove(&(j, b))
                         .expect("we own the completing block");
                     let c = self.bm.col_width(j as usize);
                     if b == 0 {
-                        potrf(&mut buf, c).map_err(|e| Error::NotPositiveDefinite {
-                            col: self.bm.partition.cols(j as usize).start + e.pivot,
+                        potrf_with(buf, c, &mut self.arena).map_err(|e| {
+                            Error::NotPositiveDefinite {
+                                col: self.bm.partition.cols(j as usize).start + e.pivot,
+                            }
                         })?;
                     } else {
                         let rows = self.bm.cols[j as usize].blocks[b as usize].nrows();
                         let diag: &[f64] = if self.plan.owner[j as usize][0] == self.me {
-                            self.finished.get(&(j, 0)).expect("local diagonal factored")
+                            self.mine
+                                .get(&(j, 0))
+                                .map(|s| &**s)
+                                .expect("local diagonal factored")
                         } else {
-                            self.received.get(&(j, 0)).expect("diagonal received")
+                            self.received
+                                .get(&(j, 0))
+                                .map(|a| a.as_slice())
+                                .expect("diagonal received")
                         };
-                        trsm_right_lower_trans(diag, c, &mut buf, rows);
+                        trsm_right_lower_trans_with(diag, c, buf, rows, &mut self.arena);
                     }
-                    let data = Arc::new(buf);
-                    for &dest in &self.plan.send_to[j as usize][b as usize] {
-                        let _ = self.senders[dest as usize]
-                            .send(Msg::Block(j, b, data.clone()));
+                    // Ship a snapshot only if someone remote needs it; local
+                    // consumers read the in-place slice.
+                    let dests = &self.plan.send_to[j as usize][b as usize];
+                    if !dests.is_empty() {
+                        let data = Arc::new(buf.to_vec());
+                        for &dest in dests {
+                            let _ = self.senders[dest as usize].send(Msg::Block(j, b, data.clone()));
+                        }
                     }
-                    self.finished.insert((j, b), data);
+                    self.mine.insert((j, b), buf);
                 }
             }
         }

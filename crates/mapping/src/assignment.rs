@@ -113,8 +113,8 @@ impl Assignment {
         };
         let cp = CpMap { grid, map_i, map_j };
         let mut owner = Vec::with_capacity(np);
-        for j in 0..np {
-            let col_owner: Vec<u32> = if eligible[j] {
+        for (j, &elig) in eligible.iter().enumerate() {
+            let col_owner: Vec<u32> = if elig {
                 bm.cols[j]
                     .blocks
                     .iter()

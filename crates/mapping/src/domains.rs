@@ -113,10 +113,10 @@ impl DomainPlan {
             let s = s as usize;
             let lo = s + 1 - sub_size[s] as usize;
             let mut w = 0u64;
-            for j in 0..np {
+            for (j, dp) in domain_of_panel.iter_mut().enumerate() {
                 let js = bm.partition.sn_of_panel[j] as usize;
                 if js >= lo && js <= s {
-                    domain_of_panel[j] = d as u32;
+                    *dp = d as u32;
                     w += work.col_work[j];
                 }
             }

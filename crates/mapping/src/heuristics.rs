@@ -187,8 +187,8 @@ pub fn alt_row_map(
         let contrib = &row_by_pc[i as usize];
         let mut best_r = 0usize;
         let mut best_max = u64::MAX;
-        for r in 0..pr {
-            let worst = (0..pc).map(|c| load[r][c] + contrib[c]).max().unwrap_or(0);
+        for (r, lr) in load.iter().enumerate().take(pr) {
+            let worst = (0..pc).map(|c| lr[c] + contrib[c]).max().unwrap_or(0);
             if worst < best_max {
                 best_max = worst;
                 best_r = r;
@@ -282,11 +282,11 @@ pub fn subtree_col_map(bm: &BlockMatrix, work: &BlockWork, pc: usize) -> Vec<u32
     }
     // Panels: cyclic within their supernode's column range.
     let mut map = vec![0u32; bm.num_panels()];
-    for j in 0..bm.num_panels() {
+    for (j, mj) in map.iter_mut().enumerate() {
         let s = bm.partition.sn_of_panel[j] as usize;
         let (lo, hi) = sn_range[s];
         let span = (hi - lo).max(1);
-        map[j] = lo + (j as u32) % span;
+        *mj = lo + (j as u32) % span;
     }
     map
 }
@@ -312,8 +312,8 @@ mod tests {
         let depth = vec![0u32; 10];
         let eligible = vec![true; 10];
         let m = greedy_map(Heuristic::Cyclic, &work, &depth, &eligible, 4);
-        for i in 0..10 {
-            assert_eq!(m[i], (i % 4) as u32);
+        for (i, &mi) in m.iter().enumerate() {
+            assert_eq!(mi, (i % 4) as u32);
         }
     }
 
@@ -386,10 +386,10 @@ mod tests {
         );
         let max_load = |row_map: &[u32]| -> u64 {
             let mut load = vec![0u64; pr * pc];
-            for j in 0..np {
+            for (j, &cm) in col_map.iter().enumerate().take(np) {
                 for (b, blk) in bm.cols[j].blocks.iter().enumerate() {
                     let r = row_map[blk.row_panel as usize] as usize;
-                    let c = col_map[j] as usize;
+                    let c = cm as usize;
                     load[r * pc + c] += w.per_block[j][b];
                 }
             }

@@ -84,19 +84,6 @@ impl DegreeLists {
         self.insert(v, d);
     }
 
-    fn pop_min(&mut self) -> Option<usize> {
-        while self.min_deg < self.head.len() {
-            let h = self.head[self.min_deg];
-            if h >= 0 {
-                let v = h as usize;
-                self.remove(v);
-                return Some(v);
-            }
-            self.min_deg += 1;
-        }
-        None
-    }
-
     /// Pops a vertex from the exact degree bucket `d`, if any.
     fn pop_at(&mut self, d: usize) -> Option<usize> {
         let h = self.head[d.min(self.head.len() - 1)];
@@ -238,8 +225,8 @@ impl<'g> Mindeg<'g> {
                 }
             }
             // One shared degree-update pass for the whole round.
-            for k in 0..touched.len() {
-                let v = touched[k] as usize;
+            for &t in &touched {
+                let v = t as usize;
                 if self.alive(v) {
                     let deg = self.external_degree(v);
                     self.lists.update(v, deg);
@@ -338,8 +325,8 @@ impl<'g> Mindeg<'g> {
                 if !self.alive(va) {
                     continue;
                 }
-                for b in (a + 1)..j {
-                    let vb = keyed[b].1 as usize;
+                for &(_, vb) in &keyed[(a + 1)..j] {
+                    let vb = vb as usize;
                     if !self.alive(vb) {
                         continue;
                     }
@@ -502,7 +489,7 @@ mod tests {
             &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
         );
         let p = minimum_degree(&g);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for k in 0..6 {
             seen[p.old_of_new(k)] = true;
         }

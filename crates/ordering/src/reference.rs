@@ -121,6 +121,6 @@ mod tests {
         // K4: complete graph, any order; columns have 3,2,1,0 offdiagonals.
         let g = graph_of(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let id = Permutation::identity(4);
-        assert_eq!(factor_ops(&g, &id), 3 * 6 + 2 * 5 + 1 * 4);
+        assert_eq!(factor_ops(&g, &id), 3 * 6 + 2 * 5 + 4);
     }
 }

@@ -129,8 +129,8 @@ pub fn postorder(parent: &[u32]) -> Permutation {
     let mut order = Vec::with_capacity(n);
     // DFS from each root; explicit stack of (vertex, next-child index).
     let mut stack: Vec<(u32, usize)> = Vec::new();
-    for r in 0..n {
-        if parent[r] != NONE {
+    for (r, &pr) in parent.iter().enumerate() {
+        if pr != NONE {
             continue;
         }
         stack.push((r as u32, 0));

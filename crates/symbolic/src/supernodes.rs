@@ -140,10 +140,8 @@ impl Supernodes {
             let (a_s, b_s) = (first_col[s] as usize, first_col[s + 1] as usize - 1);
             let mut r: Vec<u32> = Vec::with_capacity(counts[a_s] as usize);
             // Own columns (diagonal block is dense).
-            for j in a_s..=b_s {
-                stamp[j] = s as u32;
-                r.push(j as u32);
-            }
+            stamp[a_s..=b_s].fill(s as u32);
+            r.extend((a_s..=b_s).map(|j| j as u32));
             // Original entries of member columns.
             for j in a_s..=b_s {
                 for &i in a.col(j) {
@@ -331,14 +329,14 @@ mod tests {
         let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
         let g = Graph::from_pattern(a);
         let reference = ordering::reference::eliminate(&g, &Permutation::identity(a.n()));
-        for j in 0..a.n() {
+        for (j, rj) in reference.iter().enumerate().take(a.n()) {
             let s = sn.sn_of_col[j] as usize;
             let ours: Vec<u32> = sn.rows[s]
                 .iter()
                 .copied()
                 .filter(|&i| i as usize > j)
                 .collect();
-            let want: Vec<u32> = reference[j].iter().copied().collect();
+            let want: Vec<u32> = rj.iter().copied().collect();
             assert_eq!(ours, want, "column {j}");
         }
     }

@@ -76,14 +76,14 @@ proptest! {
         let sn = Supernodes::compute(&ap, &parent, &counts, &AmalgParams::off());
         let g = Graph::from_pattern(&ap);
         let cols = reference::eliminate(&g, &Permutation::identity(ap.n()));
-        for j in 0..ap.n() {
+        for (j, cj) in cols.iter().enumerate().take(ap.n()) {
             let s = sn.sn_of_col[j] as usize;
             let ours: Vec<u32> = sn.rows[s]
                 .iter()
                 .copied()
                 .filter(|&r| r as usize > j)
                 .collect();
-            let want: Vec<u32> = cols[j].iter().copied().collect();
+            let want: Vec<u32> = cj.iter().copied().collect();
             prop_assert_eq!(ours, want, "column {}", j);
         }
     }
