@@ -58,6 +58,33 @@ impl KernelArena {
         &mut self.packs
     }
 
+    /// Grows every buffer up front for operands of at most `max_dim` rows
+    /// and columns, so a worker thread allocates before entering its hot
+    /// loop instead of growth-reallocating mid-factorization. `max_dim`
+    /// should be the largest block dimension (rows or columns) the worker
+    /// will feed to any kernel; larger requests later still grow lazily.
+    pub fn preallocate(&mut self, max_dim: usize) {
+        // Packing panels are bounded by one cache-blocking tile each (plus
+        // microkernel padding), never by the full operand.
+        let kc = max_dim.min(crate::pack::KC);
+        let ap = (max_dim.min(crate::pack::MC) + crate::pack::MR) * kc;
+        let bp = (max_dim.min(crate::pack::NC) + crate::pack::NR) * kc;
+        if self.packs.ap.len() < ap {
+            self.packs.ap.resize(ap, 0.0);
+        }
+        if self.packs.bp.len() < bp {
+            self.packs.bp.resize(bp, 0.0);
+        }
+        // Scatter scratch holds a full BMOD product; the panel-copy buffer
+        // holds one factorization panel.
+        if self.scratch.len() < max_dim * max_dim {
+            self.scratch.resize(max_dim * max_dim, 0.0);
+        }
+        if self.wbuf.len() < max_dim * crate::kernels::NB {
+            self.wbuf.resize(max_dim * crate::kernels::NB, 0.0);
+        }
+    }
+
     /// Returns a scatter scratch buffer of `len` elements (contents
     /// **unspecified**) together with the packing buffers, so a packed kernel
     /// in `Set` mode can write into the scratch without a zeroing pass while
@@ -96,6 +123,22 @@ mod tests {
         let (s, _) = arena.scratch_with_packs(4);
         assert_eq!(s.len(), 4);
         assert_eq!(s[0], 3.0);
+    }
+
+    #[test]
+    fn preallocate_prevents_growth_for_bounded_requests() {
+        let mut arena = KernelArena::new();
+        arena.preallocate(64);
+        let scratch_cap = arena.scratch.capacity();
+        let ap_cap = arena.packs.ap.capacity();
+        let bp_cap = arena.packs.bp.capacity();
+        // Requests within the preallocated bound must not reallocate.
+        let _ = arena.scratch_with_packs(64 * 64);
+        let _ = arena.packs().get(ap_cap, bp_cap);
+        let _ = arena.wbuf_with_packs(64 * crate::kernels::NB);
+        assert_eq!(arena.scratch.capacity(), scratch_cap);
+        assert_eq!(arena.packs.ap.capacity(), ap_cap);
+        assert_eq!(arena.packs.bp.capacity(), bp_cap);
     }
 
     #[test]

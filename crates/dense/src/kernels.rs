@@ -22,7 +22,7 @@ use std::cell::RefCell;
 /// this large use the unblocked reference kernels directly. 32 keeps the
 /// scalar panel work (unblocked factor + forward substitution) small while
 /// the packed trailing updates still see a deep enough `k`.
-const NB: usize = 32;
+pub(crate) const NB: usize = 32;
 
 thread_local! {
     static DEFAULT_ARENA: RefCell<KernelArena> = RefCell::new(KernelArena::new());

@@ -90,6 +90,58 @@ pub fn critical_path(bm: &BlockMatrix, model: &MachineModel) -> CriticalPath {
     CriticalPath { length_s: length, seq_time_s: seq_time }
 }
 
+/// Per-block "distance to the DAG sink": for every block `(j, b)`,
+/// the length (in modeled seconds) of the longest dependency chain that
+/// *starts* with the block's own completion operation (`BFAC` for `b = 0`,
+/// `BDIV` otherwise) and runs through downstream `BMOD`s and completions to
+/// the end of the factorization.
+///
+/// This is the backward companion of [`critical_path`]: the maximum level
+/// over source blocks (blocks awaiting no updates) equals the critical path
+/// length. The work-stealing scheduler uses these levels as task priorities —
+/// popping the block with the largest remaining distance first is the
+/// classic critical-path-first heuristic, which is exactly the scheduling
+/// fix the paper's Section 5 diagnosis calls for.
+///
+/// Returned in the block matrix's `[column][block]` layout. `O(#BMODs)`.
+pub fn block_levels(bm: &BlockMatrix, model: &MachineModel) -> Vec<Vec<f64>> {
+    let np = bm.num_panels();
+    let mut level: Vec<Vec<f64>> =
+        (0..np).map(|j| vec![0.0f64; bm.cols[j].blocks.len()]).collect();
+    // One descending pass: BMODs out of column k only target columns > k,
+    // whose levels are final by the time k is processed, and within column k
+    // the diagonal's level depends only on the column's own BDIV levels.
+    for k in (0..np).rev() {
+        let c = bm.col_width(k);
+        let blocks = &bm.cols[k].blocks;
+        // Longest consumer chain hanging off each off-diagonal block: every
+        // BMOD the block sources, followed by the destination's own level.
+        let mut best = vec![0.0f64; blocks.len()];
+        for b in 1..blocks.len() {
+            for a in b..blocks.len() {
+                let (i, j) = (blocks[a].row_panel as usize, blocks[b].row_panel as usize);
+                let fl = if a == b {
+                    (blocks[a].nrows() as u64) * (blocks[a].nrows() as u64 + 1) * c as u64
+                } else {
+                    flops::bmod(blocks[a].nrows(), blocks[b].nrows(), c)
+                };
+                let db = bm.find_block(i, j).expect("destination exists");
+                let cand = model.op_time(fl, c) + level[j][db];
+                best[a] = best[a].max(cand);
+                best[b] = best[b].max(cand);
+            }
+        }
+        let mut diag_tail = 0.0f64;
+        for b in 1..blocks.len() {
+            let r = blocks[b].nrows();
+            level[k][b] = model.op_time(flops::bdiv(r, c), c) + best[b];
+            diag_tail = diag_tail.max(level[k][b]);
+        }
+        level[k][0] = model.op_time(flops::bfac(c), c) + diag_tail;
+    }
+    level
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +213,70 @@ mod tests {
                 cp.length_s
             );
         }
+    }
+
+    #[test]
+    fn source_block_level_equals_critical_path() {
+        // The longest chain must start at a completion with no incoming
+        // BMODs (a BFAC whose diagonal awaits no updates), so the maximum
+        // level over such blocks is exactly the critical path length.
+        for prob in [sparsemat::gen::grid2d(12), sparsemat::gen::bcsstk_like("T", 150, 3)] {
+            let bm = bm_of(&prob, 4);
+            let m = MachineModel::paragon();
+            let cp = critical_path(&bm, &m);
+            let levels = block_levels(&bm, &m);
+            let mut incoming: Vec<Vec<u32>> = (0..bm.num_panels())
+                .map(|j| vec![0u32; bm.cols[j].blocks.len()])
+                .collect();
+            blockmat::for_each_bmod(&bm, |op| {
+                let db = bm.find_block(op.i as usize, op.j as usize).unwrap();
+                incoming[op.j as usize][db] += 1;
+            });
+            let mut max_source = 0.0f64;
+            let mut max_any = 0.0f64;
+            for j in 0..bm.num_panels() {
+                if incoming[j][0] == 0 {
+                    max_source = max_source.max(levels[j][0]);
+                }
+                for &l in &levels[j] {
+                    max_any = max_any.max(l);
+                }
+            }
+            assert!(
+                (max_source - cp.length_s).abs() <= 1e-12 * cp.length_s.max(1.0),
+                "source level {max_source} vs critical path {}",
+                cp.length_s
+            );
+            assert!(max_any <= cp.length_s * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn levels_decrease_down_the_dependency_chain() {
+        // A block's level strictly exceeds the level of every destination
+        // its completion feeds, and the diagonal dominates its column's
+        // BDIV levels.
+        let prob = sparsemat::gen::grid2d(10);
+        let bm = bm_of(&prob, 3);
+        let levels = block_levels(&bm, &MachineModel::paragon());
+        for (k, col) in levels.iter().enumerate() {
+            for (b, &l) in col.iter().enumerate().skip(1) {
+                assert!(col[0] > l, "diag must dominate BDIV ({k},{b})");
+            }
+        }
+        blockmat::for_each_bmod(&bm, |op| {
+            let db = bm.find_block(op.i as usize, op.j as usize).unwrap();
+            let src_b = bm.find_block(op.i as usize, op.k as usize);
+            if let Some(sb) = src_b {
+                assert!(
+                    levels[op.k as usize][sb] > levels[op.j as usize][db],
+                    "level must strictly decrease along BMOD ({},{},{})",
+                    op.i,
+                    op.j,
+                    op.k
+                );
+            }
+        });
     }
 
     #[test]

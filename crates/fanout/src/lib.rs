@@ -1,21 +1,27 @@
-//! The block fan-out method (paper Section 2.3), in three executors.
+//! The block fan-out method (paper Section 2.3), in four executors.
 //!
 //! * [`seq`] — a sequential right-looking block factorization; the numeric
 //!   reference and the `tseq` baseline.
-//! * [`threaded`] — a real SPMD execution: one OS thread per virtual
-//!   processor, blocks exchanged over channels, entirely data-driven exactly
-//!   as the paper describes ("a processor acts on received blocks in the
-//!   order in which they are received").
+//! * [`sched`] — the production shared-memory executor: the `p`-processor
+//!   protocol on `min(p, num_cpus)` work-stealing worker threads with
+//!   critical-path task priorities and zero-copy block publication.
+//!   [`factorize_threaded`] lives here.
+//! * [`threaded`] — the channel-based SPMD baseline: one OS thread per
+//!   virtual processor, blocks exchanged over channels, entirely data-driven
+//!   exactly as the paper describes ("a processor acts on received blocks in
+//!   the order in which they are received"). Kept (as [`factorize_fifo`])
+//!   for the scheduler's benchmark comparison.
 //! * [`sim`] — the same protocol executed on the discrete-event Paragon
 //!   model of the `simgrid` crate, tracking *time* instead of numerics. All
 //!   of the paper's performance experiments (Figure 1, Tables 5 and 7) are
 //!   regenerated with this executor.
 //!
-//! The three executors share [`plan::Plan`] (who owns what, who must receive
-//! which completed block, how many updates each block awaits) and
-//! [`proto::ProtocolState`] (the per-processor data-driven state machine),
-//! so the simulated runs exercise the identical protocol logic that the
-//! numeric runs validate for correctness.
+//! The executors share [`plan::Plan`] (who owns what, who must receive
+//! which completed block, how many updates each block awaits); the channel
+//! baseline and the simulator additionally share [`proto::ProtocolState`]
+//! (the per-processor data-driven state machine), so the simulated runs
+//! exercise the identical protocol logic that the numeric runs validate for
+//! correctness.
 
 pub mod critpath;
 pub mod factor;
@@ -23,22 +29,24 @@ pub mod multifrontal;
 pub mod plan;
 pub mod proto;
 pub mod psolve;
+pub mod sched;
 pub mod seq;
 pub mod sim;
 pub mod simplicial;
 pub mod solve;
 pub mod threaded;
 
-pub use critpath::{critical_path, CriticalPath};
+pub use critpath::{block_levels, critical_path, CriticalPath};
 pub use factor::NumericFactor;
 pub use multifrontal::factorize_multifrontal;
 pub use plan::Plan;
 pub use psolve::{solve_threaded, SolvePlan};
+pub use sched::{factorize_sched, factorize_sched_opts, factorize_threaded, SchedOptions, SchedStats};
 pub use seq::factorize_seq;
 pub use simplicial::{factorize_simplicial, factorize_simplicial_from, CscFactor};
 pub use sim::{block_ranks, simulate, simulate_with_policy, SimOutcome, SimPolicy};
 pub use solve::{residual_norm, solve};
-pub use threaded::factorize_threaded;
+pub use threaded::{factorize_fifo, FifoStats};
 
 /// Errors from numeric factorization.
 #[derive(Debug, Clone, PartialEq, Eq)]

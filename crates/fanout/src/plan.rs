@@ -31,6 +31,11 @@ pub struct Plan {
     pub expected_recv: Vec<u64>,
     /// Per processor: number of blocks it owns (and must complete).
     pub owned_blocks: Vec<u64>,
+    /// Optional per-block scheduling priorities, flattened by `block_base`
+    /// (`priority[block_id(j, b)]`, larger = more urgent). Carried over from
+    /// [`Assignment::priority`]; the work-stealing scheduler derives
+    /// critical-path levels itself when absent.
+    pub priority: Option<Vec<f64>>,
 }
 
 impl Plan {
@@ -101,6 +106,13 @@ impl Plan {
                 owned_blocks[owner[j][b] as usize] += 1;
             }
         }
+        let priority = asg.priority.as_ref().map(|pri| {
+            let mut flat = Vec::with_capacity(*block_base.last().unwrap() as usize);
+            for col in pri {
+                flat.extend_from_slice(col);
+            }
+            flat
+        });
         Self {
             owner,
             p,
@@ -113,6 +125,7 @@ impl Plan {
             send_to,
             expected_recv,
             owned_blocks,
+            priority,
         }
     }
 

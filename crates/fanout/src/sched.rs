@@ -1,0 +1,879 @@
+//! Shared-memory work-stealing task scheduler for the block fan-out method.
+//!
+//! The paper's Section 5 diagnosis (see [`crate::critpath`]) is that the
+//! benchmark problems have ~50% more concurrency than the achieved
+//! performance — the gap is scheduling and communication, not want of
+//! parallelism. The original executor ([`crate::threaded`], kept as the
+//! measurable baseline) spawns one OS thread per *virtual* processor and
+//! snapshots every remotely-consumed block into an `Arc<Vec<f64>>`, which is
+//! pure overhead once every consumer shares one address space.
+//!
+//! This module replaces that with an asynchronous task-DAG runtime:
+//!
+//! * **Workers, not vprocs.** The `p`-processor plan runs on
+//!   `min(p, num_cpus)` worker threads. The plan's block ownership only
+//!   seeds task *placement* (initial deque of owner `q` → worker
+//!   `q mod workers`); execution is wherever the task is popped or stolen.
+//! * **Chase–Lev deques with stealing.** Each worker owns a
+//!   [`crossbeam::deque`] and pops LIFO; idle workers steal FIFO from
+//!   victims, so the oldest (lowest-priority) tasks migrate first.
+//! * **Dependency counts, flat ids.** All bookkeeping is indexed by the
+//!   plan's flat block ids (`plan.block_base`) — no hash map is touched on
+//!   the hot path. A destination block carries a cursor over its incoming
+//!   `BMOD` list (sorted by source column); a block column carries a count
+//!   of blocks still awaiting updates; a column whose count hits zero
+//!   becomes a completion task (`BFAC` + one whole-column `TRSM`).
+//! * **Critical-path priorities.** Ready tasks are pushed in ascending
+//!   [`crate::critpath::block_levels`] order, so the LIFO pop serves the
+//!   task with the longest remaining dependency chain first
+//!   (overridable through [`Plan::priority`], disablable per run).
+//! * **Zero-copy publication.** Completed blocks are never snapshotted:
+//!   completion is a release-store into a per-column done bitmap, and
+//!   consumers read the factor storage in place after an acquire-load.
+//!   [`SchedStats::blocks_copied`] stays 0 by construction.
+//!
+//! # Numerics
+//!
+//! The result is **bit-identical** to [`crate::seq::factorize_seq`]:
+//! updates into each destination block are applied sequentially in
+//! ascending source-column order (the cursor enforces the sequential
+//! executor's summation order), and column completion reuses
+//! `factor_column_buf` verbatim — including the single whole-column `TRSM`,
+//! whose kernel-path selection depends on the row count and would otherwise
+//! diverge in the last bits under FMA contraction.
+
+use crate::critpath::block_levels;
+use crate::factor::NumericFactor;
+use crate::plan::Plan;
+use crate::seq::{apply_bmod, factor_column_buf};
+use crate::Error;
+use blockmat::BlockMatrix;
+use crossbeam::deque::{Steal, Stealer, Worker as Deque};
+use dense::KernelArena;
+use simgrid::MachineModel;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables of [`factorize_sched_opts`].
+#[derive(Debug, Clone)]
+pub struct SchedOptions {
+    /// Worker thread count; `None` = `min(plan.p, available_parallelism)`.
+    pub workers: Option<usize>,
+    /// Pop critical-path-urgent tasks first (`false` = plain LIFO order).
+    pub use_priorities: bool,
+    /// When set, randomizes steal-victim order and injects scheduling
+    /// jitter (yields) from this seed — used by the interleaving stress
+    /// tests. `None` for production runs.
+    pub seed: Option<u64>,
+}
+
+impl Default for SchedOptions {
+    fn default() -> Self {
+        Self { workers: None, use_priorities: true, seed: None }
+    }
+}
+
+/// Execution statistics of one scheduler run, fed to the bench layer.
+#[derive(Debug, Clone, Default)]
+pub struct SchedStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Virtual processors of the plan the run executed.
+    pub p: usize,
+    /// Successful steals.
+    pub steals: u64,
+    /// Steal attempts (successful or not).
+    pub steal_attempts: u64,
+    /// Park events after a full empty sweep of every deque.
+    pub idle_polls: u64,
+    /// Claims of a block task that could not advance its cursor (the
+    /// notifying source column was not the cursor's next dependency).
+    pub spurious_claims: u64,
+    /// High-water mark of simultaneously queued ready tasks.
+    pub ready_hwm: usize,
+    /// Tasks executed (block-advance + column-completion).
+    pub tasks_run: u64,
+    /// `BMOD`s applied.
+    pub bmods_applied: u64,
+    /// Block columns factored (`BFAC` + whole-column `TRSM`).
+    pub columns_factored: u64,
+    /// Completed-block snapshot copies. Zero by construction in this
+    /// shared-memory path (consumers read the factor storage in place);
+    /// the field exists so benchmarks can assert that against the
+    /// channel-based baseline's copy count.
+    pub blocks_copied: u64,
+    /// Per-worker busy time (seconds spent inside tasks).
+    pub busy_s: Vec<f64>,
+    /// Wall-clock of the parallel section.
+    pub elapsed_s: f64,
+}
+
+/// Factors `f` in place with the work-stealing scheduler under default
+/// options. Drop-in for the old executor, plus statistics.
+pub fn factorize_sched(f: &mut NumericFactor, plan: &Plan) -> Result<SchedStats, Error> {
+    factorize_sched_opts(f, plan, &SchedOptions::default())
+}
+
+/// Factors `f` in place using `plan`'s virtual-processor protocol on
+/// `min(p, num_cpus)` work-stealing worker threads.
+///
+/// The factor is bit-identical to [`crate::factorize_seq`] regardless of
+/// worker count, steal order, or priorities.
+pub fn factorize_threaded(f: &mut NumericFactor, plan: &Plan) -> Result<(), Error> {
+    factorize_sched(f, plan).map(|_| ())
+}
+
+/// [`factorize_sched`] with explicit [`SchedOptions`].
+pub fn factorize_sched_opts(
+    f: &mut NumericFactor,
+    plan: &Plan,
+    opts: &SchedOptions,
+) -> Result<SchedStats, Error> {
+    let bm = f.bm.clone();
+    let schedule = Schedule::build(&bm, plan, opts.use_priorities);
+    let workers = opts
+        .workers
+        .unwrap_or_else(|| {
+            plan.p.min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        })
+        .max(1);
+
+    let np = bm.num_panels();
+    let nb = plan.num_blocks();
+    let shared = Shared {
+        bm: &bm,
+        plan,
+        sched: &schedule,
+        offsets: &f.offsets,
+        cols: f.data.iter_mut().map(|v| ColPtr { ptr: v.as_mut_ptr(), len: v.len() }).collect(),
+        state: (0..nb).map(|_| AtomicU8::new(IDLE)).collect(),
+        cursor: (0..nb).map(|id| AtomicU32::new(schedule.upd_base[id])).collect(),
+        col_unfinished: schedule.init_unfinished.iter().map(|&u| AtomicU32::new(u)).collect(),
+        col_done: (0..np).map(|_| AtomicBool::new(false)).collect(),
+        cols_remaining: AtomicUsize::new(np),
+        queued: AtomicUsize::new(0),
+        outstanding: AtomicUsize::new(0),
+        ready_hwm: AtomicUsize::new(0),
+        done: AtomicBool::new(np == 0),
+        fail_col: AtomicUsize::new(usize::MAX),
+        stealers: Vec::new(),
+        sleep: Mutex::new(()),
+        wake: Condvar::new(),
+    };
+
+    // Per-worker deques. Capacity bound: the claim protocol keeps at most
+    // one queued entry per block plus one per column, globally — so each
+    // fixed-capacity deque can absorb the worst case of every task landing
+    // on one worker.
+    let mut deques: Vec<Deque> = (0..workers).map(|_| Deque::with_capacity(nb + np)).collect();
+    let mut shared = shared;
+    shared.stealers = deques.iter().map(|d| d.stealer()).collect();
+
+    // Seed: columns with no incoming updates complete immediately; place
+    // each on the deque of the worker its plan owner maps to, least urgent
+    // first so the LIFO pop serves the critical path.
+    let mut seeds: Vec<Vec<(f64, u64)>> = vec![Vec::new(); workers];
+    for j in 0..np {
+        if schedule.init_unfinished[j] == 0 {
+            let w = plan.owner[j][0] as usize % workers;
+            seeds[w].push((schedule.prio_col[j], COL_TAG | j as u64));
+        }
+    }
+    let mut seeded = 0usize;
+    for (dq, mut batch) in deques.iter_mut().zip(seeds) {
+        batch.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        seeded += batch.len();
+        for (_, t) in batch {
+            dq.push(t);
+        }
+    }
+    shared.queued.store(seeded, Ordering::Relaxed);
+    shared.outstanding.store(seeded, Ordering::Relaxed);
+    shared.ready_hwm.store(seeded, Ordering::Relaxed);
+    if seeded == 0 {
+        shared.done.store(true, Ordering::Relaxed);
+    }
+
+    let max_dim = (0..np)
+        .map(|j| {
+            let c = bm.col_width(j);
+            bm.cols[j].blocks.iter().map(|b| b.nrows()).max().unwrap_or(0).max(c)
+        })
+        .max()
+        .unwrap_or(0);
+
+    let t0 = Instant::now();
+    let locals: Vec<LocalStats> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (me, deque) in deques.into_iter().enumerate() {
+            let shared = &shared;
+            handles.push(scope.spawn(move || {
+                let mut arena = KernelArena::new();
+                arena.preallocate(max_dim);
+                let mut ctx = WorkerCtx {
+                    me,
+                    shared,
+                    deque,
+                    arena,
+                    rng: opts
+                        .seed
+                        .map(|s| (s ^ 0x9e37_79b9_7f4a_7c15).wrapping_add(me as u64 + 1) | 1),
+                    stats: LocalStats::default(),
+                    batch: Vec::new(),
+                };
+                ctx.run();
+                ctx.stats
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("scheduler worker panicked")).collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let fail = shared.fail_col.load(Ordering::Acquire);
+    if fail != usize::MAX {
+        return Err(Error::NotPositiveDefinite { col: fail });
+    }
+    assert_eq!(
+        shared.cols_remaining.load(Ordering::Acquire),
+        0,
+        "scheduler stalled with no pivot failure"
+    );
+    debug_assert!(shared.col_done.iter().all(|d| d.load(Ordering::Acquire)));
+
+    let mut stats = SchedStats {
+        workers,
+        p: plan.p,
+        ready_hwm: shared.ready_hwm.load(Ordering::Relaxed),
+        elapsed_s: elapsed,
+        busy_s: Vec::with_capacity(workers),
+        ..SchedStats::default()
+    };
+    for l in locals {
+        stats.steals += l.steals;
+        stats.steal_attempts += l.steal_attempts;
+        stats.idle_polls += l.idle_polls;
+        stats.spurious_claims += l.spurious;
+        stats.tasks_run += l.tasks;
+        stats.bmods_applied += l.bmods;
+        stats.columns_factored += l.cols;
+        stats.busy_s.push(l.busy_s);
+    }
+    Ok(stats)
+}
+
+/// Tag bit distinguishing column-completion tasks from block-advance tasks.
+const COL_TAG: u64 = 1 << 63;
+
+// Claim states of a block task. At most one deque entry exists per block:
+// IDLE→QUEUED enqueues, the popper moves QUEUED→RUNNING, concurrent
+// notifications mark RUNNING→DIRTY, and release retries while DIRTY.
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const DIRTY: u8 = 3;
+
+/// The static task graph: per-destination update lists (sorted by source
+/// column — the sequential summation order) and per-column notification
+/// fan-out, all over flat block ids.
+struct Schedule {
+    /// Per block id: range into `upd_*` (len `num_blocks + 1`).
+    upd_base: Vec<u32>,
+    /// Source column of each update.
+    upd_k: Vec<u32>,
+    /// Source block indices (`a ≥ b` within column `k`).
+    upd_a: Vec<u32>,
+    upd_b: Vec<u32>,
+    /// Per column: range into `out_dest` (len `num_panels + 1`).
+    out_base: Vec<u32>,
+    /// Destination block ids to notify when a column completes.
+    out_dest: Vec<u32>,
+    /// Per block id: owning column.
+    col_of_block: Vec<u32>,
+    /// Per column: blocks with at least one incoming update.
+    init_unfinished: Vec<u32>,
+    /// Per block id / column: critical-path priority (larger = more urgent).
+    prio_block: Vec<f64>,
+    prio_col: Vec<f64>,
+}
+
+impl Schedule {
+    fn build(bm: &BlockMatrix, plan: &Plan, use_priorities: bool) -> Self {
+        let np = bm.num_panels();
+        let nb = plan.num_blocks();
+        let mut col_of_block = vec![0u32; nb];
+        for j in 0..np {
+            for b in 0..bm.cols[j].blocks.len() {
+                col_of_block[plan.block_id(j as u32, b as u32)] = j as u32;
+            }
+        }
+        // Gather updates per destination. Iterating source columns in
+        // ascending order makes each destination's list sorted by `k` —
+        // exactly the order `factorize_seq` applies them.
+        let mut per_dest: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); nb];
+        let mut out_base = Vec::with_capacity(np + 1);
+        let mut out_dest = Vec::new();
+        for k in 0..np {
+            out_base.push(out_dest.len() as u32);
+            let blocks = &bm.cols[k].blocks;
+            for b in 1..blocks.len() {
+                for a in b..blocks.len() {
+                    let (i, j) = (blocks[a].row_panel as usize, blocks[b].row_panel as usize);
+                    let db = bm.find_block(i, j).expect("BMOD destination exists");
+                    let dest = plan.block_id(j as u32, db as u32) as u32;
+                    per_dest[dest as usize].push((k as u32, a as u32, b as u32));
+                    out_dest.push(dest);
+                }
+            }
+        }
+        out_base.push(out_dest.len() as u32);
+        let mut upd_base = Vec::with_capacity(nb + 1);
+        let total: usize = per_dest.iter().map(|v| v.len()).sum();
+        let (mut upd_k, mut upd_a, mut upd_b) =
+            (Vec::with_capacity(total), Vec::with_capacity(total), Vec::with_capacity(total));
+        let mut init_unfinished = vec![0u32; np];
+        for (id, list) in per_dest.iter().enumerate() {
+            upd_base.push(upd_k.len() as u32);
+            if !list.is_empty() {
+                init_unfinished[col_of_block[id] as usize] += 1;
+            }
+            for &(k, a, b) in list {
+                upd_k.push(k);
+                upd_a.push(a);
+                upd_b.push(b);
+            }
+        }
+        upd_base.push(upd_k.len() as u32);
+
+        let (prio_block, prio_col) = if use_priorities {
+            let flat: Vec<f64> = match &plan.priority {
+                Some(p) => p.clone(),
+                None => {
+                    let levels = block_levels(bm, &MachineModel::paragon());
+                    levels.into_iter().flatten().collect()
+                }
+            };
+            let pc = (0..np).map(|j| flat[plan.block_id(j as u32, 0)]).collect();
+            (flat, pc)
+        } else {
+            (vec![0.0; nb], vec![0.0; np])
+        };
+        Self {
+            upd_base,
+            upd_k,
+            upd_a,
+            upd_b,
+            out_base,
+            out_dest,
+            col_of_block,
+            init_unfinished,
+            prio_block,
+            prio_col,
+        }
+    }
+}
+
+struct ColPtr {
+    ptr: *mut f64,
+    len: usize,
+}
+
+/// State shared by the workers.
+///
+/// Holds raw pointers into the factor's column buffers; see the safety
+/// argument on [`Shared::block_mut`].
+struct Shared<'a> {
+    bm: &'a BlockMatrix,
+    plan: &'a Plan,
+    sched: &'a Schedule,
+    offsets: &'a [Vec<usize>],
+    cols: Vec<ColPtr>,
+    /// Per block: claim state (IDLE/QUEUED/RUNNING/DIRTY).
+    state: Vec<AtomicU8>,
+    /// Per block: absolute index of the next update in `sched.upd_*`.
+    /// Written only by the claiming worker.
+    cursor: Vec<AtomicU32>,
+    /// Per column: blocks still awaiting updates.
+    col_unfinished: Vec<AtomicU32>,
+    /// Per column: published (factored, readable in place).
+    col_done: Vec<AtomicBool>,
+    cols_remaining: AtomicUsize,
+    /// Currently queued tasks (stats / high-water mark only).
+    queued: AtomicUsize,
+    /// Queued **plus executing** tasks. Hitting zero means quiescence:
+    /// nothing queued and nothing running that could enqueue more — which is
+    /// how runs with a pivot failure terminate (columns downstream of the
+    /// failed one never become ready; see [`WorkerCtx::run_column`]).
+    outstanding: AtomicUsize,
+    ready_hwm: AtomicUsize,
+    done: AtomicBool,
+    /// Smallest failing global column seen (`usize::MAX` = none).
+    fail_col: AtomicUsize,
+    stealers: Vec<Stealer>,
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+// SAFETY: the raw column pointers are only dereferenced under the scheduling
+// protocol — mutable access to a block is confined to the worker holding its
+// RUNNING claim (block slices within a column are disjoint), mutable access
+// to a whole column happens only in its single column-completion task after
+// every block of the column released its final claim, and shared reads only
+// follow an acquire-load of `col_done` after which the column is never
+// written again. The pointers outlive the workers (scoped threads borrow
+// `Shared`, which borrows the factor).
+unsafe impl Sync for Shared<'_> {}
+
+impl Shared<'_> {
+    fn block_range(&self, j: usize, b: usize) -> (usize, usize) {
+        let lo = self.offsets[j][b];
+        let hi = self.offsets[j].get(b + 1).copied().unwrap_or(self.cols[j].len);
+        (lo, hi)
+    }
+
+    /// SAFETY: caller must hold the block's RUNNING claim.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn block_mut(&self, j: usize, b: usize) -> &mut [f64] {
+        let (lo, hi) = self.block_range(j, b);
+        std::slice::from_raw_parts_mut(self.cols[j].ptr.add(lo), hi - lo)
+    }
+
+    /// SAFETY: caller must have acquire-observed `col_done[j]`.
+    unsafe fn block_ref(&self, j: usize, b: usize) -> &[f64] {
+        let (lo, hi) = self.block_range(j, b);
+        std::slice::from_raw_parts(self.cols[j].ptr.add(lo), hi - lo)
+    }
+
+    /// SAFETY: caller must be the column's completion task.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn col_mut(&self, j: usize) -> &mut [f64] {
+        std::slice::from_raw_parts_mut(self.cols[j].ptr, self.cols[j].len)
+    }
+
+    fn wake_all(&self) {
+        let _guard = self.sleep.lock().unwrap();
+        self.wake.notify_all();
+    }
+}
+
+#[derive(Default)]
+struct LocalStats {
+    steals: u64,
+    steal_attempts: u64,
+    idle_polls: u64,
+    spurious: u64,
+    tasks: u64,
+    bmods: u64,
+    cols: u64,
+    busy_s: f64,
+}
+
+struct WorkerCtx<'a> {
+    me: usize,
+    shared: &'a Shared<'a>,
+    deque: Deque,
+    arena: KernelArena,
+    /// xorshift state for stress-test jitter; `None` = deterministic sweep.
+    rng: Option<u64>,
+    stats: LocalStats,
+    /// Ready tasks generated by the current task, flushed priority-sorted.
+    batch: Vec<(f64, u64)>,
+}
+
+impl WorkerCtx<'_> {
+    fn run(&mut self) {
+        let s = self.shared;
+        loop {
+            if s.done.load(Ordering::Acquire) {
+                break;
+            }
+            let task = match self.deque.pop() {
+                Some(t) => Some(t),
+                None => self.steal_sweep(),
+            };
+            match task {
+                Some(t) => {
+                    s.queued.fetch_sub(1, Ordering::AcqRel);
+                    self.jitter();
+                    let t0 = Instant::now();
+                    if t & COL_TAG != 0 {
+                        self.run_column((t & !COL_TAG) as usize);
+                    } else {
+                        self.run_block(t as usize);
+                    }
+                    self.stats.tasks += 1;
+                    self.stats.busy_s += t0.elapsed().as_secs_f64();
+                    // Flush before retiring the task so `outstanding` never
+                    // dips to zero while successor tasks are still in hand.
+                    self.flush_batch();
+                    if s.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        s.done.store(true, Ordering::Release);
+                        s.wake_all();
+                    }
+                }
+                None => self.park(),
+            }
+        }
+    }
+
+    fn rng_next(&mut self) -> u64 {
+        let state = self.rng.as_mut().expect("rng requested without seed");
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    /// Stress-test scheduling jitter: occasionally yield the OS slice so
+    /// seeded runs explore different thread interleavings.
+    fn jitter(&mut self) {
+        if self.rng.is_some() && self.rng_next() % 4 == 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    fn steal_sweep(&mut self) -> Option<u64> {
+        let n = self.shared.stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = if self.rng.is_some() {
+            self.rng_next() as usize % n
+        } else {
+            self.me + 1
+        };
+        for i in 0..n {
+            let v = (start + i) % n;
+            if v == self.me {
+                continue;
+            }
+            loop {
+                self.stats.steal_attempts += 1;
+                match self.shared.stealers[v].steal() {
+                    Steal::Success(t) => {
+                        self.stats.steals += 1;
+                        return Some(t);
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    fn park(&mut self) {
+        let s = self.shared;
+        self.stats.idle_polls += 1;
+        let guard = s.sleep.lock().unwrap();
+        if s.done.load(Ordering::Acquire) {
+            return;
+        }
+        // The timeout bounds the cost of the benign race between a final
+        // empty sweep and a concurrent push's notify.
+        let _ = s.wake.wait_timeout(guard, Duration::from_micros(200)).unwrap();
+    }
+
+    /// Queues a freshly ready task into the current task's batch.
+    fn enqueue(&mut self, prio: f64, task: u64) {
+        self.batch.push((prio, task));
+    }
+
+    /// Pushes the batch least-urgent first (LIFO pop ⇒ most urgent runs
+    /// first; thieves steal from the old, least-urgent end).
+    fn flush_batch(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        self.batch.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        let n = self.batch.len();
+        for i in 0..n {
+            let t = self.batch[i].1;
+            self.deque.push(t);
+        }
+        self.batch.clear();
+        let s = self.shared;
+        s.outstanding.fetch_add(n, Ordering::AcqRel);
+        let q = s.queued.fetch_add(n, Ordering::AcqRel) + n;
+        s.ready_hwm.fetch_max(q, Ordering::AcqRel);
+        if s.stealers.len() > 1 {
+            s.wake_all();
+        }
+    }
+
+    /// Marks block `id` ready to (possibly) advance. At most one queue entry
+    /// per block ever exists: IDLE is the only state that enqueues.
+    fn notify_block(&mut self, id: usize) {
+        let st = &self.shared.state[id];
+        loop {
+            match st.load(Ordering::Acquire) {
+                IDLE => {
+                    if st
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.enqueue(self.shared.sched.prio_block[id], id as u64);
+                        return;
+                    }
+                }
+                QUEUED | DIRTY => return,
+                RUNNING => {
+                    if st
+                        .compare_exchange(RUNNING, DIRTY, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                _ => unreachable!("invalid block claim state"),
+            }
+        }
+    }
+
+    fn run_block(&mut self, id: usize) {
+        let st = &self.shared.state[id];
+        let claimed =
+            st.compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire).is_ok();
+        debug_assert!(claimed, "popped block task must be QUEUED");
+        let mut progressed = false;
+        loop {
+            progressed |= self.advance(id);
+            match st.compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => break,
+                Err(_) => {
+                    // A notification raced in while we were RUNNING; clear
+                    // the DIRTY mark and re-scan.
+                    st.store(RUNNING, Ordering::Release);
+                }
+            }
+        }
+        if !progressed {
+            self.stats.spurious += 1;
+        }
+    }
+
+    /// Applies every currently-runnable update of block `id`, strictly in
+    /// ascending source-column order. Returns true if the cursor moved.
+    fn advance(&mut self, id: usize) -> bool {
+        let s = self.shared;
+        let sc = s.sched;
+        let hi = sc.upd_base[id + 1] as usize;
+        let start = s.cursor[id].load(Ordering::Relaxed) as usize;
+        if start >= hi {
+            return false;
+        }
+        let j = sc.col_of_block[id] as usize;
+        let b = id - s.plan.block_base[j] as usize;
+        // SAFETY: we hold this block's RUNNING claim.
+        let dest = unsafe { s.block_mut(j, b) };
+        let mut cur = start;
+        while cur < hi {
+            let k = sc.upd_k[cur] as usize;
+            if !s.col_done[k].load(Ordering::Acquire) {
+                break;
+            }
+            let (a, bb) = (sc.upd_a[cur] as usize, sc.upd_b[cur] as usize);
+            let blocks = &s.bm.cols[k].blocks;
+            let (blk_a, blk_b) = (blocks[a], blocks[bb]);
+            // SAFETY: column k is published — read-only from here on.
+            let a_buf = unsafe { s.block_ref(k, a) };
+            let b_buf = unsafe { s.block_ref(k, bb) };
+            apply_bmod(
+                s.bm,
+                dest,
+                blk_a.row_panel as usize,
+                blk_b.row_panel as usize,
+                b,
+                a_buf,
+                s.bm.block_rows(k, &blk_a),
+                b_buf,
+                s.bm.block_rows(k, &blk_b),
+                s.bm.col_width(k),
+                &mut self.arena,
+            );
+            cur += 1;
+            self.stats.bmods += 1;
+        }
+        s.cursor[id].store(cur as u32, Ordering::Relaxed);
+        if cur == hi {
+            // Final update applied exactly once (the cursor only moves under
+            // the claim): retire the block from its column's count.
+            if s.col_unfinished[j].fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.enqueue(sc.prio_col[j], COL_TAG | j as u64);
+            }
+        }
+        cur > start
+    }
+
+    /// `BFAC` + whole-column `TRSM`, then publish and fan out readiness.
+    ///
+    /// On a pivot failure the column is *not* published and no abort is
+    /// broadcast: the failing global column enters `fail_col` (min-combined)
+    /// and the run drains to quiescence. Because block-column dependencies
+    /// only flow from lower to higher columns, every column smaller than the
+    /// eventual minimum still runs, so the reported pivot is exactly the one
+    /// `factorize_seq` would report — independent of worker count and steal
+    /// order.
+    fn run_column(&mut self, j: usize) {
+        let s = self.shared;
+        // SAFETY: the single completion task of column j; every block claim
+        // in the column has been released (col_unfinished hit zero).
+        let col = unsafe { s.col_mut(j) };
+        if let Err(Error::NotPositiveDefinite { col: c }) =
+            factor_column_buf(col, s.bm, j, &mut self.arena)
+        {
+            s.fail_col.fetch_min(c, Ordering::AcqRel);
+            return;
+        }
+        s.col_done[j].store(true, Ordering::Release);
+        self.stats.cols += 1;
+        let sc = s.sched;
+        let (lo, hi) = (sc.out_base[j] as usize, sc.out_base[j + 1] as usize);
+        for i in lo..hi {
+            self.notify_block(sc.out_dest[i] as usize);
+        }
+        if s.cols_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            s.done.store(true, Ordering::Release);
+            s.wake_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::factorize_seq;
+    use crate::solve::residual_norm;
+    use blockmat::{BlockWork, WorkModel};
+    use mapping::Assignment;
+    use std::sync::Arc;
+    use symbolic::AmalgParams;
+
+    fn prepared(
+        prob: &sparsemat::Problem,
+        bs: usize,
+        p: usize,
+    ) -> (NumericFactor, Plan, sparsemat::SymCscMatrix) {
+        let perm = ordering::order_problem(prob);
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+        let pa = analysis.perm.apply_to_matrix(&prob.matrix);
+        let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
+        let w = BlockWork::compute(&bm, &WorkModel::default());
+        let asg = Assignment::cyclic(&bm, &w, p);
+        let plan = Plan::build(&bm, &asg);
+        let f = NumericFactor::from_matrix(bm, &pa);
+        (f, plan, pa)
+    }
+
+    #[test]
+    fn sched_factor_is_bit_identical_to_seq() {
+        let prob = sparsemat::gen::grid2d(9);
+        let (mut f_par, plan, pa) = prepared(&prob, 3, 4);
+        let mut f_seq = f_par.clone();
+        factorize_seq(&mut f_seq).unwrap();
+        let stats = factorize_sched(&mut f_par, &plan).unwrap();
+        let (_, _, v_seq) = f_seq.to_csc();
+        let (_, _, v_par) = f_par.to_csc();
+        assert_eq!(v_seq.len(), v_par.len());
+        for (i, (a, b)) in v_seq.iter().zip(&v_par).enumerate() {
+            assert!(a.to_bits() == b.to_bits(), "entry {i}: {a} vs {b}");
+        }
+        assert!(residual_norm(&pa, &f_par) < 1e-12);
+        assert_eq!(stats.blocks_copied, 0);
+        assert_eq!(stats.columns_factored as usize, f_par.bm.num_panels());
+        let mut bmods = 0u64;
+        blockmat::for_each_bmod(&f_par.bm, |_| bmods += 1);
+        assert_eq!(stats.bmods_applied, bmods);
+    }
+
+    #[test]
+    fn sched_works_across_processor_and_worker_counts() {
+        for (p, workers) in [(1, 1), (4, 2), (16, 3), (64, 4)] {
+            let prob = sparsemat::gen::bcsstk_like("T", 150, 3);
+            let (mut f, plan, pa) = prepared(&prob, 4, p);
+            let opts = SchedOptions { workers: Some(workers), ..Default::default() };
+            let stats = factorize_sched_opts(&mut f, &plan, &opts).unwrap();
+            assert_eq!(stats.workers, workers);
+            assert_eq!(stats.p, p);
+            let r = residual_norm(&pa, &f);
+            assert!(r < 1e-11, "p={p} workers={workers} residual {r}");
+        }
+    }
+
+    #[test]
+    fn priorities_off_is_still_bit_identical() {
+        let prob = sparsemat::gen::grid2d(8);
+        let (mut f_par, plan, _) = prepared(&prob, 3, 4);
+        let mut f_seq = f_par.clone();
+        factorize_seq(&mut f_seq).unwrap();
+        let opts = SchedOptions { use_priorities: false, ..Default::default() };
+        factorize_sched_opts(&mut f_par, &plan, &opts).unwrap();
+        let (_, _, v_seq) = f_seq.to_csc();
+        let (_, _, v_par) = f_par.to_csc();
+        for (a, b) in v_seq.iter().zip(&v_par) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn plan_priorities_are_honored() {
+        let prob = sparsemat::gen::grid2d(8);
+        let perm = ordering::order_problem(&prob);
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+        let pa = analysis.perm.apply_to_matrix(&prob.matrix);
+        let bm = Arc::new(BlockMatrix::build(analysis.supernodes, 3));
+        let w = BlockWork::compute(&bm, &WorkModel::default());
+        let levels = block_levels(&bm, &MachineModel::paragon());
+        let asg = Assignment::cyclic(&bm, &w, 4).with_block_priorities(levels);
+        let plan = Plan::build(&bm, &asg);
+        assert!(plan.priority.is_some());
+        let mut f = NumericFactor::from_matrix(bm, &pa);
+        factorize_sched(&mut f, &plan).unwrap();
+        assert!(residual_norm(&pa, &f) < 1e-12);
+    }
+
+    #[test]
+    fn sched_reports_smallest_failing_column() {
+        // Two independent indefinite 2x2 diagonal blocks; whichever worker
+        // trips first, the reported pivot must be the smaller column.
+        let a = sparsemat::SymCscMatrix::from_coords(
+            4,
+            &[
+                (0, 0, 1.0),
+                (1, 0, 3.0),
+                (1, 1, 1.0),
+                (2, 2, 1.0),
+                (3, 2, 4.0),
+                (3, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        let parent = symbolic::etree(a.pattern());
+        let counts = symbolic::col_counts(a.pattern(), &parent);
+        let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgParams::off());
+        let bm = Arc::new(BlockMatrix::build(sn, 2));
+        let w = BlockWork::compute(&bm, &WorkModel::default());
+        let asg = Assignment::cyclic(&bm, &w, 4);
+        let plan = Plan::build(&bm, &asg);
+        let mut f = NumericFactor::from_matrix(bm, &a);
+        let err = factorize_sched(&mut f, &plan).unwrap_err();
+        assert_eq!(err, Error::NotPositiveDefinite { col: 1 });
+    }
+
+    #[test]
+    fn threaded_wrapper_keeps_signature_and_matches_seq() {
+        let prob = sparsemat::gen::grid2d(7);
+        let (mut f_par, plan, _) = prepared(&prob, 3, 4);
+        let mut f_seq = f_par.clone();
+        factorize_seq(&mut f_seq).unwrap();
+        let ok: Result<(), Error> = factorize_threaded(&mut f_par, &plan);
+        ok.unwrap();
+        let (_, _, v_seq) = f_seq.to_csc();
+        let (_, _, v_par) = f_par.to_csc();
+        for (a, b) in v_seq.iter().zip(&v_par) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -64,9 +64,23 @@ pub(crate) fn factor_block_column(
     k: usize,
     arena: &mut KernelArena,
 ) -> Result<(), Error> {
+    factor_column_buf(&mut f.data[k], bm, k, arena)
+}
+
+/// [`factor_block_column`] on a raw column buffer (diagonal block followed by
+/// the concatenated off-diagonal blocks). Shared verbatim with the
+/// work-stealing scheduler so parallel completion performs *exactly* the
+/// kernel call sequence of the sequential factorization — the single
+/// whole-column `TRSM` included — which is what makes the two factors
+/// bit-identical.
+pub(crate) fn factor_column_buf(
+    col: &mut [f64],
+    bm: &BlockMatrix,
+    k: usize,
+    arena: &mut KernelArena,
+) -> Result<(), Error> {
     let c = bm.col_width(k);
     let nblk = bm.cols[k].blocks.len();
-    let col = &mut f.data[k];
     let (diag, rest) = col.split_at_mut(c * c);
     potrf_with(diag, c, arena).map_err(|e| Error::NotPositiveDefinite {
         col: bm.partition.cols(k).start + e.pivot,

@@ -1,13 +1,16 @@
-//! Real SPMD execution of the block fan-out method: one OS thread per
-//! virtual processor, completed blocks exchanged over channels, fully
-//! data-driven. Validates that the protocol the simulator times is the same
-//! protocol that produces a correct factor.
+//! Channel-based SPMD execution of the block fan-out method: one OS thread
+//! per **virtual** processor, completed blocks exchanged over channels in
+//! FIFO receive order, fully data-driven. Validates that the protocol the
+//! simulator times is the same protocol that produces a correct factor, and
+//! serves as the measured baseline for the work-stealing scheduler in
+//! [`crate::sched`] (whose `factorize_threaded` is now the production entry
+//! point).
 //!
 //! Each worker owns mutable slices into the factor's block storage and
-//! factors them **in place** — block data is never copied in or out of the
-//! executor. The only copies made are the `Arc`-shared snapshots of completed
-//! blocks shipped to remote consumers (and none is made when a block has no
-//! remote consumer).
+//! factors them **in place**. The only copies made are the `Arc`-shared
+//! snapshots of completed blocks shipped to remote consumers — the exact
+//! overhead [`FifoStats::blocks_copied`] counts and the scheduler
+//! eliminates.
 
 use crate::factor::NumericFactor;
 use crate::plan::Plan;
@@ -18,36 +21,51 @@ use blockmat::BlockMatrix;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dense::kernels::{potrf_with, trsm_right_lower_trans_with};
 use dense::KernelArena;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 enum Msg {
-    /// A completed block `(j, b)` with its data.
-    Block(u32, u32, Arc<Vec<f64>>),
+    /// A completed block (flat id) with its data.
+    Block(u32, Arc<Vec<f64>>),
     /// A processor hit a numeric error; everyone unwinds.
     Abort,
 }
 
-/// Factors `f` in place using `plan.p` concurrent virtual processors.
+/// Execution counters of one FIFO-baseline run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoStats {
+    /// Completed-block snapshots allocated (`Arc<Vec<f64>>` copies).
+    pub blocks_copied: u64,
+    /// Block messages sent over the channels.
+    pub messages: u64,
+}
+
+/// Factors `f` in place using `plan.p` concurrent virtual processors, one
+/// OS thread each, blocks exchanged over channels.
 ///
 /// Each thread owns the blocks the plan assigns to it, processes arriving
 /// completed blocks in receive order, and ships its own completions. The
 /// result is numerically equal to the sequential factorization up to
-/// floating-point summation order.
-pub fn factorize_threaded(f: &mut NumericFactor, plan: &Plan) -> Result<(), Error> {
+/// floating-point summation order. On a pivot failure the reported column is
+/// the smallest failing column among all workers that hit one, regardless of
+/// which worker or thread interleaving surfaced it first.
+pub fn factorize_fifo(f: &mut NumericFactor, plan: &Plan) -> Result<FifoStats, Error> {
     let bm = f.bm.clone();
     let p = plan.p;
-    // Hand each virtual processor exclusive mutable views of its blocks.
-    let mut owned: Vec<HashMap<(u32, u32), &mut [f64]>> = (0..p).map(|_| HashMap::new()).collect();
+    let nb = plan.num_blocks();
+    // Hand each virtual processor exclusive mutable views of its blocks,
+    // flat-indexed by `plan.block_base` (no hash map on the hot path).
+    let mut owned: Vec<Vec<Option<&mut [f64]>>> = (0..p)
+        .map(|_| (0..nb).map(|_| None).collect())
+        .collect();
     for ((j, b), slice) in f.split_blocks_mut() {
         let q = plan.owner[j as usize][b as usize] as usize;
-        owned[q].insert((j, b), slice);
+        owned[q][plan.block_id(j, b)] = Some(slice);
     }
 
     let (senders, receivers): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
         (0..p).map(|_| unbounded()).unzip();
 
-    let results: Vec<Result<(), Error>> = std::thread::scope(|scope| {
+    let results: Vec<Result<FifoStats, Error>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (me, (mine, rx)) in owned.into_iter().zip(receivers).enumerate() {
             let senders = senders.clone();
@@ -61,15 +79,23 @@ pub fn factorize_threaded(f: &mut NumericFactor, plan: &Plan) -> Result<(), Erro
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
 
-    let mut first_err = None;
+    // Smallest failing column wins, independent of worker index or timing.
+    let mut stats = FifoStats::default();
+    let mut min_col = None;
     for res in results {
-        if let Err(e) = res {
-            first_err = Some(first_err.unwrap_or(e));
+        match res {
+            Ok(s) => {
+                stats.blocks_copied += s.blocks_copied;
+                stats.messages += s.messages;
+            }
+            Err(Error::NotPositiveDefinite { col }) => {
+                min_col = Some(min_col.map_or(col, |c: usize| c.min(col)));
+            }
         }
     }
-    match first_err {
-        None => Ok(()),
-        Some(e) => Err(e),
+    match min_col {
+        None => Ok(stats),
+        Some(col) => Err(Error::NotPositiveDefinite { col }),
     }
 }
 
@@ -77,32 +103,36 @@ struct Worker<'a, 'data> {
     me: u32,
     plan: &'a Plan,
     bm: &'a BlockMatrix,
-    /// Blocks this processor owns: in-place views of the factor storage.
-    mine: HashMap<(u32, u32), &'data mut [f64]>,
-    /// Remote blocks received over the channels.
-    received: HashMap<(u32, u32), Arc<Vec<f64>>>,
+    /// Blocks this processor owns (in-place views of the factor storage),
+    /// indexed by flat block id.
+    mine: Vec<Option<&'data mut [f64]>>,
+    /// Remote blocks received over the channels, indexed by flat block id.
+    received: Vec<Option<Arc<Vec<f64>>>>,
     senders: Vec<Sender<Msg>>,
     arena: KernelArena,
+    stats: FifoStats,
 }
 
 fn worker(
     me: u32,
     plan: &Plan,
     bm: &BlockMatrix,
-    mine: HashMap<(u32, u32), &mut [f64]>,
+    mine: Vec<Option<&mut [f64]>>,
     rx: Receiver<Msg>,
     senders: Vec<Sender<Msg>>,
-) -> Result<(), Error> {
+) -> Result<FifoStats, Error> {
     let mut state = ProtocolState::new(plan, bm, me);
     let mut actions = Vec::new();
+    let nb = plan.num_blocks();
     let mut w = Worker {
         me,
         plan,
         bm,
         mine,
-        received: HashMap::new(),
+        received: (0..nb).map(|_| None).collect(),
         senders,
         arena: KernelArena::new(),
+        stats: FifoStats::default(),
     };
     state.start(plan, bm, &mut actions);
     if let Err(e) = w.execute(&actions) {
@@ -111,8 +141,9 @@ fn worker(
     }
     while !state.is_done() {
         match rx.recv() {
-            Ok(Msg::Block(j, b, data)) => {
-                w.received.insert((j, b), data);
+            Ok(Msg::Block(id, data)) => {
+                let (j, b) = flat_to_jb(plan, id);
+                w.received[id as usize] = Some(data);
                 state.on_receive(plan, bm, j, b, &mut actions);
                 if let Err(e) = w.execute(&actions) {
                     w.abort();
@@ -126,7 +157,13 @@ fn worker(
             }
         }
     }
-    Ok(())
+    Ok(w.stats)
+}
+
+/// Inverse of [`Plan::block_id`] (binary search over `block_base`).
+fn flat_to_jb(plan: &Plan, id: u32) -> (u32, u32) {
+    let j = plan.block_base.partition_point(|&base| base <= id) - 1;
+    (j as u32, id - plan.block_base[j])
 }
 
 impl<'data> Worker<'_, 'data> {
@@ -142,33 +179,32 @@ impl<'data> Worker<'_, 'data> {
                     let blk_a = col.blocks[a as usize];
                     let blk_b = col.blocks[b as usize];
                     let dest_i = blk_a.row_panel as usize;
-                    // Take the destination view out of the map so the source
-                    // lookups can borrow the map immutably; sources are in
+                    let id_a = self.plan.block_id(k, a);
+                    let id_b = self.plan.block_id(k, b);
+                    // Take the destination view out of its slot so the source
+                    // lookups can borrow the arrays immutably; sources are in
                     // other columns (k < dest_j), so no self-alias.
-                    let dest = self
-                        .mine
-                        .remove(&(dest_j, dest_b))
+                    let dest = self.mine[self.plan.block_id(dest_j, dest_b)]
+                        .take()
                         .expect("we own the BMOD destination");
                     {
                         let a_buf: &[f64] = if self.plan.owner[k as usize][a as usize] == self.me {
-                            self.mine
-                                .get(&(k, a))
-                                .map(|s| &**s)
+                            self.mine[id_a]
+                                .as_deref()
                                 .expect("own source block completed before use")
                         } else {
-                            self.received
-                                .get(&(k, a))
+                            self.received[id_a]
+                                .as_deref()
                                 .map(|x| x.as_slice())
                                 .expect("remote source block received before use")
                         };
                         let b_buf: &[f64] = if self.plan.owner[k as usize][b as usize] == self.me {
-                            self.mine
-                                .get(&(k, b))
-                                .map(|s| &**s)
+                            self.mine[id_b]
+                                .as_deref()
                                 .expect("own source block completed before use")
                         } else {
-                            self.received
-                                .get(&(k, b))
+                            self.received[id_b]
+                                .as_deref()
                                 .map(|x| x.as_slice())
                                 .expect("remote source block received before use")
                         };
@@ -186,13 +222,11 @@ impl<'data> Worker<'_, 'data> {
                             &mut self.arena,
                         );
                     }
-                    self.mine.insert((dest_j, dest_b), dest);
+                    self.mine[self.plan.block_id(dest_j, dest_b)] = Some(dest);
                 }
                 Action::Complete { j, b } => {
-                    let buf = self
-                        .mine
-                        .remove(&(j, b))
-                        .expect("we own the completing block");
+                    let id = self.plan.block_id(j, b);
+                    let buf = self.mine[id].take().expect("we own the completing block");
                     let c = self.bm.col_width(j as usize);
                     if b == 0 {
                         potrf_with(buf, c, &mut self.arena).map_err(|e| {
@@ -202,14 +236,12 @@ impl<'data> Worker<'_, 'data> {
                         })?;
                     } else {
                         let rows = self.bm.cols[j as usize].blocks[b as usize].nrows();
+                        let id_diag = self.plan.block_id(j, 0);
                         let diag: &[f64] = if self.plan.owner[j as usize][0] == self.me {
-                            self.mine
-                                .get(&(j, 0))
-                                .map(|s| &**s)
-                                .expect("local diagonal factored")
+                            self.mine[id_diag].as_deref().expect("local diagonal factored")
                         } else {
-                            self.received
-                                .get(&(j, 0))
+                            self.received[id_diag]
+                                .as_deref()
                                 .map(|a| a.as_slice())
                                 .expect("diagonal received")
                         };
@@ -220,11 +252,13 @@ impl<'data> Worker<'_, 'data> {
                     let dests = &self.plan.send_to[j as usize][b as usize];
                     if !dests.is_empty() {
                         let data = Arc::new(buf.to_vec());
+                        self.stats.blocks_copied += 1;
                         for &dest in dests {
-                            let _ = self.senders[dest as usize].send(Msg::Block(j, b, data.clone()));
+                            self.stats.messages += 1;
+                            let _ = self.senders[dest as usize].send(Msg::Block(id as u32, data.clone()));
                         }
                     }
-                    self.mine.insert((j, b), buf);
+                    self.mine[id] = Some(buf);
                 }
             }
         }
@@ -266,12 +300,12 @@ mod tests {
     }
 
     #[test]
-    fn threaded_matches_sequential_factor() {
+    fn fifo_matches_sequential_factor() {
         let prob = sparsemat::gen::grid2d(8);
         let (mut f_par, plan, pa) = prepared(&prob, 3, 4);
         let mut f_seq = f_par.clone();
         factorize_seq(&mut f_seq).unwrap();
-        factorize_threaded(&mut f_par, &plan).unwrap();
+        factorize_fifo(&mut f_par, &plan).unwrap();
         let (_, _, v_seq) = f_seq.to_csc();
         let (_, _, v_par) = f_par.to_csc();
         for (a, b) in v_seq.iter().zip(&v_par) {
@@ -281,19 +315,43 @@ mod tests {
     }
 
     #[test]
-    fn threaded_works_across_processor_counts() {
+    fn fifo_works_across_processor_counts() {
         for p in [1, 4, 9, 16] {
             let prob = sparsemat::gen::bcsstk_like("T", 150, 3);
             let (mut f, plan, pa) = prepared(&prob, 4, p);
-            factorize_threaded(&mut f, &plan).unwrap();
+            let stats = factorize_fifo(&mut f, &plan).unwrap();
             let r = residual_norm(&pa, &f);
             assert!(r < 1e-11, "p={p} residual {r}");
+            if p == 1 {
+                assert_eq!(stats.blocks_copied, 0, "single proc must not copy");
+            }
         }
     }
 
     #[test]
-    fn threaded_reports_not_positive_definite() {
-        // An SPD pattern with values making it indefinite.
+    fn fifo_copy_count_matches_plan_send_lists() {
+        let prob = sparsemat::gen::grid2d(10);
+        let (mut f, plan, _) = prepared(&prob, 4, 4);
+        let stats = factorize_fifo(&mut f, &plan).unwrap();
+        let with_remote: u64 = plan
+            .send_to
+            .iter()
+            .flat_map(|c| c.iter().map(|l| u64::from(!l.is_empty())))
+            .sum();
+        let msgs: u64 = plan
+            .send_to
+            .iter()
+            .flat_map(|c| c.iter().map(|l| l.len() as u64))
+            .sum();
+        assert_eq!(stats.blocks_copied, with_remote);
+        assert_eq!(stats.messages, msgs);
+    }
+
+    #[test]
+    fn fifo_reports_smallest_failing_column() {
+        // Two independent indefinite 2x2 blocks owned by different vprocs;
+        // whichever worker trips first, the reported pivot must be the
+        // smaller global column.
         let a = sparsemat::SymCscMatrix::from_coords(
             4,
             &[
@@ -301,7 +359,7 @@ mod tests {
                 (1, 0, 3.0),
                 (1, 1, 1.0),
                 (2, 2, 1.0),
-                (3, 2, 0.1),
+                (3, 2, 4.0),
                 (3, 3, 1.0),
             ],
         )
@@ -311,10 +369,10 @@ mod tests {
         let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgParams::off());
         let bm = Arc::new(BlockMatrix::build(sn, 2));
         let w = BlockWork::compute(&bm, &WorkModel::default());
-        let asg = Assignment::cyclic(&bm, &w, 1);
+        let asg = Assignment::cyclic(&bm, &w, 4);
         let plan = Plan::build(&bm, &asg);
         let mut f = NumericFactor::from_matrix(bm, &a);
-        let err = factorize_threaded(&mut f, &plan).unwrap_err();
-        assert!(matches!(err, Error::NotPositiveDefinite { .. }));
+        let err = factorize_fifo(&mut f, &plan).unwrap_err();
+        assert_eq!(err, Error::NotPositiveDefinite { col: 1 });
     }
 }

@@ -66,6 +66,12 @@ pub struct Assignment {
     /// `eligible[j]`: true when block column `j` is 2-D mapped (root
     /// portion), false when owned by a domain processor.
     pub eligible: Vec<bool>,
+    /// Optional per-block scheduling priorities (`priority[j][b]`, larger =
+    /// more urgent), typically the critical-path "distance to DAG sink"
+    /// levels. Executors that schedule dynamically (the shared-memory
+    /// work-stealing scheduler) pop high-priority tasks first; `None` lets
+    /// the executor derive its own priorities.
+    pub priority: Option<Vec<Vec<f64>>>,
 }
 
 impl Assignment {
@@ -127,7 +133,19 @@ impl Assignment {
             };
             owner.push(col_owner);
         }
-        Self { grid, owner, cp, domains, eligible }
+        Self { grid, owner, cp, domains, eligible, priority: None }
+    }
+
+    /// Attaches per-block scheduling priorities (`priority[j][b]`, larger =
+    /// more urgent) in the block matrix's `[column][block]` layout. The
+    /// shapes must match `owner`.
+    pub fn with_block_priorities(mut self, priority: Vec<Vec<f64>>) -> Self {
+        assert_eq!(priority.len(), self.owner.len(), "priority column count");
+        for (col, pri) in self.owner.iter().zip(&priority) {
+            assert_eq!(pri.len(), col.len(), "priority block count");
+        }
+        self.priority = Some(priority);
+        self
     }
 
     /// Convenience: the paper's default configuration — a square grid,
