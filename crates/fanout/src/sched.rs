@@ -182,7 +182,7 @@ pub fn factorize_sched_opts(
     }
     let mut seeded = 0usize;
     for (dq, mut batch) in deques.iter_mut().zip(seeds) {
-        batch.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        batch.sort_by(|x, y| x.0.total_cmp(&y.0));
         seeded += batch.len();
         for (_, t) in batch {
             dq.push(t);
@@ -587,17 +587,22 @@ impl WorkerCtx<'_> {
         if self.batch.is_empty() {
             return;
         }
-        self.batch.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        self.batch.sort_by(|x, y| x.0.total_cmp(&y.0));
         let n = self.batch.len();
+        // Count the tasks before pushing: a thief may steal and retire a
+        // task the instant it lands on the deque, and its fetch_subs must
+        // never observe counters that don't yet include it (else
+        // `outstanding` hits zero with siblings still queued and the run
+        // terminates early).
+        let s = self.shared;
+        s.outstanding.fetch_add(n, Ordering::AcqRel);
+        let q = s.queued.fetch_add(n, Ordering::AcqRel) + n;
+        s.ready_hwm.fetch_max(q, Ordering::AcqRel);
         for i in 0..n {
             let t = self.batch[i].1;
             self.deque.push(t);
         }
         self.batch.clear();
-        let s = self.shared;
-        s.outstanding.fetch_add(n, Ordering::AcqRel);
-        let q = s.queued.fetch_add(n, Ordering::AcqRel) + n;
-        s.ready_hwm.fetch_max(q, Ordering::AcqRel);
         if s.stealers.len() > 1 {
             s.wake_all();
         }
@@ -636,7 +641,9 @@ impl WorkerCtx<'_> {
         let st = &self.shared.state[id];
         let claimed =
             st.compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire).is_ok();
-        debug_assert!(claimed, "popped block task must be QUEUED");
+        // Hard assert: a failed claim would mean another worker holds (or
+        // held) this block, and proceeding would race on block_mut.
+        assert!(claimed, "popped block task must be QUEUED");
         let mut progressed = false;
         loop {
             progressed |= self.advance(id);

@@ -143,6 +143,7 @@ impl Assignment {
         assert_eq!(priority.len(), self.owner.len(), "priority column count");
         for (col, pri) in self.owner.iter().zip(&priority) {
             assert_eq!(pri.len(), col.len(), "priority block count");
+            assert!(pri.iter().all(|p| p.is_finite()), "priorities must be finite");
         }
         self.priority = Some(priority);
         self
