@@ -206,6 +206,19 @@ pub mod deque {
     }
 
     impl Stealer {
+        /// Snapshot of the queue length (approximate under concurrency).
+        /// Used by stall diagnostics to report per-worker deque depths.
+        pub fn len(&self) -> usize {
+            let inner = &*self.inner;
+            (inner.bottom.load(Ordering::Relaxed) - inner.top.load(Ordering::Relaxed)).max(0)
+                as usize
+        }
+
+        /// True when `len()` observes zero.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Attempts to steal the oldest task.
         pub fn steal(&self) -> Steal {
             let inner = &*self.inner;

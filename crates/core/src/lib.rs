@@ -38,13 +38,61 @@ use std::sync::Arc;
 
 pub use balance::{BalanceReport, CommStats};
 pub use blockmat::{BlockMatrix, BlockWork, WorkModel};
-pub use fanout::{CriticalPath, NumericFactor, Plan, SimOutcome, SimPolicy};
+pub use fanout::{
+    CriticalPath, FaultPlan, NumericFactor, Plan, SchedOptions, SchedStats, SimOutcome,
+    SimPolicy, StallReport,
+};
 pub use mapping::{
     Assignment, ColPolicy, DomainParams, DomainPlan, Heuristic, ProcGrid, RowPolicy,
 };
 pub use simgrid::MachineModel;
 pub use sparsemat::{Permutation, Problem, SymCscMatrix};
 pub use symbolic::{AmalgParams, Analysis, FactorStats};
+
+/// Pipeline-wide error: everything the matrix front end (construction,
+/// file parsing) or the numeric back end (pivot failure, contained worker
+/// panic, stall) can fail with, converted at the crate boundary via `From`
+/// so `?` composes across layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// Matrix construction or file parsing failed (see
+    /// [`sparsemat::Error`], including line-annotated
+    /// [`Parse`](sparsemat::Error::Parse) errors from the readers).
+    Matrix(sparsemat::Error),
+    /// Numeric factorization failed (see [`fanout::Error`]: pivot failure,
+    /// contained worker panic, or scheduler stall).
+    Factor(fanout::Error),
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::Matrix(e) => write!(f, "matrix error: {e}"),
+            SolverError::Factor(e) => write!(f, "factorization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolverError::Matrix(e) => Some(e),
+            SolverError::Factor(e) => Some(e),
+        }
+    }
+}
+
+impl From<sparsemat::Error> for SolverError {
+    fn from(e: sparsemat::Error) -> Self {
+        SolverError::Matrix(e)
+    }
+}
+
+impl From<fanout::Error> for SolverError {
+    fn from(e: fanout::Error) -> Self {
+        SolverError::Factor(e)
+    }
+}
 
 /// Ordering selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,6 +267,32 @@ impl Solver {
         Ok(f)
     }
 
+    /// Work-stealing scheduler factorization with explicit
+    /// [`SchedOptions`] — the entry point that exposes the fault-tolerance
+    /// layer at the facade level: stall watchdog timeout, deterministic
+    /// fault injection, and NPD pivot perturbation.
+    pub fn factor_sched(
+        &self,
+        asg: &Assignment,
+        opts: &SchedOptions,
+    ) -> Result<(NumericFactor, SchedStats), SolverError> {
+        let plan = Plan::build(&self.bm, asg);
+        let mut f = NumericFactor::from_matrix(self.bm.clone(), &self.permuted);
+        let stats = fanout::factorize_sched_opts(&mut f, &plan, opts)?;
+        Ok((f, stats))
+    }
+
+    /// Reads a Matrix Market stream and analyzes it in one step; parse and
+    /// validation failures surface as [`SolverError::Matrix`] so callers
+    /// can `?` straight through to factorization.
+    pub fn analyze_matrix_market<R: std::io::BufRead>(
+        reader: R,
+        opts: &SolverOptions,
+    ) -> Result<Self, SolverError> {
+        let a = sparsemat::io::read_matrix_market(reader)?;
+        Ok(Self::analyze(&a, opts))
+    }
+
     /// Simulated factorization on the modeled machine (no numerics).
     pub fn simulate(&self, asg: &Assignment, model: &MachineModel) -> SimOutcome {
         let plan = Arc::new(Plan::build(&self.bm, asg));
@@ -387,5 +461,43 @@ mod tests {
         let s1 = Solver::analyze_problem(&p, &opts(2));
         let s2 = Solver::analyze_problem(&p, &opts(16));
         assert_eq!(s1.stats(), s2.stats());
+    }
+
+    #[test]
+    fn factor_sched_exposes_fault_tolerance_options() {
+        let p = sparsemat::gen::grid2d(8);
+        let solver = Solver::analyze_problem(&p, &opts(4));
+        let asg = solver.assign_cyclic(4);
+        let sched_opts = SchedOptions {
+            stall_timeout: Some(std::time::Duration::from_secs(10)),
+            ..Default::default()
+        };
+        let (f, stats) = solver.factor_sched(&asg, &sched_opts).unwrap();
+        assert!(solver.residual(&f) < 1e-12);
+        assert_eq!(stats.pivot_perturbations, 0);
+        let f_seq = solver.factor_seq().unwrap();
+        let (_, _, a) = f.to_csc();
+        let (_, _, b) = f_seq.to_csc();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn solver_error_composes_both_layers() {
+        // Front-end failure: malformed Matrix Market stream.
+        let bad = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 1 oops\n";
+        let err = Solver::analyze_matrix_market(std::io::BufReader::new(bad.as_bytes()), &opts(4))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, SolverError::Matrix(sparsemat::Error::Parse { line: 3, .. })));
+        assert!(err.to_string().contains("line 3"), "display: {err}");
+
+        // Back-end failure: indefinite matrix through the same error type.
+        let a = SymCscMatrix::from_coords(2, &[(0, 0, 1.0), (1, 0, 3.0), (1, 1, 1.0)]).unwrap();
+        let solver = Solver::analyze(&a, &opts(2));
+        let asg = solver.assign_cyclic(1);
+        let err = solver.factor_sched(&asg, &SchedOptions::default()).map(|_| ()).unwrap_err();
+        assert_eq!(err, SolverError::Factor(fanout::Error::NotPositiveDefinite { col: 1 }));
     }
 }

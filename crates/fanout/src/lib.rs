@@ -25,6 +25,7 @@
 
 pub mod critpath;
 pub mod factor;
+pub mod faults;
 pub mod multifrontal;
 pub mod plan;
 pub mod proto;
@@ -38,17 +39,23 @@ pub mod threaded;
 
 pub use critpath::{block_levels, critical_path, CriticalPath};
 pub use factor::NumericFactor;
+pub use faults::{Fault, FaultPlan};
 pub use multifrontal::factorize_multifrontal;
 pub use plan::Plan;
 pub use psolve::{solve_threaded, SolvePlan};
 pub use sched::{factorize_sched, factorize_sched_opts, factorize_threaded, SchedOptions, SchedStats};
-pub use seq::factorize_seq;
+pub use seq::{factorize_seq, factorize_seq_opts, FactorOpts, SeqStats};
 pub use simplicial::{factorize_simplicial, factorize_simplicial_from, CscFactor};
 pub use sim::{block_ranks, simulate, simulate_with_policy, SimOutcome, SimPolicy};
 pub use solve::{residual_norm, solve};
 pub use threaded::{factorize_fifo, FifoStats};
 
 /// Errors from numeric factorization.
+///
+/// Every executor degrades into one of these — never a propagated panic,
+/// never a hang: worker panics are caught and reported as
+/// [`Error::WorkerPanicked`], and a run that stops retiring tasks trips the
+/// stall watchdog and returns [`Error::Stalled`] with a diagnostic snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// A diagonal block was not positive definite.
@@ -56,6 +63,83 @@ pub enum Error {
         /// Global column index of the failing pivot.
         col: usize,
     },
+    /// A worker panicked while executing a task. The panic was contained:
+    /// every other worker drained cooperatively and the factor storage was
+    /// returned to the caller (in an unspecified, partially-updated state).
+    WorkerPanicked {
+        /// Flat block id of the task that panicked (for a column-completion
+        /// task, the column's diagonal block), when the panic happened
+        /// inside a task; `None` when a worker died outside task execution.
+        block: Option<usize>,
+        /// The panic payload, stringified.
+        payload: String,
+    },
+    /// The scheduler stopped retiring tasks for longer than the configured
+    /// watchdog timeout, or reached quiescence with columns still
+    /// unfactored and no pivot failure. Carries a diagnostic snapshot of
+    /// the run at the moment the stall was detected.
+    Stalled(Box<StallReport>),
+}
+
+/// Diagnostic snapshot captured when the scheduler stalls (see
+/// [`Error::Stalled`]). All counts are racy reads taken while workers may
+/// still be parked, so treat them as a debugging aid, not an invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StallReport {
+    /// The watchdog timeout that expired (zero for quiescence-detected
+    /// stalls, which are found at drain time rather than by the watchdog).
+    pub timeout: std::time::Duration,
+    /// Tasks retired before progress stopped.
+    pub tasks_retired: u64,
+    /// Block columns published / total block columns.
+    pub columns_done: usize,
+    /// Total block columns of the factor.
+    pub columns_total: usize,
+    /// Tasks sitting on deques at snapshot time.
+    pub queued: usize,
+    /// Queued plus executing tasks at snapshot time.
+    pub outstanding: usize,
+    /// Per-claim-state block counts: `[IDLE, QUEUED, RUNNING, DIRTY]`.
+    pub block_states: [usize; 4],
+    /// Queue depth of each worker's deque.
+    pub worker_queue_depths: Vec<usize>,
+    /// Up to eight flat ids of blocks stuck in a non-idle claim state.
+    pub stuck_blocks: Vec<usize>,
+}
+
+impl std::fmt::Display for StallReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} columns done, {} tasks retired, {} queued / {} outstanding, \
+             block states [idle {}, queued {}, running {}, dirty {}], deques {:?}, \
+             stuck blocks {:?}",
+            self.columns_done,
+            self.columns_total,
+            self.tasks_retired,
+            self.queued,
+            self.outstanding,
+            self.block_states[0],
+            self.block_states[1],
+            self.block_states[2],
+            self.block_states[3],
+            self.worker_queue_depths,
+            self.stuck_blocks,
+        )
+    }
+}
+
+impl Error {
+    /// Builds a [`Error::WorkerPanicked`] from a caught panic payload
+    /// (stringifying the common `&str` / `String` payloads).
+    pub fn from_panic(block: Option<usize>, payload: &(dyn std::any::Any + Send)) -> Self {
+        let payload = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Error::WorkerPanicked { block, payload }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -63,6 +147,23 @@ impl std::fmt::Display for Error {
         match self {
             Error::NotPositiveDefinite { col } => {
                 write!(f, "matrix is not positive definite at column {col}")
+            }
+            Error::WorkerPanicked { block: Some(b), payload } => {
+                write!(f, "worker panicked in task for block {b}: {payload}")
+            }
+            Error::WorkerPanicked { block: None, payload } => {
+                write!(f, "worker panicked outside task execution: {payload}")
+            }
+            Error::Stalled(report) => {
+                if report.timeout.is_zero() {
+                    write!(f, "scheduler reached quiescence with unfactored columns: {report}")
+                } else {
+                    write!(
+                        f,
+                        "scheduler made no progress for {:?}: {report}",
+                        report.timeout
+                    )
+                }
             }
         }
     }

@@ -44,15 +44,17 @@
 
 use crate::critpath::block_levels;
 use crate::factor::NumericFactor;
+use crate::faults::{Fault, FaultPlan};
 use crate::plan::Plan;
-use crate::seq::{apply_bmod, factor_column_buf};
-use crate::Error;
+use crate::seq::{apply_bmod, factor_column_buf, factor_column_buf_perturb};
+use crate::{Error, StallReport};
 use blockmat::BlockMatrix;
 use crossbeam::deque::{Steal, Stealer, Worker as Deque};
 use dense::KernelArena;
 use simgrid::MachineModel;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Tunables of [`factorize_sched_opts`].
@@ -66,12 +68,44 @@ pub struct SchedOptions {
     /// jitter (yields) from this seed — used by the interleaving stress
     /// tests. `None` for production runs.
     pub seed: Option<u64>,
+    /// Stall watchdog: if no task retires for this long while the run is
+    /// incomplete, the run is halted with [`Error::Stalled`] carrying a
+    /// diagnostic [`StallReport`]. `None` disables the watchdog (a wedged
+    /// run then blocks forever — only sensible for debugging). The
+    /// heartbeat is task *retirement*, so long-running tasks do not trip it
+    /// as long as some task finishes within the window.
+    pub stall_timeout: Option<Duration>,
+    /// Deterministic fault injection (panics / delays / lost tasks)
+    /// consulted per task; `None` for production runs. NPD injection is
+    /// data-level — apply [`FaultPlan::inject_npd`] to the factor before
+    /// the run.
+    pub faults: Option<FaultPlan>,
+    /// NPD graceful degradation, as
+    /// [`FactorOpts::perturb_npd`](crate::FactorOpts::perturb_npd): `None`
+    /// (default) reports structured NPD errors with the sequential min-col
+    /// convention; `Some(tau)` perturbs failing pivots instead and counts
+    /// them in [`SchedStats::pivot_perturbations`].
+    pub perturb_npd: Option<f64>,
 }
 
 impl Default for SchedOptions {
     fn default() -> Self {
-        Self { workers: None, use_priorities: true, seed: None }
+        Self {
+            workers: None,
+            use_priorities: true,
+            seed: None,
+            stall_timeout: Some(Duration::from_secs(60)),
+            faults: None,
+            perturb_npd: None,
+        }
     }
+}
+
+/// Locks a mutex, recovering the guard if a panicking worker poisoned it.
+/// Every mutex in the scheduler guards either `()` (the sleep lock) or a
+/// write-once diagnostic slot, so a poisoned guard is always safe to reuse.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Execution statistics of one scheduler run, fed to the bench layer.
@@ -103,6 +137,9 @@ pub struct SchedStats {
     /// the field exists so benchmarks can assert that against the
     /// channel-based baseline's copy count.
     pub blocks_copied: u64,
+    /// Pivots perturbed by NPD graceful degradation (0 unless
+    /// [`SchedOptions::perturb_npd`] is set *and* triggered).
+    pub pivot_perturbations: u64,
     /// Per-worker busy time (seconds spent inside tasks).
     pub busy_s: Vec<f64>,
     /// Wall-clock of the parallel section.
@@ -155,8 +192,13 @@ pub fn factorize_sched_opts(
         queued: AtomicUsize::new(0),
         outstanding: AtomicUsize::new(0),
         ready_hwm: AtomicUsize::new(0),
+        tasks_retired: AtomicU64::new(0),
         done: AtomicBool::new(np == 0),
         fail_col: AtomicUsize::new(usize::MAX),
+        panic_slot: Mutex::new(None),
+        stall_slot: Mutex::new(None),
+        faults: opts.faults.as_ref(),
+        perturb_npd: opts.perturb_npd,
         stealers: Vec::new(),
         sleep: Mutex::new(()),
         wake: Condvar::new(),
@@ -205,6 +247,12 @@ pub fn factorize_sched_opts(
 
     let t0 = Instant::now();
     let locals: Vec<LocalStats> = std::thread::scope(|scope| {
+        // The watchdog shares the workers' scope: it exits as soon as the
+        // done flag is raised, which every termination path sets.
+        if let Some(timeout) = opts.stall_timeout {
+            let shared = &shared;
+            scope.spawn(move || watchdog(shared, timeout));
+        }
         let mut handles = Vec::with_capacity(workers);
         for (me, deque) in deques.into_iter().enumerate() {
             let shared = &shared;
@@ -226,19 +274,42 @@ pub fn factorize_sched_opts(
                 ctx.stats
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("scheduler worker panicked")).collect()
+        // Poison-aware join: a panic that somehow escaped the per-task
+        // catch_unwind (e.g. in the scheduling loop itself) is recorded and
+        // reported as Error::WorkerPanicked instead of unwinding the caller.
+        handles
+            .into_iter()
+            .filter_map(|h| match h.join() {
+                Ok(stats) => Some(stats),
+                Err(payload) => {
+                    shared.record_panic(None, &payload);
+                    None
+                }
+            })
+            .collect()
     });
     let elapsed = t0.elapsed().as_secs_f64();
 
+    // Resolve the run outcome. Priority: a contained panic trumps
+    // everything (the factor state is unspecified), then a watchdog stall,
+    // then a pivot failure, then the drain-time stall check that turns any
+    // termination-race regression into a structured, debuggable error.
+    if let Some((block, payload)) = lock_ignore_poison(&shared.panic_slot).take() {
+        return Err(Error::WorkerPanicked { block, payload });
+    }
+    if let Some(report) = lock_ignore_poison(&shared.stall_slot).take() {
+        return Err(Error::Stalled(Box::new(report)));
+    }
     let fail = shared.fail_col.load(Ordering::Acquire);
     if fail != usize::MAX {
         return Err(Error::NotPositiveDefinite { col: fail });
     }
-    assert_eq!(
-        shared.cols_remaining.load(Ordering::Acquire),
-        0,
-        "scheduler stalled with no pivot failure"
-    );
+    if shared.cols_remaining.load(Ordering::Acquire) != 0 {
+        // Quiescence with unfactored columns and no pivot failure: a
+        // scheduler bug (e.g. a dropped task). Report it loudly rather than
+        // asserting — callers get the same diagnostics as a watchdog stall.
+        return Err(Error::Stalled(Box::new(shared.snapshot(Duration::ZERO))));
+    }
     debug_assert!(shared.col_done.iter().all(|d| d.load(Ordering::Acquire)));
 
     let mut stats = SchedStats {
@@ -257,13 +328,62 @@ pub fn factorize_sched_opts(
         stats.tasks_run += l.tasks;
         stats.bmods_applied += l.bmods;
         stats.columns_factored += l.cols;
+        stats.pivot_perturbations += l.perturbed;
         stats.busy_s.push(l.busy_s);
     }
     Ok(stats)
 }
 
+/// Progress watchdog: wakes on the workers' condvar (or every poll tick),
+/// and halts the run with a diagnostic [`StallReport`] when the
+/// tasks-retired heartbeat stops advancing for `timeout` while the run is
+/// incomplete.
+fn watchdog(s: &Shared, timeout: Duration) {
+    let poll = (timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(100));
+    let mut last = s.tasks_retired.load(Ordering::Relaxed);
+    let mut last_progress = Instant::now();
+    loop {
+        {
+            let guard = lock_ignore_poison(&s.sleep);
+            if s.done.load(Ordering::Acquire) {
+                return;
+            }
+            let _ = s
+                .wake
+                .wait_timeout(guard, poll)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if s.done.load(Ordering::Acquire) {
+            return;
+        }
+        let retired = s.tasks_retired.load(Ordering::Relaxed);
+        if retired != last {
+            last = retired;
+            last_progress = Instant::now();
+            continue;
+        }
+        if last_progress.elapsed() >= timeout {
+            let report = s.snapshot(timeout);
+            *lock_ignore_poison(&s.stall_slot) = Some(report);
+            s.done.store(true, Ordering::Release);
+            s.wake_all();
+            return;
+        }
+    }
+}
+
 /// Tag bit distinguishing column-completion tasks from block-advance tasks.
 const COL_TAG: u64 = 1 << 63;
+
+/// The flat block id a task acts on, for panic attribution: a block task is
+/// its own id; a column-completion task maps to the column's diagonal block.
+fn task_block(s: &Shared, t: u64) -> usize {
+    if t & COL_TAG != 0 {
+        s.plan.block_base[(t & !COL_TAG) as usize] as usize
+    } else {
+        t as usize
+    }
+}
 
 // Claim states of a block task. At most one deque entry exists per block:
 // IDLE→QUEUED enqueues, the popper moves QUEUED→RUNNING, concurrent
@@ -406,9 +526,19 @@ struct Shared<'a> {
     /// failed one never become ready; see [`WorkerCtx::run_column`]).
     outstanding: AtomicUsize,
     ready_hwm: AtomicUsize,
+    /// Monotone count of retired tasks — the watchdog's heartbeat.
+    tasks_retired: AtomicU64,
     done: AtomicBool,
     /// Smallest failing global column seen (`usize::MAX` = none).
     fail_col: AtomicUsize,
+    /// First contained worker panic: `(task's block id, payload)`.
+    panic_slot: Mutex<Option<(Option<usize>, String)>>,
+    /// Diagnostic snapshot written by the watchdog on stall.
+    stall_slot: Mutex<Option<StallReport>>,
+    /// Per-task fault injection; `None` in production.
+    faults: Option<&'a FaultPlan>,
+    /// NPD graceful degradation threshold; `None` = structured NPD errors.
+    perturb_npd: Option<f64>,
     stealers: Vec<Stealer>,
     sleep: Mutex<()>,
     wake: Condvar,
@@ -451,8 +581,49 @@ impl Shared<'_> {
     }
 
     fn wake_all(&self) {
-        let _guard = self.sleep.lock().unwrap();
+        let _guard = lock_ignore_poison(&self.sleep);
         self.wake.notify_all();
+    }
+
+    /// Records the first contained panic and triggers cooperative drain:
+    /// every worker observes the done flag and exits its loop; parked
+    /// workers are woken. Later panics are dropped (first one wins).
+    fn record_panic(&self, block: Option<usize>, payload: &(dyn std::any::Any + Send)) {
+        if let Error::WorkerPanicked { block, payload } = Error::from_panic(block, payload) {
+            let mut slot = lock_ignore_poison(&self.panic_slot);
+            if slot.is_none() {
+                *slot = Some((block, payload));
+            }
+        }
+        self.done.store(true, Ordering::Release);
+        self.wake_all();
+    }
+
+    /// Racy diagnostic snapshot of the run for [`StallReport`].
+    fn snapshot(&self, timeout: Duration) -> StallReport {
+        let mut block_states = [0usize; 4];
+        let mut stuck = Vec::new();
+        for (id, st) in self.state.iter().enumerate() {
+            let v = st.load(Ordering::Acquire) as usize;
+            block_states[v.min(3)] += 1;
+            if v != IDLE as usize && stuck.len() < 8 {
+                stuck.push(id);
+            }
+        }
+        let columns_total = self.col_done.len();
+        let columns_done =
+            columns_total - self.cols_remaining.load(Ordering::Acquire).min(columns_total);
+        StallReport {
+            timeout,
+            tasks_retired: self.tasks_retired.load(Ordering::Relaxed),
+            columns_done,
+            columns_total,
+            queued: self.queued.load(Ordering::Relaxed),
+            outstanding: self.outstanding.load(Ordering::Relaxed),
+            block_states,
+            worker_queue_depths: self.stealers.iter().map(|s| s.len()).collect(),
+            stuck_blocks: stuck,
+        }
     }
 }
 
@@ -465,6 +636,7 @@ struct LocalStats {
     tasks: u64,
     bmods: u64,
     cols: u64,
+    perturbed: u64,
     busy_s: f64,
 }
 
@@ -494,18 +666,36 @@ impl WorkerCtx<'_> {
             match task {
                 Some(t) => {
                     s.queued.fetch_sub(1, Ordering::AcqRel);
-                    self.jitter();
-                    let t0 = Instant::now();
-                    if t & COL_TAG != 0 {
-                        self.run_column((t & !COL_TAG) as usize);
-                    } else {
-                        self.run_block(t as usize);
+                    if let Some(fault) = s.faults.and_then(|fp| fp.task_fault(t)) {
+                        match fault {
+                            // A lost task: neither executed nor retired, so
+                            // `outstanding` never reaches zero and — absent
+                            // the watchdog — the run would wait forever.
+                            Fault::Vanish => continue,
+                            Fault::Delay(us) => {
+                                std::thread::sleep(Duration::from_micros(us));
+                            }
+                            Fault::Panic => {
+                                s.record_panic(
+                                    Some(task_block(s, t)),
+                                    &format!("injected fault: task {t:#x}"),
+                                );
+                                break;
+                            }
+                        }
                     }
-                    self.stats.tasks += 1;
-                    self.stats.busy_s += t0.elapsed().as_secs_f64();
+                    // Panic isolation: a panicking task must not tear down
+                    // the process (the old join().expect path). Contain it,
+                    // record the first payload, and drain cooperatively.
+                    let run = std::panic::catch_unwind(AssertUnwindSafe(|| self.run_task(t)));
+                    if let Err(payload) = run {
+                        s.record_panic(Some(task_block(s, t)), payload.as_ref());
+                        break;
+                    }
                     // Flush before retiring the task so `outstanding` never
                     // dips to zero while successor tasks are still in hand.
                     self.flush_batch();
+                    s.tasks_retired.fetch_add(1, Ordering::Relaxed);
                     if s.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
                         s.done.store(true, Ordering::Release);
                         s.wake_all();
@@ -514,6 +704,19 @@ impl WorkerCtx<'_> {
                 None => self.park(),
             }
         }
+    }
+
+    /// Executes one popped task (block-advance or column-completion).
+    fn run_task(&mut self, t: u64) {
+        self.jitter();
+        let t0 = Instant::now();
+        if t & COL_TAG != 0 {
+            self.run_column((t & !COL_TAG) as usize);
+        } else {
+            self.run_block(t as usize);
+        }
+        self.stats.tasks += 1;
+        self.stats.busy_s += t0.elapsed().as_secs_f64();
     }
 
     fn rng_next(&mut self) -> u64 {
@@ -567,13 +770,18 @@ impl WorkerCtx<'_> {
     fn park(&mut self) {
         let s = self.shared;
         self.stats.idle_polls += 1;
-        let guard = s.sleep.lock().unwrap();
+        let guard = lock_ignore_poison(&s.sleep);
         if s.done.load(Ordering::Acquire) {
             return;
         }
         // The timeout bounds the cost of the benign race between a final
-        // empty sweep and a concurrent push's notify.
-        let _ = s.wake.wait_timeout(guard, Duration::from_micros(200)).unwrap();
+        // empty sweep and a concurrent push's notify. A poisoned condvar
+        // result (a peer panicked while holding the sleep lock) is treated
+        // as a plain wakeup — the loop re-checks the done flag.
+        let _ = s
+            .wake
+            .wait_timeout(guard, Duration::from_micros(200))
+            .unwrap_or_else(PoisonError::into_inner);
     }
 
     /// Queues a freshly ready task into the current task's batch.
@@ -728,10 +936,18 @@ impl WorkerCtx<'_> {
         // SAFETY: the single completion task of column j; every block claim
         // in the column has been released (col_unfinished hit zero).
         let col = unsafe { s.col_mut(j) };
-        if let Err(Error::NotPositiveDefinite { col: c }) =
-            factor_column_buf(col, s.bm, j, &mut self.arena)
-        {
-            s.fail_col.fetch_min(c, Ordering::AcqRel);
+        let factored = match s.perturb_npd {
+            None => factor_column_buf(col, s.bm, j, &mut self.arena),
+            Some(tau) => factor_column_buf_perturb(col, s.bm, j, &mut self.arena, tau).map(
+                |perturbed| {
+                    self.stats.perturbed += perturbed.len() as u64;
+                },
+            ),
+        };
+        if let Err(e) = factored {
+            if let Error::NotPositiveDefinite { col: c } = e {
+                s.fail_col.fetch_min(c, Ordering::AcqRel);
+            }
             return;
         }
         s.col_done[j].store(true, Ordering::Release);

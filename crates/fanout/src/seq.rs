@@ -10,14 +10,53 @@ use dense::kernels::{
 };
 use dense::KernelArena;
 
+/// Numeric factorization options shared by the executors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FactorOpts {
+    /// NPD graceful degradation. `None` (the default) rejects any
+    /// non-positive pivot with
+    /// [`Error::NotPositiveDefinite`](crate::Error::NotPositiveDefinite) —
+    /// the exact behaviour (and bits) of the plain entry points. `Some(tau)`
+    /// instead *perturbs* a failing pivot: the offending diagonal entry is
+    /// boosted by `tau · (1 + |aₖₖ|)` (grown geometrically on repeated
+    /// failure) and the
+    /// diagonal block is refactored, so the factorization completes on
+    /// indefinite or semidefinite inputs. Perturbed pivot columns are
+    /// reported in [`SeqStats::perturbed_pivots`]; a factor with a nonzero
+    /// perturbation count is a factor of a *modified* matrix and should be
+    /// paired with iterative refinement.
+    pub perturb_npd: Option<f64>,
+}
+
+/// Statistics of one sequential factorization run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeqStats {
+    /// Global columns whose pivots were perturbed (ascending; empty when
+    /// [`FactorOpts::perturb_npd`] is off or never triggered).
+    pub perturbed_pivots: Vec<usize>,
+}
+
 /// Factors `f` in place sequentially: for each block column `K` ascending,
 /// `BFAC(K,K)`, then `BDIV(I,K)` for its off-diagonal blocks, then every
 /// `BMOD` sourced from column `K`.
 pub fn factorize_seq(f: &mut NumericFactor) -> Result<(), Error> {
+    factorize_seq_opts(f, &FactorOpts::default()).map(|_| ())
+}
+
+/// [`factorize_seq`] with explicit [`FactorOpts`]. With default options the
+/// factor is bit-identical to [`factorize_seq`].
+pub fn factorize_seq_opts(f: &mut NumericFactor, opts: &FactorOpts) -> Result<SeqStats, Error> {
     let bm = f.bm.clone();
     let mut arena = KernelArena::new();
+    let mut stats = SeqStats::default();
     for k in 0..bm.num_panels() {
-        factor_block_column(f, &bm, k, &mut arena)?;
+        match opts.perturb_npd {
+            None => factor_block_column(f, &bm, k, &mut arena)?,
+            Some(tau) => {
+                let cols = factor_column_buf_perturb(&mut f.data[k], &bm, k, &mut arena, tau)?;
+                stats.perturbed_pivots.extend(cols);
+            }
+        }
         // Right-looking updates out of column k.
         let (head, tail) = f.data.split_at_mut(k + 1);
         let src_col = &head[k];
@@ -53,7 +92,7 @@ pub fn factorize_seq(f: &mut NumericFactor) -> Result<(), Error> {
             }
         }
     }
-    Ok(())
+    Ok(stats)
 }
 
 /// `BFAC` on the diagonal block of column `k`, then `BDIV` on each of its
@@ -92,6 +131,74 @@ pub(crate) fn factor_column_buf(
         trsm_right_lower_trans_with(diag, c, rest, m, arena);
     }
     Ok(())
+}
+
+/// [`factor_column_buf`] with NPD graceful degradation: a failing pivot is
+/// boosted by `tau · (1 + |aₖₖ|)` (grown geometrically on repeated failure
+/// at the same pivot) and the diagonal block is refactored from a pristine
+/// copy until `POTRF` succeeds. Returns the perturbed global columns,
+/// ascending.
+///
+/// Shared by the sequential reference and the work-stealing scheduler's
+/// column-completion task, so the degraded factor is the same whichever
+/// executor produced it (column factorization is confined to one task).
+pub(crate) fn factor_column_buf_perturb(
+    col: &mut [f64],
+    bm: &BlockMatrix,
+    k: usize,
+    arena: &mut KernelArena,
+    tau: f64,
+) -> Result<Vec<usize>, Error> {
+    let c = bm.col_width(k);
+    let nblk = bm.cols[k].blocks.len();
+    let tau = tau.abs().max(f64::EPSILON);
+    let saved: Vec<f64> = col[..c * c].to_vec();
+    // Per-pivot boost applied so far (block-local pivot index).
+    let mut boosts: Vec<(usize, f64)> = Vec::new();
+    let col_start = bm.partition.cols(k).start;
+    // ~35 geometric (×1024) boosts cover any finite deficit per pivot; past
+    // the bound the input is non-finite (NaN/Inf) and perturbation cannot
+    // help.
+    let max_rounds = 64 * c.max(1);
+    for _ in 0..max_rounds {
+        let res = {
+            let (diag, _) = col.split_at_mut(c * c);
+            potrf_with(diag, c, arena)
+        };
+        match res {
+            Ok(()) => {
+                let (diag, rest) = col.split_at_mut(c * c);
+                if nblk > 1 {
+                    let m = rest.len() / c;
+                    trsm_right_lower_trans_with(diag, c, rest, m, arena);
+                }
+                let mut cols: Vec<usize> =
+                    boosts.iter().map(|&(p, _)| col_start + p).collect();
+                cols.sort_unstable();
+                return Ok(cols);
+            }
+            Err(e) => {
+                match boosts.iter_mut().find(|(p, _)| *p == e.pivot) {
+                    // The reduced-pivot deficit is unknown (POTRF reports
+                    // only the pivot index), so grow aggressively: ×2¹⁰ per
+                    // retry reaches any finite deficit within ~35 retries.
+                    Some((_, b)) => *b *= 1024.0,
+                    None => {
+                        let base = saved[e.pivot * c + e.pivot];
+                        boosts.push((e.pivot, tau * (1.0 + base.abs())));
+                    }
+                }
+                col[..c * c].copy_from_slice(&saved);
+                for &(p, b) in &boosts {
+                    col[p * c + p] += b;
+                }
+            }
+        }
+    }
+    // Boosting could not rescue the block (non-finite input): report the
+    // last failing pivot as a plain NPD error.
+    let pivot = boosts.last().map_or(0, |&(p, _)| p);
+    Err(Error::NotPositiveDefinite { col: col_start + pivot })
 }
 
 /// Applies one `BMOD(I, J, K)`: `dest -= A·Bᵀ` scattered through the

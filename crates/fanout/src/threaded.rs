@@ -26,7 +26,8 @@ use std::sync::Arc;
 enum Msg {
     /// A completed block (flat id) with its data.
     Block(u32, Arc<Vec<f64>>),
-    /// A processor hit a numeric error; everyone unwinds.
+    /// A processor panicked; everyone unwinds. Pivot failures do NOT
+    /// abort — see [`factorize_fifo`] on the min-column convention.
     Abort,
 }
 
@@ -45,9 +46,17 @@ pub struct FifoStats {
 /// Each thread owns the blocks the plan assigns to it, processes arriving
 /// completed blocks in receive order, and ships its own completions. The
 /// result is numerically equal to the sequential factorization up to
-/// floating-point summation order. On a pivot failure the reported column is
-/// the smallest failing column among all workers that hit one, regardless of
-/// which worker or thread interleaving surfaced it first.
+/// floating-point summation order.
+///
+/// On a pivot failure the failing column is recorded (min-combined at join)
+/// but the run is **not** aborted: the column publishes as-is and the
+/// protocol drains to completion. Column dependencies only flow from lower
+/// to higher columns, so every column below the eventual minimum still runs
+/// on correct inputs, and the reported pivot is exactly the one
+/// [`crate::seq::factorize_seq`] would report — the convention shared with
+/// the scheduler — independent of worker count or message timing. (Any
+/// spurious failure seeded by a published garbage column is necessarily at
+/// a higher column and loses the min-combine.)
 pub fn factorize_fifo(f: &mut NumericFactor, plan: &Plan) -> Result<FifoStats, Error> {
     let bm = f.bm.clone();
     let p = plan.p;
@@ -65,7 +74,7 @@ pub fn factorize_fifo(f: &mut NumericFactor, plan: &Plan) -> Result<FifoStats, E
     let (senders, receivers): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
         (0..p).map(|_| unbounded()).unzip();
 
-    let results: Vec<Result<FifoStats, Error>> = std::thread::scope(|scope| {
+    let results: Vec<Result<(FifoStats, Option<usize>), Error>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (me, (mine, rx)) in owned.into_iter().zip(receivers).enumerate() {
             let senders = senders.clone();
@@ -76,26 +85,65 @@ pub fn factorize_fifo(f: &mut NumericFactor, plan: &Plan) -> Result<FifoStats, E
             }));
         }
         drop(senders);
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        // Poison-aware join: a panicking virtual processor becomes a
+        // structured WorkerPanicked error instead of unwinding the caller.
+        // (Its abort guard broadcast Msg::Abort while unwinding, so its
+        // peers drained instead of blocking on blocks that never arrive.)
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(res) => Ok(res),
+                Err(payload) => Err(Error::from_panic(None, &*payload)),
+            })
+            .collect()
     });
 
-    // Smallest failing column wins, independent of worker index or timing.
+    // Smallest failing column wins, independent of worker index or timing;
+    // a contained panic trumps a pivot failure (as in the scheduler — the
+    // factor state after a panic is unspecified).
     let mut stats = FifoStats::default();
     let mut min_col = None;
+    let mut panicked: Option<Error> = None;
     for res in results {
         match res {
-            Ok(s) => {
+            Ok((s, fail)) => {
                 stats.blocks_copied += s.blocks_copied;
                 stats.messages += s.messages;
+                if let Some(col) = fail {
+                    min_col = Some(min_col.map_or(col, |c: usize| c.min(col)));
+                }
             }
-            Err(Error::NotPositiveDefinite { col }) => {
-                min_col = Some(min_col.map_or(col, |c: usize| c.min(col)));
-            }
+            Err(e) => panicked = panicked.or(Some(e)),
         }
+    }
+    if let Some(e) = panicked {
+        return Err(e);
     }
     match min_col {
         None => Ok(stats),
         Some(col) => Err(Error::NotPositiveDefinite { col }),
+    }
+}
+
+/// Broadcasts [`Msg::Abort`] to every peer unless disarmed — armed for the
+/// whole life of a worker so even a panic unwinding through it unblocks the
+/// peers waiting on this worker's blocks.
+struct AbortGuard {
+    senders: Vec<Sender<Msg>>,
+    me: u32,
+    armed: bool,
+}
+
+impl Drop for AbortGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        for (q, s) in self.senders.iter().enumerate() {
+            if q != self.me as usize {
+                let _ = s.send(Msg::Abort);
+            }
+        }
     }
 }
 
@@ -111,6 +159,8 @@ struct Worker<'a, 'data> {
     senders: Vec<Sender<Msg>>,
     arena: KernelArena,
     stats: FifoStats,
+    /// Smallest global column whose pivot failed on this processor.
+    fail_col: Option<usize>,
 }
 
 fn worker(
@@ -120,7 +170,7 @@ fn worker(
     mine: Vec<Option<&mut [f64]>>,
     rx: Receiver<Msg>,
     senders: Vec<Sender<Msg>>,
-) -> Result<FifoStats, Error> {
+) -> (FifoStats, Option<usize>) {
     let mut state = ProtocolState::new(plan, bm, me);
     let mut actions = Vec::new();
     let nb = plan.num_blocks();
@@ -133,31 +183,28 @@ fn worker(
         senders,
         arena: KernelArena::new(),
         stats: FifoStats::default(),
+        fail_col: None,
     };
+    let mut guard = AbortGuard { senders: w.senders.clone(), me, armed: true };
     state.start(plan, bm, &mut actions);
-    if let Err(e) = w.execute(&actions) {
-        w.abort();
-        return Err(e);
-    }
+    w.execute(&actions);
     while !state.is_done() {
         match rx.recv() {
             Ok(Msg::Block(id, data)) => {
                 let (j, b) = flat_to_jb(plan, id);
                 w.received[id as usize] = Some(data);
                 state.on_receive(plan, bm, j, b, &mut actions);
-                if let Err(e) = w.execute(&actions) {
-                    w.abort();
-                    return Err(e);
-                }
+                w.execute(&actions);
             }
             Ok(Msg::Abort) | Err(_) => {
-                // A peer failed (or all senders dropped unexpectedly);
+                // A peer panicked (or all senders dropped unexpectedly);
                 // return what we have without an error of our own.
                 break;
             }
         }
     }
-    Ok(w.stats)
+    guard.armed = false;
+    (w.stats, w.fail_col)
 }
 
 /// Inverse of [`Plan::block_id`] (binary search over `block_base`).
@@ -170,7 +217,7 @@ impl<'data> Worker<'_, 'data> {
     /// Source-block lookup inlined at field level (rather than a `&self`
     /// method) so the borrow checker can see it is disjoint from
     /// `self.arena`.
-    fn execute(&mut self, actions: &[Action]) -> Result<(), Error> {
+    fn execute(&mut self, actions: &[Action]) {
         for &act in actions {
             match act {
                 Action::Bmod { k, a, b, dest_j, dest_b } => {
@@ -229,11 +276,15 @@ impl<'data> Worker<'_, 'data> {
                     let buf = self.mine[id].take().expect("we own the completing block");
                     let c = self.bm.col_width(j as usize);
                     if b == 0 {
-                        potrf_with(buf, c, &mut self.arena).map_err(|e| {
-                            Error::NotPositiveDefinite {
-                                col: self.bm.partition.cols(j as usize).start + e.pivot,
-                            }
-                        })?;
+                        if let Err(e) = potrf_with(buf, c, &mut self.arena) {
+                            // Record and keep going: the column publishes
+                            // as-is so the protocol drains, and every column
+                            // below the eventual minimum still factors on
+                            // correct inputs (see `factorize_fifo`).
+                            let col = self.bm.partition.cols(j as usize).start + e.pivot;
+                            self.fail_col =
+                                Some(self.fail_col.map_or(col, |c: usize| c.min(col)));
+                        }
                     } else {
                         let rows = self.bm.cols[j as usize].blocks[b as usize].nrows();
                         let id_diag = self.plan.block_id(j, 0);
@@ -260,15 +311,6 @@ impl<'data> Worker<'_, 'data> {
                     }
                     self.mine[id] = Some(buf);
                 }
-            }
-        }
-        Ok(())
-    }
-
-    fn abort(&self) {
-        for (q, s) in self.senders.iter().enumerate() {
-            if q != self.me as usize {
-                let _ = s.send(Msg::Abort);
             }
         }
     }

@@ -46,6 +46,7 @@ fn stress(prob: &sparsemat::Problem, bs: usize, p: usize, workers: usize, what: 
             workers: Some(workers),
             use_priorities: seed % 3 != 2, // a third of the seeds without priorities
             seed: Some(0x5eed_0000 + seed),
+            ..Default::default()
         };
         let stats = factorize_sched_opts(&mut f_par, &plan, &opts).unwrap();
         assert_bit_identical(&f_seq, &f_par, &format!("{what}, seed {seed}"));
@@ -80,7 +81,8 @@ fn many_vprocs_on_few_workers() {
     factorize_seq(&mut f_seq).unwrap();
     for seed in [1u64, 7, 23] {
         let mut f_par = f0.clone();
-        let opts = SchedOptions { workers: Some(4), use_priorities: true, seed: Some(seed) };
+        let opts =
+            SchedOptions { workers: Some(4), use_priorities: true, seed: Some(seed), ..Default::default() };
         let stats = factorize_sched_opts(&mut f_par, &plan, &opts).unwrap();
         assert_eq!(stats.p, 64);
         assert_eq!(stats.workers, 4);
@@ -97,7 +99,8 @@ fn single_worker_matches_too() {
     let mut f_seq = f0.clone();
     factorize_seq(&mut f_seq).unwrap();
     let mut f_par = f0.clone();
-    let opts = SchedOptions { workers: Some(1), use_priorities: true, seed: None };
+    let opts =
+        SchedOptions { workers: Some(1), use_priorities: true, seed: None, ..Default::default() };
     let stats = factorize_sched_opts(&mut f_par, &plan, &opts).unwrap();
     assert_eq!(stats.steals, 0);
     assert_bit_identical(&f_seq, &f_par, "single worker");

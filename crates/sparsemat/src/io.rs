@@ -4,36 +4,47 @@
 //! which is how the Harwell-Boeing benchmark matrices circulate today. If a
 //! user has the original BCSSTK files, they can be dropped in directly in
 //! place of the synthetic stand-ins.
+//!
+//! Read errors carry the 1-based line number ([`Error::Parse`]) so a bad
+//! entry in a million-line file can be found without bisecting.
 
 use crate::{Error, Result, SymCscMatrix};
 use std::io::{BufRead, Write};
+
+fn parse_err(line: usize, msg: impl Into<String>) -> Error {
+    Error::Parse { line, msg: msg.into() }
+}
 
 /// Reads a symmetric real matrix in Matrix Market coordinate format.
 ///
 /// Accepts `real`, `integer` and `pattern` fields (pattern entries get value
 /// 1.0 off-diagonal) with `symmetric` symmetry. Entries may be in either
-/// triangle; one-based indices per the format.
+/// triangle; one-based indices per the format. NaN and infinite values are
+/// rejected — no downstream factorization can use them.
 pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<SymCscMatrix> {
     let mut lines = reader.lines();
+    let mut ln = 0usize; // 1-based line number of the last line read
     let header = lines
         .next()
-        .ok_or_else(|| Error::Format("empty file".into()))?
-        .map_err(|e| Error::Format(e.to_string()))?;
+        .ok_or_else(|| parse_err(1, "empty file"))?
+        .map_err(|e| parse_err(1, format!("read failed: {e}")))?;
+    ln += 1;
     let h: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" || h[2] != "coordinate" {
-        return Err(Error::Format("expected MatrixMarket coordinate header".into()));
+        return Err(parse_err(ln, "expected MatrixMarket coordinate header"));
     }
     let pattern_only = h[3] == "pattern";
     if !matches!(h[3].as_str(), "real" | "integer" | "pattern") {
-        return Err(Error::Format(format!("unsupported field {}", h[3])));
+        return Err(parse_err(ln, format!("unsupported field {}", h[3])));
     }
     if h[4] != "symmetric" {
-        return Err(Error::Format(format!("unsupported symmetry {}", h[4])));
+        return Err(parse_err(ln, format!("unsupported symmetry {}", h[4])));
     }
 
     let mut size_line = None;
     for line in lines.by_ref() {
-        let line = line.map_err(|e| Error::Format(e.to_string()))?;
+        let line = line.map_err(|e| parse_err(ln + 1, format!("read failed: {e}")))?;
+        ln += 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
@@ -41,36 +52,41 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<SymCscMatrix> {
         size_line = Some(t.to_string());
         break;
     }
-    let size_line = size_line.ok_or_else(|| Error::Format("missing size line".into()))?;
+    let size_line = size_line.ok_or_else(|| parse_err(ln, "missing size line"))?;
+    let size_ln = ln;
     let mut it = size_line.split_whitespace();
-    let m: usize = parse(it.next())?;
-    let n: usize = parse(it.next())?;
-    let nnz: usize = parse(it.next())?;
+    let m: usize = parse(it.next(), size_ln)?;
+    let n: usize = parse(it.next(), size_ln)?;
+    let nnz: usize = parse(it.next(), size_ln)?;
     if m != n {
-        return Err(Error::Format(format!("matrix is {m}x{n}, not square")));
+        return Err(parse_err(size_ln, format!("matrix is {m}x{n}, not square")));
     }
 
     let mut coords = Vec::with_capacity(nnz + n);
     for line in lines {
-        let line = line.map_err(|e| Error::Format(e.to_string()))?;
+        let line = line.map_err(|e| parse_err(ln + 1, format!("read failed: {e}")))?;
+        ln += 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
         let mut it = t.split_whitespace();
-        let i: usize = parse(it.next())?;
-        let j: usize = parse(it.next())?;
+        let i: usize = parse(it.next(), ln)?;
+        let j: usize = parse(it.next(), ln)?;
         if i == 0 || j == 0 || i > n || j > n {
-            return Err(Error::Format(format!("entry ({i},{j}) out of bounds")));
+            return Err(parse_err(ln, format!("entry ({i},{j}) out of bounds for dimension {n}")));
         }
-        let v: f64 = if pattern_only { 1.0 } else { parse(it.next())? };
+        let v: f64 = if pattern_only { 1.0 } else { parse(it.next(), ln)? };
+        if !v.is_finite() {
+            return Err(parse_err(ln, format!("non-finite value at entry ({i},{j})")));
+        }
         coords.push(((i - 1) as u32, (j - 1) as u32, v));
     }
     if coords.len() != nnz {
-        return Err(Error::Format(format!(
-            "expected {nnz} entries, found {}",
-            coords.len()
-        )));
+        return Err(parse_err(
+            ln,
+            format!("expected {nnz} entries, found {}", coords.len()),
+        ));
     }
     // Ensure a full diagonal (SymCscMatrix requires it; absent diagonals
     // become explicit zeros).
@@ -95,10 +111,9 @@ pub fn write_matrix_market<W: Write>(a: &SymCscMatrix, mut w: W) -> Result<()> {
     emit(&mut w).map_err(|e| Error::Format(e.to_string()))
 }
 
-fn parse<T: std::str::FromStr>(tok: Option<&str>) -> Result<T> {
-    tok.ok_or_else(|| Error::Format("missing token".into()))?
-        .parse()
-        .map_err(|_| Error::Format("bad token".into()))
+fn parse<T: std::str::FromStr>(tok: Option<&str>, line: usize) -> Result<T> {
+    let t = tok.ok_or_else(|| parse_err(line, "missing token"))?;
+    t.parse().map_err(|_| parse_err(line, format!("bad token {t:?}")))
 }
 
 #[cfg(test)]
@@ -144,5 +159,29 @@ mod tests {
     fn rejects_out_of_bounds_entry() {
         let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n5 1 1.0\n";
         assert!(read_matrix_market(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn bad_token_names_its_line() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n% pad\n2 2 2\n1 1 1.0\n2 1 zero\n";
+        match read_matrix_market(BufReader::new(text.as_bytes())).unwrap_err() {
+            Error::Parse { line: 5, msg } => assert!(msg.contains("zero"), "msg: {msg}"),
+            other => panic!("expected line-5 parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let text = format!(
+                "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 {bad}\n"
+            );
+            match read_matrix_market(BufReader::new(text.as_bytes())).unwrap_err() {
+                Error::Parse { line: 3, msg } => {
+                    assert!(msg.contains("non-finite"), "msg: {msg}")
+                }
+                other => panic!("expected non-finite rejection, got {other:?}"),
+            }
+        }
     }
 }

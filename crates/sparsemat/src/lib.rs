@@ -49,6 +49,15 @@ pub enum Error {
     InvalidPermutation,
     /// An I/O or format error while reading/writing a matrix file.
     Format(String),
+    /// A malformed matrix file, annotated with the 1-based source line the
+    /// reader was at when it gave up. The message names the offending field
+    /// where one exists (e.g. `"field 3: bad value \"1.0x\""`).
+    Parse {
+        /// 1-based line number in the input stream.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -66,6 +75,7 @@ impl std::fmt::Display for Error {
             }
             Error::InvalidPermutation => write!(f, "permutation is not a bijection"),
             Error::Format(msg) => write!(f, "format error: {msg}"),
+            Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
         }
     }
 }

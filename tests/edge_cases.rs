@@ -120,6 +120,119 @@ fn disconnected_components_factor_independently() {
     assert!(solver.residual(&f2) < 1e-12);
 }
 
+// ---------------------------------------------------------------------------
+// Malformed matrix files: every corrupted input must come back as a
+// structured `sparsemat::Error` naming the offending line — never a panic.
+// ---------------------------------------------------------------------------
+
+mod malformed_input {
+    use block_fanout_cholesky::sparsemat::io::read_matrix_market;
+    use block_fanout_cholesky::sparsemat::{hb::read_harwell_boeing, Error};
+    use std::io::BufReader;
+
+    /// The 3×3 packed RSA sample also used by the sparsemat unit tests:
+    /// tridiagonal [4 -1; -1 4 -1; -1 4], lower triangle, 5 entries.
+    fn rsa() -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{:<72}{:<8}\n", "Edge-case corpus", "EDGE"));
+        s.push_str(&format!("{:>14}{:>14}{:>14}{:>14}{:>14}\n", 4, 1, 1, 2, 0));
+        s.push_str(&format!("{:<14}{:>14}{:>14}{:>14}{:>14}\n", "RSA", 3, 3, 5, 0));
+        s.push_str(&format!("{:<16}{:<16}{:<20}{:<20}\n", "(4I4)", "(5I4)", "(3E20.12)", ""));
+        s.push_str("   1   3   5   6\n");
+        s.push_str("   1   2   2   3   3\n");
+        s.push_str(&format!("{:>20.12E}{:>20.12E}{:>20.12E}\n", 4.0f64, -1.0f64, 4.0f64));
+        s.push_str(&format!("{:>20.12E}{:>20.12E}\n", -1.0f64, 4.0f64));
+        s
+    }
+
+    fn read_hb(text: &str) -> Result<block_fanout_cholesky::sparsemat::SymCscMatrix, Error> {
+        read_harwell_boeing(BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn pristine_sample_reads() {
+        let a = read_hb(&rsa()).unwrap();
+        assert_eq!(a.n(), 3);
+    }
+
+    #[test]
+    fn truncation_at_every_line_is_structured() {
+        // Cut the file after each of its 8 lines in turn; every prefix must
+        // produce a structured error (typically "unexpected end of file"
+        // with the line number just past the cut).
+        let text = rsa();
+        let full: Vec<&str> = text.lines().collect();
+        for keep in 0..full.len() {
+            let text = full[..keep].join("\n");
+            let err = read_hb(&text).unwrap_err();
+            assert!(
+                matches!(err, Error::Parse { .. }),
+                "prefix of {keep} lines: expected Parse, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_monotone_column_pointers_rejected() {
+        let text = rsa().replacen("   1   3   5   6", "   1   5   3   6", 1);
+        match read_hb(&text).unwrap_err() {
+            Error::Parse { line: 5, msg } => {
+                assert!(msg.contains("column pointer"), "msg: {msg}")
+            }
+            other => panic!("expected line-5 pointer error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_row_index_rejected() {
+        let text = rsa().replacen("   1   2   2   3   3", "   1   2   2   9   3", 1);
+        match read_hb(&text).unwrap_err() {
+            Error::Parse { line: 6, msg } => {
+                assert!(msg.contains("out of range"), "msg: {msg}")
+            }
+            other => panic!("expected line-6 index error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_numeric_tokens_rejected_with_line() {
+        // Garbage in the index section (line 6) and the value section
+        // (line 7), same byte widths so the fixed-width split is unchanged.
+        for (from, to, line) in [
+            ("   1   2   2   3   3", "   1   2  up   3   3", 6),
+            ("4.000000000000E0", "4.00zz00000000E0", 7),
+        ] {
+            let text = rsa().replacen(from, to, 1);
+            match read_hb(&text).unwrap_err() {
+                Error::Parse { line: l, .. } if l == line => {}
+                other => panic!("expected line-{line} error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn header_garbage_is_line_annotated() {
+        // Non-numeric ptrcrd count on line 2 (second 14-column field).
+        let text =
+            rsa().replacen("             4             1", "             4           one", 1);
+        assert!(matches!(read_hb(&text).unwrap_err(), Error::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn matrix_market_truncations_are_structured() {
+        let full = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 4.0\n2 1 -1.0\n";
+        let lines: Vec<&str> = full.lines().collect();
+        for keep in 0..lines.len() {
+            let text = lines[..keep].join("\n");
+            let err = read_matrix_market(BufReader::new(text.as_bytes())).unwrap_err();
+            assert!(
+                matches!(err, Error::Parse { .. }),
+                "prefix of {keep} lines: expected Parse, got {err:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn nearly_singular_matrix_solves_with_refinement() {
     // Weakly dominant: a_ii barely exceeds the off-diagonal row sums.
