@@ -86,14 +86,24 @@ impl BalanceReport {
                 return 1.0;
             }
             // Best possible overall balance if this group's load were spread
-            // perfectly inside the group: total / (P · max/per_group).
-            total_2d as f64 / (p as f64 * (max as f64 / per_group as f64))
+            // perfectly inside the group: total / (P · max/per_group). A
+            // value above 1 cannot arise from that formula (the max group
+            // carries at least the mean), so it signals a wrong `per_group`
+            // or load tally — surface it in debug builds instead of
+            // clamping it away; the release clamp below only absorbs
+            // floating-point rounding at exactly 1.
+            let v = total_2d as f64 / (p as f64 * (max as f64 / per_group as f64));
+            debug_assert!(
+                v <= 1.0 + 1e-9,
+                "balance statistic {v} > 1: per-group size or load tally is wrong"
+            );
+            v.min(1.0)
         };
         Self {
             overall,
-            row: balance_of(&row_load, grid.pc).min(1.0),
-            col: balance_of(&col_load, grid.pr).min(1.0),
-            diag: balance_of(&diag_load, grid.pc).min(1.0),
+            row: balance_of(&row_load, grid.pc),
+            col: balance_of(&col_load, grid.pr),
+            diag: balance_of(&diag_load, grid.pc),
             per_proc,
             total,
             total_2d,
@@ -187,6 +197,34 @@ mod tests {
             rep.overall
         );
         assert!(rep_h.diag > rep.diag);
+    }
+
+    #[test]
+    fn diag_statistic_is_valid_on_nonsquare_grids() {
+        // Regression: the generalized diagonal (i − j) mod pr partitions a
+        // pr × pc grid into pr classes of pc processors each, so the diag
+        // statistic's per-group size is pc even when pr ≠ pc. With the
+        // wrong group size the statistic exceeds 1 (formerly hidden by an
+        // unconditional clamp, now a debug assertion inside `compute`).
+        let (bm, w) = dense_setup(96, 8);
+        for (pr, pc) in [(2, 4), (4, 2), (1, 4), (4, 1), (2, 8)] {
+            let asg = Assignment::build(
+                &bm,
+                &w,
+                ProcGrid::new(pr, pc),
+                RowPolicy::Heuristic(Heuristic::Cyclic),
+                ColPolicy::Heuristic(Heuristic::Cyclic),
+                None,
+            );
+            let rep = BalanceReport::compute(&bm, &w, &asg);
+            for v in [rep.overall, rep.row, rep.col, rep.diag] {
+                assert!(v > 0.0 && v <= 1.0, "grid {pr}x{pc}: statistic {v}");
+            }
+            // Each statistic is an upper bound on the overall balance.
+            assert!(rep.overall <= rep.row + 1e-9, "grid {pr}x{pc}");
+            assert!(rep.overall <= rep.col + 1e-9, "grid {pr}x{pc}");
+            assert!(rep.overall <= rep.diag + 1e-9, "grid {pr}x{pc}");
+        }
     }
 
     #[test]

@@ -107,4 +107,37 @@ proptest! {
         let out = fanout::simulate(&bm, &plan, &simgrid::MachineModel::paragon());
         prop_assert_eq!(out.report.total_msgs(), stats.messages);
     }
+
+    // comm.rs promises its message counts "agree exactly" with what the
+    // protocol executor sends. Exercise that claim against the simulated
+    // executor across grid shapes, heuristic mixes, and domain plans.
+    #[test]
+    fn simulated_message_traffic_matches_comm_volume_everywhere(
+        (bm, w) in arb_setup(35),
+        grid in arb_grid(),
+        heur_ix in 0usize..4,
+        use_domains in any::<bool>(),
+    ) {
+        let heuristics = [
+            (Heuristic::Cyclic, Heuristic::Cyclic),
+            (Heuristic::DecreasingWork, Heuristic::IncreasingDepth),
+            (Heuristic::IncreasingDepth, Heuristic::DecreasingWork),
+            (Heuristic::DecreasingNumber, Heuristic::DecreasingNumber),
+        ];
+        let (rh, ch) = heuristics[heur_ix];
+        let domains = use_domains.then(|| {
+            mapping::DomainPlan::select(&bm, &w, grid.p(), &mapping::DomainParams::default())
+        });
+        let asg = Assignment::build(
+            &bm, &w, grid,
+            RowPolicy::Heuristic(rh),
+            ColPolicy::Heuristic(ch),
+            domains,
+        );
+        let stats = comm_volume(&bm, &asg);
+        let bm = std::sync::Arc::new(bm);
+        let plan = std::sync::Arc::new(fanout::Plan::build(&bm, &asg));
+        let out = fanout::simulate(&bm, &plan, &simgrid::MachineModel::paragon());
+        prop_assert_eq!(out.report.total_msgs(), stats.messages);
+    }
 }

@@ -148,7 +148,7 @@ fn main() {
                 "\"sched_blocks_copied\":{},\"steals\":{},\"steal_attempts\":{},",
                 "\"idle_polls\":{},\"spurious_claims\":{},\"ready_hwm\":{},",
                 "\"tasks_run\":{},\"bmods_applied\":{},\"columns_factored\":{},",
-                "\"busy_s\":{:.6e},\"elapsed_s\":{:.6e}}}"
+                "\"busy_s\":{:.6e},\"elapsed_s\":{:.6e},\"wall_s\":{:.6e}}}"
             ),
             json_str(&r.problem),
             r.n,
@@ -170,6 +170,7 @@ fn main() {
             r.sched.columns_factored,
             busy,
             r.sched.elapsed_s,
+            r.sched.wall_s,
         ));
     }
     out.push_str("\n]}\n");

@@ -114,23 +114,11 @@ impl std::fmt::Display for TextTable {
 }
 
 /// Escapes a string as a JSON string literal.
-pub fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+///
+/// The canonical implementation lives in the `trace` crate (shared with the
+/// Perfetto exporter); re-exported here so existing `bench::table::json_str`
+/// callers keep working.
+pub use trace::json_str;
 
 /// Formats a ratio as a percentage improvement string (`+18%`).
 pub fn pct(improvement: f64) -> String {

@@ -35,10 +35,9 @@ impl BmodOp {
     #[inline]
     pub fn flops(&self) -> u64 {
         if self.i == self.j {
-            // syrk: lower triangle only.
-            (self.r_a as u64) * (self.r_a as u64 + 1) * (self.c_k as u64)
+            dense::kernels::flops::bmod_diag(self.r_a as usize, self.c_k as usize)
         } else {
-            2 * (self.r_a as u64) * (self.r_b as u64) * (self.c_k as u64)
+            dense::kernels::flops::bmod(self.r_a as usize, self.r_b as usize, self.c_k as usize)
         }
     }
 }

@@ -606,6 +606,16 @@ pub mod flops {
     pub fn bmod(r1: usize, r2: usize, c: usize) -> u64 {
         2 * (r1 as u64) * (r2 as u64) * (c as u64)
     }
+
+    /// Flops for a *diagonal* `BMOD` (`A == B`, `r × c` source): only the
+    /// lower triangle of the rank-`c` update is formed, so the count is the
+    /// triangular half of [`bmod`]`(r, r, c)` including the diagonal —
+    /// `r(r+1)c`. Shared by the simulator, the critical-path model and the
+    /// block work model so a kernel change cannot drift them apart.
+    #[inline]
+    pub fn bmod_diag(r: usize, c: usize) -> u64 {
+        (r as u64) * (r as u64 + 1) * (c as u64)
+    }
 }
 
 #[cfg(test)]

@@ -71,7 +71,7 @@ pub fn critical_path(bm: &BlockMatrix, model: &MachineModel) -> CriticalPath {
             for a in b..blocks.len() {
                 let (i, j) = (blocks[a].row_panel as usize, blocks[b].row_panel as usize);
                 let fl = if a == b {
-                    (blocks[a].nrows() as u64) * (blocks[a].nrows() as u64 + 1) * c as u64
+                    flops::bmod_diag(blocks[a].nrows(), c)
                 } else {
                     flops::bmod(blocks[a].nrows(), blocks[b].nrows(), c)
                 };
@@ -121,7 +121,7 @@ pub fn block_levels(bm: &BlockMatrix, model: &MachineModel) -> Vec<Vec<f64>> {
             for a in b..blocks.len() {
                 let (i, j) = (blocks[a].row_panel as usize, blocks[b].row_panel as usize);
                 let fl = if a == b {
-                    (blocks[a].nrows() as u64) * (blocks[a].nrows() as u64 + 1) * c as u64
+                    flops::bmod_diag(blocks[a].nrows(), c)
                 } else {
                     flops::bmod(blocks[a].nrows(), blocks[b].nrows(), c)
                 };

@@ -179,6 +179,25 @@ impl NumericFactor {
         (col_ptr, row_idx, values)
     }
 
+    /// Per-phase flop counts `(bfac, bdiv, bmod)` of factoring this block
+    /// structure — the denominator side of a predicted-vs-achieved report
+    /// (phase busy seconds from a trace ÷ these counts = attained rate).
+    /// Pure structure, independent of the numeric values.
+    pub fn flop_counts(&self) -> (u64, u64, u64) {
+        use dense::kernels::flops;
+        let bm = &self.bm;
+        let (mut bfac, mut bdiv, mut bmod) = (0u64, 0u64, 0u64);
+        for j in 0..bm.num_panels() {
+            let c = bm.col_width(j);
+            bfac += flops::bfac(c);
+            for blk in &bm.cols[j].blocks[1..] {
+                bdiv += flops::bdiv(blk.nrows(), c);
+            }
+        }
+        blockmat::for_each_bmod(bm, |op| bmod += op.flops());
+        (bfac, bdiv, bmod)
+    }
+
     /// Reconstructs `L·Lᵀ` densely — test helper for small problems.
     pub fn llt_dense(&self) -> dense::DenseMat {
         let n = self.bm.sn.n();
@@ -226,6 +245,35 @@ mod tests {
         // Find a structural position not present in A: count nonzero slots.
         let stored: usize = f.data.iter().map(|d| d.len()).sum();
         assert!(stored > a.pattern().nnz(), "fill must create zero slots");
+    }
+
+    #[test]
+    fn flop_counts_match_a_direct_enumeration() {
+        use dense::kernels::flops;
+        let (bm, a) = build(6, 3);
+        let f = NumericFactor::from_matrix(bm.clone(), &a);
+        let (bfac, bdiv, bmod) = f.flop_counts();
+        let mut want_bfac = 0u64;
+        let mut want_bdiv = 0u64;
+        for j in 0..bm.num_panels() {
+            let c = bm.col_width(j);
+            want_bfac += flops::bfac(c);
+            for blk in &bm.cols[j].blocks[1..] {
+                want_bdiv += flops::bdiv(blk.nrows(), c);
+            }
+        }
+        assert_eq!(bfac, want_bfac);
+        assert_eq!(bdiv, want_bdiv);
+        let mut want_bmod = 0u64;
+        blockmat::for_each_bmod(&bm, |op| {
+            want_bmod += if op.i == op.j {
+                flops::bmod_diag(op.r_a as usize, op.c_k as usize)
+            } else {
+                flops::bmod(op.r_a as usize, op.r_b as usize, op.c_k as usize)
+            };
+        });
+        assert_eq!(bmod, want_bmod);
+        assert!(bfac > 0 && bdiv > 0 && bmod > 0);
     }
 
     #[test]

@@ -46,9 +46,12 @@ pub use psolve::{solve_threaded, SolvePlan};
 pub use sched::{factorize_sched, factorize_sched_opts, factorize_threaded, SchedOptions, SchedStats};
 pub use seq::{factorize_seq, factorize_seq_opts, FactorOpts, SeqStats};
 pub use simplicial::{factorize_simplicial, factorize_simplicial_from, CscFactor};
-pub use sim::{block_ranks, simulate, simulate_with_policy, SimOutcome, SimPolicy};
+pub use sim::{block_ranks, simulate, simulate_traced, simulate_with_policy, SimOutcome, SimPolicy};
 pub use solve::{residual_norm, solve};
-pub use threaded::{factorize_fifo, FifoStats};
+pub use threaded::{factorize_fifo, factorize_fifo_opts, FifoOptions, FifoStats};
+// Tracing vocabulary, re-exported so executor callers need no direct `trace`
+// dependency to configure or consume a trace.
+pub use trace::{TaskKind, Trace, TraceEvent, TraceOpts};
 
 /// Errors from numeric factorization.
 ///
@@ -56,7 +59,7 @@ pub use threaded::{factorize_fifo, FifoStats};
 /// never a hang: worker panics are caught and reported as
 /// [`Error::WorkerPanicked`], and a run that stops retiring tasks trips the
 /// stall watchdog and returns [`Error::Stalled`] with a diagnostic snapshot.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// A diagonal block was not positive definite.
     NotPositiveDefinite {
@@ -84,7 +87,7 @@ pub enum Error {
 /// Diagnostic snapshot captured when the scheduler stalls (see
 /// [`Error::Stalled`]). All counts are racy reads taken while workers may
 /// still be parked, so treat them as a debugging aid, not an invariant.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StallReport {
     /// The watchdog timeout that expired (zero for quiescence-detected
     /// stalls, which are found at drain time rather than by the watchdog).
@@ -105,6 +108,11 @@ pub struct StallReport {
     pub worker_queue_depths: Vec<usize>,
     /// Up to eight flat ids of blocks stuck in a non-idle claim state.
     pub stuck_blocks: Vec<usize>,
+    /// The last few trace events of each worker at snapshot time (empty
+    /// unless the run had tracing enabled) — a per-worker timeline of what
+    /// everyone was doing when progress stopped. The snapshot is racy: an
+    /// in-flight record may appear torn.
+    pub last_events: Vec<Vec<trace::TraceEvent>>,
 }
 
 impl std::fmt::Display for StallReport {
@@ -125,7 +133,25 @@ impl std::fmt::Display for StallReport {
             self.block_states[3],
             self.worker_queue_depths,
             self.stuck_blocks,
-        )
+        )?;
+        for (w, evs) in self.last_events.iter().enumerate() {
+            if evs.is_empty() {
+                continue;
+            }
+            write!(f, "; w{w} tail [")?;
+            for (i, e) in evs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                if e.block == trace::NO_BLOCK {
+                    write!(f, "{}@{:.3}s", e.kind.name(), e.t_end)?;
+                } else {
+                    write!(f, "{}({})@{:.3}s", e.kind.name(), e.block, e.t_end)?;
+                }
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
     }
 }
 

@@ -56,6 +56,11 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+use trace::{TaskKind, Trace, TraceBuf, TraceOpts, WorkerRing, NO_BLOCK};
+
+/// Events per worker embedded in a [`StallReport`] timeline (when the
+/// stalled run had tracing enabled).
+const STALL_TAIL_EVENTS: usize = 8;
 
 /// Tunables of [`factorize_sched_opts`].
 #[derive(Debug, Clone)]
@@ -86,6 +91,11 @@ pub struct SchedOptions {
     /// convention; `Some(tau)` perturbs failing pivots instead and counts
     /// them in [`SchedStats::pivot_perturbations`].
     pub perturb_npd: Option<f64>,
+    /// Execution tracing: when enabled, every task / steal / idle interval
+    /// lands in a per-worker lock-free ring and the collected
+    /// [`Trace`] is returned in [`SchedStats::trace`]. Off by default —
+    /// a disabled run pays one branch per hook and allocates nothing.
+    pub trace: TraceOpts,
 }
 
 impl Default for SchedOptions {
@@ -97,6 +107,7 @@ impl Default for SchedOptions {
             stall_timeout: Some(Duration::from_secs(60)),
             faults: None,
             perturb_npd: None,
+            trace: TraceOpts::off(),
         }
     }
 }
@@ -142,8 +153,16 @@ pub struct SchedStats {
     pub pivot_perturbations: u64,
     /// Per-worker busy time (seconds spent inside tasks).
     pub busy_s: Vec<f64>,
-    /// Wall-clock of the parallel section.
+    /// Execution span of the task work itself: first task start to last
+    /// task end across all workers (0 when no task ran). This is the
+    /// denominator for utilization — unlike [`SchedStats::wall_s`] it
+    /// excludes thread spawn/join overhead, which inflates small problems.
     pub elapsed_s: f64,
+    /// Wall-clock of the whole parallel section (spawn to join inclusive).
+    pub wall_s: f64,
+    /// The collected execution trace, when [`SchedOptions::trace`] enabled
+    /// tracing; `None` otherwise.
+    pub trace: Option<Trace>,
 }
 
 /// Factors `f` in place with the work-stealing scheduler under default
@@ -178,10 +197,13 @@ pub fn factorize_sched_opts(
 
     let np = bm.num_panels();
     let nb = plan.num_blocks();
+    let tracebuf = TraceBuf::new(workers, &opts.trace);
     let shared = Shared {
         bm: &bm,
         plan,
         sched: &schedule,
+        epoch: Instant::now(),
+        tracebuf: tracebuf.as_ref(),
         offsets: &f.offsets,
         cols: f.data.iter_mut().map(|v| ColPtr { ptr: v.as_mut_ptr(), len: v.len() }).collect(),
         state: (0..nb).map(|_| AtomicU8::new(IDLE)).collect(),
@@ -264,6 +286,7 @@ pub fn factorize_sched_opts(
                     shared,
                     deque,
                     arena,
+                    tracer: shared.tracebuf.map(|tb| tb.ring(me)),
                     rng: opts
                         .seed
                         .map(|s| (s ^ 0x9e37_79b9_7f4a_7c15).wrapping_add(me as u64 + 1) | 1),
@@ -288,7 +311,7 @@ pub fn factorize_sched_opts(
             })
             .collect()
     });
-    let elapsed = t0.elapsed().as_secs_f64();
+    let wall = t0.elapsed().as_secs_f64();
 
     // Resolve the run outcome. Priority: a contained panic trumps
     // everything (the factor state is unspecified), then a watchdog stall,
@@ -316,10 +339,14 @@ pub fn factorize_sched_opts(
         workers,
         p: plan.p,
         ready_hwm: shared.ready_hwm.load(Ordering::Relaxed),
-        elapsed_s: elapsed,
+        wall_s: wall,
         busy_s: Vec::with_capacity(workers),
+        trace: tracebuf.as_ref().map(TraceBuf::collect),
         ..SchedStats::default()
     };
+    // Task span, not section wall-clock: first task start to last task end,
+    // from the per-worker epoch offsets (see `SchedStats::elapsed_s`).
+    let (mut t_first, mut t_last) = (f64::INFINITY, f64::NEG_INFINITY);
     for l in locals {
         stats.steals += l.steals;
         stats.steal_attempts += l.steal_attempts;
@@ -330,7 +357,10 @@ pub fn factorize_sched_opts(
         stats.columns_factored += l.cols;
         stats.pivot_perturbations += l.perturbed;
         stats.busy_s.push(l.busy_s);
+        t_first = t_first.min(l.t_first);
+        t_last = t_last.max(l.t_last);
     }
+    stats.elapsed_s = if t_last > t_first { t_last - t_first } else { 0.0 };
     Ok(stats)
 }
 
@@ -506,6 +536,10 @@ struct Shared<'a> {
     bm: &'a BlockMatrix,
     plan: &'a Plan,
     sched: &'a Schedule,
+    /// Time origin for trace timestamps and the task span (`elapsed_s`).
+    epoch: Instant,
+    /// Event rings, when tracing is enabled for this run.
+    tracebuf: Option<&'a TraceBuf>,
     offsets: &'a [Vec<usize>],
     cols: Vec<ColPtr>,
     /// Per block: claim state (IDLE/QUEUED/RUNNING/DIRTY).
@@ -623,11 +657,14 @@ impl Shared<'_> {
             block_states,
             worker_queue_depths: self.stealers.iter().map(|s| s.len()).collect(),
             stuck_blocks: stuck,
+            last_events: self
+                .tracebuf
+                .map(|tb| tb.recent_per_worker(STALL_TAIL_EVENTS))
+                .unwrap_or_default(),
         }
     }
 }
 
-#[derive(Default)]
 struct LocalStats {
     steals: u64,
     steal_attempts: u64,
@@ -638,6 +675,28 @@ struct LocalStats {
     cols: u64,
     perturbed: u64,
     busy_s: f64,
+    /// Epoch offset of this worker's first task start (∞ if none ran).
+    t_first: f64,
+    /// Epoch offset of this worker's last task end (−∞ if none ran).
+    t_last: f64,
+}
+
+impl Default for LocalStats {
+    fn default() -> Self {
+        Self {
+            steals: 0,
+            steal_attempts: 0,
+            idle_polls: 0,
+            spurious: 0,
+            tasks: 0,
+            bmods: 0,
+            cols: 0,
+            perturbed: 0,
+            busy_s: 0.0,
+            t_first: f64::INFINITY,
+            t_last: f64::NEG_INFINITY,
+        }
+    }
 }
 
 struct WorkerCtx<'a> {
@@ -645,6 +704,8 @@ struct WorkerCtx<'a> {
     shared: &'a Shared<'a>,
     deque: Deque,
     arena: KernelArena,
+    /// This worker's event ring, when tracing is enabled.
+    tracer: Option<&'a WorkerRing>,
     /// xorshift state for stress-test jitter; `None` = deterministic sweep.
     rng: Option<u64>,
     stats: LocalStats,
@@ -709,14 +770,25 @@ impl WorkerCtx<'_> {
     /// Executes one popped task (block-advance or column-completion).
     fn run_task(&mut self, t: u64) {
         self.jitter();
-        let t0 = Instant::now();
+        let s = self.shared;
+        let t_start = s.epoch.elapsed().as_secs_f64();
         if t & COL_TAG != 0 {
             self.run_column((t & !COL_TAG) as usize);
         } else {
             self.run_block(t as usize);
         }
+        let t_end = s.epoch.elapsed().as_secs_f64();
         self.stats.tasks += 1;
-        self.stats.busy_s += t0.elapsed().as_secs_f64();
+        self.stats.busy_s += t_end - t_start;
+        self.stats.t_first = self.stats.t_first.min(t_start);
+        self.stats.t_last = self.stats.t_last.max(t_end);
+        if let Some(ring) = self.tracer {
+            // Column-completion covers BFAC plus the whole-column TRSM (one
+            // shared kernel call — see TaskKind::Bfac); block-advance tasks
+            // are the BMOD phase.
+            let kind = if t & COL_TAG != 0 { TaskKind::Bfac } else { TaskKind::Bmod };
+            ring.record(kind, task_block(s, t) as u32, t_start, t_end);
+        }
     }
 
     fn rng_next(&mut self) -> u64 {
@@ -742,6 +814,7 @@ impl WorkerCtx<'_> {
         if n <= 1 {
             return None;
         }
+        let t_start = self.tracer.map(|_| self.shared.epoch.elapsed().as_secs_f64());
         let start = if self.rng.is_some() {
             self.rng_next() as usize % n
         } else {
@@ -757,6 +830,15 @@ impl WorkerCtx<'_> {
                 match self.shared.stealers[v].steal() {
                     Steal::Success(t) => {
                         self.stats.steals += 1;
+                        if let (Some(ring), Some(t0)) = (self.tracer, t_start) {
+                            let now = self.shared.epoch.elapsed().as_secs_f64();
+                            ring.record(
+                                TaskKind::Steal,
+                                task_block(self.shared, t) as u32,
+                                t0,
+                                now,
+                            );
+                        }
                         return Some(t);
                     }
                     Steal::Retry => continue,
@@ -770,18 +852,21 @@ impl WorkerCtx<'_> {
     fn park(&mut self) {
         let s = self.shared;
         self.stats.idle_polls += 1;
+        let t_start = self.tracer.map(|_| s.epoch.elapsed().as_secs_f64());
         let guard = lock_ignore_poison(&s.sleep);
-        if s.done.load(Ordering::Acquire) {
-            return;
+        if !s.done.load(Ordering::Acquire) {
+            // The timeout bounds the cost of the benign race between a final
+            // empty sweep and a concurrent push's notify. A poisoned condvar
+            // result (a peer panicked while holding the sleep lock) is treated
+            // as a plain wakeup — the loop re-checks the done flag.
+            let _ = s
+                .wake
+                .wait_timeout(guard, Duration::from_micros(200))
+                .unwrap_or_else(PoisonError::into_inner);
         }
-        // The timeout bounds the cost of the benign race between a final
-        // empty sweep and a concurrent push's notify. A poisoned condvar
-        // result (a peer panicked while holding the sleep lock) is treated
-        // as a plain wakeup — the loop re-checks the done flag.
-        let _ = s
-            .wake
-            .wait_timeout(guard, Duration::from_micros(200))
-            .unwrap_or_else(PoisonError::into_inner);
+        if let (Some(ring), Some(t0)) = (self.tracer, t_start) {
+            ring.record(TaskKind::Idle, NO_BLOCK, t0, s.epoch.elapsed().as_secs_f64());
+        }
     }
 
     /// Queues a freshly ready task into the current task's batch.
@@ -1023,6 +1108,67 @@ mod tests {
             let r = residual_norm(&pa, &f);
             assert!(r < 1e-11, "p={p} workers={workers} residual {r}");
         }
+    }
+
+    #[test]
+    fn traced_run_accounts_for_every_task_and_stays_bit_identical() {
+        let prob = sparsemat::gen::bcsstk_like("T", 150, 3);
+        let (mut f_tr, plan, _) = prepared(&prob, 4, 16);
+        let mut f_off = f_tr.clone();
+        let opts = SchedOptions {
+            workers: Some(3),
+            trace: TraceOpts::on(),
+            ..Default::default()
+        };
+        let stats = factorize_sched_opts(&mut f_tr, &plan, &opts).unwrap();
+        let tr = stats.trace.as_ref().expect("tracing was enabled");
+        assert_eq!(tr.workers(), stats.workers);
+        // One Bfac event per column-completion task, one Bmod per
+        // block-advance task.
+        let count = |k: TaskKind| {
+            tr.per_worker.iter().flatten().filter(|e| e.kind == k).count()
+        };
+        assert_eq!(count(TaskKind::Bfac), f_tr.bm.num_panels());
+        assert!(count(TaskKind::Bmod) > 0);
+        // Intervals are well-formed and inside the measured task span.
+        // The trace window covers the task span (it additionally holds
+        // steal/idle events straddling the first and last task) and stays
+        // inside the wall clock.
+        let span = tr.span_s();
+        assert!(span > 0.0 && span <= stats.wall_s + 1e-9);
+        assert!(span >= stats.elapsed_s - 1e-9);
+        for evs in &tr.per_worker {
+            for e in evs {
+                assert!(e.t_end >= e.t_start, "inverted interval");
+            }
+        }
+        // Compute seconds in the trace agree with the busy counters (both
+        // are sums of the same per-task measurements).
+        let busy: f64 = stats.busy_s.iter().sum();
+        assert!((tr.busy_s() - busy).abs() <= 0.05 * busy + 1e-6);
+        // Tracing must not change the numerics.
+        let opts_off = SchedOptions { workers: Some(3), ..Default::default() };
+        let stats_off = factorize_sched_opts(&mut f_off, &plan, &opts_off).unwrap();
+        assert!(stats_off.trace.is_none());
+        let (_, _, v_tr) = f_tr.to_csc();
+        let (_, _, v_off) = f_off.to_csc();
+        for (a, b) in v_tr.iter().zip(&v_off) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn elapsed_is_task_span_and_never_exceeds_wall() {
+        let prob = sparsemat::gen::grid2d(9);
+        let (mut f, plan, _) = prepared(&prob, 3, 4);
+        let stats = factorize_sched_opts(&mut f, &plan, &SchedOptions::default()).unwrap();
+        assert!(stats.elapsed_s > 0.0);
+        assert!(
+            stats.elapsed_s <= stats.wall_s + 1e-9,
+            "task span {} exceeds wall clock {}",
+            stats.elapsed_s,
+            stats.wall_s
+        );
     }
 
     #[test]

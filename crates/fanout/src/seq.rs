@@ -9,6 +9,8 @@ use dense::kernels::{
     syrk_lt_sub_strided, trsm_right_lower_trans_with,
 };
 use dense::KernelArena;
+use std::time::Instant;
+use trace::{TaskKind, Trace, TraceEvent, TraceOpts};
 
 /// Numeric factorization options shared by the executors.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -26,14 +28,23 @@ pub struct FactorOpts {
     /// perturbation count is a factor of a *modified* matrix and should be
     /// paired with iterative refinement.
     pub perturb_npd: Option<f64>,
+    /// Execution tracing: when enabled, each column completion (`bfac`,
+    /// covering `BFAC` + the whole-column `TRSM`) and each `BMOD` lands in
+    /// a single-track [`Trace`] returned via [`SeqStats::trace`]. Event
+    /// `block` ids are destination *panel* indices (the sequential executor
+    /// has no plan, hence no flat block ids).
+    pub trace: TraceOpts,
 }
 
 /// Statistics of one sequential factorization run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SeqStats {
     /// Global columns whose pivots were perturbed (ascending; empty when
     /// [`FactorOpts::perturb_npd`] is off or never triggered).
     pub perturbed_pivots: Vec<usize>,
+    /// The collected single-worker trace, when [`FactorOpts::trace`]
+    /// enabled tracing.
+    pub trace: Option<Trace>,
 }
 
 /// Factors `f` in place sequentially: for each block column `K` ascending,
@@ -49,13 +60,28 @@ pub fn factorize_seq_opts(f: &mut NumericFactor, opts: &FactorOpts) -> Result<Se
     let bm = f.bm.clone();
     let mut arena = KernelArena::new();
     let mut stats = SeqStats::default();
+    let tracing = opts.trace.enabled;
+    let epoch = Instant::now();
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let stamp = |events: &mut Vec<TraceEvent>, kind: TaskKind, block: usize, t0: f64| {
+        events.push(TraceEvent {
+            block: block as u32,
+            kind,
+            t_start: t0,
+            t_end: epoch.elapsed().as_secs_f64(),
+        });
+    };
     for k in 0..bm.num_panels() {
+        let t0 = if tracing { epoch.elapsed().as_secs_f64() } else { 0.0 };
         match opts.perturb_npd {
             None => factor_block_column(f, &bm, k, &mut arena)?,
             Some(tau) => {
                 let cols = factor_column_buf_perturb(&mut f.data[k], &bm, k, &mut arena, tau)?;
                 stats.perturbed_pivots.extend(cols);
             }
+        }
+        if tracing {
+            stamp(&mut events, TaskKind::Bfac, k, t0);
         }
         // Right-looking updates out of column k.
         let (head, tail) = f.data.split_at_mut(k + 1);
@@ -76,6 +102,7 @@ pub fn factorize_seq_opts(f: &mut NumericFactor, opts: &FactorOpts) -> Result<Se
                     .get(di + 1)
                     .copied()
                     .unwrap_or(dest_buf_all.len());
+                let t0 = if tracing { epoch.elapsed().as_secs_f64() } else { 0.0 };
                 apply_bmod(
                     &bm,
                     &mut dest_buf_all[lo..hi],
@@ -89,8 +116,14 @@ pub fn factorize_seq_opts(f: &mut NumericFactor, opts: &FactorOpts) -> Result<Se
                     c_k,
                     &mut arena,
                 );
+                if tracing {
+                    stamp(&mut events, TaskKind::Bmod, dest_j, t0);
+                }
             }
         }
+    }
+    if tracing {
+        stats.trace = Some(Trace::from_events(vec![events]));
     }
     Ok(stats)
 }
@@ -334,6 +367,39 @@ mod tests {
         let mut f = NumericFactor::from_matrix(bm, &pa);
         factorize_seq(&mut f).unwrap();
         (f, pa)
+    }
+
+    #[test]
+    fn traced_seq_run_records_every_column_and_update() {
+        let p = sparsemat::gen::grid2d(7);
+        let perm = ordering::order_problem(&p);
+        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let pa = analysis.perm.apply_to_matrix(&p.matrix);
+        let bm = Arc::new(BlockMatrix::build(analysis.supernodes, 3));
+        let mut f_tr = NumericFactor::from_matrix(bm.clone(), &pa);
+        let mut f_off = f_tr.clone();
+        let opts = FactorOpts { trace: TraceOpts::on(), ..Default::default() };
+        let stats = factorize_seq_opts(&mut f_tr, &opts).unwrap();
+        let tr = stats.trace.as_ref().expect("tracing was enabled");
+        assert_eq!(tr.workers(), 1);
+        let events = &tr.per_worker[0];
+        let bfacs = events.iter().filter(|e| e.kind == TaskKind::Bfac).count();
+        assert_eq!(bfacs, bm.num_panels());
+        assert!(events.iter().filter(|e| e.kind == TaskKind::Bmod).count() > 0);
+        // Timestamps are monotone within the single worker and well-formed.
+        for pair in events.windows(2) {
+            assert!(pair[0].t_start <= pair[1].t_start);
+        }
+        for e in events {
+            assert!(e.t_end >= e.t_start);
+        }
+        // Tracing must not change the numerics.
+        factorize_seq(&mut f_off).unwrap();
+        let (_, _, v_tr) = f_tr.to_csc();
+        let (_, _, v_off) = f_off.to_csc();
+        for (a, b) in v_tr.iter().zip(&v_off) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

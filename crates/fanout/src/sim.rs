@@ -12,6 +12,7 @@ use blockmat::BlockMatrix;
 use dense::kernels::flops;
 use simgrid::{Agent, Ctx, MachineModel, SimReport, Simulator};
 use std::sync::Arc;
+use trace::{TaskKind, Trace, TraceEvent, TraceOpts};
 
 /// Result of one simulated factorization.
 #[derive(Debug, Clone)]
@@ -24,6 +25,10 @@ pub struct SimOutcome {
     pub seq_time_s: f64,
     /// Parallel efficiency `tseq / (P · tparallel)`.
     pub efficiency: f64,
+    /// Per-processor virtual-time event timeline (only from
+    /// [`simulate_traced`]; block ids are flat plan block ids, `Recv`
+    /// events are instantaneous markers at message-processing time).
+    pub trace: Option<Trace>,
 }
 
 impl SimOutcome {
@@ -56,23 +61,42 @@ struct FanoutAgent {
     actions: Vec<Action>,
     /// Per-block b-level priorities (only for `CriticalPathPriority`).
     ranks: Option<Arc<Vec<Vec<f64>>>>,
+    /// Virtual-time event log (populated only by [`simulate_traced`]).
+    tracing: bool,
+    events: Vec<TraceEvent>,
 }
 
 impl FanoutAgent {
+    /// The agent's current virtual time: event time plus compute charged so
+    /// far inside the running handler.
+    fn vnow(&self, ctx: &Ctx<(u32, u32)>) -> f64 {
+        ctx.now() + ctx.computed()
+    }
+
+    fn stamp(&mut self, kind: TaskKind, block: u32, t_start: f64, t_end: f64) {
+        if self.tracing {
+            self.events.push(TraceEvent { block, kind, t_start, t_end });
+        }
+    }
+
     fn execute(&mut self, ctx: &mut Ctx<(u32, u32)>) {
-        for &act in &self.actions {
+        let actions = std::mem::take(&mut self.actions);
+        for &act in &actions {
             match act {
-                Action::Bmod { k, a, b, .. } => {
+                Action::Bmod { k, a, b, dest_j, dest_b } => {
                     let col = &self.bm.cols[k as usize];
                     let c_k = self.bm.col_width(k as usize);
                     let ra = col.blocks[a as usize].nrows();
                     let rb = col.blocks[b as usize].nrows();
                     let fl = if a == b {
-                        (ra as u64) * (ra as u64 + 1) * c_k as u64
+                        flops::bmod_diag(ra, c_k)
                     } else {
                         flops::bmod(ra, rb, c_k)
                     };
+                    let t0 = self.vnow(ctx);
                     ctx.compute(self.model.op_time(fl, c_k));
+                    let t1 = self.vnow(ctx);
+                    self.stamp(TaskKind::Bmod, self.plan.block_id(dest_j, dest_b) as u32, t0, t1);
                 }
                 Action::Complete { j, b } => {
                     let c = self.bm.col_width(j as usize);
@@ -81,7 +105,11 @@ impl FanoutAgent {
                     } else {
                         flops::bdiv(self.bm.cols[j as usize].blocks[b as usize].nrows(), c)
                     };
+                    let t0 = self.vnow(ctx);
                     ctx.compute(self.model.op_time(fl, c));
+                    let t1 = self.vnow(ctx);
+                    let kind = if b == 0 { TaskKind::Bfac } else { TaskKind::Bdiv };
+                    self.stamp(kind, self.plan.block_id(j, b) as u32, t0, t1);
                     for &dest in &self.plan.send_to[j as usize][b as usize] {
                         let bytes = self.plan.block_bytes(&self.bm, j as usize, b as usize);
                         ctx.send(dest as usize, bytes, (j, b));
@@ -89,6 +117,7 @@ impl FanoutAgent {
                 }
             }
         }
+        self.actions = actions;
     }
 }
 
@@ -103,6 +132,8 @@ impl Agent for FanoutAgent {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<(u32, u32)>, _from: usize, (j, b): (u32, u32)) {
+        let t = self.vnow(ctx);
+        self.stamp(TaskKind::Recv, self.plan.block_id(j, b) as u32, t, t);
         let mut actions = std::mem::take(&mut self.actions);
         self.state.on_receive(&self.plan, &self.bm, j, b, &mut actions);
         self.actions = actions;
@@ -151,7 +182,7 @@ pub fn block_ranks(bm: &BlockMatrix, model: &MachineModel) -> Vec<Vec<f64>> {
                 let (di, dj) = (i.max(j), i.min(j));
                 let db = bm.find_block(di, dj).expect("destination exists");
                 let fl = if a == b {
-                    (blocks[a].nrows() as u64) * (blocks[a].nrows() as u64 + 1) * c as u64
+                    flops::bmod_diag(blocks[a].nrows(), c)
                 } else {
                     flops::bmod(blocks[a].nrows(), blocks[b].nrows(), c)
                 };
@@ -186,12 +217,7 @@ pub fn modeled_seq_time(bm: &BlockMatrix, model: &MachineModel) -> f64 {
         }
     }
     blockmat::for_each_bmod(bm, |op| {
-        let fl = if op.i == op.j {
-            (op.r_a as u64) * (op.r_a as u64 + 1) * op.c_k as u64
-        } else {
-            op.flops()
-        };
-        t += model.op_time(fl, op.c_k as usize);
+        t += model.op_time(op.flops(), op.c_k as usize);
     });
     t
 }
@@ -211,6 +237,24 @@ pub fn simulate_with_policy(
     model: &MachineModel,
     policy: SimPolicy,
 ) -> SimOutcome {
+    simulate_traced(bm, plan, model, policy, &TraceOpts::off())
+}
+
+/// Simulates with a per-processor virtual-time event trace.
+///
+/// Every `BFAC`/`BDIV`/`BMOD` is recorded as an interval in *simulated*
+/// seconds (so the trace lines up with `report.makespan_s`), plus an
+/// instantaneous [`TaskKind::Recv`] marker when a block message is
+/// processed. Block ids are the flat plan ids ([`Plan::block_id`]); the
+/// ring capacity of `trace_opts` is ignored (the simulator's log is
+/// unbounded — single-threaded, no overwrite needed).
+pub fn simulate_traced(
+    bm: &Arc<BlockMatrix>,
+    plan: &Arc<Plan>,
+    model: &MachineModel,
+    policy: SimPolicy,
+    trace_opts: &TraceOpts,
+) -> SimOutcome {
     let ranks = match policy {
         SimPolicy::DataDriven => None,
         SimPolicy::CriticalPathPriority => Some(Arc::new(block_ranks(bm, model))),
@@ -223,13 +267,20 @@ pub fn simulate_with_policy(
             state: ProtocolState::new(plan, bm, q as u32),
             actions: Vec::new(),
             ranks: ranks.clone(),
+            tracing: trace_opts.enabled,
+            events: Vec::new(),
         })
         .collect();
     let mut sim = Simulator::new(agents, *model);
     let report = sim.run();
+    let mut per_worker: Vec<Vec<TraceEvent>> = Vec::new();
     for (q, agent) in sim.into_nodes().into_iter().enumerate() {
         assert!(agent.state.is_done(), "processor {q} deadlocked");
+        if trace_opts.enabled {
+            per_worker.push(agent.events);
+        }
     }
+    let trace = trace_opts.enabled.then(|| Trace::from_events(per_worker));
     let seq_time_s = modeled_seq_time(bm, model);
     let p = plan.p as f64;
     let efficiency = if report.makespan_s > 0.0 {
@@ -237,7 +288,7 @@ pub fn simulate_with_policy(
     } else {
         1.0
     };
-    SimOutcome { report, seq_time_s, efficiency }
+    SimOutcome { report, seq_time_s, efficiency, trace }
 }
 
 #[cfg(test)]
@@ -347,6 +398,43 @@ mod tests {
                 );
             }
         });
+    }
+
+    #[test]
+    fn traced_simulation_matches_report_accounting() {
+        let (bm, w) = setup(12, 4);
+        let asg = Assignment::cyclic(&bm, &w, 4);
+        let plan = Arc::new(Plan::build(&bm, &asg));
+        let model = MachineModel::paragon();
+        let out = simulate_traced(&bm, &plan, &model, SimPolicy::DataDriven, &TraceOpts::on());
+        let tr = out.trace.as_ref().expect("tracing was enabled");
+        assert_eq!(tr.workers(), plan.p);
+        // The trace's compute seconds are exactly the simulator's busy time
+        // minus the per-message send overhead (charged outside any block op).
+        let send_overhead = out.report.total_msgs() as f64 * model.send_overhead_s;
+        assert!((tr.busy_s() - (out.report.total_busy_s() - send_overhead)).abs() < 1e-9);
+        // Every interval nests within [0, makespan].
+        for evs in &tr.per_worker {
+            for e in evs {
+                assert!(e.t_end >= e.t_start);
+                assert!(e.t_start >= 0.0 && e.t_end <= out.report.makespan_s + 1e-12);
+            }
+        }
+        // One compute event per block operation, one Recv per message.
+        let count = |k: TaskKind| {
+            tr.per_worker.iter().flatten().filter(|e| e.kind == k).count()
+        };
+        assert_eq!(count(TaskKind::Bfac), bm.num_panels());
+        assert_eq!(count(TaskKind::Bfac) + count(TaskKind::Bdiv), bm.num_blocks());
+        let mut bmods = 0usize;
+        blockmat::for_each_bmod(&bm, |_| bmods += 1);
+        assert_eq!(count(TaskKind::Bmod), bmods);
+        assert_eq!(count(TaskKind::Recv) as u64, out.report.total_msgs());
+        // Tracing must not perturb the simulation itself.
+        let plain = simulate(&bm, &plan, &model);
+        assert!(plain.trace.is_none());
+        assert_eq!(plain.report.makespan_s, out.report.makespan_s);
+        assert_eq!(plain.report.total_msgs(), out.report.total_msgs());
     }
 
     #[test]

@@ -22,6 +22,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use dense::kernels::{potrf_with, trsm_right_lower_trans_with};
 use dense::KernelArena;
 use std::sync::Arc;
+use std::time::Instant;
+use trace::{TaskKind, Trace, TraceBuf, TraceOpts, WorkerRing};
 
 enum Msg {
     /// A completed block (flat id) with its data.
@@ -32,12 +34,24 @@ enum Msg {
 }
 
 /// Execution counters of one FIFO-baseline run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FifoStats {
     /// Completed-block snapshots allocated (`Arc<Vec<f64>>` copies).
     pub blocks_copied: u64,
     /// Block messages sent over the channels.
     pub messages: u64,
+    /// The collected execution trace (one track per virtual processor),
+    /// when [`FifoOptions::trace`] enabled tracing.
+    pub trace: Option<Trace>,
+}
+
+/// Tunables of [`factorize_fifo_opts`].
+#[derive(Debug, Clone, Default)]
+pub struct FifoOptions {
+    /// Execution tracing: `bfac`/`bdiv`/`bmod` compute intervals plus
+    /// `recv` intervals covering each blocking channel wait, one ring per
+    /// virtual processor. Event `block` ids are the plan's flat block ids.
+    pub trace: TraceOpts,
 }
 
 /// Factors `f` in place using `plan.p` concurrent virtual processors, one
@@ -58,9 +72,20 @@ pub struct FifoStats {
 /// spurious failure seeded by a published garbage column is necessarily at
 /// a higher column and loses the min-combine.)
 pub fn factorize_fifo(f: &mut NumericFactor, plan: &Plan) -> Result<FifoStats, Error> {
+    factorize_fifo_opts(f, plan, &FifoOptions::default())
+}
+
+/// [`factorize_fifo`] with explicit [`FifoOptions`].
+pub fn factorize_fifo_opts(
+    f: &mut NumericFactor,
+    plan: &Plan,
+    opts: &FifoOptions,
+) -> Result<FifoStats, Error> {
     let bm = f.bm.clone();
     let p = plan.p;
     let nb = plan.num_blocks();
+    let tracebuf = TraceBuf::new(p, &opts.trace);
+    let epoch = Instant::now();
     // Hand each virtual processor exclusive mutable views of its blocks,
     // flat-indexed by `plan.block_base` (no hash map on the hot path).
     let mut owned: Vec<Vec<Option<&mut [f64]>>> = (0..p)
@@ -79,9 +104,10 @@ pub fn factorize_fifo(f: &mut NumericFactor, plan: &Plan) -> Result<FifoStats, E
         for (me, (mine, rx)) in owned.into_iter().zip(receivers).enumerate() {
             let senders = senders.clone();
             let bm = bm.clone();
+            let tracer = tracebuf.as_ref().map(|tb| tb.ring(me));
             handles.push(scope.spawn({
                 let plan = &*plan;
-                move || worker(me as u32, plan, &bm, mine, rx, senders)
+                move || worker(me as u32, plan, &bm, mine, rx, senders, tracer, epoch)
             }));
         }
         drop(senders);
@@ -120,7 +146,10 @@ pub fn factorize_fifo(f: &mut NumericFactor, plan: &Plan) -> Result<FifoStats, E
         return Err(e);
     }
     match min_col {
-        None => Ok(stats),
+        None => {
+            stats.trace = tracebuf.as_ref().map(TraceBuf::collect);
+            Ok(stats)
+        }
         Some(col) => Err(Error::NotPositiveDefinite { col }),
     }
 }
@@ -161,8 +190,13 @@ struct Worker<'a, 'data> {
     stats: FifoStats,
     /// Smallest global column whose pivot failed on this processor.
     fail_col: Option<usize>,
+    /// This virtual processor's event ring, when tracing is enabled.
+    tracer: Option<&'a WorkerRing>,
+    /// Time origin for trace timestamps.
+    epoch: Instant,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker(
     me: u32,
     plan: &Plan,
@@ -170,6 +204,8 @@ fn worker(
     mine: Vec<Option<&mut [f64]>>,
     rx: Receiver<Msg>,
     senders: Vec<Sender<Msg>>,
+    tracer: Option<&WorkerRing>,
+    epoch: Instant,
 ) -> (FifoStats, Option<usize>) {
     let mut state = ProtocolState::new(plan, bm, me);
     let mut actions = Vec::new();
@@ -184,13 +220,21 @@ fn worker(
         arena: KernelArena::new(),
         stats: FifoStats::default(),
         fail_col: None,
+        tracer,
+        epoch,
     };
     let mut guard = AbortGuard { senders: w.senders.clone(), me, armed: true };
     state.start(plan, bm, &mut actions);
     w.execute(&actions);
     while !state.is_done() {
+        let t_recv = w.tracer.map(|_| w.epoch.elapsed().as_secs_f64());
         match rx.recv() {
             Ok(Msg::Block(id, data)) => {
+                if let (Some(ring), Some(t0)) = (w.tracer, t_recv) {
+                    // The recv interval covers the blocking wait for this
+                    // block — the baseline's communication stall time.
+                    ring.record(TaskKind::Recv, id, t0, w.epoch.elapsed().as_secs_f64());
+                }
                 let (j, b) = flat_to_jb(plan, id);
                 w.received[id as usize] = Some(data);
                 state.on_receive(plan, bm, j, b, &mut actions);
@@ -234,6 +278,7 @@ impl<'data> Worker<'_, 'data> {
                     let dest = self.mine[self.plan.block_id(dest_j, dest_b)]
                         .take()
                         .expect("we own the BMOD destination");
+                    let t0 = self.tracer.map(|_| self.epoch.elapsed().as_secs_f64());
                     {
                         let a_buf: &[f64] = if self.plan.owner[k as usize][a as usize] == self.me {
                             self.mine[id_a]
@@ -269,12 +314,21 @@ impl<'data> Worker<'_, 'data> {
                             &mut self.arena,
                         );
                     }
+                    if let (Some(ring), Some(t0)) = (self.tracer, t0) {
+                        ring.record(
+                            TaskKind::Bmod,
+                            self.plan.block_id(dest_j, dest_b) as u32,
+                            t0,
+                            self.epoch.elapsed().as_secs_f64(),
+                        );
+                    }
                     self.mine[self.plan.block_id(dest_j, dest_b)] = Some(dest);
                 }
                 Action::Complete { j, b } => {
                     let id = self.plan.block_id(j, b);
                     let buf = self.mine[id].take().expect("we own the completing block");
                     let c = self.bm.col_width(j as usize);
+                    let t0 = self.tracer.map(|_| self.epoch.elapsed().as_secs_f64());
                     if b == 0 {
                         if let Err(e) = potrf_with(buf, c, &mut self.arena) {
                             // Record and keep going: the column publishes
@@ -297,6 +351,10 @@ impl<'data> Worker<'_, 'data> {
                                 .expect("diagonal received")
                         };
                         trsm_right_lower_trans_with(diag, c, buf, rows, &mut self.arena);
+                    }
+                    if let (Some(ring), Some(t0)) = (self.tracer, t0) {
+                        let kind = if b == 0 { TaskKind::Bfac } else { TaskKind::Bdiv };
+                        ring.record(kind, id as u32, t0, self.epoch.elapsed().as_secs_f64());
                     }
                     // Ship a snapshot only if someone remote needs it; local
                     // consumers read the in-place slice.
@@ -354,6 +412,34 @@ mod tests {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
         assert!(residual_norm(&pa, &f_par) < 1e-12);
+    }
+
+    #[test]
+    fn traced_fifo_run_records_completions_updates_and_receives() {
+        let prob = sparsemat::gen::grid2d(8);
+        let (mut f, plan, pa) = prepared(&prob, 3, 4);
+        let opts = FifoOptions { trace: TraceOpts::on() };
+        let stats = factorize_fifo_opts(&mut f, &plan, &opts).unwrap();
+        let tr = stats.trace.as_ref().expect("tracing was enabled");
+        assert_eq!(tr.workers(), plan.p);
+        let count = |k: TaskKind| {
+            tr.per_worker.iter().flatten().filter(|e| e.kind == k).count()
+        };
+        // One completion event per block, one Recv per delivered message.
+        assert_eq!(count(TaskKind::Bfac), f.bm.num_panels());
+        assert_eq!(count(TaskKind::Bfac) + count(TaskKind::Bdiv), f.bm.num_blocks());
+        let expected_msgs: usize = plan
+            .send_to
+            .iter()
+            .flat_map(|col| col.iter().map(|dests| dests.len()))
+            .sum();
+        assert_eq!(count(TaskKind::Recv), expected_msgs);
+        for evs in &tr.per_worker {
+            for e in evs {
+                assert!(e.t_end >= e.t_start);
+            }
+        }
+        assert!(residual_norm(&pa, &f) < 1e-12);
     }
 
     #[test]

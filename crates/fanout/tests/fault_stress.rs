@@ -228,7 +228,7 @@ fn npd_perturbation_recovers_and_matches_seq() {
 
     let tau = 1e-6;
     let stats_seq =
-        factorize_seq_opts(&mut f_seq, &FactorOpts { perturb_npd: Some(tau) }).unwrap();
+        factorize_seq_opts(&mut f_seq, &FactorOpts { perturb_npd: Some(tau), ..Default::default() }).unwrap();
     assert!(!stats_seq.perturbed_pivots.is_empty());
     for c in &injected {
         assert!(

@@ -59,6 +59,14 @@ impl<M> Ctx<M> {
         self.compute_acc += seconds;
     }
 
+    /// Compute seconds accumulated by this handler so far; the handler's
+    /// current virtual time is `now() + computed()`. Lets tracing layers
+    /// stamp per-operation intervals inside a handler.
+    #[inline]
+    pub fn computed(&self) -> f64 {
+        self.compute_acc
+    }
+
     /// Queues a message of `bytes` to `dest`, delivered after this handler's
     /// compute completes plus wire time.
     pub fn send(&mut self, dest: usize, bytes: u64, msg: M) {

@@ -1,0 +1,276 @@
+//! Hand-rolled JSON helpers for the offline build (no serde).
+//!
+//! [`json_str`] is the single escaping routine shared by every exporter in
+//! the workspace (`bench::table` re-exports it), and [`validate_json`] is a
+//! strict recursive-descent syntax checker used by the verify gate to prove
+//! an exported trace parses before anyone loads it into Perfetto.
+
+/// Escapes a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Checks that `s` is one syntactically valid JSON value (RFC 8259 grammar,
+/// no extensions). Returns the byte offset of the first error, or `Ok(())`.
+///
+/// This is a syntax checker, not a parser: it builds nothing and allocates
+/// nothing beyond the recursion stack (depth is capped so malicious input
+/// cannot overflow it).
+pub fn validate_json(s: &str) -> Result<(), usize> {
+    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    p.skip_ws();
+    p.value(0)?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(p.i);
+    }
+    Ok(())
+}
+
+const MAX_DEPTH: usize = 256;
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), usize> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.i)
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), usize> {
+        if depth > MAX_DEPTH {
+            return Err(self.i);
+        }
+        match self.peek().ok_or(self.i)? {
+            b'{' => self.object(depth),
+            b'[' => self.array(depth),
+            b'"' => self.string(),
+            b't' => self.literal(b"true"),
+            b'f' => self.literal(b"false"),
+            b'n' => self.literal(b"null"),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.i),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<(), usize> {
+        if self.b[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.i)
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), usize> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek().ok_or(self.i)? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.i),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), usize> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek().ok_or(self.i)? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.i),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), usize> {
+        self.eat(b'"')?;
+        loop {
+            match self.b.get(self.i).copied().ok_or(self.i)? {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.b.get(self.i).copied().ok_or(self.i)? {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => self.i += 1,
+                        b'u' => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.b.get(self.i).copied().ok_or(self.i)? {
+                                    b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' => self.i += 1,
+                                    _ => return Err(self.i),
+                                }
+                            }
+                        }
+                        _ => return Err(self.i),
+                    }
+                }
+                c if c < 0x20 => return Err(self.i),
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), usize> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        // Integer part: 0, or nonzero digit followed by digits.
+        match self.peek().ok_or(self.i)? {
+            b'0' => self.i += 1,
+            b'1'..=b'9' => self.digits(),
+            _ => return Err(self.i),
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            match self.peek().ok_or(self.i)? {
+                b'0'..=b'9' => self.digits(),
+                _ => return Err(self.i),
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            match self.peek().ok_or(self.i)? {
+                b'0'..=b'9' => self.digits(),
+                _ => return Err(self.i),
+            }
+        }
+        Ok(())
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn accepts_valid_json() {
+        for s in [
+            "null",
+            "true",
+            "  false  ",
+            "0",
+            "-12.5e+3",
+            "\"a\\n\\u00e9\"",
+            "[]",
+            "[1,2,[3]]",
+            "{}",
+            "{\"a\":1,\"b\":[{\"c\":null}]}",
+            "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":0.5,\"dur\":1}]}",
+        ] {
+            assert!(validate_json(s).is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_json() {
+        for s in [
+            "",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "-",
+            "[1,]",
+            "{\"a\":}",
+            "{a:1}",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "[1] trailing",
+            "{\"a\":1,}",
+        ] {
+            assert!(validate_json(s).is_err(), "{s}");
+        }
+    }
+
+    #[test]
+    fn escaped_output_revalidates() {
+        let tricky = "weird \"quotes\"\n\t\\ and \u{7} control";
+        assert!(validate_json(&json_str(tricky)).is_ok());
+    }
+
+    #[test]
+    fn depth_is_capped() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(validate_json(&deep).is_err());
+    }
+}

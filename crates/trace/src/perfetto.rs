@@ -1,0 +1,106 @@
+//! Chrome/Perfetto trace export.
+//!
+//! Emits the Trace Event Format (`{"traceEvents":[...]}`) that both
+//! `chrome://tracing` and <https://ui.perfetto.dev> load directly:
+//! one `"M"` metadata pair naming the process and each worker thread, then
+//! one `"X"` (complete duration) event per [`TraceEvent`], with `ts`/`dur`
+//! in microseconds and one `tid` per worker.
+
+use crate::{json_str, Trace, NO_BLOCK};
+
+/// Formats a microsecond value with stable precision (Perfetto accepts
+/// fractional ts; three decimals keeps nanosecond resolution).
+fn us(seconds: f64) -> String {
+    let v = seconds * 1e6;
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+impl Trace {
+    /// Renders the trace as a Perfetto-loadable JSON string.
+    ///
+    /// `process_name` labels the single process track (e.g. `"sched p=16"`);
+    /// it is escaped via [`json_str`], so any string is safe. Timestamps are
+    /// re-based to the trace's own start, so every event lies in
+    /// `[0, span_s]` regardless of the epoch the executor used.
+    pub fn to_perfetto_json(&self, process_name: &str) -> String {
+        let t0 = self.start_s();
+        let mut out = String::with_capacity(64 + self.num_events() * 96);
+        out.push_str("{\"traceEvents\":[");
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":{}}}}}",
+            json_str(process_name)
+        ));
+        for w in 0..self.workers() {
+            out.push_str(&format!(
+                ",{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+                w + 1,
+                json_str(&format!("worker {w}"))
+            ));
+        }
+        for (w, evs) in self.per_worker.iter().enumerate() {
+            for e in evs {
+                out.push_str(&format!(
+                    ",{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":{},\"cat\":{},\"ts\":{},\"dur\":{}",
+                    w + 1,
+                    json_str(e.kind.name()),
+                    json_str(e.kind.name()),
+                    us(e.t_start - t0),
+                    us(e.duration_s())
+                ));
+                if e.block != NO_BLOCK {
+                    out.push_str(&format!(",\"args\":{{\"block\":{}}}", e.block));
+                }
+                out.push('}');
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{validate_json, TaskKind, Trace, TraceEvent, NO_BLOCK};
+
+    fn ev(kind: TaskKind, block: u32, t0: f64, t1: f64) -> TraceEvent {
+        TraceEvent { block, kind, t_start: t0, t_end: t1 }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_one_track_per_worker() {
+        let t = Trace::from_events(vec![
+            vec![ev(TaskKind::Bfac, 0, 10.0, 10.5), ev(TaskKind::Bmod, 3, 10.5, 11.0)],
+            vec![ev(TaskKind::Idle, NO_BLOCK, 10.0, 10.25)],
+        ]);
+        let j = t.to_perfetto_json("test \"run\"");
+        assert!(validate_json(&j).is_ok(), "{j}");
+        // Process name escaped, two thread_name tracks, idle has no block arg.
+        assert!(j.contains("\\\"run\\\""));
+        assert!(j.contains("\"worker 0\"") && j.contains("\"worker 1\""));
+        assert_eq!(j.matches("thread_name").count(), 2);
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), 3);
+        assert_eq!(j.matches("\"block\":").count(), 2);
+        // Re-based to the trace start: earliest ts is 0, all within the span.
+        assert!(j.contains("\"ts\":0,"));
+        assert!(!j.contains("\"ts\":-"));
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let j = Trace::default().to_perfetto_json("empty");
+        assert!(validate_json(&j).is_ok());
+        assert!(j.contains("process_name"));
+    }
+
+    #[test]
+    fn fractional_timestamps_render() {
+        let t = Trace::from_events(vec![vec![ev(TaskKind::Bdiv, 1, 0.0, 1.234_567_8e-6)]]);
+        let j = t.to_perfetto_json("frac");
+        assert!(validate_json(&j).is_ok());
+        assert!(j.contains("\"dur\":1.235"));
+    }
+}

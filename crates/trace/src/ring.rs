@@ -1,0 +1,210 @@
+//! Lock-free per-worker event rings.
+//!
+//! Concurrency contract: each [`WorkerRing`] has exactly one writer (the
+//! worker that owns it) and any number of readers. The writer performs
+//! three relaxed stores plus a release store of the head counter per event;
+//! readers only load atomics, so a mid-run snapshot (the stall watchdog's
+//! [`TraceBuf::recent_per_worker`]) can race with recording and observe a
+//! *torn* event — fields from two different writes — but never tears a
+//! single field and never faults. The post-run [`TraceBuf::collect`] runs
+//! after the workers joined and is exact.
+
+use crate::{TaskKind, Trace, TraceEvent, TraceOpts};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One ring slot. `meta` packs `kind << 32 | block`; timestamps are `f64`
+/// bit patterns so virtual (simulated) times round-trip exactly.
+#[derive(Default)]
+struct Slot {
+    meta: AtomicU64,
+    start: AtomicU64,
+    end: AtomicU64,
+}
+
+impl Slot {
+    fn load(&self) -> TraceEvent {
+        let meta = self.meta.load(Ordering::Relaxed);
+        TraceEvent {
+            block: meta as u32,
+            kind: TaskKind::from_u8((meta >> 32) as u8),
+            t_start: f64::from_bits(self.start.load(Ordering::Relaxed)),
+            t_end: f64::from_bits(self.end.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A single worker's fixed-capacity event ring (single writer, lock-free).
+pub struct WorkerRing {
+    /// Monotone count of events ever recorded; slot = `head % capacity`.
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl WorkerRing {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    /// Records one event. Sole-writer fast path: three relaxed stores and a
+    /// release bump of the head counter.
+    #[inline]
+    pub fn record(&self, kind: TaskKind, block: u32, t_start: f64, t_end: f64) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h % self.slots.len() as u64) as usize];
+        slot.meta.store(((kind as u64) << 32) | block as u64, Ordering::Relaxed);
+        slot.start.store(t_start.to_bits(), Ordering::Relaxed);
+        slot.end.store(t_end.to_bits(), Ordering::Relaxed);
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Racy snapshot of the newest `n` events, oldest first. Safe to call
+    /// while the owner is still recording; a concurrent write may yield one
+    /// torn event (see the module docs) — acceptable for diagnostics.
+    pub fn recent(&self, n: usize) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let avail = head.min(cap).min(n as u64);
+        let mut out = Vec::with_capacity(avail as usize);
+        for i in (1..=avail).rev() {
+            let idx = ((head - i) % cap) as usize;
+            out.push(self.slots[idx].load());
+        }
+        out
+    }
+
+    /// All retained events plus the overwrite count. Exact only once the
+    /// owning worker has stopped recording.
+    fn drain(&self) -> (Vec<TraceEvent>, u64) {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let retained = head.min(cap);
+        let mut out = Vec::with_capacity(retained as usize);
+        for i in (1..=retained).rev() {
+            let idx = ((head - i) % cap) as usize;
+            out.push(self.slots[idx].load());
+        }
+        (out, head - retained)
+    }
+}
+
+/// The per-run bundle of worker rings, shared by reference with every
+/// worker (and the watchdog) for the duration of a traced run.
+pub struct TraceBuf {
+    rings: Vec<WorkerRing>,
+}
+
+impl TraceBuf {
+    /// Allocates `workers` rings, or `None` when tracing is disabled — the
+    /// executors thread that `Option` through so a disabled run costs one
+    /// branch per hook.
+    pub fn new(workers: usize, opts: &TraceOpts) -> Option<Self> {
+        if !opts.enabled {
+            return None;
+        }
+        Some(Self {
+            rings: (0..workers).map(|_| WorkerRing::new(opts.ring_capacity)).collect(),
+        })
+    }
+
+    /// Worker `w`'s ring.
+    pub fn ring(&self, w: usize) -> &WorkerRing {
+        &self.rings[w]
+    }
+
+    /// Number of worker rings.
+    pub fn workers(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Racy per-worker snapshot of the newest `n` events each (for stall
+    /// reports while the run is live).
+    pub fn recent_per_worker(&self, n: usize) -> Vec<Vec<TraceEvent>> {
+        self.rings.iter().map(|r| r.recent(n)).collect()
+    }
+
+    /// Collects the full trace. Exact once the workers have joined.
+    pub fn collect(&self) -> Trace {
+        let mut per_worker = Vec::with_capacity(self.rings.len());
+        let mut dropped = 0;
+        for r in &self.rings {
+            let (evs, d) = r.drain();
+            per_worker.push(evs);
+            dropped += d;
+        }
+        let mut t = Trace::from_events(per_worker);
+        t.dropped = dropped;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_opts_allocate_nothing() {
+        assert!(TraceBuf::new(4, &TraceOpts::off()).is_none());
+        assert!(TraceBuf::new(4, &TraceOpts::on()).is_some());
+    }
+
+    #[test]
+    fn ring_records_and_drains_in_order() {
+        let buf = TraceBuf::new(2, &TraceOpts::with_capacity(8)).unwrap();
+        buf.ring(0).record(TaskKind::Bfac, 3, 0.0, 1.0);
+        buf.ring(0).record(TaskKind::Bmod, 5, 1.0, 2.0);
+        buf.ring(1).record(TaskKind::Idle, crate::NO_BLOCK, 0.5, 0.75);
+        let t = buf.collect();
+        assert_eq!(t.per_worker[0].len(), 2);
+        assert_eq!(t.per_worker[0][0].kind, TaskKind::Bfac);
+        assert_eq!(t.per_worker[0][1].block, 5);
+        assert_eq!(t.per_worker[1][0].block, crate::NO_BLOCK);
+        assert_eq!(t.dropped, 0);
+    }
+
+    #[test]
+    fn overflow_keeps_newest_and_counts_dropped() {
+        let buf = TraceBuf::new(1, &TraceOpts::with_capacity(4)).unwrap();
+        for i in 0..10u32 {
+            buf.ring(0).record(TaskKind::Bmod, i, i as f64, i as f64 + 0.5);
+        }
+        assert_eq!(buf.ring(0).recorded(), 10);
+        let t = buf.collect();
+        assert_eq!(t.per_worker[0].len(), 4);
+        assert_eq!(t.dropped, 6);
+        // Newest four survive, oldest first.
+        let blocks: Vec<u32> = t.per_worker[0].iter().map(|e| e.block).collect();
+        assert_eq!(blocks, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn recent_returns_tail() {
+        let buf = TraceBuf::new(1, &TraceOpts::with_capacity(16)).unwrap();
+        for i in 0..6u32 {
+            buf.ring(0).record(TaskKind::Recv, i, i as f64, i as f64);
+        }
+        let tail = buf.ring(0).recent(3);
+        let blocks: Vec<u32> = tail.iter().map(|e| e.block).collect();
+        assert_eq!(blocks, vec![3, 4, 5]);
+        let snap = buf.recent_per_worker(100);
+        assert_eq!(snap[0].len(), 6);
+    }
+
+    #[test]
+    fn timestamps_roundtrip_exactly() {
+        let buf = TraceBuf::new(1, &TraceOpts::with_capacity(2)).unwrap();
+        let (a, b) = (1.234_567_890_123e-4, 9.876_543_210_987e2);
+        buf.ring(0).record(TaskKind::Bdiv, 7, a, b);
+        let t = buf.collect();
+        assert_eq!(t.per_worker[0][0].t_start.to_bits(), a.to_bits());
+        assert_eq!(t.per_worker[0][0].t_end.to_bits(), b.to_bits());
+    }
+}
