@@ -109,12 +109,12 @@ mod tests {
     use super::*;
     use blockmat::{BlockWork, WorkModel};
     use mapping::{Assignment, ColPolicy, DomainParams, DomainPlan, Heuristic, ProcGrid, RowPolicy};
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn setup(k: usize, bs: usize) -> (BlockMatrix, BlockWork) {
         let p = sparsemat::gen::grid2d(k);
         let perm = ordering::order_problem(&p);
-        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let bm = BlockMatrix::build(analysis.supernodes, bs);
         let w = BlockWork::compute(&bm, &WorkModel::default());
         (bm, w)

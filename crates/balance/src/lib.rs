@@ -116,12 +116,12 @@ mod tests {
     use super::*;
     use blockmat::WorkModel;
     use mapping::{Assignment, ColPolicy, Heuristic, ProcGrid, RowPolicy};
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn setup(k: usize) -> (BlockMatrix, BlockWork) {
         let p = sparsemat::gen::grid2d(k);
         let perm = ordering::order_problem(&p);
-        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let bm = BlockMatrix::build(analysis.supernodes, 4);
         let w = BlockWork::compute(&bm, &WorkModel::default());
         (bm, w)
@@ -132,7 +132,7 @@ mod tests {
         let a = p.matrix.pattern();
         let parent = symbolic::etree(a);
         let counts = symbolic::col_counts(a, &parent);
-        let sn = symbolic::Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let sn = symbolic::Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::off());
         let bm = BlockMatrix::build(sn, bs);
         let w = BlockWork::compute(&bm, &WorkModel::default());
         (bm, w)

@@ -5,7 +5,7 @@ use blockmat::{BlockMatrix, BlockWork, WorkModel};
 use mapping::{Assignment, ColPolicy, Heuristic, ProcGrid, RowPolicy};
 use proptest::prelude::*;
 use sparsemat::Problem;
-use symbolic::AmalgParams;
+use symbolic::AmalgamationOpts;
 
 fn arb_setup(max_n: usize) -> impl Strategy<Value = (BlockMatrix, BlockWork)> {
     (4usize..max_n, 1usize..6, proptest::collection::vec((0u32..900, 0u32..900), 0..100))
@@ -19,7 +19,7 @@ fn arb_setup(max_n: usize) -> impl Strategy<Value = (BlockMatrix, BlockWork)> {
             let prob = Problem::new("prop", a, None, sparsemat::gen::OrderingHint::MinimumDegree);
             let perm = ordering::order_problem(&prob);
             let analysis =
-                symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+                symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
             let bm = BlockMatrix::build(analysis.supernodes, bs);
             let w = BlockWork::compute(&bm, &WorkModel::default());
             (bm, w)

@@ -44,7 +44,7 @@ fn bench_symbolic(c: &mut Criterion) {
             symbolic::analyze(
                 black_box(grid.matrix.pattern()),
                 &perm,
-                &symbolic::AmalgParams::default(),
+                &symbolic::AmalgamationOpts::default(),
             )
         })
     });

@@ -3,7 +3,7 @@
 //! paper's published values. Used to tune the synthetic matrix generators.
 
 use std::time::Instant;
-use symbolic::AmalgParams;
+use symbolic::AmalgamationOpts;
 
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {
@@ -39,7 +39,7 @@ fn main() {
         let perm = ordering::order_problem(p);
         let t_ord = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let a = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let a = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let t_sym = t1.elapsed().as_secs_f64();
         let (pn, pnz, pops) = paper
             .iter()

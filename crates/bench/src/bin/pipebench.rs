@@ -1,0 +1,319 @@
+//! End-to-end pipeline benchmark: per-phase wall clock (order → etree →
+//! colcount → supernodes → partition → assemble → factor → solve) with
+//! relaxed supernode amalgamation on (the default
+//! [`AmalgamationOpts`]) and off, plus the sequential scatter
+//! (`NumericFactor::from_matrix`) against the merge-walk parallel assembly
+//! path (`Solver::assemble`).
+//!
+//! Writes `BENCH_pipeline.json` and a Perfetto trace with the pipeline
+//! phase track (`target/pipeline_trace.json`). The run is self-gating:
+//!
+//! * amalgamation must strictly reduce the block count, and in full mode
+//!   cut total block operations by ≥ 20 % on every problem;
+//! * both configurations must solve to a relative residual below 1e-10,
+//!   differing by less than 1e-10;
+//! * the per-phase times must sum to ≈ the measured end-to-end wall;
+//! * both JSON artifacts must validate.
+//!
+//! ```text
+//! pipebench [--json <path>] [--perfetto <path>] [--quick]
+//! ```
+
+use bench::table::{json_str, TextTable};
+use cholesky_core::{AmalgamationOpts, AnalyzeOpts, PhaseTimings, SchedOptions, Solver, SolverOptions};
+use fanout::NumericFactor;
+use std::time::Instant;
+
+struct Row {
+    problem: String,
+    n: usize,
+    block_size: usize,
+    amalg: bool,
+    workers: usize,
+    supernodes: usize,
+    panels: usize,
+    blocks: usize,
+    block_ops: u64,
+    total_work: u64,
+    stored: u64,
+    timings: PhaseTimings,
+    total_s: f64,
+    assemble_seq_s: f64,
+    assemble_par_s: f64,
+    residual: f64,
+}
+
+impl Row {
+    fn assembly_speedup(&self) -> f64 {
+        self.assemble_seq_s / self.assemble_par_s
+    }
+}
+
+/// Relative residual `‖b − A x‖∞ / ‖b‖∞` in the original ordering.
+fn rel_residual(prob: &sparsemat::Problem, x: &[f64], b: &[f64]) -> f64 {
+    let mut ax = vec![0.0; x.len()];
+    prob.matrix.mul_vec(x, &mut ax);
+    let num = ax.iter().zip(b).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    let den = b.iter().map(|v| v.abs()).fold(0.0, f64::max);
+    num / den.max(1e-300)
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// One full pipeline pass (analyze → assemble → factor → solve) with the
+/// given amalgamation setting, timed end to end and per phase.
+fn run_config(
+    prob: &sparsemat::Problem,
+    block_size: usize,
+    amalg: AmalgamationOpts,
+    on: bool,
+    samples: usize,
+) -> Row {
+    let opts = SolverOptions {
+        block_size,
+        analyze: AnalyzeOpts { amalg, ..Default::default() },
+        ..Default::default()
+    };
+    let n = prob.n();
+    let x_true: Vec<f64> = (0..n).map(|i| 0.5 + ((i * 7 + 3) % 11) as f64 * 0.1).collect();
+    let mut b = vec![0.0; n];
+    prob.matrix.mul_vec(&x_true, &mut b);
+
+    let t_total = Instant::now();
+    let solver = Solver::analyze_problem(prob, &opts);
+    let t = Instant::now();
+    let mut f = solver.assemble();
+    let assemble_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    fanout::factorize_seq(&mut f).expect("factorization failed");
+    let factor_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let x = solver.solve(&f, &b);
+    let solve_s = t.elapsed().as_secs_f64();
+    let total_s = t_total.elapsed().as_secs_f64();
+
+    // Assembly micro-benchmark outside the timed pass: sequential
+    // column-at-a-time scatter vs the merge-walk parallel path. Assembly
+    // runs in hundreds of microseconds, so it takes a bigger sample pool
+    // than the pipeline pass for a stable median.
+    let samples = samples.max(25);
+    let assemble_seq_s = median(
+        (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                let f = NumericFactor::from_matrix(solver.bm.clone(), &solver.permuted);
+                let dt = t.elapsed().as_secs_f64();
+                std::hint::black_box(&f);
+                dt
+            })
+            .collect(),
+    );
+    let assemble_par_s = median(
+        (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                let f = solver.assemble();
+                let dt = t.elapsed().as_secs_f64();
+                std::hint::black_box(&f);
+                dt
+            })
+            .collect(),
+    );
+
+    Row {
+        problem: prob.name.clone(),
+        n,
+        block_size,
+        amalg: on,
+        workers: solver.opts.analyze.resolved_workers(),
+        supernodes: solver.analysis.supernodes.count(),
+        panels: solver.bm.num_panels(),
+        blocks: solver.bm.num_blocks(),
+        block_ops: solver.work.num_ops,
+        total_work: solver.work.total,
+        stored: solver.bm.stored_elements(),
+        timings: PhaseTimings { assemble_s, factor_s, solve_s, ..solver.timings },
+        total_s,
+        assemble_seq_s,
+        assemble_par_s,
+        residual: rel_residual(prob, &x, &b),
+    }
+}
+
+fn main() {
+    let mut json_path = "BENCH_pipeline.json".to_string();
+    let mut perfetto_path = "target/pipeline_trace.json".to_string();
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_path = args.next().expect("--json needs a path"),
+            "--perfetto" => perfetto_path = args.next().expect("--perfetto needs a path"),
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown arg {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let samples = if quick { 3 } else { 5 };
+    let problems: Vec<sparsemat::Problem> = if quick {
+        vec![sparsemat::gen::grid2d(20), sparsemat::gen::bcsstk_like("T", 240, 4)]
+    } else {
+        vec![sparsemat::gen::grid2d(48), sparsemat::gen::bcsstk_like("T", 900, 6)]
+    };
+    let block_sizes: &[usize] = if quick { &[16] } else { &[32, 48] };
+    let min_ops_cut = if quick { 0.0 } else { 0.20 };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for prob in &problems {
+        for &bs in block_sizes {
+            let off = run_config(prob, bs, AmalgamationOpts::off(), false, samples);
+            let on = run_config(prob, bs, AmalgamationOpts::default(), true, samples);
+
+            // Gate: amalgamation strictly merges blocks and cuts block ops.
+            assert!(
+                on.blocks < off.blocks,
+                "{} B={bs}: amalgamation did not reduce blocks ({} -> {})",
+                prob.name, off.blocks, on.blocks
+            );
+            let cut = 1.0 - on.block_ops as f64 / off.block_ops as f64;
+            assert!(
+                cut > min_ops_cut,
+                "{} B={bs}: block-op cut {:.1}% below the {:.0}% gate ({} -> {})",
+                prob.name, cut * 100.0, min_ops_cut * 100.0, off.block_ops, on.block_ops
+            );
+            // Gate: numerics unchanged.
+            for r in [&off, &on] {
+                assert!(
+                    r.residual < 1e-10,
+                    "{} B={bs} amalg={}: residual {:.3e}", prob.name, r.amalg, r.residual
+                );
+            }
+            assert!(
+                (on.residual - off.residual).abs() < 1e-10,
+                "{} B={bs}: residual moved {:.3e} -> {:.3e}",
+                prob.name, off.residual, on.residual
+            );
+            // Gate: the per-phase clock accounts for the end-to-end wall
+            // (the permutation apply and allocator noise live in the gap).
+            for r in [&off, &on] {
+                let sum = r.timings.total_s();
+                let gap = r.total_s - sum;
+                assert!(
+                    gap > -1e-4 && gap < 0.25 * r.total_s + 0.02,
+                    "{} B={bs} amalg={}: phases sum {:.4}s vs total {:.4}s",
+                    prob.name, r.amalg, sum, r.total_s
+                );
+            }
+            rows.push(off);
+            rows.push(on);
+        }
+    }
+
+    // Perfetto export with the pipeline phase track, from a traced
+    // scheduler run of the first problem's amalgamated plan.
+    {
+        let prob = &problems[0];
+        let opts = SolverOptions { block_size: block_sizes[0], ..Default::default() };
+        let solver = Solver::analyze_problem(prob, &opts);
+        let asg = solver.assign_heuristic(4);
+        let (_, stats, report) = solver
+            .factor_sched_report(&asg, &SchedOptions::default())
+            .expect("traced run failed");
+        let trace = stats.trace.as_ref().expect("trace on");
+        let j = trace.to_perfetto_json_with_phases(
+            &format!("pipeline {} B={}", prob.name, block_sizes[0]),
+            &report.pipeline,
+        );
+        trace::validate_json(&j).expect("perfetto json invalid");
+        assert!(j.contains("\"pipeline\""), "missing pipeline track");
+        if let Some(dir) = std::path::Path::new(&perfetto_path).parent() {
+            std::fs::create_dir_all(dir).expect("create trace dir");
+        }
+        std::fs::write(&perfetto_path, &j).expect("write perfetto");
+        eprintln!("[wrote {perfetto_path}]");
+        println!("{report}");
+    }
+
+    let mut table = TextTable::new(
+        "Pipeline: relaxed amalgamation (on = default rules, off = fundamental supernodes)",
+        &["problem", "n", "B", "amalg", "sn", "blocks", "block ops", "analyze ms",
+          "asm seq ms", "asm par ms", "asm spd", "factor ms", "residual"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.problem.clone(),
+            r.n.to_string(),
+            r.block_size.to_string(),
+            if r.amalg { "on" } else { "off" }.to_string(),
+            r.supernodes.to_string(),
+            r.blocks.to_string(),
+            r.block_ops.to_string(),
+            format!("{:.2}", r.timings.analyze_s() * 1e3),
+            format!("{:.2}", r.assemble_seq_s * 1e3),
+            format!("{:.2}", r.assemble_par_s * 1e3),
+            format!("{:.2}x", r.assembly_speedup()),
+            format!("{:.2}", r.timings.factor_s * 1e3),
+            format!("{:.2e}", r.residual),
+        ]);
+    }
+    println!("{table}");
+
+    let requested = fanout::env_workers().unwrap_or(0);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out = String::from("{\"pipeline\":[\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let t = &r.timings;
+        out.push_str(&format!(
+            concat!(
+                "  {{\"problem\":{},\"n\":{},\"block_size\":{},\"amalg\":{},",
+                "\"requested_workers\":{},\"available_cores\":{},\"workers\":{},",
+                "\"supernodes\":{},\"panels\":{},\"blocks\":{},",
+                "\"block_ops\":{},\"total_work\":{},\"stored_elements\":{},",
+                "\"order_s\":{:.6e},\"etree_s\":{:.6e},\"colcount_s\":{:.6e},",
+                "\"supernodes_s\":{:.6e},\"partition_s\":{:.6e},\"assemble_s\":{:.6e},",
+                "\"factor_s\":{:.6e},\"solve_s\":{:.6e},\"phase_sum_s\":{:.6e},",
+                "\"total_s\":{:.6e},\"assemble_seq_s\":{:.6e},\"assemble_par_s\":{:.6e},",
+                "\"assembly_speedup\":{:.3},\"residual\":{:.3e}}}"
+            ),
+            json_str(&r.problem),
+            r.n,
+            r.block_size,
+            r.amalg,
+            requested,
+            cores,
+            r.workers,
+            r.supernodes,
+            r.panels,
+            r.blocks,
+            r.block_ops,
+            r.total_work,
+            r.stored,
+            t.order_s,
+            t.etree_s,
+            t.colcount_s,
+            t.supernodes_s,
+            t.partition_s,
+            t.assemble_s,
+            t.factor_s,
+            t.solve_s,
+            t.total_s(),
+            r.total_s,
+            r.assemble_seq_s,
+            r.assemble_par_s,
+            r.assembly_speedup(),
+            r.residual,
+        ));
+    }
+    out.push_str("\n]}\n");
+    trace::validate_json(&out).expect("bench json invalid");
+    std::fs::write(&json_path, out).expect("write json");
+    eprintln!("[wrote {json_path}]");
+}

@@ -1,16 +1,18 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale full|medium|tiny] [--md <path>]
+//! repro <experiment> [--scale full|medium|tiny] [--no-amalg] [--md <path>]
 //!
 //! experiments:
 //!   table1 table2 table3 tables45 figure1 table6 table7
 //!   alt coprime subtree blocksize discussion 1d2d slownet all
 //! ```
 //!
-//! `--md <path>` additionally appends the output as markdown (used to build
-//! EXPERIMENTS.md); `--json <path>` writes the tables as structured JSON for
-//! downstream tooling.
+//! `--no-amalg` analyzes with fundamental supernodes (relaxed amalgamation
+//! off) so structural results can be compared against the amalgamated
+//! default; `--md <path>` additionally appends the output as markdown (used
+//! to build EXPERIMENTS.md); `--json <path>` writes the tables as structured
+//! JSON for downstream tooling.
 
 use bench::experiments as ex;
 use bench::table::TextTable;
@@ -22,6 +24,7 @@ use std::time::Instant;
 struct Args {
     what: String,
     scale: SuiteScale,
+    no_amalg: bool,
     md: Option<String>,
     json: Option<String>,
 }
@@ -29,6 +32,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut what = "all".to_string();
     let mut scale = SuiteScale::Full;
+    let mut no_amalg = false;
     let mut md = None;
     let mut json = None;
     let mut args = std::env::args().skip(1);
@@ -45,6 +49,7 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--no-amalg" => no_amalg = true,
             "--md" => md = args.next(),
             "--json" => json = args.next(),
             flag if flag.starts_with('-') => {
@@ -54,14 +59,21 @@ fn parse_args() -> Args {
             name => what = name.to_string(),
         }
     }
-    Args { what, scale, md, json }
+    Args { what, scale, no_amalg, md, json }
 }
 
 fn main() {
     let args = parse_args();
     let mut tables: Vec<TextTable> = Vec::new();
     let t0 = Instant::now();
-    let mut ctx = Ctx::new(args.scale);
+    let new_ctx = |scale, no_amalg| {
+        let mut ctx = Ctx::new(scale);
+        if no_amalg {
+            ctx.opts.analyze.amalg = symbolic::AmalgamationOpts::off();
+        }
+        ctx
+    };
+    let mut ctx = new_ctx(args.scale, args.no_amalg);
     let run = |name: &str, what: &str| what == "all" || what == name;
 
     if run("table1", &args.what) {
@@ -78,7 +90,7 @@ fn main() {
     }
     // The big sweeps re-analyze per matrix; free the cache first.
     if run("tables45", &args.what) {
-        ctx = Ctx::new(args.scale);
+        ctx = new_ctx(args.scale, args.no_amalg);
         tables.extend(ex::tables_4_and_5(&ctx));
     }
     if run("alt", &args.what) {
@@ -91,7 +103,7 @@ fn main() {
         tables.push(ex::matrix_stats(&mut ctx, true));
     }
     if run("table7", &args.what) {
-        ctx = Ctx::new(args.scale);
+        ctx = new_ctx(args.scale, args.no_amalg);
         tables.push(ex::table7(&mut ctx));
     }
     if run("subtree", &args.what) {
@@ -130,8 +142,8 @@ fn main() {
         tables.push(ex::task_granularity_critical_path(&ctx, &grid));
     }
     if run("slownet", &args.what) {
-        // GRID150: the subtree map already breaks even on the Paragon there,
-        // so the network ablation shows the crossover cleanly.
+        // GRID150: the subtree map breaks even on the Paragon there, the
+        // regime where network speed decides whether lower volume pays.
         let name = ctx
             .paper_problems()
             .into_iter()

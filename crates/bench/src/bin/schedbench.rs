@@ -17,11 +17,11 @@ use fanout::{factorize_fifo, factorize_sched, FifoStats, NumericFactor, Plan, Sc
 use mapping::Assignment;
 use std::sync::Arc;
 use std::time::Instant;
-use symbolic::AmalgParams;
+use symbolic::AmalgamationOpts;
 
 fn prepared(prob: &sparsemat::Problem, bs: usize, p: usize) -> (NumericFactor, Plan) {
     let perm = ordering::order_problem(prob);
-    let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+    let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
     let pa = analysis.perm.apply_to_matrix(&prob.matrix);
     let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
     let w = BlockWork::compute(&bm, &WorkModel::default());
@@ -134,6 +134,8 @@ fn main() {
     }
     println!("{table}");
 
+    let requested = fanout::env_workers().unwrap_or(0);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut out = String::from("{\"sched\":[\n");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -143,6 +145,7 @@ fn main() {
         out.push_str(&format!(
             concat!(
                 "  {{\"problem\":{},\"n\":{},\"p\":{},\"workers\":{},",
+                "\"requested_workers\":{},\"available_cores\":{},",
                 "\"fifo_s\":{:.6e},\"sched_s\":{:.6e},\"speedup\":{:.3},",
                 "\"fifo_blocks_copied\":{},\"fifo_messages\":{},",
                 "\"sched_blocks_copied\":{},\"steals\":{},\"steal_attempts\":{},",
@@ -154,6 +157,8 @@ fn main() {
             r.n,
             r.p,
             r.sched.workers,
+            requested,
+            cores,
             r.fifo_s,
             r.sched_s,
             r.speedup(),

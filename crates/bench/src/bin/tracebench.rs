@@ -4,8 +4,9 @@
 //! work-stealing scheduler (real wall-clock trace) and the simulated
 //! Paragon (virtual-time trace), prints each run's [`trace::RunReport`]
 //! (predicted balance bound beside achieved utilization, per-phase
-//! breakdown), exports the scheduler trace as Chrome/Perfetto
-//! `trace.json`, and writes a `BENCH_trace.json` summary.
+//! breakdown), exports the scheduler trace as Chrome/Perfetto JSON
+//! (`target/trace.json` unless `--trace` says otherwise, so the artifact
+//! stays out of the source tree), and writes a `BENCH_trace.json` summary.
 //!
 //! ```text
 //! tracebench [--json <path>] [--trace <path>] [--quick]
@@ -58,7 +59,7 @@ fn check_perfetto(json: &str, trace: &Trace) -> usize {
 
 fn main() {
     let mut json_path = "BENCH_trace.json".to_string();
-    let mut trace_path = "trace.json".to_string();
+    let mut trace_path = "target/trace.json".to_string();
     let mut quick = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -146,9 +147,14 @@ fn main() {
     println!("{table}");
 
     let (trace_json, trace_events) = perfetto.expect("at least one sched run");
+    if let Some(dir) = std::path::Path::new(&trace_path).parent() {
+        std::fs::create_dir_all(dir).expect("create trace dir");
+    }
     std::fs::write(&trace_path, &trace_json).expect("write perfetto trace");
     eprintln!("[wrote {trace_path} ({trace_events} events) — open at https://ui.perfetto.dev]");
 
+    let requested = fanout::env_workers().unwrap_or(0);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut out = String::from("{\"trace\":[\n");
     for (i, r) in runs.iter().enumerate() {
         if i > 0 {
@@ -158,6 +164,7 @@ fn main() {
         out.push_str(&format!(
             concat!(
                 "  {{\"problem\":{},\"p\":{},\"kind\":{},\"workers\":{},",
+                "\"requested_workers\":{},\"available_cores\":{},",
                 "\"predicted_overall\":{:.4},\"predicted_row\":{:.4},",
                 "\"predicted_col\":{:.4},\"predicted_diag\":{:.4},",
                 "\"utilization\":{:.4},\"bound_realized\":{:.4},",
@@ -170,6 +177,8 @@ fn main() {
             r.p,
             json_str(r.kind),
             r.report.workers,
+            requested,
+            cores,
             pred.map(|b| b.overall).unwrap_or(1.0),
             pred.map(|b| b.row).unwrap_or(1.0),
             pred.map(|b| b.col).unwrap_or(1.0),

@@ -550,7 +550,7 @@ pub fn ablation_stagewise_block_size(ctx: &Ctx, name: &str) -> TextTable {
     // Depth threshold: the median supernode depth separates "early"
     // (deep, eliminated first) from "late" (shallow) stages.
     let perm = ordering::order_problem(&prob);
-    let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &ctx.opts.amalg);
+    let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &ctx.opts.analyze.amalg);
     let mut depths: Vec<u32> = analysis.supernodes.depth.clone();
     depths.sort_unstable();
     let median = depths[depths.len() / 2];

@@ -81,14 +81,14 @@ pub fn total_block_ops(bm: &BlockMatrix) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use symbolic::{AmalgParams, Supernodes};
+    use symbolic::{AmalgamationOpts, Supernodes};
 
     fn bm(k: usize, bs: usize) -> BlockMatrix {
         let p = sparsemat::gen::grid2d(k);
         let a = p.matrix.pattern();
         let parent = symbolic::etree(a);
         let counts = symbolic::col_counts(a, &parent);
-        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::default());
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::default());
         BlockMatrix::build(sn, bs)
     }
 
@@ -112,7 +112,7 @@ mod tests {
         let a = p.matrix.pattern();
         let parent = symbolic::etree(a);
         let counts = symbolic::col_counts(a, &parent);
-        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::off());
         let m = BlockMatrix::build(sn, 2);
         let mut n_ops = 0;
         for_each_bmod(&m, |_| n_ops += 1);

@@ -120,14 +120,14 @@ impl BlockPartition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn supernodes_of(k: usize) -> Supernodes {
         let p = sparsemat::gen::grid2d(k);
         let a = p.matrix.pattern();
         let parent = symbolic::etree(a);
         let counts = symbolic::col_counts(a, &parent);
-        Supernodes::compute(a, &parent, &counts, &AmalgParams::default())
+        Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::default())
     }
 
     #[test]
@@ -156,7 +156,7 @@ mod tests {
         let a = p.matrix.pattern();
         let parent = symbolic::etree(a);
         let counts = symbolic::col_counts(a, &parent);
-        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::off());
         assert_eq!(sn.count(), 1);
         let bp = BlockPartition::new(&sn, 48);
         assert_eq!(bp.count(), 2);
@@ -200,7 +200,7 @@ mod tests {
         let a = p.matrix.pattern();
         let parent = symbolic::etree(a);
         let counts = symbolic::col_counts(a, &parent);
-        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::off());
         let bp = BlockPartition::new(&sn, 4);
         assert_eq!(bp.count(), 5);
         for p in 0..bp.count() {

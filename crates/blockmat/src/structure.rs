@@ -67,29 +67,54 @@ impl BlockMatrix {
     /// Builds the block lists for an existing partition.
     pub fn from_partition(sn: Supernodes, partition: BlockPartition) -> Self {
         let np = partition.count();
-        let mut cols = Vec::with_capacity(np);
-        for j in 0..np {
-            let s = partition.sn_of_panel[j] as usize;
-            let rows = &sn.rows[s];
-            let first = partition.first_col[j];
-            // Rows of this block column: supernode rows at or after the
-            // panel's first column.
-            let start = rows.partition_point(|&r| r < first);
-            let mut blocks = Vec::new();
-            let mut lo = start;
-            while lo < rows.len() {
-                let row_panel = partition.panel_of_col[rows[lo] as usize];
-                let panel_end = partition.first_col[row_panel as usize + 1];
-                let mut hi = lo + 1;
-                while hi < rows.len() && rows[hi] < panel_end {
-                    hi += 1;
-                }
-                blocks.push(Block { row_panel, lo: lo as u32, hi: hi as u32 });
-                lo = hi;
-            }
-            debug_assert_eq!(blocks.first().map(|b| b.row_panel), Some(j as u32));
-            cols.push(BlockCol { sn: s as u32, blocks });
+        let cols = (0..np).map(|j| build_col(&sn, &partition, j)).collect();
+        Self { sn, partition, cols }
+    }
+
+    /// [`Self::from_partition`] with the per-column block lists built by
+    /// `workers` threads. Every block column depends only on the supernode
+    /// row structure, so columns are embarrassingly parallel; workers
+    /// self-schedule contiguous column chunks off a shared atomic cursor.
+    /// Falls back to the sequential path when `workers <= 1` or the problem
+    /// is too small to amortize thread startup.
+    pub fn from_partition_parallel(
+        sn: Supernodes,
+        partition: BlockPartition,
+        workers: usize,
+    ) -> Self {
+        const GRAIN: usize = 64;
+        let np = partition.count();
+        if workers <= 1 || np < 2 * GRAIN {
+            return Self::from_partition(sn, partition);
         }
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        let nw = workers.min(np.div_ceil(GRAIN));
+        let chunks: Vec<Vec<(usize, BlockCol)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nw)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let lo = next.fetch_add(1, Ordering::Relaxed) * GRAIN;
+                            if lo >= np {
+                                break;
+                            }
+                            for j in lo..(lo + GRAIN).min(np) {
+                                out.push((j, build_col(&sn, &partition, j)));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("structure worker")).collect()
+        });
+        let mut cols: Vec<Option<BlockCol>> = (0..np).map(|_| None).collect();
+        for (j, c) in chunks.into_iter().flatten() {
+            cols[j] = Some(c);
+        }
+        let cols = cols.into_iter().map(|c| c.expect("every column built")).collect();
         Self { sn, partition, cols }
     }
 
@@ -143,17 +168,41 @@ impl BlockMatrix {
     }
 }
 
+/// Builds the block list of one block column (panel) `j`.
+fn build_col(sn: &Supernodes, partition: &BlockPartition, j: usize) -> BlockCol {
+    let s = partition.sn_of_panel[j] as usize;
+    let rows = &sn.rows[s];
+    let first = partition.first_col[j];
+    // Rows of this block column: supernode rows at or after the panel's
+    // first column.
+    let start = rows.partition_point(|&r| r < first);
+    let mut blocks = Vec::new();
+    let mut lo = start;
+    while lo < rows.len() {
+        let row_panel = partition.panel_of_col[rows[lo] as usize];
+        let panel_end = partition.first_col[row_panel as usize + 1];
+        let mut hi = lo + 1;
+        while hi < rows.len() && rows[hi] < panel_end {
+            hi += 1;
+        }
+        blocks.push(Block { row_panel, lo: lo as u32, hi: hi as u32 });
+        lo = hi;
+    }
+    debug_assert_eq!(blocks.first().map(|b| b.row_panel), Some(j as u32));
+    BlockCol { sn: s as u32, blocks }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn block_matrix(k: usize, bs: usize) -> BlockMatrix {
         let p = sparsemat::gen::grid2d(k);
         let a = p.matrix.pattern();
         let parent = symbolic::etree(a);
         let counts = symbolic::col_counts(a, &parent);
-        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::default());
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::default());
         BlockMatrix::build(sn, bs)
     }
 
@@ -206,12 +255,32 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_matches_sequential() {
+        let p = sparsemat::gen::grid2d(20);
+        let a = p.matrix.pattern();
+        let parent = symbolic::etree(a);
+        let counts = symbolic::col_counts(a, &parent);
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::default());
+        let partition = crate::partition::BlockPartition::new(&sn, 2);
+        let seq = BlockMatrix::from_partition(sn.clone(), partition.clone());
+        for workers in [1, 2, 3, 8] {
+            let par =
+                BlockMatrix::from_partition_parallel(sn.clone(), partition.clone(), workers);
+            assert_eq!(par.num_panels(), seq.num_panels());
+            for j in 0..seq.num_panels() {
+                assert_eq!(par.cols[j].sn, seq.cols[j].sn, "panel {j}");
+                assert_eq!(par.cols[j].blocks, seq.cols[j].blocks, "panel {j}");
+            }
+        }
+    }
+
+    #[test]
     fn stored_elements_at_least_factor_nnz() {
         let p = sparsemat::gen::grid2d(7);
         let a = p.matrix.pattern();
         let parent = symbolic::etree(a);
         let counts = symbolic::col_counts(a, &parent);
-        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::off());
         let total_nnz = sn.total_nnz();
         let bm = BlockMatrix::build(sn, 4);
         assert_eq!(bm.stored_elements(), total_nnz);

@@ -91,14 +91,14 @@ impl BlockWork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use symbolic::{AmalgParams, Supernodes};
+    use symbolic::{AmalgamationOpts, Supernodes};
 
     fn bm(k: usize, bs: usize) -> BlockMatrix {
         let p = sparsemat::gen::grid2d(k);
         let a = p.matrix.pattern();
         let parent = symbolic::etree(a);
         let counts = symbolic::col_counts(a, &parent);
-        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::default());
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::default());
         BlockMatrix::build(sn, bs)
     }
 
@@ -132,7 +132,7 @@ mod tests {
         let a = p.matrix.pattern();
         let parent = symbolic::etree(a);
         let counts = symbolic::col_counts(a, &parent);
-        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::off());
         let m = BlockMatrix::build(sn, 8);
         let w = BlockWork::compute(&m, &WorkModel { fixed_op_cost: 0 });
         let n = 32f64;
@@ -150,7 +150,7 @@ mod tests {
         let a = p.matrix.pattern();
         let parent = symbolic::etree(a);
         let counts = symbolic::col_counts(a, &parent);
-        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::off());
         let m = BlockMatrix::build(sn, 8);
         let w = BlockWork::compute(&m, &WorkModel::default());
         // workI grows with I for dense problems (the paper's explanation of

@@ -3,7 +3,7 @@
 use blockmat::{for_each_bmod, BlockMatrix, BlockWork, WorkModel};
 use proptest::prelude::*;
 use sparsemat::Problem;
-use symbolic::AmalgParams;
+use symbolic::AmalgamationOpts;
 
 fn arb_bm(max_n: usize) -> impl Strategy<Value = BlockMatrix> {
     (3usize..max_n, 1usize..7, proptest::collection::vec((0u32..900, 0u32..900), 0..100))
@@ -17,7 +17,7 @@ fn arb_bm(max_n: usize) -> impl Strategy<Value = BlockMatrix> {
             let prob = Problem::new("prop", a, None, sparsemat::gen::OrderingHint::MinimumDegree);
             let perm = ordering::order_problem(&prob);
             let analysis =
-                symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+                symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
             BlockMatrix::build(analysis.supernodes, bs)
         })
 }
@@ -97,7 +97,7 @@ proptest! {
         let a = sparsemat::gen::spd_from_edges(n, &edges);
         let prob = Problem::new("prop", a, None, sparsemat::gen::OrderingHint::MinimumDegree);
         let perm = ordering::order_problem(&prob);
-        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::off());
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::off());
         let nnz = analysis.supernodes.total_nnz();
         let bm = BlockMatrix::build(analysis.supernodes, bs);
         prop_assert_eq!(bm.stored_elements(), nnz);

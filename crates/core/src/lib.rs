@@ -47,8 +47,8 @@ pub use mapping::{
 };
 pub use simgrid::MachineModel;
 pub use sparsemat::{Permutation, Problem, SymCscMatrix};
-pub use symbolic::{AmalgParams, Analysis, FactorStats};
-pub use trace::{PredictedBalance, RunReport, TaskKind, Trace, TraceEvent, TraceOpts};
+pub use symbolic::{AmalgamationOpts, Analysis, FactorStats};
+pub use trace::{PhaseSpan, PredictedBalance, RunReport, TaskKind, Trace, TraceEvent, TraceOpts};
 
 /// Pipeline-wide error: everything the matrix front end (construction,
 /// file parsing) or the numeric back end (pivot failure, contained worker
@@ -108,13 +108,37 @@ pub enum OrderingChoice {
     MinimumDegree,
 }
 
+/// Options of the analyze/assembly front half: amalgamation plus the thread
+/// count used for parallel block-structure construction and matrix assembly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyzeOpts {
+    /// Supernode amalgamation rules.
+    pub amalg: AmalgamationOpts,
+    /// Threads for block-structure construction and assembly; `None` = the
+    /// `SCHED_WORKERS` environment variable if set (see
+    /// [`fanout::env_workers`]), otherwise available parallelism.
+    pub workers: Option<usize>,
+}
+
+impl AnalyzeOpts {
+    /// The concrete thread count this configuration resolves to.
+    pub fn resolved_workers(&self) -> usize {
+        self.workers
+            .or_else(fanout::env_workers)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+            .max(1)
+    }
+}
+
 /// Options for analysis.
 #[derive(Debug, Clone, Copy)]
 pub struct SolverOptions {
     /// Block size `B` (the paper uses 48 throughout).
     pub block_size: usize,
-    /// Supernode amalgamation parameters.
-    pub amalg: AmalgParams,
+    /// Analyze/assembly options (amalgamation, front-half thread count).
+    pub analyze: AnalyzeOpts,
     /// Ordering selection.
     pub ordering: OrderingChoice,
     /// Work model (the paper's 1000-op fixed cost).
@@ -127,11 +151,62 @@ impl Default for SolverOptions {
     fn default() -> Self {
         Self {
             block_size: 48,
-            amalg: AmalgParams::default(),
+            analyze: AnalyzeOpts::default(),
             ordering: OrderingChoice::Auto,
             work_model: WorkModel::default(),
             domains: Some(DomainParams::default()),
         }
+    }
+}
+
+/// Wall-clock seconds of every pipeline phase, in execution order. The
+/// analyze phases are filled in by [`Solver::analyze_problem`] /
+/// [`Solver::analyze`]; `assemble`/`factor`/`solve` stay 0 until a run
+/// measures them (e.g. [`Solver::factor_sched_report`] fills assemble and
+/// factor).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Fill-reducing ordering.
+    pub order_s: f64,
+    /// Permute + elimination tree + postorder.
+    pub etree_s: f64,
+    /// Factor column counts.
+    pub colcount_s: f64,
+    /// Supernode detection, structure, amalgamation.
+    pub supernodes_s: f64,
+    /// Panel partition + 2-D block structure + work model.
+    pub partition_s: f64,
+    /// Scatter of `A` into block storage.
+    pub assemble_s: f64,
+    /// Numeric factorization.
+    pub factor_s: f64,
+    /// Triangular solves.
+    pub solve_s: f64,
+}
+
+impl PhaseTimings {
+    /// The phases as consecutive [`PhaseSpan`]s on a clock starting at 0.
+    pub fn spans(&self) -> Vec<PhaseSpan> {
+        trace::phase_spans(&[
+            ("order", self.order_s),
+            ("etree", self.etree_s),
+            ("colcount", self.colcount_s),
+            ("supernodes", self.supernodes_s),
+            ("partition", self.partition_s),
+            ("assemble", self.assemble_s),
+            ("factor", self.factor_s),
+            ("solve", self.solve_s),
+        ])
+    }
+
+    /// Seconds of the analyze front half (order through partition).
+    pub fn analyze_s(&self) -> f64 {
+        self.order_s + self.etree_s + self.colcount_s + self.supernodes_s + self.partition_s
+    }
+
+    /// Seconds of every phase combined.
+    pub fn total_s(&self) -> f64 {
+        self.analyze_s() + self.assemble_s + self.factor_s + self.solve_s
     }
 }
 
@@ -147,11 +222,15 @@ pub struct Solver {
     pub work: BlockWork,
     /// Options used.
     pub opts: SolverOptions,
+    /// Wall-clock of the analyze phases (`assemble`/`factor`/`solve` are 0
+    /// here; per-run methods fill copies).
+    pub timings: PhaseTimings,
 }
 
 impl Solver {
     /// Orders and analyzes a benchmark [`Problem`].
     pub fn analyze_problem(p: &Problem, opts: &SolverOptions) -> Self {
+        let t0 = std::time::Instant::now();
         let perm = match opts.ordering {
             OrderingChoice::Auto => ordering::order_problem(p),
             OrderingChoice::Natural => Permutation::identity(p.n()),
@@ -160,12 +239,16 @@ impl Solver {
                 ordering::minimum_degree(&g)
             }
         };
-        Self::analyze_with_permutation(&p.matrix, &perm, opts)
+        let order_s = t0.elapsed().as_secs_f64();
+        let mut s = Self::analyze_with_permutation(&p.matrix, &perm, opts);
+        s.timings.order_s = order_s;
+        s
     }
 
     /// Analyzes a raw matrix with [`OrderingChoice`] applied directly
     /// (`Auto` means minimum degree here, as no geometry is available).
     pub fn analyze(a: &SymCscMatrix, opts: &SolverOptions) -> Self {
+        let t0 = std::time::Instant::now();
         let perm = match opts.ordering {
             OrderingChoice::Natural => Permutation::identity(a.n()),
             _ => {
@@ -173,20 +256,51 @@ impl Solver {
                 ordering::minimum_degree(&g)
             }
         };
-        Self::analyze_with_permutation(a, &perm, opts)
+        let order_s = t0.elapsed().as_secs_f64();
+        let mut s = Self::analyze_with_permutation(a, &perm, opts);
+        s.timings.order_s = order_s;
+        s
     }
 
-    /// Analyzes with a caller-provided fill-reducing permutation.
+    /// Analyzes with a caller-provided fill-reducing permutation (ordering
+    /// time is not observable here, so `timings.order_s` stays 0).
     pub fn analyze_with_permutation(
         a: &SymCscMatrix,
         fill_perm: &Permutation,
         opts: &SolverOptions,
     ) -> Self {
-        let analysis = symbolic::analyze(a.pattern(), fill_perm, &opts.amalg);
+        let workers = opts.analyze.resolved_workers();
+        let (analysis, sym_t) =
+            symbolic::analyze_timed(a.pattern(), fill_perm, &opts.analyze.amalg);
         let permuted = analysis.perm.apply_to_matrix(a);
-        let bm = Arc::new(BlockMatrix::build(analysis.supernodes.clone(), opts.block_size));
+        let t0 = std::time::Instant::now();
+        let partition =
+            blockmat::BlockPartition::new(&analysis.supernodes, opts.block_size);
+        let bm = Arc::new(BlockMatrix::from_partition_parallel(
+            analysis.supernodes.clone(),
+            partition,
+            workers,
+        ));
         let work = BlockWork::compute(&bm, &opts.work_model);
-        Self { analysis, permuted, bm, work, opts: *opts }
+        let timings = PhaseTimings {
+            etree_s: sym_t.etree_s,
+            colcount_s: sym_t.colcount_s,
+            supernodes_s: sym_t.supernodes_s,
+            partition_s: t0.elapsed().as_secs_f64(),
+            ..PhaseTimings::default()
+        };
+        Self { analysis, permuted, bm, work, opts: *opts, timings }
+    }
+
+    /// Scatters the permuted input into fresh block storage, using the
+    /// analyze thread count ([`AnalyzeOpts::workers`]) and the merge-walk
+    /// parallel assembly path. Every factor entry point starts from this.
+    pub fn assemble(&self) -> NumericFactor {
+        NumericFactor::from_matrix_parallel(
+            self.bm.clone(),
+            &self.permuted,
+            self.opts.analyze.resolved_workers(),
+        )
     }
 
     /// Matrix dimension.
@@ -245,7 +359,7 @@ impl Solver {
 
     /// Sequential numeric factorization.
     pub fn factor_seq(&self) -> Result<NumericFactor, fanout::Error> {
-        let mut f = NumericFactor::from_matrix(self.bm.clone(), &self.permuted);
+        let mut f = self.assemble();
         fanout::factorize_seq(&mut f)?;
         Ok(f)
     }
@@ -254,7 +368,7 @@ impl Solver {
     /// paper reference [13]); produces the identical factor in the same
     /// block storage.
     pub fn factor_multifrontal(&self) -> Result<NumericFactor, fanout::Error> {
-        let mut f = NumericFactor::from_matrix(self.bm.clone(), &self.permuted);
+        let mut f = self.assemble();
         fanout::factorize_multifrontal(&mut f, &self.permuted)?;
         Ok(f)
     }
@@ -263,7 +377,7 @@ impl Solver {
     /// the assignment, exchanging completed blocks over channels.
     pub fn factor_parallel(&self, asg: &Assignment) -> Result<NumericFactor, fanout::Error> {
         let plan = Plan::build(&self.bm, asg);
-        let mut f = NumericFactor::from_matrix(self.bm.clone(), &self.permuted);
+        let mut f = self.assemble();
         fanout::factorize_threaded(&mut f, &plan)?;
         Ok(f)
     }
@@ -278,7 +392,7 @@ impl Solver {
         opts: &SchedOptions,
     ) -> Result<(NumericFactor, SchedStats), SolverError> {
         let plan = Plan::build(&self.bm, asg);
-        let mut f = NumericFactor::from_matrix(self.bm.clone(), &self.permuted);
+        let mut f = self.assemble();
         let stats = fanout::factorize_sched_opts(&mut f, &plan, opts)?;
         Ok((f, stats))
     }
@@ -297,10 +411,18 @@ impl Solver {
         if !opts.trace.enabled {
             opts.trace = TraceOpts::on();
         }
-        let (f, stats) = self.factor_sched(asg, &opts)?;
+        let plan = Plan::build(&self.bm, asg);
+        let t0 = std::time::Instant::now();
+        let mut f = self.assemble();
+        let assemble_s = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let stats = fanout::factorize_sched_opts(&mut f, &plan, &opts)?;
+        let factor_s = t1.elapsed().as_secs_f64();
         let trace = stats.trace.as_ref().expect("tracing was forced on");
         let name = format!("sched p={} workers={}", stats.p, stats.workers);
-        let report = RunReport::new(name, trace, Some(&self.balance(asg)));
+        let timings = PhaseTimings { assemble_s, factor_s, ..self.timings };
+        let report = RunReport::new(name, trace, Some(&self.balance(asg)))
+            .with_pipeline(timings.spans());
         Ok((f, stats, report))
     }
 

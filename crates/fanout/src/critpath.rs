@@ -145,11 +145,11 @@ pub fn block_levels(bm: &BlockMatrix, model: &MachineModel) -> Vec<Vec<f64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn bm_of(prob: &sparsemat::Problem, bs: usize) -> BlockMatrix {
         let perm = ordering::order_problem(prob);
-        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
         BlockMatrix::build(analysis.supernodes, bs)
     }
 
@@ -197,7 +197,7 @@ mod tests {
         // No simulated run can beat the critical path.
         let prob = sparsemat::gen::grid2d(12);
         let perm = ordering::order_problem(&prob);
-        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let bm = std::sync::Arc::new(BlockMatrix::build(analysis.supernodes, 4));
         let w = blockmat::BlockWork::compute(&bm, &blockmat::WorkModel::default());
         let model = MachineModel::paragon();

@@ -44,6 +44,76 @@ impl NumericFactor {
         f
     }
 
+    /// Like [`Self::from_matrix`], but assembles block columns with up to
+    /// `workers` threads and a merge-walk scatter.
+    ///
+    /// Ownership is per block column: every entry of source column `j` lands
+    /// in the block column containing `j`, so panels are disjoint units of
+    /// work and workers self-schedule panel chunks off an atomic cursor with
+    /// no synchronization on the data buffers. Within a panel the scatter
+    /// precomputes the flat position of every structure row once and then
+    /// advances a cursor through the sorted row list per source column,
+    /// replacing the per-entry block + row binary searches of the reference
+    /// path — faster even at `workers == 1`.
+    pub fn from_matrix_parallel(
+        bm: Arc<BlockMatrix>,
+        a: &SymCscMatrix,
+        workers: usize,
+    ) -> Self {
+        assert_eq!(bm.sn.n(), a.n());
+        const GRAIN: usize = 16;
+        let np = bm.num_panels();
+        if workers <= 1 || np < 2 * GRAIN {
+            let mut data = Vec::with_capacity(np);
+            let mut offsets = Vec::with_capacity(np);
+            for j in 0..np {
+                let (offs, buf) = assemble_panel(&bm, a, j);
+                offsets.push(offs);
+                data.push(buf);
+            }
+            return Self { bm, data, offsets };
+        }
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        type PanelChunk = Vec<(usize, Vec<usize>, Vec<f64>)>;
+        let next = AtomicUsize::new(0);
+        let nw = workers.min(np.div_ceil(GRAIN));
+        let chunks: Vec<PanelChunk> = std::thread::scope(|scope| {
+            let bm_ref: &BlockMatrix = &bm;
+            let next = &next;
+            let handles: Vec<_> = (0..nw)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let lo = next.fetch_add(1, Ordering::Relaxed) * GRAIN;
+                            if lo >= np {
+                                break;
+                            }
+                            for j in lo..(lo + GRAIN).min(np) {
+                                let (offs, buf) = assemble_panel(bm_ref, a, j);
+                                out.push((j, offs, buf));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("assembly worker")).collect()
+        });
+        let mut slots: Vec<Option<(Vec<usize>, Vec<f64>)>> = (0..np).map(|_| None).collect();
+        for (j, offs, buf) in chunks.into_iter().flatten() {
+            slots[j] = Some((offs, buf));
+        }
+        let mut data = Vec::with_capacity(np);
+        let mut offsets = Vec::with_capacity(np);
+        for s in slots {
+            let (offs, buf) = s.expect("every panel assembled");
+            offsets.push(offs);
+            data.push(buf);
+        }
+        Self { bm, data, offsets }
+    }
+
     fn scatter(&mut self, a: &SymCscMatrix) {
         let bm = self.bm.clone();
         for j in 0..a.n() {
@@ -213,15 +283,77 @@ impl NumericFactor {
     }
 }
 
+/// Allocates and assembles one block column of `a`: the per-block offsets
+/// and the zero-filled, scattered buffer.
+///
+/// Each source column does one binary search to align a row cursor (and
+/// one to align a block cursor), then walks both forward per entry —
+/// `O(nnz + blocks)` instead of the reference scatter's per-entry block
+/// and row binary searches. The blocks cover the panel's structure-row
+/// range contiguously, and the diagonal block needs no special case: its
+/// rows are exactly the panel's own columns, so `(k − lo) · c` is the
+/// dense row offset there too.
+fn assemble_panel(bm: &BlockMatrix, a: &SymCscMatrix, pj: usize) -> (Vec<usize>, Vec<f64>) {
+    let c = bm.col_width(pj);
+    let col = &bm.cols[pj];
+    let blocks = &col.blocks;
+    let mut offs = Vec::with_capacity(blocks.len());
+    let mut len = 0usize;
+    for (b, blk) in blocks.iter().enumerate() {
+        offs.push(len);
+        len += if b == 0 { c * c } else { blk.nrows() * c };
+    }
+    let mut buf = vec![0.0; len];
+    if blocks.is_empty() {
+        return (offs, buf);
+    }
+    let rows = &bm.sn.rows[col.sn as usize];
+    let start = col.blocks[0].lo as usize;
+    let covered = col.blocks.last().unwrap().hi as usize - start;
+    let row_of = &rows[start..start + covered];
+    for (col_off, j) in bm.partition.cols(pj).enumerate() {
+        let ai = a.col_rows(j);
+        if ai.is_empty() {
+            continue;
+        }
+        let mut k = row_of.partition_point(|&r| r < ai[0]);
+        let mut bi = blocks.partition_point(|b| (b.hi as usize) <= k + start);
+        for (&i, &v) in ai.iter().zip(a.col_values(j)) {
+            // Walk a few fill rows linearly; past that the gap is large
+            // (grid-like panels interleave long fill runs between source
+            // entries), so finish with one binary search over the rest.
+            let mut steps = 0;
+            while k < covered && row_of[k] < i {
+                k += 1;
+                steps += 1;
+                if steps == 8 {
+                    k += row_of[k..covered].partition_point(|&r| r < i);
+                    break;
+                }
+            }
+            assert!(
+                k < covered && row_of[k] == i,
+                "entry ({i},{j}) outside block structure"
+            );
+            // k < covered, so a block with hi > k + start exists.
+            while (blocks[bi].hi as usize) <= k + start {
+                bi += 1;
+            }
+            buf[offs[bi] + (k + start - blocks[bi].lo as usize) * c + col_off] = v;
+        }
+    }
+    (offs, buf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn build(k: usize, bs: usize) -> (Arc<BlockMatrix>, SymCscMatrix) {
         let p = sparsemat::gen::grid2d(k);
         let perm = ordering::order_problem(&p);
-        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let pa = analysis.perm.apply_to_matrix(&p.matrix);
         let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
         (bm, pa)
@@ -234,6 +366,23 @@ mod tests {
         for j in 0..a.n() {
             for (&i, &v) in a.col_rows(j).iter().zip(a.col_values(j)) {
                 assert_eq!(f.get(i as usize, j), v, "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_assembly_matches_reference_scatter() {
+        // The merge-walk path must produce bit-identical buffers to the
+        // per-entry reference scatter, at any worker count (including the
+        // threaded path — grid2d(16) has enough panels at bs=2 to cross the
+        // parallel threshold).
+        for (k, bs) in [(6, 3), (16, 2)] {
+            let (bm, a) = build(k, bs);
+            let reference = NumericFactor::from_matrix(bm.clone(), &a);
+            for workers in [1, 2, 4] {
+                let par = NumericFactor::from_matrix_parallel(bm.clone(), &a, workers);
+                assert_eq!(par.offsets, reference.offsets, "workers={workers}");
+                assert_eq!(par.data, reference.data, "workers={workers}");
             }
         }
     }

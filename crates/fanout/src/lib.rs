@@ -43,7 +43,10 @@ pub use faults::{Fault, FaultPlan};
 pub use multifrontal::factorize_multifrontal;
 pub use plan::Plan;
 pub use psolve::{solve_threaded, SolvePlan};
-pub use sched::{factorize_sched, factorize_sched_opts, factorize_threaded, SchedOptions, SchedStats};
+pub use sched::{
+    env_workers, factorize_sched, factorize_sched_opts, factorize_threaded, SchedOptions,
+    SchedStats,
+};
 pub use seq::{factorize_seq, factorize_seq_opts, FactorOpts, SeqStats};
 pub use simplicial::{factorize_simplicial, factorize_simplicial_from, CscFactor};
 pub use sim::{block_ranks, simulate, simulate_traced, simulate_with_policy, SimOutcome, SimPolicy};

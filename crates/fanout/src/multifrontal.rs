@@ -177,12 +177,12 @@ mod tests {
     use crate::seq::factorize_seq;
     use blockmat::BlockMatrix;
     use std::sync::Arc;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn prepared(
         prob: &sparsemat::Problem,
         bs: usize,
-        amalg: AmalgParams,
+        amalg: AmalgamationOpts,
     ) -> (NumericFactor, SymCscMatrix) {
         let perm = ordering::order_problem(prob);
         let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &amalg);
@@ -195,7 +195,7 @@ mod tests {
     fn multifrontal_matches_block_fanout() {
         for (k, bs) in [(7usize, 3usize), (9, 48)] {
             let prob = sparsemat::gen::grid2d(k);
-            let (mut f_mf, pa) = prepared(&prob, bs, AmalgParams::default());
+            let (mut f_mf, pa) = prepared(&prob, bs, AmalgamationOpts::default());
             let mut f_seq = f_mf.clone();
             factorize_multifrontal(&mut f_mf, &pa).unwrap();
             factorize_seq(&mut f_seq).unwrap();
@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn multifrontal_on_irregular_matrix() {
         let prob = sparsemat::gen::bcsstk_like("bk", 150, 8);
-        let (mut f, pa) = prepared(&prob, 6, AmalgParams::default());
+        let (mut f, pa) = prepared(&prob, 6, AmalgamationOpts::default());
         factorize_multifrontal(&mut f, &pa).unwrap();
         assert!(crate::residual_norm(&pa, &f) < 1e-11);
     }
@@ -218,7 +218,7 @@ mod tests {
     #[test]
     fn multifrontal_without_amalgamation() {
         let prob = sparsemat::gen::cube3d(4);
-        let (mut f, pa) = prepared(&prob, 4, AmalgParams::off());
+        let (mut f, pa) = prepared(&prob, 4, AmalgamationOpts::off());
         factorize_multifrontal(&mut f, &pa).unwrap();
         assert!(crate::residual_norm(&pa, &f) < 1e-12);
     }
@@ -231,7 +231,7 @@ mod tests {
         .unwrap();
         let parent = symbolic::etree(a.pattern());
         let counts = symbolic::col_counts(a.pattern(), &parent);
-        let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgParams::off());
+        let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgamationOpts::off());
         let bm = Arc::new(BlockMatrix::build(sn, 2));
         let mut f = NumericFactor::from_matrix(bm, &a);
         assert!(matches!(
@@ -243,7 +243,7 @@ mod tests {
     #[test]
     fn multifrontal_solve_roundtrip() {
         let prob = sparsemat::gen::fleet_like("fl", 80, 6);
-        let (mut f, pa) = prepared(&prob, 5, AmalgParams::default());
+        let (mut f, pa) = prepared(&prob, 5, AmalgamationOpts::default());
         factorize_multifrontal(&mut f, &pa).unwrap();
         let n = pa.n();
         let x_true: Vec<f64> = (0..n).map(|i| (i % 9) as f64 * 0.5 - 2.0).collect();

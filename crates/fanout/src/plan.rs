@@ -167,12 +167,12 @@ mod tests {
     use super::*;
     use blockmat::{BlockWork, WorkModel};
     use std::collections::HashSet;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn setup(k: usize, p: usize) -> (BlockMatrix, Assignment) {
         let prob = sparsemat::gen::grid2d(k);
         let perm = ordering::order_problem(&prob);
-        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let bm = BlockMatrix::build(analysis.supernodes, 4);
         let w = BlockWork::compute(&bm, &WorkModel::default());
         let asg = Assignment::cyclic(&bm, &w, p);

@@ -282,12 +282,12 @@ mod tests {
     use blockmat::{BlockWork, WorkModel};
     use mapping::Assignment;
     use std::collections::HashSet;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn setup(k: usize, p: usize) -> (BlockMatrix, Plan) {
         let prob = sparsemat::gen::grid2d(k);
         let perm = ordering::order_problem(&prob);
-        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let bm = BlockMatrix::build(analysis.supernodes, 3);
         let w = BlockWork::compute(&bm, &WorkModel::default());
         let asg = Assignment::cyclic(&bm, &w, p);
@@ -372,7 +372,7 @@ mod tests {
         use mapping::{ColPolicy, Heuristic, ProcGrid, RowPolicy};
         let prob = sparsemat::gen::grid2d(10);
         let perm = ordering::order_problem(&prob);
-        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let bm = BlockMatrix::build(analysis.supernodes, 3);
         let w = BlockWork::compute(&bm, &WorkModel::default());
         for grid in [ProcGrid::square(4), ProcGrid::new(2, 3), ProcGrid::new(1, 5)] {

@@ -444,7 +444,7 @@ mod tests {
     use crate::seq::factorize_seq;
     use blockmat::{BlockMatrix, BlockWork, WorkModel};
     use mapping::Assignment;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn prepared(
         prob: &sparsemat::Problem,
@@ -452,7 +452,7 @@ mod tests {
         p: usize,
     ) -> (NumericFactor, Plan, sparsemat::SymCscMatrix) {
         let perm = ordering::order_problem(prob);
-        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let pa = analysis.perm.apply_to_matrix(&prob.matrix);
         let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
         let w = BlockWork::compute(&bm, &WorkModel::default());

@@ -62,10 +62,22 @@ use trace::{TaskKind, Trace, TraceBuf, TraceOpts, WorkerRing, NO_BLOCK};
 /// stalled run had tracing enabled).
 const STALL_TAIL_EVENTS: usize = 8;
 
+/// Worker-count override from the `SCHED_WORKERS` environment variable,
+/// when set and parseable as a positive integer. Checked by every place
+/// that resolves a defaulted worker count (scheduler, parallel assembly,
+/// benches), so one env knob pins the whole pipeline's thread count — the
+/// override is *not* capped at available parallelism, letting benches
+/// exercise multi-worker paths deterministically on any box.
+pub fn env_workers() -> Option<usize> {
+    std::env::var("SCHED_WORKERS").ok()?.parse().ok().filter(|&w| w > 0)
+}
+
 /// Tunables of [`factorize_sched_opts`].
 #[derive(Debug, Clone)]
 pub struct SchedOptions {
-    /// Worker thread count; `None` = `min(plan.p, available_parallelism)`.
+    /// Worker thread count; `None` = the `SCHED_WORKERS` environment
+    /// variable if set (see [`env_workers`]), otherwise
+    /// `min(plan.p, available_parallelism)`.
     pub workers: Option<usize>,
     /// Pop critical-path-urgent tasks first (`false` = plain LIFO order).
     pub use_priorities: bool,
@@ -190,6 +202,7 @@ pub fn factorize_sched_opts(
     let schedule = Schedule::build(&bm, plan, opts.use_priorities);
     let workers = opts
         .workers
+        .or_else(env_workers)
         .unwrap_or_else(|| {
             plan.p.min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
         })
@@ -1057,7 +1070,7 @@ mod tests {
     use blockmat::{BlockWork, WorkModel};
     use mapping::Assignment;
     use std::sync::Arc;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn prepared(
         prob: &sparsemat::Problem,
@@ -1065,7 +1078,7 @@ mod tests {
         p: usize,
     ) -> (NumericFactor, Plan, sparsemat::SymCscMatrix) {
         let perm = ordering::order_problem(prob);
-        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let pa = analysis.perm.apply_to_matrix(&prob.matrix);
         let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
         let w = BlockWork::compute(&bm, &WorkModel::default());
@@ -1190,7 +1203,7 @@ mod tests {
     fn plan_priorities_are_honored() {
         let prob = sparsemat::gen::grid2d(8);
         let perm = ordering::order_problem(&prob);
-        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let pa = analysis.perm.apply_to_matrix(&prob.matrix);
         let bm = Arc::new(BlockMatrix::build(analysis.supernodes, 3));
         let w = BlockWork::compute(&bm, &WorkModel::default());
@@ -1221,7 +1234,7 @@ mod tests {
         .unwrap();
         let parent = symbolic::etree(a.pattern());
         let counts = symbolic::col_counts(a.pattern(), &parent);
-        let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgParams::off());
+        let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgamationOpts::off());
         let bm = Arc::new(BlockMatrix::build(sn, 2));
         let w = BlockWork::compute(&bm, &WorkModel::default());
         let asg = Assignment::cyclic(&bm, &w, 4);

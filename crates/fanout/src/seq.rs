@@ -357,11 +357,11 @@ pub(crate) fn apply_bmod(
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn factor_problem(p: &sparsemat::Problem, bs: usize) -> (NumericFactor, sparsemat::SymCscMatrix) {
         let perm = ordering::order_problem(p);
-        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let pa = analysis.perm.apply_to_matrix(&p.matrix);
         let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
         let mut f = NumericFactor::from_matrix(bm, &pa);
@@ -373,7 +373,7 @@ mod tests {
     fn traced_seq_run_records_every_column_and_update() {
         let p = sparsemat::gen::grid2d(7);
         let perm = ordering::order_problem(&p);
-        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let pa = analysis.perm.apply_to_matrix(&p.matrix);
         let bm = Arc::new(BlockMatrix::build(analysis.supernodes, 3));
         let mut f_tr = NumericFactor::from_matrix(bm.clone(), &pa);
@@ -461,7 +461,7 @@ mod tests {
         .unwrap();
         let parent = symbolic::etree(a.pattern());
         let counts = symbolic::col_counts(a.pattern(), &parent);
-        let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgParams::off());
+        let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgamationOpts::off());
         let bm = Arc::new(BlockMatrix::build(sn, 2));
         let mut f = NumericFactor::from_matrix(bm, &a);
         assert_eq!(

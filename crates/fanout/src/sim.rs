@@ -296,12 +296,12 @@ mod tests {
     use super::*;
     use blockmat::{BlockWork, WorkModel};
     use mapping::{Assignment, ColPolicy, Heuristic, ProcGrid, RowPolicy};
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn setup(k: usize, bs: usize) -> (Arc<BlockMatrix>, BlockWork) {
         let prob = sparsemat::gen::grid2d(k);
         let perm = ordering::order_problem(&prob);
-        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
         let w = BlockWork::compute(&bm, &WorkModel::default());
         (bm, w)
@@ -335,7 +335,7 @@ mod tests {
         // simulated performance of a dense problem on a 4×4 grid.
         let prob = sparsemat::gen::dense(256);
         let analysis =
-            symbolic::analyze(prob.matrix.pattern(), &sparsemat::Permutation::identity(256), &AmalgParams::off());
+            symbolic::analyze(prob.matrix.pattern(), &sparsemat::Permutation::identity(256), &AmalgamationOpts::off());
         let bm = Arc::new(BlockMatrix::build(analysis.supernodes, 16));
         let w = BlockWork::compute(&bm, &WorkModel::default());
         let grid = ProcGrid::square(16);

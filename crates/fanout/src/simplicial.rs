@@ -116,11 +116,11 @@ mod tests {
     use super::*;
     use blockmat::BlockMatrix;
     use std::sync::Arc;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn prepared(prob: &sparsemat::Problem, bs: usize) -> (NumericFactor, SymCscMatrix) {
         let perm = ordering::order_problem(prob);
-        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::off());
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::off());
         let pa = analysis.perm.apply_to_matrix(&prob.matrix);
         let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
         (NumericFactor::from_matrix(bm, &pa), pa)
@@ -147,7 +147,7 @@ mod tests {
         //   flops = ops − (nnz_l − n)          (exactly).
         let prob = sparsemat::gen::bcsstk_like("bk", 90, 3);
         let perm = ordering::order_problem(&prob);
-        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::off());
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::off());
         let pa = analysis.perm.apply_to_matrix(&prob.matrix);
         let n = pa.n() as u64;
         let bm = Arc::new(BlockMatrix::build(analysis.supernodes, 4));

@@ -68,11 +68,11 @@ mod tests {
     use crate::seq::factorize_seq;
     use blockmat::BlockMatrix;
     use std::sync::Arc;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn factored(p: &sparsemat::Problem, bs: usize) -> (NumericFactor, SymCscMatrix) {
         let perm = ordering::order_problem(p);
-        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let pa = analysis.perm.apply_to_matrix(&p.matrix);
         let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
         let mut f = NumericFactor::from_matrix(bm, &pa);

@@ -381,7 +381,7 @@ mod tests {
     use crate::solve::residual_norm;
     use blockmat::{BlockWork, WorkModel};
     use mapping::Assignment;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn prepared(
         prob: &sparsemat::Problem,
@@ -389,7 +389,7 @@ mod tests {
         p: usize,
     ) -> (NumericFactor, Plan, sparsemat::SymCscMatrix) {
         let perm = ordering::order_problem(prob);
-        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let pa = analysis.perm.apply_to_matrix(&prob.matrix);
         let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
         let w = BlockWork::compute(&bm, &WorkModel::default());
@@ -494,7 +494,7 @@ mod tests {
         .unwrap();
         let parent = symbolic::etree(a.pattern());
         let counts = symbolic::col_counts(a.pattern(), &parent);
-        let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgParams::off());
+        let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgamationOpts::off());
         let bm = Arc::new(BlockMatrix::build(sn, 2));
         let w = BlockWork::compute(&bm, &WorkModel::default());
         let asg = Assignment::cyclic(&bm, &w, 4);

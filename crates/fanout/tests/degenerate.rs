@@ -10,7 +10,7 @@ use fanout::{
 };
 use mapping::Assignment;
 use std::sync::Arc;
-use symbolic::AmalgParams;
+use symbolic::AmalgamationOpts;
 
 /// Builds the factor/plan pair straight from a matrix in natural order
 /// (no fill-reducing permutation), so tiny hand-made matrices keep their
@@ -18,7 +18,7 @@ use symbolic::AmalgParams;
 fn prepared_natural(a: &sparsemat::SymCscMatrix, bs: usize, p: usize) -> (NumericFactor, Plan) {
     let parent = symbolic::etree(a.pattern());
     let counts = symbolic::col_counts(a.pattern(), &parent);
-    let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgParams::default());
+    let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgamationOpts::default());
     let bm = Arc::new(BlockMatrix::build(sn, bs));
     let w = BlockWork::compute(&bm, &WorkModel::default());
     let asg = Assignment::cyclic(&bm, &w, p);
@@ -80,7 +80,7 @@ fn far_more_processors_than_blocks() {
     // 64-vproc plan leaves most processors with nothing to do.
     let prob = sparsemat::gen::grid2d(4);
     let perm = ordering::order_problem(&prob);
-    let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+    let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
     let pa = analysis.perm.apply_to_matrix(&prob.matrix);
     through_all_executors(&pa, 8, 64, "p >> blocks");
 }

@@ -16,16 +16,22 @@
 use blockmat::{BlockMatrix, BlockWork, WorkModel};
 use fanout::{
     factorize_fifo, factorize_multifrontal, factorize_sched_opts, factorize_seq,
-    factorize_seq_opts, Error, FactorOpts, FaultPlan, NumericFactor, Plan, SchedOptions,
+    factorize_seq_opts, factorize_threaded, Error, FactorOpts, FaultPlan, NumericFactor, Plan,
+    SchedOptions,
 };
 use mapping::Assignment;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use symbolic::AmalgParams;
+use symbolic::AmalgamationOpts;
 
-fn prepared(prob: &sparsemat::Problem, bs: usize, p: usize) -> (NumericFactor, Plan) {
+fn prepared_with(
+    prob: &sparsemat::Problem,
+    bs: usize,
+    p: usize,
+    amalg: &AmalgamationOpts,
+) -> (NumericFactor, Plan) {
     let perm = ordering::order_problem(prob);
-    let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+    let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, amalg);
     let pa = analysis.perm.apply_to_matrix(&prob.matrix);
     let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
     let w = BlockWork::compute(&bm, &WorkModel::default());
@@ -33,6 +39,10 @@ fn prepared(prob: &sparsemat::Problem, bs: usize, p: usize) -> (NumericFactor, P
     let plan = Plan::build(&bm, &asg);
     let f = NumericFactor::from_matrix(bm, &pa);
     (f, plan)
+}
+
+fn prepared(prob: &sparsemat::Problem, bs: usize, p: usize) -> (NumericFactor, Plan) {
+    prepared_with(prob, bs, p, &AmalgamationOpts::default())
 }
 
 fn assert_bit_identical(f_seq: &NumericFactor, f_par: &NumericFactor, what: &str) {
@@ -101,6 +111,65 @@ fn run_one(f0: &NumericFactor, plan: &Plan, fp: &FaultPlan, seed: u64, what: &st
         Err(Error::Stalled(report)) => {
             assert!(fp.vanish_per_mille > 0, "{what}: spurious stall: {report}");
         }
+    }
+}
+
+/// Agreement to each executor's own contract: the scheduler applies BMODs
+/// in a deterministic order (bit-identical to sequential); the FIFO and
+/// channel baselines apply them in receive order, so they agree to within
+/// accumulated rounding only.
+fn assert_close(f_seq: &NumericFactor, f_par: &NumericFactor, what: &str) {
+    let (_, _, v_seq) = f_seq.to_csc();
+    let (_, _, v_par) = f_par.to_csc();
+    assert_eq!(v_seq.len(), v_par.len(), "{what}: factor size differs");
+    for (i, (a, b)) in v_seq.iter().zip(&v_par).enumerate() {
+        assert!((a - b).abs() < 1e-9, "{what}: entry {i} differs: {a:e} vs {b:e}");
+    }
+}
+
+#[test]
+fn executors_agree_on_amalgamated_plans() {
+    // Amalgamation pads blocks with explicit zeros; every executor must
+    // walk the padded structure identically, so the agreement guarantees
+    // that hold on fundamental plans must survive merging unchanged:
+    // bit-identity for the deterministic scheduler, rounding-level
+    // agreement for the receive-order fifo/threaded baselines.
+    for (prob, bs) in [
+        (sparsemat::gen::grid2d(12), 4usize),
+        (sparsemat::gen::bcsstk_like("T", 240, 4), 6),
+    ] {
+        let mut blocks_seen = Vec::new();
+        for amalg in [AmalgamationOpts::off(), AmalgamationOpts::default()] {
+            let (f0, plan) = prepared_with(&prob, bs, 9, &amalg);
+            blocks_seen.push(f0.bm.num_blocks());
+            let mut f_seq = f0.clone();
+            factorize_seq(&mut f_seq).expect("seq");
+            let mut f_thr = f0.clone();
+            factorize_threaded(&mut f_thr, &plan).expect("threaded");
+            assert_close(&f_seq, &f_thr, &format!("{} threaded", prob.name));
+            let mut f_fifo = f0.clone();
+            factorize_fifo(&mut f_fifo, &plan).expect("fifo");
+            assert_close(&f_seq, &f_fifo, &format!("{} fifo", prob.name));
+            for workers in [1usize, 3] {
+                let mut f_sched = f0.clone();
+                let opts = SchedOptions {
+                    workers: Some(workers),
+                    stall_timeout: Some(WATCHDOG),
+                    ..Default::default()
+                };
+                factorize_sched_opts(&mut f_sched, &plan, &opts).expect("sched");
+                assert_bit_identical(
+                    &f_seq,
+                    &f_sched,
+                    &format!("{} sched workers={workers}", prob.name),
+                );
+            }
+        }
+        assert!(
+            blocks_seen[1] < blocks_seen[0],
+            "{}: amalgamation merged nothing ({blocks_seen:?})",
+            prob.name
+        );
     }
 }
 
@@ -287,7 +356,7 @@ fn all_executors_agree_on_the_failing_column() {
     .unwrap();
     let parent = symbolic::etree(a.pattern());
     let counts = symbolic::col_counts(a.pattern(), &parent);
-    let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgParams::off());
+    let sn = symbolic::Supernodes::compute(a.pattern(), &parent, &counts, &AmalgamationOpts::off());
     let bm = Arc::new(BlockMatrix::build(sn, 2));
     let w = BlockWork::compute(&bm, &WorkModel::default());
     let asg = Assignment::cyclic(&bm, &w, 4);

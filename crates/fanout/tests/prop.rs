@@ -7,7 +7,7 @@ use mapping::{Assignment, ColPolicy, Heuristic, ProcGrid, RowPolicy};
 use proptest::prelude::*;
 use sparsemat::{Problem, SymCscMatrix};
 use std::sync::Arc;
-use symbolic::AmalgParams;
+use symbolic::AmalgamationOpts;
 
 fn arb_spd(max_n: usize) -> impl Strategy<Value = SymCscMatrix> {
     (3usize..max_n, proptest::collection::vec((0u32..1000, 0u32..1000, 0.2f64..3.0), 0..100))
@@ -24,7 +24,7 @@ fn arb_spd(max_n: usize) -> impl Strategy<Value = SymCscMatrix> {
 fn analyzed(a: &SymCscMatrix, bs: usize) -> (Arc<BlockMatrix>, SymCscMatrix, BlockWork) {
     let prob = Problem::new("prop", a.clone(), None, sparsemat::gen::OrderingHint::MinimumDegree);
     let perm = ordering::order_problem(&prob);
-    let analysis = symbolic::analyze(a.pattern(), &perm, &AmalgParams::default());
+    let analysis = symbolic::analyze(a.pattern(), &perm, &AmalgamationOpts::default());
     let pa = analysis.perm.apply_to_matrix(a);
     let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
     let w = BlockWork::compute(&bm, &WorkModel::default());

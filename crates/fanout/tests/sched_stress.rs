@@ -10,11 +10,11 @@ use blockmat::{BlockMatrix, BlockWork, WorkModel};
 use fanout::{factorize_sched_opts, factorize_seq, NumericFactor, Plan, SchedOptions};
 use mapping::Assignment;
 use std::sync::Arc;
-use symbolic::AmalgParams;
+use symbolic::AmalgamationOpts;
 
 fn prepared(prob: &sparsemat::Problem, bs: usize, p: usize) -> (NumericFactor, Plan) {
     let perm = ordering::order_problem(prob);
-    let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgParams::default());
+    let analysis = symbolic::analyze(prob.matrix.pattern(), &perm, &AmalgamationOpts::default());
     let pa = analysis.perm.apply_to_matrix(&prob.matrix);
     let bm = Arc::new(BlockMatrix::build(analysis.supernodes, bs));
     let w = BlockWork::compute(&bm, &WorkModel::default());

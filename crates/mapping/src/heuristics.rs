@@ -295,12 +295,12 @@ pub fn subtree_col_map(bm: &BlockMatrix, work: &BlockWork, pc: usize) -> Vec<u32
 mod tests {
     use super::*;
     use blockmat::WorkModel;
-    use symbolic::AmalgParams;
+    use symbolic::AmalgamationOpts;
 
     fn setup(k: usize) -> (BlockMatrix, BlockWork) {
         let p = sparsemat::gen::grid2d(k);
         let perm = ordering::order_problem(&p);
-        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgParams::default());
+        let analysis = symbolic::analyze(p.matrix.pattern(), &perm, &AmalgamationOpts::default());
         let bm = BlockMatrix::build(analysis.supernodes, 4);
         let w = BlockWork::compute(&bm, &WorkModel::default());
         (bm, w)

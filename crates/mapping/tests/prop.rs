@@ -28,7 +28,7 @@ fn arb_block_matrix(max_n: usize) -> impl Strategy<Value = BlockMatrix> {
             let prob = Problem::new("prop", a, None, sparsemat::gen::OrderingHint::MinimumDegree);
             let perm = ordering::order_problem(&prob);
             let analysis =
-                symbolic::analyze(prob.matrix.pattern(), &perm, &symbolic::AmalgParams::default());
+                symbolic::analyze(prob.matrix.pattern(), &perm, &symbolic::AmalgamationOpts::default());
             BlockMatrix::build(analysis.supernodes, bs)
         })
 }

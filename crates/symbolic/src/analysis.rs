@@ -2,7 +2,7 @@
 
 use crate::colcount::{col_counts, nnz_l_strictly_lower, sequential_ops};
 use crate::etree::{etree, is_postordered, postorder, relabel};
-use crate::supernodes::{AmalgParams, Supernodes};
+use crate::supernodes::{AmalgamationOpts, Supernodes};
 use sparsemat::{Permutation, SparsityPattern};
 
 /// Factor statistics in the paper's Table 1 / Table 6 conventions, computed
@@ -36,14 +36,38 @@ pub struct Analysis {
     pub stats: FactorStats,
 }
 
+/// Wall-clock seconds of each symbolic stage, as measured by
+/// [`analyze_timed`]. The `etree` stage includes applying the permutations
+/// and postordering (they produce the tree the later stages consume).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SymbolicTimings {
+    /// Permute + elimination tree + postorder.
+    pub etree_s: f64,
+    /// Factor column counts.
+    pub colcount_s: f64,
+    /// Supernode detection, structure, and amalgamation.
+    pub supernodes_s: f64,
+}
+
 /// Runs the full symbolic phase on the lower-triangle pattern `a` under the
 /// fill-reducing permutation `fill_perm`.
 ///
 /// The etree of the permuted matrix is postordered and the postorder is
 /// composed into the returned permutation, so supernodes and (later) domains
 /// are contiguous column ranges.
-pub fn analyze(a: &SparsityPattern, fill_perm: &Permutation, amalg: &AmalgParams) -> Analysis {
+pub fn analyze(a: &SparsityPattern, fill_perm: &Permutation, amalg: &AmalgamationOpts) -> Analysis {
+    analyze_timed(a, fill_perm, amalg).0
+}
+
+/// [`analyze`], with per-stage wall-clock timings for pipeline profiling.
+pub fn analyze_timed(
+    a: &SparsityPattern,
+    fill_perm: &Permutation,
+    amalg: &AmalgamationOpts,
+) -> (Analysis, SymbolicTimings) {
     assert_eq!(a.n(), fill_perm.len());
+    let mut t = SymbolicTimings::default();
+    let t0 = std::time::Instant::now();
     // First permutation pass: fill-reducing order.
     let a1 = fill_perm.apply_to_pattern(a);
     let parent1 = etree(&a1);
@@ -57,13 +81,18 @@ pub fn analyze(a: &SparsityPattern, fill_perm: &Permutation, amalg: &AmalgParams
         (a2, parent2, fill_perm.then(&po))
     };
     debug_assert!(is_postordered(&parent));
+    t.etree_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
     let counts = col_counts(&pattern, &parent);
     let stats = FactorStats {
         nnz_l: nnz_l_strictly_lower(&counts),
         ops: sequential_ops(&counts),
     };
+    t.colcount_s = t1.elapsed().as_secs_f64();
+    let t2 = std::time::Instant::now();
     let supernodes = Supernodes::compute(&pattern, &parent, &counts, amalg);
-    Analysis { perm, pattern, parent, counts, supernodes, stats }
+    t.supernodes_s = t2.elapsed().as_secs_f64();
+    (Analysis { perm, pattern, parent, counts, supernodes, stats }, t)
 }
 
 #[cfg(test)]
@@ -80,7 +109,7 @@ mod tests {
         let a = analyze(
             p.matrix.pattern(),
             &Permutation::identity(64),
-            &AmalgParams::off(),
+            &AmalgamationOpts::off(),
         );
         assert_eq!(a.stats.nnz_l, 64 * 63 / 2);
         let eta_sum: u64 = (0..64u64).map(|k| (63 - k) * (63 - k + 3)).sum();
@@ -93,10 +122,10 @@ mod tests {
         let p = gen::grid2d(7);
         let g = sparsemat::Graph::from_pattern(p.matrix.pattern());
         let md = ordering::minimum_degree(&g);
-        let a = analyze(p.matrix.pattern(), &md, &AmalgParams::default());
+        let a = analyze(p.matrix.pattern(), &md, &AmalgamationOpts::default());
         assert!(crate::etree::is_postordered(&a.parent));
         // Stats must be invariant to the postorder (it relabels, no new fill).
-        let a_noamalg = analyze(p.matrix.pattern(), &md, &AmalgParams::off());
+        let a_noamalg = analyze(p.matrix.pattern(), &md, &AmalgamationOpts::off());
         assert_eq!(a.stats, a_noamalg.stats);
         // Permuted pattern really is P·A·Pᵀ for the returned perm.
         let direct = a.perm.apply_to_pattern(p.matrix.pattern());
@@ -108,7 +137,7 @@ mod tests {
         let p = gen::cube3d(5);
         let g = sparsemat::Graph::from_pattern(p.matrix.pattern());
         let md = ordering::minimum_degree(&g);
-        let a = analyze(p.matrix.pattern(), &md, &AmalgParams::default());
+        let a = analyze(p.matrix.pattern(), &md, &AmalgamationOpts::default());
         // Stored nnz (with diagonal, with explicit zeros) must be at least
         // nnz_l + n.
         assert!(a.supernodes.total_nnz() >= a.stats.nnz_l + p.n() as u64);

@@ -23,7 +23,7 @@ pub mod colcount;
 pub mod etree;
 pub mod supernodes;
 
-pub use analysis::{analyze, Analysis, FactorStats};
+pub use analysis::{analyze, analyze_timed, Analysis, FactorStats, SymbolicTimings};
 pub use colcount::col_counts;
 pub use etree::{etree, postorder, EtreeInfo, NONE};
-pub use supernodes::{AmalgParams, Supernodes};
+pub use supernodes::{AmalgamationOpts, Supernodes};

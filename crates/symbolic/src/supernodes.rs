@@ -10,29 +10,50 @@
 use crate::etree::NONE;
 use sparsemat::SparsityPattern;
 
-/// Relaxed amalgamation parameters: a child supernode is merged into its
-/// (column-adjacent) parent when the *cumulative* explicit zeros of the
-/// merged supernode stay below `max_added_zeros`, or below `max_zero_frac`
-/// of its nonzeros. Tracking the cumulative count (not the per-merge delta)
-/// prevents merge cascades from silently densifying the factor.
-#[derive(Debug, Clone, Copy)]
-pub struct AmalgParams {
-    /// Absolute cap on cumulative explicit zeros per merged supernode.
-    pub max_added_zeros: u64,
-    /// Relative cap: cumulative zeros / merged supernode nonzeros.
-    pub max_zero_frac: f64,
+/// Relaxed amalgamation options: a child supernode is merged into its
+/// (column-adjacent) parent when any of three relaxation rules accepts the
+/// merged supernode. All rules track the *cumulative* explicit-zero count of
+/// the merged group (not the per-merge delta), so merge cascades cannot
+/// silently densify the factor.
+///
+/// * **Relative** — cumulative zeros ≤ `max_fill_frac` × merged stored
+///   nonzeros. This is the master knob: `max_fill_frac == 0` disables
+///   amalgamation entirely (the other rules are only consulted while
+///   relaxation is active).
+/// * **Absolute** — cumulative zeros ≤ `max_zero_cols` × merged structure
+///   height, i.e. an allowance of that many whole zero columns. Lets small
+///   supernodes merge even when the relative test fails.
+/// * **Width** — a merged supernode no wider than `min_width` columns always
+///   merges (tiny supernodes cost more in per-block overhead than the
+///   explicit zeros they would introduce).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmalgamationOpts {
+    /// Relative cap: cumulative zeros / merged supernode stored nonzeros.
+    /// Zero disables amalgamation entirely.
+    pub max_fill_frac: f64,
+    /// Absolute allowance in whole-column units: cumulative zeros up to
+    /// `max_zero_cols` × merged structure height are accepted.
+    pub max_zero_cols: u64,
+    /// Merged supernodes at most this wide always merge.
+    pub min_width: usize,
 }
 
-impl Default for AmalgParams {
+impl Default for AmalgamationOpts {
     fn default() -> Self {
-        Self { max_added_zeros: 128, max_zero_frac: 0.10 }
+        Self { max_fill_frac: 0.10, max_zero_cols: 1, min_width: 8 }
     }
 }
 
-impl AmalgParams {
+impl AmalgamationOpts {
     /// Disables amalgamation entirely.
     pub fn off() -> Self {
-        Self { max_added_zeros: 0, max_zero_frac: 0.0 }
+        Self { max_fill_frac: 0.0, max_zero_cols: 0, min_width: 0 }
+    }
+
+    /// Whether any merging can happen under these options.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.max_fill_frac > 0.0
     }
 }
 
@@ -99,7 +120,7 @@ impl Supernodes {
         a: &SparsityPattern,
         parent: &[u32],
         counts: &[u32],
-        amalg: &AmalgParams,
+        amalg: &AmalgamationOpts,
     ) -> Self {
         let n = a.n();
         assert_eq!(parent.len(), n);
@@ -172,7 +193,11 @@ impl Supernodes {
             rows.push(r);
         }
 
-        // --- Relaxed amalgamation (merge into column-adjacent parent). ---
+        // --- Relaxed amalgamation: bottom-up pass over the supernode etree
+        // (the postorder guarantees children precede parents, so ascending
+        // supernode order visits every child before its parent), merging a
+        // child group into its column-adjacent parent group whenever one of
+        // the relaxation rules in [`AmalgamationOpts`] accepts the result.
         // Group state, indexed by the group's *top* original supernode.
         let mut group_of: Vec<u32> = (0..num_sn as u32).collect(); // union-find
         let mut grp_first: Vec<u32> = (0..num_sn).map(|s| first_col[s]).collect();
@@ -186,7 +211,7 @@ impl Supernodes {
             }
             s
         };
-        if amalg.max_added_zeros > 0 || amalg.max_zero_frac > 0.0 {
+        if amalg.enabled() {
             for s in 0..num_sn as u32 {
                 if find(&mut group_of, s) != s {
                     continue; // not a group top
@@ -211,8 +236,9 @@ impl Supernodes {
                 let nnz_m = trapezoid_nnz(w_g + w_p, h_m);
                 let zeros = nnz_m - trapezoid_nnz(w_g, h_g) - trapezoid_nnz(w_p, h_p);
                 let cum_zeros = zeros + grp_zeros[s as usize] + grp_zeros[p as usize];
-                let ok = cum_zeros <= amalg.max_added_zeros
-                    || (cum_zeros as f64) <= amalg.max_zero_frac * nnz_m as f64;
+                let ok = (cum_zeros as f64) <= amalg.max_fill_frac * nnz_m as f64
+                    || cum_zeros <= amalg.max_zero_cols.saturating_mul(h_m)
+                    || (w_g + w_p) as usize <= amalg.min_width;
                 if !ok {
                     continue;
                 }
@@ -287,7 +313,7 @@ mod tests {
     use crate::{col_counts, etree};
     use sparsemat::{Graph, Permutation, SparsityPattern};
 
-    fn build(n: usize, lower: &[(u32, u32)], amalg: &AmalgParams) -> Supernodes {
+    fn build(n: usize, lower: &[(u32, u32)], amalg: &AmalgamationOpts) -> Supernodes {
         let a = SparsityPattern::from_coords(n, lower.iter().copied()).unwrap();
         let parent = etree(&a);
         let counts = col_counts(&a, &parent);
@@ -302,7 +328,7 @@ mod tests {
                 lower.push((i, j));
             }
         }
-        let sn = build(6, &lower, &AmalgParams::off());
+        let sn = build(6, &lower, &AmalgamationOpts::off());
         assert_eq!(sn.count(), 1);
         assert_eq!(sn.width(0), 6);
         assert_eq!(sn.rows[0].len(), 6);
@@ -314,7 +340,7 @@ mod tests {
     fn tridiagonal_supernodes_are_pairsish() {
         // Tridiagonal: counts are [2,2,...,2,1]; col j-1 has parent j and
         // count[j] == count[j-1] - 1 only at the last column.
-        let sn = build(5, &[(1, 0), (2, 1), (3, 2), (4, 3)], &AmalgParams::off());
+        let sn = build(5, &[(1, 0), (2, 1), (3, 2), (4, 3)], &AmalgamationOpts::off());
         // Supernodes: {0},{1},{2},{3,4}.
         assert_eq!(sn.count(), 4);
         assert_eq!(sn.width(3), 2);
@@ -326,7 +352,7 @@ mod tests {
         let a = p.matrix.pattern();
         let parent = etree(a);
         let counts = col_counts(a, &parent);
-        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::off());
         let g = Graph::from_pattern(a);
         let reference = ordering::reference::eliminate(&g, &Permutation::identity(a.n()));
         for (j, rj) in reference.iter().enumerate().take(a.n()) {
@@ -347,12 +373,12 @@ mod tests {
         let a = p.matrix.pattern();
         let parent = etree(a);
         let counts = col_counts(a, &parent);
-        let exact = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let exact = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::off());
         let relaxed = Supernodes::compute(
             a,
             &parent,
             &counts,
-            &AmalgParams { max_added_zeros: 16, max_zero_frac: 0.0 },
+            &AmalgamationOpts { max_fill_frac: 0.25, max_zero_cols: 0, min_width: 0 },
         );
         assert!(relaxed.count() < exact.count());
         assert!(relaxed.total_nnz() >= exact.total_nnz());
@@ -367,12 +393,52 @@ mod tests {
     }
 
     #[test]
+    fn zero_fill_frac_is_the_identity() {
+        // `max_fill_frac == 0` is the master off-switch: even with generous
+        // absolute and width allowances, no merging may happen.
+        for prob in [sparsemat::gen::grid2d(10), sparsemat::gen::cube3d(4)] {
+            let a = prob.matrix.pattern();
+            let parent = etree(a);
+            let counts = col_counts(a, &parent);
+            let exact = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::off());
+            let opts = AmalgamationOpts { max_fill_frac: 0.0, max_zero_cols: 64, min_width: 32 };
+            assert!(!opts.enabled());
+            let got = Supernodes::compute(a, &parent, &counts, &opts);
+            assert_eq!(got.first_col, exact.first_col);
+            assert_eq!(got.sn_of_col, exact.sn_of_col);
+            assert_eq!(got.rows, exact.rows);
+            assert_eq!(got.parent, exact.parent);
+        }
+    }
+
+    #[test]
+    fn width_rule_merges_tiny_supernodes() {
+        // A long tridiagonal chain amalgamates into wide supernodes under the
+        // width rule alone, and the explicit-zero count grows accordingly.
+        let lower: Vec<(u32, u32)> = (1..12u32).map(|i| (i, i - 1)).collect();
+        let exact = build(12, &lower, &AmalgamationOpts::off());
+        let wide = build(
+            12,
+            &lower,
+            &AmalgamationOpts { max_fill_frac: 1e-9, max_zero_cols: 0, min_width: 4 },
+        );
+        assert!(wide.count() < exact.count());
+        assert!(wide.total_nnz() > exact.total_nnz());
+        for s in 0..wide.count() {
+            // Merges only fire while the merged width stays ≤ min_width, so
+            // amalgamated widths never exceed max(min_width, widest
+            // fundamental supernode).
+            assert!(wide.width(s) <= 4, "supernode {s} too wide: {}", wide.width(s));
+        }
+    }
+
+    #[test]
     fn partition_is_exact_cover() {
         let p = sparsemat::gen::cube3d(4);
         let a = p.matrix.pattern();
         let parent = etree(a);
         let counts = col_counts(a, &parent);
-        for amalg in [AmalgParams::off(), AmalgParams::default()] {
+        for amalg in [AmalgamationOpts::off(), AmalgamationOpts::default()] {
             let sn = Supernodes::compute(a, &parent, &counts, &amalg);
             assert_eq!(sn.first_col[0], 0);
             assert_eq!(*sn.first_col.last().unwrap(), a.n() as u32);
@@ -397,7 +463,7 @@ mod tests {
         let a = p.matrix.pattern();
         let parent = etree(a);
         let counts = col_counts(a, &parent);
-        let sn = Supernodes::compute(a, &parent, &counts, &AmalgParams::off());
+        let sn = Supernodes::compute(a, &parent, &counts, &AmalgamationOpts::off());
         for s in 0..sn.count() {
             if sn.parent[s] != NONE {
                 assert_eq!(sn.depth[s], sn.depth[sn.parent[s] as usize] + 1);

@@ -4,7 +4,7 @@
 use ordering::reference;
 use proptest::prelude::*;
 use sparsemat::{Graph, Permutation, SparsityPattern};
-use symbolic::{col_counts, etree, postorder, AmalgParams, Supernodes, NONE};
+use symbolic::{col_counts, etree, postorder, AmalgamationOpts, Supernodes, NONE};
 
 fn arb_pattern(max_n: usize) -> impl Strategy<Value = SparsityPattern> {
     (2usize..max_n).prop_flat_map(|n| {
@@ -73,7 +73,7 @@ proptest! {
         let ap = po.apply_to_pattern(&a);
         let parent = etree(&ap);
         let counts = col_counts(&ap, &parent);
-        let sn = Supernodes::compute(&ap, &parent, &counts, &AmalgParams::off());
+        let sn = Supernodes::compute(&ap, &parent, &counts, &AmalgamationOpts::off());
         let g = Graph::from_pattern(&ap);
         let cols = reference::eliminate(&g, &Permutation::identity(ap.n()));
         for (j, cj) in cols.iter().enumerate().take(ap.n()) {
@@ -95,12 +95,12 @@ proptest! {
         let ap = po.apply_to_pattern(&a);
         let parent = etree(&ap);
         let counts = col_counts(&ap, &parent);
-        let exact = Supernodes::compute(&ap, &parent, &counts, &AmalgParams::off());
+        let exact = Supernodes::compute(&ap, &parent, &counts, &AmalgamationOpts::off());
         let relaxed = Supernodes::compute(
             &ap,
             &parent,
             &counts,
-            &AmalgParams { max_added_zeros: 24, max_zero_frac: 0.3 },
+            &AmalgamationOpts { max_fill_frac: 0.3, max_zero_cols: 1, min_width: 4 },
         );
         prop_assert!(relaxed.count() <= exact.count());
         prop_assert!(relaxed.total_nnz() >= exact.total_nnz());
@@ -125,7 +125,7 @@ proptest! {
         let ap = po.apply_to_pattern(&a);
         let parent = etree(&ap);
         let counts = col_counts(&ap, &parent);
-        for amalg in [AmalgParams::off(), AmalgParams::default()] {
+        for amalg in [AmalgamationOpts::off(), AmalgamationOpts::default()] {
             let sn = Supernodes::compute(&ap, &parent, &counts, &amalg);
             prop_assert_eq!(sn.first_col[0], 0);
             prop_assert_eq!(*sn.first_col.last().unwrap() as usize, ap.n());

@@ -35,7 +35,7 @@ mod report;
 mod ring;
 
 pub use json::{json_str, validate_json};
-pub use report::{PredictedBalance, RunReport};
+pub use report::{phase_spans, PhaseSpan, PredictedBalance, RunReport};
 pub use ring::{TraceBuf, WorkerRing};
 
 /// `block` value of events that act on no particular block (idle periods).

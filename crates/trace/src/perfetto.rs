@@ -6,7 +6,7 @@
 //! one `"X"` (complete duration) event per [`TraceEvent`], with `ts`/`dur`
 //! in microseconds and one `tid` per worker.
 
-use crate::{json_str, Trace, NO_BLOCK};
+use crate::{json_str, PhaseSpan, Trace, NO_BLOCK};
 
 /// Formats a microsecond value with stable precision (Perfetto accepts
 /// fractional ts; three decimals keeps nanosecond resolution).
@@ -27,18 +27,56 @@ impl Trace {
     /// re-based to the trace's own start, so every event lies in
     /// `[0, span_s]` regardless of the epoch the executor used.
     pub fn to_perfetto_json(&self, process_name: &str) -> String {
+        self.render_perfetto(process_name, &[])
+    }
+
+    /// [`Self::to_perfetto_json`], plus a `pipeline` track (tid 0) carrying
+    /// one slice per [`PhaseSpan`].
+    ///
+    /// Phase timestamps are on the pipeline clock (0 = pipeline start);
+    /// worker events are shifted onto that clock by the start of the phase
+    /// named `factor` (0 when absent), so the analyze/assembly front half
+    /// renders *next to* the factor tasks it precedes rather than stacked
+    /// at the origin.
+    pub fn to_perfetto_json_with_phases(
+        &self,
+        process_name: &str,
+        phases: &[PhaseSpan],
+    ) -> String {
+        self.render_perfetto(process_name, phases)
+    }
+
+    fn render_perfetto(&self, process_name: &str, phases: &[PhaseSpan]) -> String {
         let t0 = self.start_s();
-        let mut out = String::with_capacity(64 + self.num_events() * 96);
+        let shift = phases
+            .iter()
+            .find(|p| p.name == "factor")
+            .map(|p| p.start_s)
+            .unwrap_or(0.0);
+        let mut out = String::with_capacity(64 + (self.num_events() + phases.len()) * 96);
         out.push_str("{\"traceEvents\":[");
         out.push_str(&format!(
             "{{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":{}}}}}",
             json_str(process_name)
         ));
+        if !phases.is_empty() {
+            out.push_str(
+                ",{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"pipeline\"}}",
+            );
+        }
         for w in 0..self.workers() {
             out.push_str(&format!(
                 ",{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
                 w + 1,
                 json_str(&format!("worker {w}"))
+            ));
+        }
+        for p in phases {
+            out.push_str(&format!(
+                ",{{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":{},\"cat\":\"phase\",\"ts\":{},\"dur\":{}}}",
+                json_str(p.name),
+                us(p.start_s),
+                us(p.dur_s())
             ));
         }
         for (w, evs) in self.per_worker.iter().enumerate() {
@@ -48,7 +86,7 @@ impl Trace {
                     w + 1,
                     json_str(e.kind.name()),
                     json_str(e.kind.name()),
-                    us(e.t_start - t0),
+                    us(e.t_start - t0 + shift),
                     us(e.duration_s())
                 ));
                 if e.block != NO_BLOCK {
@@ -87,6 +125,26 @@ mod tests {
         // Re-based to the trace start: earliest ts is 0, all within the span.
         assert!(j.contains("\"ts\":0,"));
         assert!(!j.contains("\"ts\":-"));
+    }
+
+    #[test]
+    fn phase_export_adds_pipeline_track_and_shifts_workers() {
+        use crate::phase_spans;
+        let t = Trace::from_events(vec![vec![ev(TaskKind::Bfac, 0, 5.0, 5.5)]]);
+        let phases = phase_spans(&[("order", 1.0), ("assemble", 0.5), ("factor", 0.5)]);
+        let j = t.to_perfetto_json_with_phases("pipe", &phases);
+        assert!(crate::validate_json(&j).is_ok(), "{j}");
+        // One pipeline track plus one worker track.
+        assert_eq!(j.matches("thread_name").count(), 2);
+        assert!(j.contains("\"pipeline\""));
+        // Three phase slices + one worker event.
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), 4);
+        assert!(j.contains("\"cat\":\"phase\""));
+        // The factor phase starts at 1.5s; the worker event (re-based to the
+        // trace start, 0) lands at that offset: 1.5s = 1500000us.
+        assert!(j.contains("\"ts\":1500000,"), "{j}");
+        // Without phases the plain export is unchanged (no pipeline track).
+        assert_eq!(t.to_perfetto_json("pipe").matches("thread_name").count(), 1);
     }
 
     #[test]

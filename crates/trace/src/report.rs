@@ -30,6 +30,40 @@ impl From<&BalanceReport> for PredictedBalance {
     }
 }
 
+/// One named span of the end-to-end pipeline (`order`, `etree`, `colcount`,
+/// `supernodes`, `partition`, `assemble`, `factor`, `solve`), on a clock
+/// starting at 0 when the pipeline starts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSpan {
+    /// Phase name.
+    pub name: &'static str,
+    /// Start on the pipeline clock, seconds.
+    pub start_s: f64,
+    /// End on the pipeline clock, seconds.
+    pub end_s: f64,
+}
+
+impl PhaseSpan {
+    /// Span duration in seconds.
+    #[inline]
+    pub fn dur_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Lays out durations as consecutive [`PhaseSpan`]s starting at 0.
+pub fn phase_spans(durations: &[(&'static str, f64)]) -> Vec<PhaseSpan> {
+    let mut t = 0.0;
+    durations
+        .iter()
+        .map(|&(name, d)| {
+            let s = PhaseSpan { name, start_s: t, end_s: t + d };
+            t += d;
+            s
+        })
+        .collect()
+}
+
 /// The join of a measured [`Trace`] with a predicted balance bound.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -51,6 +85,9 @@ pub struct RunReport {
     pub busy_per_worker: Vec<f64>,
     /// Events lost to ring overwrite (nonzero means the breakdown is partial).
     pub dropped: u64,
+    /// End-to-end pipeline phases surrounding the traced execution
+    /// (`order` … `solve`); empty when only the factor loop was measured.
+    pub pipeline: Vec<PhaseSpan>,
 }
 
 impl RunReport {
@@ -67,7 +104,14 @@ impl RunReport {
             phase_s: trace.phase_totals(),
             busy_per_worker: trace.busy_per_worker(),
             dropped: trace.dropped,
+            pipeline: Vec::new(),
         }
+    }
+
+    /// Attaches end-to-end pipeline phases (builder style).
+    pub fn with_pipeline(mut self, pipeline: Vec<PhaseSpan>) -> Self {
+        self.pipeline = pipeline;
+        self
     }
 
     /// `achieved / predicted_overall`: how much of the bound the execution
@@ -129,6 +173,15 @@ impl std::fmt::Display for RunReport {
             "worker compute      min/max spread {:.3}",
             self.worker_spread()
         )?;
+        if !self.pipeline.is_empty() {
+            write!(f, "pipeline           ")?;
+            for p in &self.pipeline {
+                if p.dur_s() > 0.0 {
+                    write!(f, " {} {:.4}s", p.name, p.dur_s())?;
+                }
+            }
+            writeln!(f)?;
+        }
         if self.dropped > 0 {
             writeln!(f, "warning             {} events dropped (ring overflow)", self.dropped)?;
         }
@@ -163,6 +216,23 @@ mod tests {
         assert!(s.contains("(no assignment)"));
         assert!(s.contains("util 0.750"));
         assert!(s.contains("idle 0.5000s"));
+    }
+
+    #[test]
+    fn pipeline_spans_lay_out_and_render() {
+        let spans = super::phase_spans(&[("order", 0.25), ("etree", 0.0), ("factor", 1.0)]);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].start_s, 0.0);
+        assert!((spans[2].start_s - 0.25).abs() < 1e-12);
+        assert!((spans[2].end_s - 1.25).abs() < 1e-12);
+        let rep = RunReport::new("pipe", &two_worker_trace(), None).with_pipeline(spans);
+        let s = rep.to_string();
+        assert!(s.contains("pipeline"));
+        assert!(s.contains("order 0.2500s"));
+        // Zero-length phases are elided from the rendering.
+        assert!(!s.contains("etree"));
+        // A plain report has no pipeline line.
+        assert!(!RunReport::new("t", &two_worker_trace(), None).to_string().contains("pipeline"));
     }
 
     #[test]

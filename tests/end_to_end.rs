@@ -108,13 +108,117 @@ fn domains_off_still_works_end_to_end() {
 fn amalgamation_off_still_works_end_to_end() {
     let problem = gen::bcsstk_like("bk", 90, 7);
     let o = SolverOptions {
-        amalg: block_fanout_cholesky::core::AmalgParams::off(),
+        analyze: block_fanout_cholesky::core::AnalyzeOpts {
+            amalg: block_fanout_cholesky::core::AmalgamationOpts::off(),
+            ..Default::default()
+        },
         block_size: 4,
         ..Default::default()
     };
     let solver = Solver::analyze_problem(&problem, &o);
     let f = solver.factor_seq().unwrap();
     assert!(solver.residual(&f) < 1e-12);
+}
+
+#[test]
+fn amalgamation_preserves_the_solution() {
+    use block_fanout_cholesky::core::{AmalgamationOpts, AnalyzeOpts};
+    for problem in [gen::grid2d(13), gen::cube3d(4), gen::bcsstk_like("bk", 150, 3)] {
+        let n = problem.n();
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 5 + 2) % 7) as f64 * 0.2).collect();
+        let mut b = vec![0.0; n];
+        problem.matrix.mul_vec(&x_true, &mut b);
+        let residual_of = |amalg: AmalgamationOpts| {
+            let o = SolverOptions {
+                analyze: AnalyzeOpts { amalg, ..Default::default() },
+                block_size: 6,
+                ..Default::default()
+            };
+            let solver = Solver::analyze_problem(&problem, &o);
+            let f = solver.factor_seq().unwrap();
+            let x = solver.solve(&f, &b);
+            let mut ax = vec![0.0; n];
+            problem.matrix.mul_vec(&x, &mut ax);
+            let num = ax.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+            let den = b.iter().map(|v| v.abs()).fold(0.0, f64::max);
+            (num / den, x, solver.bm.num_blocks())
+        };
+        let (r_off, x_off, blocks_off) = residual_of(AmalgamationOpts::off());
+        let (r_on, x_on, blocks_on) = residual_of(AmalgamationOpts::default());
+        assert!(blocks_on < blocks_off, "{}: amalgamation merged nothing", problem.name);
+        assert!(r_off < 1e-10 && r_on < 1e-10, "{}: {r_off:e} / {r_on:e}", problem.name);
+        assert!(
+            (r_on - r_off).abs() < 1e-10,
+            "{}: residual moved {r_off:e} -> {r_on:e}",
+            problem.name
+        );
+        for (i, (a, b)) in x_on.iter().zip(&x_off).enumerate() {
+            assert!((a - b).abs() < 1e-7, "{}: x[{i}] {a} vs {b}", problem.name);
+        }
+    }
+}
+
+#[test]
+fn predicted_balance_matches_hand_computed_bound_on_amalgamated_blocks() {
+    use block_fanout_cholesky::core::{AmalgamationOpts, AnalyzeOpts, SchedOptions};
+    let problem = gen::grid2d(8);
+    let o = SolverOptions {
+        block_size: 4,
+        analyze: AnalyzeOpts {
+            amalg: AmalgamationOpts { max_fill_frac: 0.5, max_zero_cols: 2, min_width: 6 },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let solver = Solver::analyze_problem(&problem, &o);
+    // The relaxed thresholds must actually pad: more stored entries than
+    // the unamalgamated structure, so the work model below runs on padded
+    // blocks.
+    let off = Solver::analyze_problem(
+        &problem,
+        &SolverOptions {
+            analyze: AnalyzeOpts {
+                amalg: AmalgamationOpts::off(),
+                ..Default::default()
+            },
+            ..o
+        },
+    );
+    assert!(solver.bm.stored_elements() > off.bm.stored_elements(), "no padding introduced");
+
+    let p = 4;
+    let asg = solver.assign_heuristic(p);
+    let rep = solver.balance(&asg);
+    // Hand-computed bound from the per-block padded work and the ownership
+    // table: overall = total / (P · max per-processor load).
+    let mut load = vec![0u64; p];
+    let mut total = 0u64;
+    for (j, col) in asg.owner.iter().enumerate() {
+        for (b, &q) in col.iter().enumerate() {
+            load[q as usize] += solver.work.per_block[j][b];
+            total += solver.work.per_block[j][b];
+        }
+    }
+    let max_load = *load.iter().max().unwrap();
+    assert_eq!(rep.per_proc, load);
+    assert_eq!(rep.total, total);
+    let overall = total as f64 / (p as f64 * max_load as f64);
+    assert!((rep.overall - overall).abs() < 1e-12, "{} vs {overall}", rep.overall);
+
+    // The critical-path levels are computed over the same padded blocks:
+    // no level may exceed the critical path length, and the DAG admits at
+    // least the trivial speedup bound.
+    let model = MachineModel::paragon();
+    let cp = solver.critical_path(&model);
+    let levels = block_fanout_cholesky::fanout::block_levels(&solver.bm, &model);
+    let max_level = levels.iter().flatten().copied().fold(0.0f64, f64::max);
+    assert!(max_level <= cp.length_s * (1.0 + 1e-12), "{max_level} vs {}", cp.length_s);
+    assert!(cp.length_s <= cp.seq_time_s * (1.0 + 1e-12));
+
+    // And the traced run report carries exactly this predicted bound.
+    let (_, _, report) = solver.factor_sched_report(&asg, &SchedOptions::default()).unwrap();
+    let pred = report.predicted.as_ref().expect("balance attached");
+    assert!((pred.overall - rep.overall).abs() < 1e-12);
 }
 
 #[test]
