@@ -204,15 +204,15 @@ fn main() {
     }
     println!("{table}");
 
-    let requested = fanout::env_workers().unwrap_or(0);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let env = bench::WorkerEnv::probe_and_warn("kernbench");
+    let env_fields = env.json_fields();
     let mut out = String::from("{\"kernels\":[\n");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
         out.push_str(&format!(
-            "  {{\"kernel\":{},\"shape\":{},\"requested_workers\":{requested},\"available_cores\":{cores},\"flops\":{},\"ref_s\":{:.6e},\"new_s\":{:.6e},\"ref_mflops\":{:.1},\"new_mflops\":{:.1},\"speedup\":{:.3}}}",
+            "  {{\"kernel\":{},\"shape\":{},{env_fields},\"flops\":{},\"ref_s\":{:.6e},\"new_s\":{:.6e},\"ref_mflops\":{:.1},\"new_mflops\":{:.1},\"speedup\":{:.3}}}",
             json_str(r.kernel),
             json_str(&r.shape),
             r.flops,

@@ -263,8 +263,8 @@ fn main() {
     }
     println!("{table}");
 
-    let requested = fanout::env_workers().unwrap_or(0);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let env = bench::WorkerEnv::probe_and_warn("pipebench");
+    let env_fields = env.json_fields();
     let mut out = String::from("{\"pipeline\":[\n");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -274,7 +274,7 @@ fn main() {
         out.push_str(&format!(
             concat!(
                 "  {{\"problem\":{},\"n\":{},\"block_size\":{},\"amalg\":{},",
-                "\"requested_workers\":{},\"available_cores\":{},\"workers\":{},",
+                "{},\"workers\":{},",
                 "\"supernodes\":{},\"panels\":{},\"blocks\":{},",
                 "\"block_ops\":{},\"total_work\":{},\"stored_elements\":{},",
                 "\"order_s\":{:.6e},\"etree_s\":{:.6e},\"colcount_s\":{:.6e},",
@@ -287,8 +287,7 @@ fn main() {
             r.n,
             r.block_size,
             r.amalg,
-            requested,
-            cores,
+            env_fields,
             r.workers,
             r.supernodes,
             r.panels,

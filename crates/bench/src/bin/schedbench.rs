@@ -134,8 +134,8 @@ fn main() {
     }
     println!("{table}");
 
-    let requested = fanout::env_workers().unwrap_or(0);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let env = bench::WorkerEnv::probe_and_warn("schedbench");
+    let env_fields = env.json_fields();
     let mut out = String::from("{\"sched\":[\n");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -144,8 +144,7 @@ fn main() {
         let busy: f64 = r.sched.busy_s.iter().sum();
         out.push_str(&format!(
             concat!(
-                "  {{\"problem\":{},\"n\":{},\"p\":{},\"workers\":{},",
-                "\"requested_workers\":{},\"available_cores\":{},",
+                "  {{\"problem\":{},\"n\":{},\"p\":{},\"workers\":{},{},",
                 "\"fifo_s\":{:.6e},\"sched_s\":{:.6e},\"speedup\":{:.3},",
                 "\"fifo_blocks_copied\":{},\"fifo_messages\":{},",
                 "\"sched_blocks_copied\":{},\"steals\":{},\"steal_attempts\":{},",
@@ -157,8 +156,7 @@ fn main() {
             r.n,
             r.p,
             r.sched.workers,
-            requested,
-            cores,
+            env_fields,
             r.fifo_s,
             r.sched_s,
             r.speedup(),

@@ -153,8 +153,8 @@ fn main() {
     std::fs::write(&trace_path, &trace_json).expect("write perfetto trace");
     eprintln!("[wrote {trace_path} ({trace_events} events) — open at https://ui.perfetto.dev]");
 
-    let requested = fanout::env_workers().unwrap_or(0);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let env = bench::WorkerEnv::probe_and_warn("tracebench");
+    let env_fields = env.json_fields();
     let mut out = String::from("{\"trace\":[\n");
     for (i, r) in runs.iter().enumerate() {
         if i > 0 {
@@ -163,8 +163,7 @@ fn main() {
         let pred = r.report.predicted.as_ref();
         out.push_str(&format!(
             concat!(
-                "  {{\"problem\":{},\"p\":{},\"kind\":{},\"workers\":{},",
-                "\"requested_workers\":{},\"available_cores\":{},",
+                "  {{\"problem\":{},\"p\":{},\"kind\":{},\"workers\":{},{}," ,
                 "\"predicted_overall\":{:.4},\"predicted_row\":{:.4},",
                 "\"predicted_col\":{:.4},\"predicted_diag\":{:.4},",
                 "\"utilization\":{:.4},\"bound_realized\":{:.4},",
@@ -177,8 +176,7 @@ fn main() {
             r.p,
             json_str(r.kind),
             r.report.workers,
-            requested,
-            cores,
+            env_fields,
             pred.map(|b| b.overall).unwrap_or(1.0),
             pred.map(|b| b.row).unwrap_or(1.0),
             pred.map(|b| b.col).unwrap_or(1.0),

@@ -14,6 +14,62 @@ use cholesky_core::{Solver, SolverOptions};
 use sparsemat::gen::SuiteScale;
 use std::collections::HashMap;
 
+/// Thread environment of a benchmark run: workers requested via
+/// `SCHED_WORKERS` against the cores the host actually has. Every `BENCH_*`
+/// JSON writer embeds this (via [`WorkerEnv::json_fields`]) so downstream
+/// analysis can discard oversubscribed runs, whose wall-clock numbers
+/// measure scheduler contention rather than the code under test.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerEnv {
+    /// Workers requested through the `SCHED_WORKERS` environment variable
+    /// (0 when unset — executors then size themselves to the machine).
+    pub requested: usize,
+    /// Cores available to this process.
+    pub cores: usize,
+}
+
+impl WorkerEnv {
+    /// Reads the environment. Call once per benchmark binary.
+    pub fn probe() -> Self {
+        Self {
+            requested: fanout::env_workers().unwrap_or(0),
+            cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    }
+
+    /// True when more workers were requested than cores exist.
+    pub fn oversubscribed(&self) -> bool {
+        self.requested > self.cores
+    }
+
+    /// [`Self::probe`] plus a stderr warning when the run is
+    /// oversubscribed, naming the benchmark so the warning survives in
+    /// captured logs.
+    pub fn probe_and_warn(bench: &str) -> Self {
+        let env = Self::probe();
+        if env.oversubscribed() {
+            eprintln!(
+                "warning: {bench}: SCHED_WORKERS={} exceeds {} available core(s); \
+                 timings will measure oversubscription, not kernel speed",
+                env.requested, env.cores
+            );
+        }
+        env
+    }
+
+    /// The shared JSON fields of every `BENCH_*` row:
+    /// `"requested_workers":…,"available_cores":…,"oversubscribed":…`
+    /// (no trailing comma).
+    pub fn json_fields(&self) -> String {
+        format!(
+            "\"requested_workers\":{},\"available_cores\":{},\"oversubscribed\":{}",
+            self.requested,
+            self.cores,
+            self.oversubscribed()
+        )
+    }
+}
+
 /// Paper reference values used for side-by-side reporting:
 /// `(name, equations, nz_l, ops_millions)` from Tables 1 and 6.
 pub const PAPER_MATRIX_STATS: &[(&str, usize, u64, f64)] = &[

@@ -1,0 +1,188 @@
+//! A structure-keyed cache of symbolic plans.
+//!
+//! Analysis depends only on the sparsity structure and the analysis
+//! options, so a solver-as-a-service front end that factors many matrices
+//! with recurring structures (time steps, Newton iterations, parameter
+//! sweeps) should analyze each structure once. [`PlanCache`] keys shared
+//! [`SymbolicPlan`]s by a hash of the input [`SparsityPattern`] and the
+//! structural [`SolverOptions`]; a hit binds the cached plan to the new
+//! values ([`Solver::from_plan`]) without ordering, symbolic analysis, or
+//! block-structure construction.
+//!
+//! The thread-count option ([`crate::AnalyzeOpts::workers`]) is *excluded*
+//! from the key: it changes how fast analysis runs, never what it produces,
+//! so plans are shared across callers with different parallelism settings
+//! (the first caller's options are the ones stored in the plan).
+
+use crate::{OrderingChoice, Solver, SolverOptions, SymbolicPlan};
+use sparsemat::{Problem, SparsityPattern, SymCscMatrix};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// A thread-safe cache mapping input structure + analysis options to shared
+/// [`SymbolicPlan`]s. Cheap to share behind an `Arc`; all methods take
+/// `&self`.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<u64, Arc<SymbolicPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cache key: structure hash of the pattern, mixed with every
+    /// option that affects analysis output, plus a caller-supplied salt
+    /// (used to separate geometry-dependent orderings by problem name).
+    fn key(pattern: &SparsityPattern, opts: &SolverOptions, salt: u64) -> u64 {
+        let mut h = mix(FNV_OFFSET, pattern.structure_hash());
+        h = mix(h, salt);
+        h = mix(h, opts.block_size as u64);
+        h = mix(h, opts.analyze.amalg.max_fill_frac.to_bits());
+        h = mix(h, opts.analyze.amalg.max_zero_cols);
+        h = mix(h, opts.analyze.amalg.min_width as u64);
+        h = mix(
+            h,
+            match opts.ordering {
+                OrderingChoice::Auto => 0,
+                OrderingChoice::Natural => 1,
+                OrderingChoice::MinimumDegree => 2,
+            },
+        );
+        h = mix(h, opts.work_model.fixed_op_cost);
+        match &opts.domains {
+            None => h = mix(h, 0),
+            Some(d) => {
+                h = mix(h, 1);
+                h = mix(h, d.per_proc as u64);
+            }
+        }
+        h
+    }
+
+    fn lookup(&self, key: u64) -> Option<Arc<SymbolicPlan>> {
+        let found = self.map.lock().expect("plan cache lock").get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn store(&self, key: u64, plan: Arc<SymbolicPlan>) {
+        self.map.lock().expect("plan cache lock").insert(key, plan);
+    }
+
+    /// A solver for a raw matrix: reuses the cached plan when this
+    /// structure + options combination has been analyzed before, analyzes
+    /// and caches otherwise. The orderings used here (minimum degree /
+    /// natural) are deterministic functions of the pattern, so a cached
+    /// plan is exactly what a fresh analysis would produce.
+    pub fn solver_for(&self, a: &SymCscMatrix, opts: &SolverOptions) -> Solver {
+        let key = Self::key(a.pattern(), opts, 0);
+        if let Some(plan) = self.lookup(key) {
+            return Solver::from_plan(plan, a);
+        }
+        let s = Solver::analyze(a, opts);
+        self.store(key, s.plan.clone());
+        s
+    }
+
+    /// A solver for a benchmark [`Problem`]. `Auto` ordering may consult
+    /// problem geometry, so the key additionally includes the problem name.
+    pub fn solver_for_problem(&self, p: &Problem, opts: &SolverOptions) -> Solver {
+        let mut salt = FNV_OFFSET;
+        for b in p.name.as_bytes() {
+            salt = mix(salt, u64::from(*b));
+        }
+        let key = Self::key(p.matrix.pattern(), opts, salt);
+        if let Some(plan) = self.lookup(key) {
+            return Solver::from_plan(plan, &p.matrix);
+        }
+        let s = Solver::analyze_problem(p, opts);
+        self.store(key, s.plan.clone());
+        s
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("plan cache lock").len()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found a cached plan.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to analyze.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops all cached plans (sessions holding `Arc`s keep theirs alive).
+    pub fn clear(&self) {
+        self.map.lock().expect("plan cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolverOptions;
+
+    #[test]
+    fn cache_hits_share_the_plan_and_solve_identically() {
+        let p = sparsemat::gen::grid2d(8);
+        let cache = PlanCache::new();
+        let opts = SolverOptions { block_size: 4, ..Default::default() };
+        let s1 = cache.solver_for_problem(&p, &opts);
+        let s2 = cache.solver_for_problem(&p, &opts);
+        assert!(Arc::ptr_eq(&s1.plan, &s2.plan));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+
+        let f1 = s1.factor_seq().unwrap();
+        let f2 = s2.factor_seq().unwrap();
+        let (_, _, a) = f1.to_csc();
+        let (_, _, b) = f2.to_csc();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn different_options_or_structure_miss() {
+        let p8 = sparsemat::gen::grid2d(8);
+        let p9 = sparsemat::gen::grid2d(9);
+        let cache = PlanCache::new();
+        let o4 = SolverOptions { block_size: 4, ..Default::default() };
+        let o8 = SolverOptions { block_size: 8, ..Default::default() };
+        let _ = cache.solver_for(&p8.matrix, &o4);
+        let _ = cache.solver_for(&p8.matrix, &o8);
+        let _ = cache.solver_for(&p9.matrix, &o4);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 3, 3));
+        // Worker count is excluded from the key: same plan, different
+        // parallelism settings.
+        let mut ow = o4;
+        ow.analyze.workers = Some(2);
+        let _ = cache.solver_for(&p8.matrix, &ow);
+        assert_eq!(cache.hits(), 1);
+    }
+}

@@ -9,7 +9,8 @@
 //!    problems, minimum degree otherwise).
 //! 2. **Analyze** — elimination tree, supernodes (with relaxed
 //!    amalgamation), 2-D block structure at block size `B`, and the
-//!    per-block work model.
+//!    per-block work model. The result is an immutable, shareable
+//!    [`SymbolicPlan`].
 //! 3. **Map** — assign blocks to a `Pr × Pc` processor grid: domains at the
 //!    bottom of the tree, and a Cartesian-product map of the root portion
 //!    (cyclic or any of the paper's remapping heuristics).
@@ -33,11 +34,43 @@
 //! assert!(report.overall > 0.1);
 //! # let _ = x;
 //! ```
+//!
+//! # Reuse: plans, sessions, and the plan cache
+//!
+//! Analysis is the expensive half of the pipeline, and it depends only on
+//! the sparsity *structure*. A [`Solver`] therefore splits into an
+//! `Arc<`[`SymbolicPlan`]`>` (everything structural, immutable, `Sync`) plus
+//! the permuted input values; the solver [`Deref`](std::ops::Deref)s to its
+//! plan, so all structure-only methods remain available on it. For repeated
+//! numeric work, open a [`FactorSession`]: its
+//! [`refactor`](FactorSession::refactor)/[`resolve`](FactorSession::resolve)
+//! hot path performs no symbolic work and, after warmup, no allocation —
+//! and its results are bit-identical to the one-shot pipeline.
+//!
+//! ```
+//! use cholesky_core::{PlanCache, SolverOptions};
+//!
+//! let p = sparsemat::gen::grid2d(10);
+//! let cache = PlanCache::new();
+//! let solver = cache.solver_for_problem(&p, &SolverOptions::default());
+//! let mut session = solver.session();
+//! session.refactor(p.matrix.values()).unwrap();
+//! let x = session.resolve(&vec![1.0; p.n()]);
+//! // Same structure, new values: the second analyze is a cache hit.
+//! let again = cache.solver_for_problem(&p, &SolverOptions::default());
+//! assert_eq!(cache.hits(), 1);
+//! # let _ = (x, again);
+//! ```
 
 use std::sync::Arc;
 
+pub mod cache;
+pub mod plan;
+pub mod session;
+
 pub use balance::{BalanceReport, CommStats};
 pub use blockmat::{BlockMatrix, BlockWork, WorkModel};
+pub use cache::PlanCache;
 pub use fanout::{
     CriticalPath, FaultPlan, NumericFactor, Plan, SchedOptions, SchedStats, SimOutcome,
     SimPolicy, StallReport,
@@ -45,6 +78,8 @@ pub use fanout::{
 pub use mapping::{
     Assignment, ColPolicy, DomainParams, DomainPlan, Heuristic, ProcGrid, RowPolicy,
 };
+pub use plan::{ExecTemplates, NumericTemplates, SymbolicPlan};
+pub use session::{FactorSession, SolveWorkspace};
 pub use simgrid::MachineModel;
 pub use sparsemat::{Permutation, Problem, SymCscMatrix};
 pub use symbolic::{AmalgamationOpts, Analysis, FactorStats};
@@ -163,7 +198,8 @@ impl Default for SolverOptions {
 /// analyze phases are filled in by [`Solver::analyze_problem`] /
 /// [`Solver::analyze`]; `assemble`/`factor`/`solve` stay 0 until a run
 /// measures them (e.g. [`Solver::factor_sched_report`] fills assemble and
-/// factor).
+/// factor), and `refactor`/`resolve` are filled by [`FactorSession`]s,
+/// which reuse the plan instead of re-running the front half.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseTimings {
     /// Fill-reducing ordering.
@@ -182,6 +218,12 @@ pub struct PhaseTimings {
     pub factor_s: f64,
     /// Triangular solves.
     pub solve_s: f64,
+    /// Numeric refactorization on a reused plan
+    /// ([`FactorSession::refactor`]: scatter + factor, no symbolic work).
+    pub refactor_s: f64,
+    /// Repeated triangular solve on a reused plan
+    /// ([`FactorSession::resolve`] / [`FactorSession::resolve_many`]).
+    pub resolve_s: f64,
 }
 
 impl PhaseTimings {
@@ -196,6 +238,8 @@ impl PhaseTimings {
             ("assemble", self.assemble_s),
             ("factor", self.factor_s),
             ("solve", self.solve_s),
+            ("refactor", self.refactor_s),
+            ("resolve", self.resolve_s),
         ])
     }
 
@@ -206,25 +250,37 @@ impl PhaseTimings {
 
     /// Seconds of every phase combined.
     pub fn total_s(&self) -> f64 {
-        self.analyze_s() + self.assemble_s + self.factor_s + self.solve_s
+        self.analyze_s()
+            + self.assemble_s
+            + self.factor_s
+            + self.solve_s
+            + self.refactor_s
+            + self.resolve_s
     }
 }
 
-/// An analyzed sparse SPD system, ready to be mapped and factored.
+/// An analyzed sparse SPD system, ready to be mapped and factored: an
+/// immutable shared [`SymbolicPlan`] plus the permuted input matrix.
+///
+/// The solver [`Deref`](std::ops::Deref)s to its plan, so every
+/// structure-only method ([`SymbolicPlan::assign`],
+/// [`SymbolicPlan::balance`], [`SymbolicPlan::simulate`], …) and field
+/// (`analysis`, `bm`, `work`, `opts`, `timings`) is available directly on
+/// the solver. Methods defined here are the ones that need the numeric
+/// values.
 pub struct Solver {
-    /// Symbolic analysis results (permutation, etree, supernodes, stats).
-    pub analysis: Analysis,
+    /// The shared symbolic plan (ordering, supernodes, block structure,
+    /// work model, cached reuse templates).
+    pub plan: Arc<SymbolicPlan>,
     /// The permuted input matrix.
     pub permuted: SymCscMatrix,
-    /// The 2-D block structure.
-    pub bm: Arc<BlockMatrix>,
-    /// Per-block work model.
-    pub work: BlockWork,
-    /// Options used.
-    pub opts: SolverOptions,
-    /// Wall-clock of the analyze phases (`assemble`/`factor`/`solve` are 0
-    /// here; per-run methods fill copies).
-    pub timings: PhaseTimings,
+}
+
+impl std::ops::Deref for Solver {
+    type Target = SymbolicPlan;
+    fn deref(&self) -> &SymbolicPlan {
+        &self.plan
+    }
 }
 
 impl Solver {
@@ -240,9 +296,7 @@ impl Solver {
             }
         };
         let order_s = t0.elapsed().as_secs_f64();
-        let mut s = Self::analyze_with_permutation(&p.matrix, &perm, opts);
-        s.timings.order_s = order_s;
-        s
+        Self::with_permutation_timed(&p.matrix, &perm, opts, order_s)
     }
 
     /// Analyzes a raw matrix with [`OrderingChoice`] applied directly
@@ -257,9 +311,7 @@ impl Solver {
             }
         };
         let order_s = t0.elapsed().as_secs_f64();
-        let mut s = Self::analyze_with_permutation(a, &perm, opts);
-        s.timings.order_s = order_s;
-        s
+        Self::with_permutation_timed(a, &perm, opts, order_s)
     }
 
     /// Analyzes with a caller-provided fill-reducing permutation (ordering
@@ -268,6 +320,15 @@ impl Solver {
         a: &SymCscMatrix,
         fill_perm: &Permutation,
         opts: &SolverOptions,
+    ) -> Self {
+        Self::with_permutation_timed(a, fill_perm, opts, 0.0)
+    }
+
+    fn with_permutation_timed(
+        a: &SymCscMatrix,
+        fill_perm: &Permutation,
+        opts: &SolverOptions,
+        order_s: f64,
     ) -> Self {
         let workers = opts.analyze.resolved_workers();
         let (analysis, sym_t) =
@@ -283,13 +344,55 @@ impl Solver {
         ));
         let work = BlockWork::compute(&bm, &opts.work_model);
         let timings = PhaseTimings {
+            order_s,
             etree_s: sym_t.etree_s,
             colcount_s: sym_t.colcount_s,
             supernodes_s: sym_t.supernodes_s,
             partition_s: t0.elapsed().as_secs_f64(),
             ..PhaseTimings::default()
         };
-        Self { analysis, permuted, bm, work, opts: *opts, timings }
+        Self {
+            plan: Arc::new(SymbolicPlan::new(analysis, bm, work, *opts, timings)),
+            permuted,
+        }
+    }
+
+    /// Binds an existing plan to a (new) matrix sharing the analyzed
+    /// structure, skipping analysis entirely. This is the
+    /// [`PlanCache`] hit path. The matrix must have exactly the sparsity
+    /// pattern the plan was analyzed from; downstream assembly panics on a
+    /// structural mismatch.
+    pub fn from_plan(plan: Arc<SymbolicPlan>, a: &SymCscMatrix) -> Self {
+        assert_eq!(a.n(), plan.n(), "matrix dimension != plan dimension");
+        let permuted = plan.analysis.perm.apply_to_matrix(a);
+        Self { plan, permuted }
+    }
+
+    /// Reads a Matrix Market stream and analyzes it in one step; parse and
+    /// validation failures surface as [`SolverError::Matrix`] so callers
+    /// can `?` straight through to factorization.
+    pub fn analyze_matrix_market<R: std::io::BufRead>(
+        reader: R,
+        opts: &SolverOptions,
+    ) -> Result<Self, SolverError> {
+        let a = sparsemat::io::read_matrix_market(reader)?;
+        Ok(Self::analyze(&a, opts))
+    }
+
+    /// Opens a repeated factor/solve session on this solver's plan, using
+    /// the sequential reference executor. The session's
+    /// [`refactor`](FactorSession::refactor) is bit-identical to a fresh
+    /// analyze + assemble + [`Self::factor_seq`].
+    pub fn session(&self) -> FactorSession {
+        FactorSession::new(self, None)
+    }
+
+    /// Opens a repeated factor/solve session running the work-stealing
+    /// scheduler on the assignment's cached task DAG; `resolve_many_parallel`
+    /// is available on such sessions.
+    pub fn session_sched(&self, asg: &Assignment, opts: &SchedOptions) -> FactorSession {
+        let t = self.plan.exec_templates(asg);
+        FactorSession::new(self, Some((t, opts.clone())))
     }
 
     /// Scatters the permuted input into fresh block storage, using the
@@ -301,60 +404,6 @@ impl Solver {
             &self.permuted,
             self.opts.analyze.resolved_workers(),
         )
-    }
-
-    /// Matrix dimension.
-    pub fn n(&self) -> usize {
-        self.permuted.n()
-    }
-
-    /// Factor statistics (paper Table 1 columns).
-    pub fn stats(&self) -> FactorStats {
-        self.analysis.stats
-    }
-
-    /// Builds a block-to-processor assignment on a square `√P × √P` grid.
-    pub fn assign(&self, p: usize, row: RowPolicy, col: ColPolicy) -> Assignment {
-        self.assign_on_grid(ProcGrid::square(p), row, col)
-    }
-
-    /// Builds an assignment on an arbitrary grid.
-    pub fn assign_on_grid(&self, grid: ProcGrid, row: RowPolicy, col: ColPolicy) -> Assignment {
-        let domains = self
-            .opts
-            .domains
-            .as_ref()
-            .map(|params| DomainPlan::select(&self.bm, &self.work, grid.p(), params));
-        Assignment::build(&self.bm, &self.work, grid, row, col, domains)
-    }
-
-    /// The paper's baseline: 2-D cyclic on a square grid.
-    pub fn assign_cyclic(&self, p: usize) -> Assignment {
-        self.assign(
-            p,
-            RowPolicy::Heuristic(Heuristic::Cyclic),
-            ColPolicy::Heuristic(Heuristic::Cyclic),
-        )
-    }
-
-    /// The paper's recommended mapping (Table 7): increasing-depth rows,
-    /// cyclic columns.
-    pub fn assign_heuristic(&self, p: usize) -> Assignment {
-        self.assign(
-            p,
-            RowPolicy::Heuristic(Heuristic::IncreasingDepth),
-            ColPolicy::Heuristic(Heuristic::Cyclic),
-        )
-    }
-
-    /// Load balance statistics of an assignment.
-    pub fn balance(&self, asg: &Assignment) -> BalanceReport {
-        BalanceReport::compute(&self.bm, &self.work, asg)
-    }
-
-    /// Communication volume of an assignment.
-    pub fn comm(&self, asg: &Assignment) -> CommStats {
-        balance::comm_volume(&self.bm, asg)
     }
 
     /// Sequential numeric factorization.
@@ -374,11 +423,13 @@ impl Solver {
     }
 
     /// Parallel numeric factorization: one thread per virtual processor of
-    /// the assignment, exchanging completed blocks over channels.
+    /// the assignment, exchanging completed blocks over channels. The task
+    /// plan comes from the plan's per-assignment cache
+    /// ([`SymbolicPlan::exec_templates`]).
     pub fn factor_parallel(&self, asg: &Assignment) -> Result<NumericFactor, fanout::Error> {
-        let plan = Plan::build(&self.bm, asg);
+        let t = self.plan.exec_templates(asg);
         let mut f = self.assemble();
-        fanout::factorize_threaded(&mut f, &plan)?;
+        fanout::factorize_threaded(&mut f, &t.plan)?;
         Ok(f)
     }
 
@@ -391,9 +442,9 @@ impl Solver {
         asg: &Assignment,
         opts: &SchedOptions,
     ) -> Result<(NumericFactor, SchedStats), SolverError> {
-        let plan = Plan::build(&self.bm, asg);
+        let t = self.plan.exec_templates(asg);
         let mut f = self.assemble();
-        let stats = fanout::factorize_sched_opts(&mut f, &plan, opts)?;
+        let stats = fanout::factorize_sched_opts(&mut f, &t.plan, opts)?;
         Ok((f, stats))
     }
 
@@ -411,12 +462,12 @@ impl Solver {
         if !opts.trace.enabled {
             opts.trace = TraceOpts::on();
         }
-        let plan = Plan::build(&self.bm, asg);
+        let t = self.plan.exec_templates(asg);
         let t0 = std::time::Instant::now();
         let mut f = self.assemble();
         let assemble_s = t0.elapsed().as_secs_f64();
         let t1 = std::time::Instant::now();
-        let stats = fanout::factorize_sched_opts(&mut f, &plan, &opts)?;
+        let stats = fanout::factorize_sched_opts(&mut f, &t.plan, &opts)?;
         let factor_s = t1.elapsed().as_secs_f64();
         let trace = stats.trace.as_ref().expect("tracing was forced on");
         let name = format!("sched p={} workers={}", stats.p, stats.workers);
@@ -436,55 +487,43 @@ impl Solver {
         model: &MachineModel,
         policy: SimPolicy,
     ) -> (SimOutcome, RunReport) {
-        let plan = Arc::new(Plan::build(&self.bm, asg));
-        let out = fanout::simulate_traced(&self.bm, &plan, model, policy, &TraceOpts::on());
+        let t = self.plan.exec_templates(asg);
+        let out = fanout::simulate_traced(&self.bm, &t.plan, model, policy, &TraceOpts::on());
         let trace = out.trace.as_ref().expect("tracing was forced on");
-        let name = format!("paragon-sim p={}", plan.p);
+        let name = format!("paragon-sim p={}", t.plan.p);
         let report = RunReport::new(name, trace, Some(&self.balance(asg)));
         (out, report)
-    }
-
-    /// Reads a Matrix Market stream and analyzes it in one step; parse and
-    /// validation failures surface as [`SolverError::Matrix`] so callers
-    /// can `?` straight through to factorization.
-    pub fn analyze_matrix_market<R: std::io::BufRead>(
-        reader: R,
-        opts: &SolverOptions,
-    ) -> Result<Self, SolverError> {
-        let a = sparsemat::io::read_matrix_market(reader)?;
-        Ok(Self::analyze(&a, opts))
-    }
-
-    /// Simulated factorization on the modeled machine (no numerics).
-    pub fn simulate(&self, asg: &Assignment, model: &MachineModel) -> SimOutcome {
-        let plan = Arc::new(Plan::build(&self.bm, asg));
-        fanout::simulate(&self.bm, &plan, model)
-    }
-
-    /// Simulated factorization under an explicit scheduling policy
-    /// (Section 5: data-driven vs critical-path priority).
-    pub fn simulate_with_policy(
-        &self,
-        asg: &Assignment,
-        model: &MachineModel,
-        policy: SimPolicy,
-    ) -> SimOutcome {
-        let plan = Arc::new(Plan::build(&self.bm, asg));
-        fanout::simulate_with_policy(&self.bm, &plan, model, policy)
-    }
-
-    /// Critical path of the block-operation DAG under a machine model: an
-    /// upper bound on achievable parallelism independent of the mapping.
-    pub fn critical_path(&self, model: &MachineModel) -> CriticalPath {
-        fanout::critical_path(&self.bm, model)
     }
 
     /// Solves `A·x = b` given a computed factor, handling the fill
     /// permutation on both sides.
     pub fn solve(&self, factor: &NumericFactor, b: &[f64]) -> Vec<f64> {
-        let pb = self.analysis.perm.apply_to_vec(b);
-        let px = fanout::solve(factor, &pb);
-        self.analysis.perm.apply_inverse_to_vec(&px)
+        let mut ws = SolveWorkspace::new();
+        let mut x = vec![0.0; self.n()];
+        self.solve_into(factor, b, &mut ws, &mut x);
+        x
+    }
+
+    /// [`Self::solve`] through a caller-owned [`SolveWorkspace`] into a
+    /// caller-provided buffer: the factor CSC extraction, the permuted
+    /// right-hand side, and the substitution all run in reused storage, so
+    /// repeated solves allocate nothing after warmup. Bit-identical to
+    /// [`Self::solve`].
+    pub fn solve_into(
+        &self,
+        factor: &NumericFactor,
+        b: &[f64],
+        ws: &mut SolveWorkspace,
+        out: &mut [f64],
+    ) {
+        let n = self.n();
+        assert_eq!(b.len(), n);
+        assert_eq!(out.len(), n);
+        factor.to_csc_into(&mut ws.cp, &mut ws.ri, &mut ws.v);
+        ws.pb.resize(n, 0.0);
+        self.analysis.perm.apply_to_vec_into(b, &mut ws.pb);
+        fanout::solve_csc(&ws.cp, &ws.ri, &ws.v, &mut ws.pb);
+        self.analysis.perm.apply_inverse_to_vec_into(&ws.pb, out);
     }
 
     /// Solves with one or more steps of iterative refinement:
@@ -498,30 +537,54 @@ impl Solver {
         b: &[f64],
         max_steps: usize,
     ) -> (Vec<f64>, f64) {
+        self.solve_refined_with(a, factor, b, max_steps, &mut SolveWorkspace::new())
+    }
+
+    /// [`Self::solve_refined`] through a caller-owned [`SolveWorkspace`]:
+    /// the factor CSC is extracted once per call (not once per refinement
+    /// step) and every intermediate vector lives in the workspace.
+    pub fn solve_refined_with(
+        &self,
+        a: &SymCscMatrix,
+        factor: &NumericFactor,
+        b: &[f64],
+        max_steps: usize,
+        ws: &mut SolveWorkspace,
+    ) -> (Vec<f64>, f64) {
         let n = self.n();
         assert_eq!(a.n(), n);
-        let mut x = self.solve(factor, b);
+        let perm = &self.analysis.perm;
+        factor.to_csc_into(&mut ws.cp, &mut ws.ri, &mut ws.v);
+        ws.pb.resize(n, 0.0);
+        ws.resid.resize(n, 0.0);
+        ws.dx.resize(n, 0.0);
+        let mut x = vec![0.0; n];
+        perm.apply_to_vec_into(b, &mut ws.pb);
+        fanout::solve_csc(&ws.cp, &ws.ri, &ws.v, &mut ws.pb);
+        perm.apply_inverse_to_vec_into(&ws.pb, &mut x);
         let bnorm = b.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-300);
-        let mut resid = vec![0.0; n];
         let mut rnorm = f64::INFINITY;
         for _ in 0..max_steps {
-            a.mul_vec(&x, &mut resid);
-            for (r, &bv) in resid.iter_mut().zip(b) {
+            a.mul_vec(&x, &mut ws.resid);
+            for (r, &bv) in ws.resid.iter_mut().zip(b) {
                 *r = bv - *r;
             }
-            let new_norm = resid.iter().fold(0.0f64, |m, &v| m.max(v.abs())) / bnorm;
+            let new_norm = ws.resid.iter().fold(0.0f64, |m, &v| m.max(v.abs())) / bnorm;
             if new_norm >= rnorm || new_norm < 1e-16 {
                 break;
             }
             rnorm = new_norm;
-            let dx = self.solve(factor, &resid);
-            for (xi, di) in x.iter_mut().zip(&dx) {
+            perm.apply_to_vec_into(&ws.resid, &mut ws.pb);
+            fanout::solve_csc(&ws.cp, &ws.ri, &ws.v, &mut ws.pb);
+            perm.apply_inverse_to_vec_into(&ws.pb, &mut ws.dx);
+            for (xi, di) in x.iter_mut().zip(&ws.dx) {
                 *xi += di;
             }
         }
         // Final residual.
-        a.mul_vec(&x, &mut resid);
-        let fin = resid
+        a.mul_vec(&x, &mut ws.resid);
+        let fin = ws
+            .resid
             .iter()
             .zip(b)
             .fold(0.0f64, |m, (&ax, &bv)| m.max((bv - ax).abs()))
@@ -530,17 +593,38 @@ impl Solver {
     }
 
     /// Distributed triangular solve: both substitution phases run on the
-    /// assignment's virtual processors without gathering the factor.
+    /// assignment's virtual processors without gathering the factor. The
+    /// task and solve plans come from the plan's per-assignment cache.
     pub fn solve_parallel(
         &self,
         factor: &NumericFactor,
         asg: &Assignment,
         b: &[f64],
     ) -> Vec<f64> {
-        let plan = Plan::build(&self.bm, asg);
-        let pb = self.analysis.perm.apply_to_vec(b);
-        let px = fanout::solve_threaded(factor, &plan, &pb);
-        self.analysis.perm.apply_inverse_to_vec(&px)
+        self.solve_parallel_with(factor, asg, b, &mut SolveWorkspace::new())
+    }
+
+    /// [`Self::solve_parallel`] through a caller-owned [`SolveWorkspace`]
+    /// for the permutation buffers (the distributed phase manages its own
+    /// per-worker storage).
+    pub fn solve_parallel_with(
+        &self,
+        factor: &NumericFactor,
+        asg: &Assignment,
+        b: &[f64],
+        ws: &mut SolveWorkspace,
+    ) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(b.len(), n);
+        let t = self.plan.exec_templates(asg);
+        ws.pb.resize(n, 0.0);
+        self.analysis.perm.apply_to_vec_into(b, &mut ws.pb);
+        let px = fanout::solve_threaded_many_with(factor, &t.plan, &t.solve, &[&ws.pb])
+            .pop()
+            .expect("one lane in, one lane out");
+        let mut x = vec![0.0; n];
+        self.analysis.perm.apply_inverse_to_vec_into(&px, &mut x);
+        x
     }
 
     /// Relative residual of a factor against the (permuted) input.
@@ -689,5 +773,44 @@ mod tests {
         let asg = solver.assign_cyclic(1);
         let err = solver.factor_sched(&asg, &SchedOptions::default()).map(|_| ()).unwrap_err();
         assert_eq!(err, SolverError::Factor(fanout::Error::NotPositiveDefinite { col: 1 }));
+    }
+
+    #[test]
+    fn session_refactor_matches_one_shot_factor_bitwise() {
+        let p = sparsemat::gen::grid2d(9);
+        let solver = Solver::analyze_problem(&p, &opts(4));
+        let f_fresh = solver.factor_seq().unwrap();
+        let mut session = solver.session();
+        assert_eq!(session.input_nnz(), p.matrix.values().len());
+        session.refactor(p.matrix.values()).unwrap();
+        let (_, _, want) = f_fresh.to_csc();
+        let (_, _, got) = session.factor().to_csc();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+
+        // And the solve path through the session matches Solver::solve.
+        let b: Vec<f64> = (0..p.n()).map(|i| (i as f64 * 0.3).sin() + 2.0).collect();
+        let x_one_shot = solver.solve(&f_fresh, &b);
+        let x_session = session.resolve(&b);
+        for (g, w) in x_session.iter().zip(&x_one_shot) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn plan_is_shared_between_solver_and_sessions() {
+        let p = sparsemat::gen::grid2d(8);
+        let solver = Solver::analyze_problem(&p, &opts(4));
+        let s1 = solver.session();
+        let s2 = solver.session();
+        assert!(Arc::ptr_eq(s1.plan(), s2.plan()));
+        assert!(Arc::ptr_eq(s1.plan(), &solver.plan));
+        // Exec templates are built once per assignment signature.
+        let asg = solver.assign_cyclic(4);
+        let t1 = solver.plan.exec_templates(&asg);
+        let t2 = solver.plan.exec_templates(&asg);
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(solver.plan.cached_exec_templates(), 1);
     }
 }

@@ -1,0 +1,248 @@
+//! The immutable symbolic plan: everything the pipeline computes *before*
+//! numeric values enter, packaged for sharing and reuse.
+//!
+//! A [`SymbolicPlan`] is the product of ordering + elimination tree + column
+//! counts + supernode amalgamation + block partition + work model. It is
+//! immutable and `Sync`: wrap it in an `Arc` and any number of concurrent
+//! factor/solve sessions ([`crate::FactorSession`]) can share it. The plan
+//! also lazily caches the *positional* templates that repeated numeric work
+//! needs — the input-entry scatter map, the factor CSC gather map, and the
+//! per-assignment execution structures (task DAG + distributed-solve plan) —
+//! so a session's `refactor`/`resolve` hot path does no structure walks at
+//! all. Lazy construction keeps one-shot `Solver` users from paying for any
+//! of it.
+
+use crate::{PhaseTimings, SolverOptions};
+use balance::{BalanceReport, CommStats};
+use blockmat::{BlockMatrix, BlockWork};
+use fanout::{AssemblyTemplate, CriticalPath, CscTemplate, SolvePlan};
+use mapping::{
+    Assignment, ColPolicy, DomainPlan, Heuristic, ProcGrid, RowPolicy,
+};
+use simgrid::MachineModel;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use symbolic::{Analysis, FactorStats};
+
+/// Execution structures derived from one [`Assignment`]: the factorization
+/// task DAG and the distributed-solve structure. Cached per assignment
+/// signature on the plan (see [`SymbolicPlan::exec_templates`]).
+#[derive(Debug)]
+pub struct ExecTemplates {
+    /// The factorization plan (ownership, sends, receive counts, priorities).
+    pub plan: Arc<fanout::Plan>,
+    /// The distributed triangular-solve structure.
+    pub solve: Arc<SolvePlan>,
+}
+
+/// Numeric reuse templates for one input structure: where every input entry
+/// lands in block storage, and where every factor entry lives for the CSC
+/// extraction that feeds triangular solves.
+#[derive(Debug)]
+pub struct NumericTemplates {
+    /// Block-storage shape + permuted-entry scatter (for allocation).
+    pub assembly: AssemblyTemplate,
+    /// Per *original* (unpermuted) input entry, column-major:
+    /// `(panel, flat position in data[panel])`. Scattering original values
+    /// through this map reproduces permute + assemble bit-for-bit.
+    pub targets: Vec<(u32, usize)>,
+    /// Factor CSC structure + gather positions.
+    pub csc: CscTemplate,
+}
+
+/// An analyzed sparse SPD structure, ready to be mapped, factored, and
+/// refactored. Immutable and shareable (`Arc<SymbolicPlan>` across threads);
+/// [`crate::Solver`] derefs to this, so every structure-only method below is
+/// available on a solver too.
+#[derive(Debug)]
+pub struct SymbolicPlan {
+    /// Symbolic analysis results (permutation, etree, supernodes, stats).
+    pub analysis: Analysis,
+    /// The 2-D block structure.
+    pub bm: Arc<BlockMatrix>,
+    /// Per-block work model.
+    pub work: BlockWork,
+    /// Options used.
+    pub opts: SolverOptions,
+    /// Wall-clock of the analyze phases (`assemble`/`factor`/`solve`/
+    /// `refactor`/`resolve` are 0 here; per-run methods fill copies).
+    pub timings: PhaseTimings,
+    /// Lazily built numeric reuse templates (input scatter + CSC gather).
+    numeric: OnceLock<Arc<NumericTemplates>>,
+    /// Lazily built per-assignment execution structures, keyed by
+    /// [`Assignment::signature`].
+    exec: Mutex<HashMap<u64, Arc<ExecTemplates>>>,
+}
+
+impl SymbolicPlan {
+    /// Packages analysis products into a plan. Used by the `Solver`
+    /// constructors; not part of the public surface area.
+    pub(crate) fn new(
+        analysis: Analysis,
+        bm: Arc<BlockMatrix>,
+        work: BlockWork,
+        opts: SolverOptions,
+        timings: PhaseTimings,
+    ) -> Self {
+        Self {
+            analysis,
+            bm,
+            work,
+            opts,
+            timings,
+            numeric: OnceLock::new(),
+            exec: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.bm.sn.n()
+    }
+
+    /// Factor statistics (paper Table 1 columns).
+    pub fn stats(&self) -> FactorStats {
+        self.analysis.stats
+    }
+
+    /// Builds a block-to-processor assignment on a square `√P × √P` grid.
+    pub fn assign(&self, p: usize, row: RowPolicy, col: ColPolicy) -> Assignment {
+        self.assign_on_grid(ProcGrid::square(p), row, col)
+    }
+
+    /// Builds an assignment on an arbitrary grid.
+    pub fn assign_on_grid(&self, grid: ProcGrid, row: RowPolicy, col: ColPolicy) -> Assignment {
+        let domains = self
+            .opts
+            .domains
+            .as_ref()
+            .map(|params| DomainPlan::select(&self.bm, &self.work, grid.p(), params));
+        Assignment::build(&self.bm, &self.work, grid, row, col, domains)
+    }
+
+    /// The paper's baseline: 2-D cyclic on a square grid.
+    pub fn assign_cyclic(&self, p: usize) -> Assignment {
+        self.assign(
+            p,
+            RowPolicy::Heuristic(Heuristic::Cyclic),
+            ColPolicy::Heuristic(Heuristic::Cyclic),
+        )
+    }
+
+    /// The paper's recommended mapping (Table 7): increasing-depth rows,
+    /// cyclic columns.
+    pub fn assign_heuristic(&self, p: usize) -> Assignment {
+        self.assign(
+            p,
+            RowPolicy::Heuristic(Heuristic::IncreasingDepth),
+            ColPolicy::Heuristic(Heuristic::Cyclic),
+        )
+    }
+
+    /// Load balance statistics of an assignment.
+    pub fn balance(&self, asg: &Assignment) -> BalanceReport {
+        BalanceReport::compute(&self.bm, &self.work, asg)
+    }
+
+    /// Communication volume of an assignment.
+    pub fn comm(&self, asg: &Assignment) -> CommStats {
+        balance::comm_volume(&self.bm, asg)
+    }
+
+    /// Simulated factorization on the modeled machine (no numerics).
+    pub fn simulate(&self, asg: &Assignment, model: &MachineModel) -> fanout::SimOutcome {
+        let plan = self.exec_templates(asg).plan.clone();
+        fanout::simulate(&self.bm, &plan, model)
+    }
+
+    /// Simulated factorization under an explicit scheduling policy
+    /// (Section 5: data-driven vs critical-path priority).
+    pub fn simulate_with_policy(
+        &self,
+        asg: &Assignment,
+        model: &MachineModel,
+        policy: fanout::SimPolicy,
+    ) -> fanout::SimOutcome {
+        let plan = self.exec_templates(asg).plan.clone();
+        fanout::simulate_with_policy(&self.bm, &plan, model, policy)
+    }
+
+    /// Critical path of the block-operation DAG under a machine model: an
+    /// upper bound on achievable parallelism independent of the mapping.
+    pub fn critical_path(&self, model: &MachineModel) -> CriticalPath {
+        fanout::critical_path(&self.bm, model)
+    }
+
+    /// The execution structures (factorization task DAG + distributed-solve
+    /// plan) for an assignment, built once per distinct
+    /// [`Assignment::signature`] and shared thereafter. Repeated
+    /// factorizations and parallel solves under the same assignment skip
+    /// `Plan::build`/`SolvePlan::build` entirely.
+    pub fn exec_templates(&self, asg: &Assignment) -> Arc<ExecTemplates> {
+        let key = asg.signature();
+        let mut map = self.exec.lock().expect("exec template lock");
+        map.entry(key)
+            .or_insert_with(|| {
+                let plan = Arc::new(fanout::Plan::build(&self.bm, asg));
+                let solve = Arc::new(SolvePlan::build(&plan, &self.bm));
+                Arc::new(ExecTemplates { plan, solve })
+            })
+            .clone()
+    }
+
+    /// Number of distinct assignments with cached execution structures.
+    pub fn cached_exec_templates(&self) -> usize {
+        self.exec.lock().expect("exec template lock").len()
+    }
+
+    /// The numeric reuse templates for this plan's input structure, built
+    /// once on first use. Everything needed is already in the plan: the
+    /// permuted pattern is `analysis.pattern`, and the original pattern is
+    /// its image under the inverse permutation.
+    pub fn numeric_templates(&self) -> Arc<NumericTemplates> {
+        self.numeric
+            .get_or_init(|| {
+                let assembly = AssemblyTemplate::build(&self.bm, &self.analysis.pattern);
+                let csc = CscTemplate::build(&self.bm);
+                let targets = original_entry_targets(
+                    &self.analysis.perm,
+                    &self.analysis.pattern,
+                    assembly.targets(),
+                );
+                Arc::new(NumericTemplates { assembly, targets, csc })
+            })
+            .clone()
+    }
+}
+
+/// Composes "original entry → permuted entry position" with the assembly
+/// template's "permuted entry → block storage position", yielding a direct
+/// original-values scatter map.
+///
+/// Permuting a symmetric matrix moves each stored lower-triangle entry
+/// `(i, j)` to `(max(pi,pj), min(pi,pj))` without arithmetic (a bijection on
+/// unordered index pairs cannot create duplicates), so scattering original
+/// values through the composed map is bit-identical to permute-then-assemble.
+fn original_entry_targets(
+    perm: &sparsemat::Permutation,
+    permuted_pattern: &sparsemat::SparsityPattern,
+    permuted_targets: &[(u32, usize)],
+) -> Vec<(u32, usize)> {
+    let original = perm.inverse().apply_to_pattern(permuted_pattern);
+    let n = original.n();
+    let mut out = Vec::with_capacity(original.nnz());
+    for j in 0..n {
+        let nj = perm.new_of_old(j) as u32;
+        for &i in original.col(j) {
+            let ni = perm.new_of_old(i as usize) as u32;
+            let (row, col) = if ni >= nj { (ni, nj) } else { (nj, ni) };
+            let col = col as usize;
+            let e = permuted_pattern
+                .col(col)
+                .binary_search(&row)
+                .expect("permuted entry exists by construction");
+            out.push(permuted_targets[permuted_pattern.col_ptr()[col] + e]);
+        }
+    }
+    out
+}

@@ -1,0 +1,277 @@
+//! Repeated factor/solve sessions over a shared symbolic plan.
+//!
+//! A [`FactorSession`] owns everything a repeated numeric cycle needs —
+//! block storage, kernel arena, gathered factor CSC, solve workspaces — and
+//! reuses all of it across calls. After the first
+//! [`refactor`](FactorSession::refactor)/[`resolve`](FactorSession::resolve)
+//! pair the hot path performs **zero symbolic work and zero allocation**:
+//! assembly is a zero-fill plus one write per input entry through the plan's
+//! precomputed scatter map, factorization rebuilds nothing (the sequential
+//! executor reuses the session arena; the scheduled executor runs the
+//! cached task DAG), and solves run on the gathered CSC through reused
+//! permutation buffers.
+//!
+//! Both paths are bit-identical to the one-shot pipeline: `refactor`
+//! produces exactly the factor of fresh permute + assemble + factorize on
+//! the same values, and `resolve`/`resolve_many` produce exactly
+//! [`Solver::solve`](crate::Solver::solve)'s bits (the multi-RHS kernel
+//! keeps each lane's operation sequence identical to the single-RHS one).
+
+use crate::plan::{ExecTemplates, NumericTemplates, SymbolicPlan};
+use crate::{PhaseTimings, Solver, SolverError};
+use fanout::{FactorOpts, NumericFactor, SchedOptions, SchedStats};
+use std::sync::Arc;
+
+/// Reusable buffers for the solve paths ([`Solver::solve_into`],
+/// [`Solver::solve_refined_with`], [`Solver::solve_parallel_with`], and the
+/// session resolves). All fields grow to their steady-state size on first
+/// use and are reused thereafter — repeated solves allocate nothing.
+#[derive(Debug, Default)]
+pub struct SolveWorkspace {
+    /// Factor CSC column pointers (one-shot solve paths extract here).
+    pub(crate) cp: Vec<usize>,
+    /// Factor CSC row indices.
+    pub(crate) ri: Vec<u32>,
+    /// Factor CSC values.
+    pub(crate) v: Vec<f64>,
+    /// Permuted right-hand side / in-place solution.
+    pub(crate) pb: Vec<f64>,
+    /// Iterative-refinement residual.
+    pub(crate) resid: Vec<f64>,
+    /// Iterative-refinement correction.
+    pub(crate) dx: Vec<f64>,
+    /// Lane-interleaved multi-RHS buffer.
+    pub(crate) lanes: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Which executor a session's [`FactorSession::refactor`] runs.
+enum SessionExecutor {
+    /// The sequential reference executor, with the session-owned arena.
+    Seq,
+    /// The work-stealing scheduler on the cached task DAG.
+    Sched(Arc<ExecTemplates>, SchedOptions),
+}
+
+/// A reusable numeric factor/solve session over a shared [`SymbolicPlan`].
+///
+/// Created by [`Solver::session`] (sequential executor) or
+/// [`Solver::session_sched`] (work-stealing scheduler on a cached task
+/// DAG). Concurrent sessions over the same plan are independent: each owns
+/// its storage and workspaces while sharing the immutable plan and
+/// templates.
+pub struct FactorSession {
+    plan: Arc<SymbolicPlan>,
+    templates: Arc<NumericTemplates>,
+    exec: SessionExecutor,
+    factor: NumericFactor,
+    /// Factor values gathered into CSC order after each refactorization.
+    csc_values: Vec<f64>,
+    arena: dense::KernelArena,
+    ws: SolveWorkspace,
+    factored: bool,
+    /// Wall-clock of the latest `refactor` / `resolve` calls, on top of the
+    /// plan's analyze timings (the `refactor_s`/`resolve_s` phases feed the
+    /// Perfetto pipeline track).
+    pub timings: PhaseTimings,
+    /// Stats of the latest scheduled refactorization (`None` for sequential
+    /// sessions or before the first refactor).
+    pub sched_stats: Option<SchedStats>,
+}
+
+impl FactorSession {
+    pub(crate) fn new(solver: &Solver, exec_sched: Option<(Arc<ExecTemplates>, SchedOptions)>) -> Self {
+        let templates = solver.plan.numeric_templates();
+        let factor = templates.assembly.alloc(solver.plan.bm.clone());
+        Self {
+            plan: solver.plan.clone(),
+            templates,
+            exec: match exec_sched {
+                None => SessionExecutor::Seq,
+                Some((t, o)) => SessionExecutor::Sched(t, o),
+            },
+            factor,
+            csc_values: Vec::new(),
+            arena: dense::KernelArena::new(),
+            ws: SolveWorkspace::new(),
+            factored: false,
+            timings: solver.plan.timings,
+            sched_stats: None,
+        }
+    }
+
+    /// The shared symbolic plan this session runs on.
+    pub fn plan(&self) -> &Arc<SymbolicPlan> {
+        &self.plan
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.plan.n()
+    }
+
+    /// Number of input matrix entries a `refactor` expects.
+    pub fn input_nnz(&self) -> usize {
+        self.templates.targets.len()
+    }
+
+    /// True once a successful [`Self::refactor`] has run.
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
+    /// The current numeric factor (most recent successful refactorization).
+    pub fn factor(&self) -> &NumericFactor {
+        &self.factor
+    }
+
+    /// Refactorizes with new numeric values on the fixed structure.
+    ///
+    /// `values` are the **original** (unpermuted) matrix's stored
+    /// lower-triangle entries in column-major order — exactly
+    /// [`sparsemat::SymCscMatrix::values`] of a matrix sharing the analyzed
+    /// pattern. No symbolic work runs: the values scatter straight into the
+    /// reused block storage through the plan's precomputed map, the
+    /// executor factors in place, and the factor CSC is re-gathered for the
+    /// solve paths. The factor is bit-identical to a fresh
+    /// permute + assemble + factorize of the same values.
+    pub fn refactor(&mut self, values: &[f64]) -> Result<(), SolverError> {
+        assert_eq!(
+            values.len(),
+            self.templates.targets.len(),
+            "value count != analyzed pattern nnz"
+        );
+        let t0 = std::time::Instant::now();
+        for buf in &mut self.factor.data {
+            buf.iter_mut().for_each(|x| *x = 0.0);
+        }
+        for (&(p, at), &v) in self.templates.targets.iter().zip(values) {
+            self.factor.data[p as usize][at] = v;
+        }
+        self.factored = false;
+        match &self.exec {
+            SessionExecutor::Seq => {
+                fanout::factorize_seq_with_arena(
+                    &mut self.factor,
+                    &FactorOpts::default(),
+                    &mut self.arena,
+                )?;
+            }
+            SessionExecutor::Sched(t, opts) => {
+                let stats = fanout::factorize_sched_opts(&mut self.factor, &t.plan, opts)?;
+                self.sched_stats = Some(stats);
+            }
+        }
+        self.templates.csc.gather_into(&self.factor, &mut self.csc_values);
+        self.factored = true;
+        self.timings.refactor_s = t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Solves `A·x = b` with the session factor, handling the fill
+    /// permutation on both sides. Bit-identical to
+    /// [`Solver::solve`](crate::Solver::solve) with a fresh factor of the
+    /// same values.
+    pub fn resolve(&mut self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n()];
+        self.resolve_into(b, &mut x);
+        x
+    }
+
+    /// [`Self::resolve`] into a caller-provided buffer — the fully
+    /// allocation-free repeated-solve path.
+    pub fn resolve_into(&mut self, b: &[f64], out: &mut [f64]) {
+        assert!(self.factored, "refactor before resolve");
+        let t0 = std::time::Instant::now();
+        let n = self.n();
+        let perm = &self.plan.analysis.perm;
+        self.ws.pb.resize(n, 0.0);
+        perm.apply_to_vec_into(b, &mut self.ws.pb);
+        let csc = &self.templates.csc;
+        fanout::solve_csc(&csc.col_ptr, &csc.row_idx, &self.csc_values, &mut self.ws.pb);
+        perm.apply_inverse_to_vec_into(&self.ws.pb, out);
+        self.timings.resolve_s = t0.elapsed().as_secs_f64();
+    }
+
+    /// Solves `A·xᵣ = bᵣ` for a batch of right-hand sides, streaming the
+    /// factor **once** for the whole batch (lane-interleaved blocked
+    /// kernel). Each returned solution is bit-identical to
+    /// [`Self::resolve`] on the same right-hand side.
+    pub fn resolve_many(&mut self, bs: &[&[f64]]) -> Vec<Vec<f64>> {
+        assert!(self.factored, "refactor before resolve");
+        let t0 = std::time::Instant::now();
+        let n = self.n();
+        let k = bs.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        let perm = &self.plan.analysis.perm;
+        self.ws.lanes.resize(n * k, 0.0);
+        for (r, lane) in bs.iter().enumerate() {
+            assert_eq!(lane.len(), n);
+            for (i, &v) in lane.iter().enumerate() {
+                self.ws.lanes[perm.new_of_old(i) * k + r] = v;
+            }
+        }
+        let csc = &self.templates.csc;
+        fanout::solve_csc_multi(
+            &csc.col_ptr,
+            &csc.row_idx,
+            &self.csc_values,
+            &mut self.ws.lanes,
+            k,
+        );
+        let out = (0..k)
+            .map(|r| {
+                (0..n)
+                    .map(|i| self.ws.lanes[perm.new_of_old(i) * k + r])
+                    .collect()
+            })
+            .collect();
+        self.timings.resolve_s = t0.elapsed().as_secs_f64();
+        out
+    }
+
+    /// [`Self::resolve_many`] on the distributed solver: both substitution
+    /// phases run on the assignment's virtual processors with the cached
+    /// solve structure, all lanes per message. Requires a scheduled session
+    /// ([`Solver::session_sched`]); matches the sequential resolves to
+    /// floating-point summation order.
+    pub fn resolve_many_parallel(&mut self, bs: &[&[f64]]) -> Vec<Vec<f64>> {
+        assert!(self.factored, "refactor before resolve");
+        let SessionExecutor::Sched(t, _) = &self.exec else {
+            panic!("resolve_many_parallel requires a scheduled session (Solver::session_sched)");
+        };
+        let t0 = std::time::Instant::now();
+        let n = self.n();
+        let perm = &self.plan.analysis.perm;
+        let mut pbs: Vec<Vec<f64>> = Vec::with_capacity(bs.len());
+        for lane in bs {
+            pbs.push(perm.apply_to_vec(lane));
+        }
+        let refs: Vec<&[f64]> = pbs.iter().map(|p| p.as_slice()).collect();
+        let pxs = fanout::solve_threaded_many_with(&self.factor, &t.plan, &t.solve, &refs);
+        let out = pxs
+            .into_iter()
+            .map(|px| {
+                let mut x = vec![0.0; n];
+                perm.apply_inverse_to_vec_into(&px, &mut x);
+                x
+            })
+            .collect();
+        self.timings.resolve_s = t0.elapsed().as_secs_f64();
+        out
+    }
+
+    /// Relative residual of the session factor against a matrix (normally
+    /// the permuted input the latest values came from).
+    pub fn residual(&self, permuted: &sparsemat::SymCscMatrix) -> f64 {
+        fanout::residual_norm(permuted, &self.factor)
+    }
+}

@@ -394,6 +394,58 @@ pub fn trsv_lower_trans(l: &[f64], n: usize, x: &mut [f64]) {
 }
 
 // ---------------------------------------------------------------------------
+// Blocked multi-RHS triangular solves (TRSM-style, interleaved lanes)
+// ---------------------------------------------------------------------------
+
+/// Solves `L·X = B` in place for `k` right-hand sides stored *interleaved*
+/// (`x[i*k + r]` is row `i` of lane `r`), with `l` the row-major lower
+/// triangular `n × n` factor.
+///
+/// The lane loop is innermost, so `L` is streamed once for all `k` sides and
+/// each lane performs exactly the operation sequence of [`trsv_lower`] —
+/// every lane's result is bit-identical to a single-RHS solve of the same
+/// column.
+pub fn trsv_lower_multi(l: &[f64], n: usize, x: &mut [f64], k: usize) {
+    assert_eq!(l.len(), n * n);
+    assert_eq!(x.len(), n * k);
+    if k == 1 {
+        return trsv_lower(l, n, x);
+    }
+    for i in 0..n {
+        let (done, cur) = x.split_at_mut(i * k);
+        let row = &l[i * n..i * n + i];
+        let d = l[i * n + i];
+        for r in 0..k {
+            let mut s = cur[r];
+            for (j, &lv) in row.iter().enumerate() {
+                s -= lv * done[j * k + r];
+            }
+            cur[r] = s / d;
+        }
+    }
+}
+
+/// Solves `Lᵀ·X = B` in place for `k` interleaved right-hand sides; each
+/// lane is bit-identical to [`trsv_lower_trans`] on that lane alone.
+pub fn trsv_lower_trans_multi(l: &[f64], n: usize, x: &mut [f64], k: usize) {
+    assert_eq!(l.len(), n * n);
+    assert_eq!(x.len(), n * k);
+    if k == 1 {
+        return trsv_lower_trans(l, n, x);
+    }
+    for i in (0..n).rev() {
+        let d = l[i * n + i];
+        for r in 0..k {
+            let mut s = x[i * k + r];
+            for j in (i + 1)..n {
+                s -= l[j * n + i] * x[j * k + r];
+            }
+            x[i * k + r] = s / d;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Reference kernels
 // ---------------------------------------------------------------------------
 
@@ -912,6 +964,40 @@ mod tests {
         trsv_lower_trans(&l, n, &mut b);
         for (got, want) in b.iter().zip(&x_true) {
             assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multi_rhs_trsv_lanes_are_bit_identical_to_single() {
+        let n = 7;
+        let a = spd_test_matrix(n);
+        let mut l = a.clone();
+        potrf(&mut l, n).unwrap();
+        for k in [1usize, 2, 3, 5, 8] {
+            // Interleave k distinct right-hand sides.
+            let lanes: Vec<Vec<f64>> = (0..k)
+                .map(|r| (0..n).map(|i| 1.0 + (i * 3 + r * 7) as f64 * 0.21).collect())
+                .collect();
+            let mut x = vec![0.0; n * k];
+            for (r, lane) in lanes.iter().enumerate() {
+                for i in 0..n {
+                    x[i * k + r] = lane[i];
+                }
+            }
+            trsv_lower_multi(&l, n, &mut x, k);
+            trsv_lower_trans_multi(&l, n, &mut x, k);
+            for (r, lane) in lanes.iter().enumerate() {
+                let mut single = lane.clone();
+                trsv_lower(&l, n, &mut single);
+                trsv_lower_trans(&l, n, &mut single);
+                for i in 0..n {
+                    assert_eq!(
+                        x[i * k + r].to_bits(),
+                        single[i].to_bits(),
+                        "k={k} lane={r} row={i}"
+                    );
+                }
+            }
         }
     }
 

@@ -30,6 +30,7 @@ pub mod multifrontal;
 pub mod plan;
 pub mod proto;
 pub mod psolve;
+pub mod reuse;
 pub mod sched;
 pub mod seq;
 pub mod sim;
@@ -42,15 +43,18 @@ pub use factor::NumericFactor;
 pub use faults::{Fault, FaultPlan};
 pub use multifrontal::factorize_multifrontal;
 pub use plan::Plan;
-pub use psolve::{solve_threaded, SolvePlan};
+pub use psolve::{solve_threaded, solve_threaded_many, solve_threaded_many_with, SolvePlan};
+pub use reuse::{AssemblyTemplate, CscTemplate};
 pub use sched::{
     env_workers, factorize_sched, factorize_sched_opts, factorize_threaded, SchedOptions,
     SchedStats,
 };
-pub use seq::{factorize_seq, factorize_seq_opts, FactorOpts, SeqStats};
+pub use seq::{
+    factorize_seq, factorize_seq_opts, factorize_seq_with_arena, FactorOpts, SeqStats,
+};
 pub use simplicial::{factorize_simplicial, factorize_simplicial_from, CscFactor};
 pub use sim::{block_ranks, simulate, simulate_traced, simulate_with_policy, SimOutcome, SimPolicy};
-pub use solve::{residual_norm, solve};
+pub use solve::{residual_norm, solve, solve_csc, solve_csc_multi, solve_many};
 pub use threaded::{factorize_fifo, factorize_fifo_opts, FifoOptions, FifoStats};
 // Tracing vocabulary, re-exported so executor callers need no direct `trace`
 // dependency to configure or consume a trace.

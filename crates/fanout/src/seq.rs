@@ -57,8 +57,22 @@ pub fn factorize_seq(f: &mut NumericFactor) -> Result<(), Error> {
 /// [`factorize_seq`] with explicit [`FactorOpts`]. With default options the
 /// factor is bit-identical to [`factorize_seq`].
 pub fn factorize_seq_opts(f: &mut NumericFactor, opts: &FactorOpts) -> Result<SeqStats, Error> {
-    let bm = f.bm.clone();
     let mut arena = KernelArena::new();
+    factorize_seq_with_arena(f, opts, &mut arena)
+}
+
+/// [`factorize_seq_opts`] with a caller-owned [`KernelArena`]. Repeated
+/// factorizations of the same structure (the refactorization hot path) pass
+/// the same arena back in, so pack-buffer and scratch allocations happen
+/// once per session rather than once per factorization. The arena contents
+/// never feed the result — the factor is bit-identical whichever arena is
+/// supplied.
+pub fn factorize_seq_with_arena(
+    f: &mut NumericFactor,
+    opts: &FactorOpts,
+    arena: &mut KernelArena,
+) -> Result<SeqStats, Error> {
+    let bm = f.bm.clone();
     let mut stats = SeqStats::default();
     let tracing = opts.trace.enabled;
     let epoch = Instant::now();
@@ -74,9 +88,9 @@ pub fn factorize_seq_opts(f: &mut NumericFactor, opts: &FactorOpts) -> Result<Se
     for k in 0..bm.num_panels() {
         let t0 = if tracing { epoch.elapsed().as_secs_f64() } else { 0.0 };
         match opts.perturb_npd {
-            None => factor_block_column(f, &bm, k, &mut arena)?,
+            None => factor_block_column(f, &bm, k, arena)?,
             Some(tau) => {
-                let cols = factor_column_buf_perturb(&mut f.data[k], &bm, k, &mut arena, tau)?;
+                let cols = factor_column_buf_perturb(&mut f.data[k], &bm, k, arena, tau)?;
                 stats.perturbed_pivots.extend(cols);
             }
         }
@@ -114,7 +128,7 @@ pub fn factorize_seq_opts(f: &mut NumericFactor, opts: &FactorOpts) -> Result<Se
                     &src_col[offsets[k][b]..],
                     bm.block_rows(k, &blocks[b]),
                     c_k,
-                    &mut arena,
+                    arena,
                 );
                 if tracing {
                     stamp(&mut events, TaskKind::Bmod, dest_j, t0);

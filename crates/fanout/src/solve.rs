@@ -10,6 +10,17 @@ pub fn solve(f: &NumericFactor, b: &[f64]) -> Vec<f64> {
     assert_eq!(b.len(), n);
     let (cp, ri, v) = f.to_csc();
     let mut x = b.to_vec();
+    solve_csc(&cp, &ri, &v, &mut x);
+    x
+}
+
+/// Solves `L·Lᵀ·x = b` in place given the factor's CSC arrays (diagonal
+/// entry first per column). This is the single shared solve core: the
+/// one-shot [`solve`] and the plan-reusing session path both land here, so
+/// their results are bit-identical by construction.
+pub fn solve_csc(cp: &[usize], ri: &[u32], v: &[f64], x: &mut [f64]) {
+    let n = x.len();
+    debug_assert_eq!(cp.len(), n + 1);
     // Forward: L·y = b (column-oriented; diagonal entry first per column).
     for j in 0..n {
         let d = v[cp[j]];
@@ -27,7 +38,70 @@ pub fn solve(f: &NumericFactor, b: &[f64]) -> Vec<f64> {
         }
         x[j] = s / v[cp[j]];
     }
-    x
+}
+
+/// Blocked multi-right-hand-side solve: `x` holds `k` interleaved lanes
+/// (`x[i*k + r]` is row `i` of lane `r`) and the factor is streamed **once**
+/// for all lanes. The lane loop is innermost, so each lane performs exactly
+/// the operation sequence of [`solve_csc`] — per-lane results are
+/// bit-identical to `k` independent single-vector solves.
+pub fn solve_csc_multi(cp: &[usize], ri: &[u32], v: &[f64], x: &mut [f64], k: usize) {
+    if k == 0 {
+        return;
+    }
+    if k == 1 {
+        return solve_csc(cp, ri, v, x);
+    }
+    let n = x.len() / k;
+    debug_assert_eq!(x.len(), n * k);
+    debug_assert_eq!(cp.len(), n + 1);
+    for j in 0..n {
+        let d = v[cp[j]];
+        for r in 0..k {
+            x[j * k + r] /= d;
+        }
+        for e in cp[j] + 1..cp[j + 1] {
+            let i = ri[e] as usize;
+            let ve = v[e];
+            for r in 0..k {
+                x[i * k + r] -= ve * x[j * k + r];
+            }
+        }
+    }
+    for j in (0..n).rev() {
+        let d = v[cp[j]];
+        for r in 0..k {
+            let mut s = x[j * k + r];
+            for e in cp[j] + 1..cp[j + 1] {
+                s -= v[e] * x[ri[e] as usize * k + r];
+            }
+            x[j * k + r] = s / d;
+        }
+    }
+}
+
+/// Solves `L·Lᵀ·xᵣ = bᵣ` for a batch of right-hand sides, returning one
+/// solution per input. Each result is bit-identical to [`solve`] on the
+/// same right-hand side (see [`solve_csc_multi`]).
+pub fn solve_many(f: &NumericFactor, bs: &[&[f64]]) -> Vec<Vec<f64>> {
+    let n = f.bm.sn.n();
+    let k = bs.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let (cp, ri, v) = f.to_csc();
+    // Interleave lanes: x[i*k + r] = bs[r][i].
+    let mut x = vec![0.0; n * k];
+    for (r, b) in bs.iter().enumerate() {
+        assert_eq!(b.len(), n);
+        for (i, &bi) in b.iter().enumerate() {
+            x[i * k + r] = bi;
+        }
+    }
+    solve_csc_multi(&cp, &ri, &v, &mut x, k);
+    (0..k)
+        .map(|r| (0..n).map(|i| x[i * k + r]).collect())
+        .collect()
 }
 
 /// Relative residual `‖A·x − L·(Lᵀ·x)‖∞ / ‖A·x‖∞` for a deterministic probe
@@ -99,6 +173,34 @@ mod tests {
         let p = sparsemat::gen::bcsstk_like("T", 120, 9);
         let (f, pa) = factored(&p, 6);
         assert!(residual_norm(&pa, &f) < 1e-12);
+    }
+
+    #[test]
+    fn solve_many_lanes_are_bit_identical_to_single_solves() {
+        let p = sparsemat::gen::grid2d(7);
+        let (f, pa) = factored(&p, 4);
+        let n = p.n();
+        let rhs: Vec<Vec<f64>> = (0..5)
+            .map(|r| {
+                (0..n)
+                    .map(|i| ((i * 3 + r * 7) as f64 * 0.21).cos() + 0.5)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rhs.iter().map(|b| b.as_slice()).collect();
+        let batch = solve_many(&f, &refs);
+        for (b, got) in rhs.iter().zip(&batch) {
+            let single = solve(&f, b);
+            for (g, s) in got.iter().zip(&single) {
+                assert_eq!(g.to_bits(), s.to_bits(), "lane diverged from single solve");
+            }
+        }
+        // And the batch actually solves the system.
+        let mut ax = vec![0.0; n];
+        pa.mul_vec(&batch[0], &mut ax);
+        for (a, b) in ax.iter().zip(&rhs[0]) {
+            assert!((a - b).abs() < 1e-8);
+        }
     }
 
     #[test]

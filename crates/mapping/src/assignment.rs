@@ -136,6 +136,42 @@ impl Assignment {
         Self { grid, owner, cp, domains, eligible, priority: None }
     }
 
+    /// A 64-bit identity hash of the assignment (FNV-1a over the grid shape,
+    /// block ownership, eligibility, and priorities): two assignments with
+    /// the same signature drive identical executions, so plan templates
+    /// derived from an assignment (task DAGs, solve structures) can be
+    /// cached under this key and reused across repeated factorizations.
+    pub fn signature(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.grid.pr as u64);
+        mix(self.grid.pc as u64);
+        for col in &self.owner {
+            mix(col.len() as u64);
+            for &q in col {
+                mix(q as u64);
+            }
+        }
+        for &e in &self.eligible {
+            mix(e as u64);
+        }
+        if let Some(pri) = &self.priority {
+            for col in pri {
+                for &p in col {
+                    mix(p.to_bits());
+                }
+            }
+        }
+        h
+    }
+
     /// Attaches per-block scheduling priorities (`priority[j][b]`, larger =
     /// more urgent) in the block matrix's `[column][block]` layout. The
     /// shapes must match `owner`.

@@ -85,6 +85,29 @@ impl SparsityPattern {
         self.n
     }
 
+    /// A 64-bit structure hash (FNV-1a over the dimension and CSC arrays):
+    /// equal patterns hash equal, so a symbolic-analysis cache can key plans
+    /// by structure and reuse them across matrices that share a pattern.
+    pub fn structure_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.n as u64);
+        for &p in &self.col_ptr {
+            mix(p as u64);
+        }
+        for &r in &self.row_idx {
+            mix(r as u64);
+        }
+        h
+    }
+
     /// Total number of stored entries (lower triangle including diagonal).
     #[inline]
     pub fn nnz(&self) -> usize {

@@ -159,22 +159,35 @@ impl Permutation {
 
     /// Applies the permutation to a vector: `out[new_of_old[i]] = x[i]`.
     pub fn apply_to_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.len());
         let mut out = vec![0.0; x.len()];
+        self.apply_to_vec_into(x, &mut out);
+        out
+    }
+
+    /// [`Self::apply_to_vec`] into a caller-provided buffer (the repeated-
+    /// solve hot path permutes into a reused workspace with no allocation).
+    pub fn apply_to_vec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.len());
+        assert_eq!(out.len(), self.len());
         for (old, &new) in self.new_of_old.iter().enumerate() {
             out[new as usize] = x[old];
         }
-        out
     }
 
     /// Inverse application to a vector: `out[i] = x[new_of_old[i]]`.
     pub fn apply_inverse_to_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.len());
         let mut out = vec![0.0; x.len()];
+        self.apply_inverse_to_vec_into(x, &mut out);
+        out
+    }
+
+    /// [`Self::apply_inverse_to_vec`] into a caller-provided buffer.
+    pub fn apply_inverse_to_vec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.len());
+        assert_eq!(out.len(), self.len());
         for (old, &new) in self.new_of_old.iter().enumerate() {
             out[old] = x[new as usize];
         }
-        out
     }
 }
 

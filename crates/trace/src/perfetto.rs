@@ -72,6 +72,12 @@ impl Trace {
             ));
         }
         for p in phases {
+            // Phases that did not run this pipeline (e.g. the one-shot
+            // `factor`/`solve` on a session run, or `refactor`/`resolve` on
+            // a one-shot run) would render as zero-width clutter — skip.
+            if p.dur_s() <= 0.0 {
+                continue;
+            }
             out.push_str(&format!(
                 ",{{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":{},\"cat\":\"phase\",\"ts\":{},\"dur\":{}}}",
                 json_str(p.name),
@@ -145,6 +151,29 @@ mod tests {
         assert!(j.contains("\"ts\":1500000,"), "{j}");
         // Without phases the plain export is unchanged (no pipeline track).
         assert_eq!(t.to_perfetto_json("pipe").matches("thread_name").count(), 1);
+    }
+
+    #[test]
+    fn session_phases_render_refactor_and_resolve_and_skip_idle_phases() {
+        use crate::phase_spans;
+        let t = Trace::from_events(vec![vec![ev(TaskKind::Bfac, 0, 0.0, 0.1)]]);
+        // A session pipeline: analyze ran, the one-shot factor/solve did
+        // not, refactor/resolve did.
+        let phases = phase_spans(&[
+            ("order", 0.2),
+            ("factor", 0.0),
+            ("solve", 0.0),
+            ("refactor", 0.1),
+            ("resolve", 0.05),
+        ]);
+        let j = t.to_perfetto_json_with_phases("serve", &phases);
+        assert!(crate::validate_json(&j).is_ok(), "{j}");
+        assert!(j.contains("\"refactor\"") && j.contains("\"resolve\""));
+        // Zero-duration phases are dropped from the pipeline track.
+        assert!(!j.contains("\"name\":\"factor\""));
+        assert!(!j.contains("\"name\":\"solve\""));
+        // order + refactor + resolve slices, one worker event.
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), 4);
     }
 
     #[test]

@@ -31,8 +31,9 @@ impl From<&BalanceReport> for PredictedBalance {
 }
 
 /// One named span of the end-to-end pipeline (`order`, `etree`, `colcount`,
-/// `supernodes`, `partition`, `assemble`, `factor`, `solve`), on a clock
-/// starting at 0 when the pipeline starts.
+/// `supernodes`, `partition`, `assemble`, `factor`, `solve`, and — for
+/// plan-reusing sessions — `refactor`, `resolve`), on a clock starting at 0
+/// when the pipeline starts.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseSpan {
     /// Phase name.
