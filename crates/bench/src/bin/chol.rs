@@ -8,7 +8,7 @@
 //!   -p <N>              virtual processors (default 1 = sequential)
 //!   --block-size <B>    block size (default 48)
 //!   --mapping <name>    cyclic | heuristic (default heuristic)
-//!   --ordering <name>   auto | natural (default auto = minimum degree)
+//!   --ordering <name>   auto | natural | mindeg | nd (default auto)
 //!   --simulate          also report a simulated Paragon run at P
 //!   --stats             print analysis statistics and balance report
 //! ```
@@ -34,7 +34,7 @@ struct Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: chol <matrix.mtx> [--rhs f] [--out f] [-p N] [--block-size B] \
-         [--mapping cyclic|heuristic] [--ordering auto|natural] [--simulate] [--stats]"
+         [--mapping cyclic|heuristic] [--ordering auto|natural|mindeg|nd] [--simulate] [--stats]"
     );
     std::process::exit(2);
 }
@@ -71,6 +71,8 @@ fn parse() -> Opts {
                 o.ordering = match args.next().as_deref() {
                     Some("auto") => OrderingChoice::Auto,
                     Some("natural") => OrderingChoice::Natural,
+                    Some("mindeg") => OrderingChoice::MinimumDegree,
+                    Some("nd") => OrderingChoice::NestedDissection,
                     _ => usage(),
                 }
             }

@@ -15,6 +15,7 @@
 //! (the first caller's options are the ones stored in the plan).
 
 use crate::{OrderingChoice, Solver, SolverOptions, SymbolicPlan};
+use mapping::{ColPolicy, RowPolicy};
 use sparsemat::{Problem, SparsityPattern, SymCscMatrix};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,25 +24,113 @@ use std::sync::{Arc, Mutex};
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
+/// Default bound on the number of cached plans. Each plan can pin megabytes
+/// of symbolic structure; a service front end that sees a long tail of
+/// distinct structures must not grow without bound.
+pub const DEFAULT_PLAN_CAPACITY: usize = 32;
+
 #[inline]
 fn mix(h: u64, v: u64) -> u64 {
     (h ^ v).wrapping_mul(FNV_PRIME)
 }
 
+/// Stable code (0–4) for the Section 4 heuristics, used in cache keys.
+fn heuristic_code(h: mapping::Heuristic) -> u64 {
+    mapping::Heuristic::ALL
+        .iter()
+        .position(|&x| x == h)
+        .expect("Heuristic::ALL is exhaustive") as u64
+}
+
+/// A minimal stamp-based LRU map. Every lookup or insert refreshes the
+/// entry's stamp from a monotone counter; inserting past capacity evicts the
+/// smallest stamp. The eviction scan is linear, which is fine for the small
+/// capacities used here (plans: ~32, exec templates: ~16).
+#[derive(Debug)]
+pub(crate) struct Lru<V> {
+    map: HashMap<u64, (V, u64)>,
+    stamp: u64,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl<V> Lru<V> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self { map: HashMap::new(), stamp: 0, capacity: capacity.max(1), evictions: 0 }
+    }
+
+    /// Looks up `key`, marking it most-recently used on a hit.
+    pub(crate) fn get(&mut self, key: u64) -> Option<&V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.map.get_mut(&key).map(|e| {
+            e.1 = stamp;
+            &e.0
+        })
+    }
+
+    /// Inserts (or refreshes) `key`, evicting least-recently-used entries
+    /// until the map fits its capacity again.
+    pub(crate) fn insert(&mut self, key: u64, value: V) {
+        self.stamp += 1;
+        self.map.insert(key, (value, self.stamp));
+        while self.map.len() > self.capacity {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(k, _)| *k)
+                .expect("map over capacity is nonempty");
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
 /// A thread-safe cache mapping input structure + analysis options to shared
 /// [`SymbolicPlan`]s. Cheap to share behind an `Arc`; all methods take
-/// `&self`.
-#[derive(Debug, Default)]
+/// `&self`. Bounded: past [`DEFAULT_PLAN_CAPACITY`] (or the explicit
+/// [`PlanCache::with_capacity`] bound) the least-recently-used plan is
+/// dropped — sessions holding its `Arc` keep it alive, the cache just stops
+/// handing it out.
+#[derive(Debug)]
 pub struct PlanCache {
-    map: Mutex<HashMap<u64, Arc<SymbolicPlan>>>,
+    map: Mutex<Lru<Arc<SymbolicPlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_PLAN_CAPACITY)
+    }
+}
+
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity bound.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` plans (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            map: Mutex::new(Lru::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// The cache key: structure hash of the pattern, mixed with every
@@ -60,6 +149,25 @@ impl PlanCache {
                 OrderingChoice::Auto => 0,
                 OrderingChoice::Natural => 1,
                 OrderingChoice::MinimumDegree => 2,
+                OrderingChoice::NestedDissection => 3,
+            },
+        );
+        // The default mapping policies ride on the plan (assign_default
+        // consults the stored options), so they are part of its identity.
+        h = mix(
+            h,
+            match opts.row_policy {
+                RowPolicy::Heuristic(hh) => heuristic_code(hh),
+                RowPolicy::AltPerProcessor => 5,
+                RowPolicy::Proportional => 6,
+            },
+        );
+        h = mix(
+            h,
+            match opts.col_policy {
+                ColPolicy::Heuristic(hh) => heuristic_code(hh),
+                ColPolicy::Subtree => 5,
+                ColPolicy::Proportional => 6,
             },
         );
         h = mix(h, opts.work_model.fixed_op_cost);
@@ -74,7 +182,7 @@ impl PlanCache {
     }
 
     fn lookup(&self, key: u64) -> Option<Arc<SymbolicPlan>> {
-        let found = self.map.lock().expect("plan cache lock").get(&key).cloned();
+        let found = self.map.lock().expect("plan cache lock").get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -137,6 +245,11 @@ impl PlanCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Plans dropped by the LRU bound since construction.
+    pub fn evictions(&self) -> u64 {
+        self.map.lock().expect("plan cache lock").evictions()
+    }
+
     /// Drops all cached plans (sessions holding `Arc`s keep theirs alive).
     pub fn clear(&self) {
         self.map.lock().expect("plan cache lock").clear();
@@ -184,5 +297,31 @@ mod tests {
         ow.analyze.workers = Some(2);
         let _ = cache.solver_for(&p8.matrix, &ow);
         assert_eq!(cache.hits(), 1);
+        // Mapping policies are part of the key (plans answer
+        // assign_default from their stored options).
+        let mut op = o4;
+        op.row_policy = mapping::RowPolicy::Proportional;
+        let _ = cache.solver_for(&p8.matrix, &op);
+        assert_eq!((cache.hits(), cache.len()), (1, 4));
+    }
+
+    #[test]
+    fn lru_bound_evicts_oldest_plan_first() {
+        let cache = PlanCache::with_capacity(2);
+        let probs: Vec<_> = (6..9).map(sparsemat::gen::grid2d).collect();
+        let opts = SolverOptions { block_size: 4, ..Default::default() };
+        let s0 = cache.solver_for_problem(&probs[0], &opts);
+        let _ = cache.solver_for_problem(&probs[1], &opts);
+        // Refresh plan 0, then insert a third: plan 1 is now the LRU victim.
+        let _ = cache.solver_for_problem(&probs[0], &opts);
+        let _ = cache.solver_for_problem(&probs[2], &opts);
+        assert_eq!((cache.len(), cache.evictions()), (2, 1));
+        let s0_again = cache.solver_for_problem(&probs[0], &opts);
+        assert!(Arc::ptr_eq(&s0.plan, &s0_again.plan), "plan 0 survived");
+        let before = cache.misses();
+        let _ = cache.solver_for_problem(&probs[1], &opts);
+        assert_eq!(cache.misses(), before + 1, "plan 1 was evicted");
+        // Evicted-plan holders keep a working solver (Arc keeps it alive).
+        assert!(s0.factor_seq().is_ok());
     }
 }

@@ -141,6 +141,11 @@ pub enum OrderingChoice {
     Natural,
     /// Force minimum degree.
     MinimumDegree,
+    /// Force nested dissection: geometric when the problem carries
+    /// coordinates, graph-based ([`ordering::nd_graph`]) otherwise. Produces
+    /// a separator tree, which enables subtree-parallel symbolic analysis
+    /// and proportional mapping.
+    NestedDissection,
 }
 
 /// Options of the analyze/assembly front half: amalgamation plus the thread
@@ -180,6 +185,11 @@ pub struct SolverOptions {
     pub work_model: WorkModel,
     /// Domain selection; `None` disables domains (pure 2-D mapping).
     pub domains: Option<DomainParams>,
+    /// Default row mapping policy, used by [`SymbolicPlan::assign_default`].
+    pub row_policy: RowPolicy,
+    /// Default column mapping policy, used by
+    /// [`SymbolicPlan::assign_default`].
+    pub col_policy: ColPolicy,
 }
 
 impl Default for SolverOptions {
@@ -190,6 +200,9 @@ impl Default for SolverOptions {
             ordering: OrderingChoice::Auto,
             work_model: WorkModel::default(),
             domains: Some(DomainParams::default()),
+            // The paper's recommended mapping (Table 7).
+            row_policy: RowPolicy::Heuristic(Heuristic::IncreasingDepth),
+            col_policy: ColPolicy::Heuristic(Heuristic::Cyclic),
         }
     }
 }
@@ -284,34 +297,56 @@ impl std::ops::Deref for Solver {
 }
 
 impl Solver {
-    /// Orders and analyzes a benchmark [`Problem`].
+    /// Orders and analyzes a benchmark [`Problem`]. Orderings that dissect
+    /// (geometric or graph nested dissection) also produce a separator tree,
+    /// whose independent subtrees drive the subtree-parallel symbolic
+    /// analysis ([`symbolic::analyze_parallel_timed`]) when more than one
+    /// analyze worker is configured.
     pub fn analyze_problem(p: &Problem, opts: &SolverOptions) -> Self {
         let t0 = std::time::Instant::now();
-        let perm = match opts.ordering {
-            OrderingChoice::Auto => ordering::order_problem(p),
-            OrderingChoice::Natural => Permutation::identity(p.n()),
+        let (perm, tree) = match opts.ordering {
+            OrderingChoice::Auto => ordering::order_problem_with_tree(p),
+            OrderingChoice::Natural => (Permutation::identity(p.n()), None),
             OrderingChoice::MinimumDegree => {
                 let g = sparsemat::Graph::from_pattern(p.matrix.pattern());
-                ordering::minimum_degree(&g)
+                (ordering::minimum_degree(&g), None)
+            }
+            OrderingChoice::NestedDissection => {
+                let g = sparsemat::Graph::from_pattern(p.matrix.pattern());
+                let (perm, tree) = match &p.coords {
+                    Some(coords) => ordering::nested_dissection_with_tree(
+                        &g,
+                        coords,
+                        &ordering::NdOptions::default(),
+                    ),
+                    None => ordering::nd_graph(&g, &ordering::NdGraphOptions::default()),
+                };
+                (perm, Some(tree))
             }
         };
         let order_s = t0.elapsed().as_secs_f64();
-        Self::with_permutation_timed(&p.matrix, &perm, opts, order_s)
+        Self::with_permutation_timed(&p.matrix, &perm, tree.as_ref(), opts, order_s)
     }
 
     /// Analyzes a raw matrix with [`OrderingChoice`] applied directly
-    /// (`Auto` means minimum degree here, as no geometry is available).
+    /// (`Auto` means minimum degree here, as no geometry is available;
+    /// `NestedDissection` uses the coordinate-free graph dissection).
     pub fn analyze(a: &SymCscMatrix, opts: &SolverOptions) -> Self {
         let t0 = std::time::Instant::now();
-        let perm = match opts.ordering {
-            OrderingChoice::Natural => Permutation::identity(a.n()),
+        let (perm, tree) = match opts.ordering {
+            OrderingChoice::Natural => (Permutation::identity(a.n()), None),
+            OrderingChoice::NestedDissection => {
+                let g = sparsemat::Graph::from_pattern(a.pattern());
+                let (perm, tree) = ordering::nd_graph(&g, &ordering::NdGraphOptions::default());
+                (perm, Some(tree))
+            }
             _ => {
                 let g = sparsemat::Graph::from_pattern(a.pattern());
-                ordering::minimum_degree(&g)
+                (ordering::minimum_degree(&g), None)
             }
         };
         let order_s = t0.elapsed().as_secs_f64();
-        Self::with_permutation_timed(a, &perm, opts, order_s)
+        Self::with_permutation_timed(a, &perm, tree.as_ref(), opts, order_s)
     }
 
     /// Analyzes with a caller-provided fill-reducing permutation (ordering
@@ -321,18 +356,44 @@ impl Solver {
         fill_perm: &Permutation,
         opts: &SolverOptions,
     ) -> Self {
-        Self::with_permutation_timed(a, fill_perm, opts, 0.0)
+        Self::with_permutation_timed(a, fill_perm, None, opts, 0.0)
     }
 
     fn with_permutation_timed(
         a: &SymCscMatrix,
         fill_perm: &Permutation,
+        tree: Option<&ordering::SeparatorTree>,
         opts: &SolverOptions,
         order_s: f64,
     ) -> Self {
         let workers = opts.analyze.resolved_workers();
-        let (analysis, sym_t) =
-            symbolic::analyze_timed(a.pattern(), fill_perm, &opts.analyze.amalg);
+        let (analysis, sym_t, sub_spans) = if workers > 1 {
+            // Separator-subtree ranges parallelize the etree stage; the
+            // later stages re-derive ranges from the etree itself, so this
+            // path helps even without a tree. Bit-identical to the
+            // sequential pipeline either way.
+            let ranges = tree.map(|t| t.parallel_ranges(4 * workers)).unwrap_or_default();
+            symbolic::analyze_parallel_timed(
+                a.pattern(),
+                fill_perm,
+                &opts.analyze.amalg,
+                &ranges,
+                workers,
+            )
+        } else {
+            let (an, t) = symbolic::analyze_timed(a.pattern(), fill_perm, &opts.analyze.amalg);
+            (an, t, Vec::new())
+        };
+        // Subtree spans onto the pipeline clock: analysis starts when
+        // ordering ends.
+        let analyze_spans: Vec<PhaseSpan> = sub_spans
+            .into_iter()
+            .map(|s| PhaseSpan {
+                name: s.name,
+                start_s: order_s + s.start_s,
+                end_s: order_s + s.end_s,
+            })
+            .collect();
         let permuted = analysis.perm.apply_to_matrix(a);
         let t0 = std::time::Instant::now();
         let partition =
@@ -352,7 +413,14 @@ impl Solver {
             ..PhaseTimings::default()
         };
         Self {
-            plan: Arc::new(SymbolicPlan::new(analysis, bm, work, *opts, timings)),
+            plan: Arc::new(SymbolicPlan::new(
+                analysis,
+                bm,
+                work,
+                *opts,
+                timings,
+                analyze_spans,
+            )),
             permuted,
         }
     }
@@ -472,8 +540,12 @@ impl Solver {
         let trace = stats.trace.as_ref().expect("tracing was forced on");
         let name = format!("sched p={} workers={}", stats.p, stats.workers);
         let timings = PhaseTimings { assemble_s, factor_s, ..self.timings };
+        let mut pipeline = timings.spans();
+        // Subtree-analysis spans ride the same clock; appending them lets
+        // the Perfetto export show the symbolic fan-out under the phases.
+        pipeline.extend(self.plan.analyze_spans.iter().cloned());
         let report = RunReport::new(name, trace, Some(&self.balance(asg)))
-            .with_pipeline(timings.spans());
+            .with_pipeline(pipeline);
         Ok((f, stats, report))
     }
 
@@ -812,5 +884,107 @@ mod tests {
         let t2 = solver.plan.exec_templates(&asg);
         assert!(Arc::ptr_eq(&t1, &t2));
         assert_eq!(solver.plan.cached_exec_templates(), 1);
+    }
+
+    #[test]
+    fn nested_dissection_ordering_solves_with_and_without_coords() {
+        // grid2d carries coordinates (geometric ND); bcsstk_like does not
+        // (graph ND). Both must produce a valid factorization.
+        for p in [sparsemat::gen::grid2d(10), sparsemat::gen::bcsstk_like("N", 150, 3)] {
+            let o = SolverOptions {
+                block_size: 4,
+                ordering: OrderingChoice::NestedDissection,
+                ..Default::default()
+            };
+            let solver = Solver::analyze_problem(&p, &o);
+            let f = solver.factor_seq().unwrap();
+            assert!(solver.residual(&f) < 1e-10);
+            // Raw-matrix path (no geometry available): graph ND.
+            let solver2 = Solver::analyze(&p.matrix, &o);
+            let f2 = solver2.factor_seq().unwrap();
+            assert!(solver2.residual(&f2) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parallel_analyze_is_bit_identical_and_carries_subtree_spans() {
+        let p = sparsemat::gen::grid2d(12);
+        let base = SolverOptions {
+            block_size: 4,
+            ordering: OrderingChoice::NestedDissection,
+            ..Default::default()
+        };
+        let mut par = base;
+        par.analyze.workers = Some(4);
+        let seq_solver = Solver::analyze_problem(&p, &base_seq(&base));
+        let par_solver = Solver::analyze_problem(&p, &par);
+        assert_eq!(seq_solver.plan.analysis, par_solver.plan.analysis);
+        assert!(seq_solver.plan.analyze_spans.is_empty());
+        assert!(!par_solver.plan.analyze_spans.is_empty());
+        assert!(par_solver
+            .plan
+            .analyze_spans
+            .iter()
+            .all(|s| s.start_s >= par_solver.timings.order_s - 1e-12));
+        // The spans surface on the factor report's pipeline track.
+        let asg = par_solver.assign_default(4);
+        let (_, _, rep) = par_solver
+            .factor_sched_report(&asg, &SchedOptions::default())
+            .unwrap();
+        assert!(rep
+            .pipeline
+            .iter()
+            .any(|s| s.name.contains("subtree")));
+    }
+
+    fn base_seq(o: &SolverOptions) -> SolverOptions {
+        let mut s = *o;
+        s.analyze.workers = Some(1);
+        s
+    }
+
+    #[test]
+    fn assign_default_follows_configured_policies() {
+        let p = sparsemat::gen::grid2d(10);
+        let pm = SolverOptions {
+            block_size: 4,
+            ordering: OrderingChoice::NestedDissection,
+            row_policy: RowPolicy::Proportional,
+            col_policy: ColPolicy::Proportional,
+            ..Default::default()
+        };
+        let solver = Solver::analyze_problem(&p, &pm);
+        let asg = solver.assign_default(4);
+        let f = solver.factor_parallel(&asg).unwrap();
+        assert!(solver.residual(&f) < 1e-10);
+        // Default options reproduce the paper's Table 7 recommendation.
+        let d = Solver::analyze_problem(&p, &opts(4));
+        let a1 = d.assign_default(4);
+        let a2 = d.assign_heuristic(4);
+        assert_eq!(a1.signature(), a2.signature());
+    }
+
+    #[test]
+    fn exec_template_cache_is_lru_bounded() {
+        let p = sparsemat::gen::grid2d(10);
+        let solver = Solver::analyze_problem(&p, &opts(4));
+        // More distinct assignments than DEFAULT_EXEC_CAPACITY: vary grid
+        // shape and policies to change the signature.
+        let mut asgs = Vec::new();
+        for np in 1..=9usize {
+            asgs.push(solver.assign_cyclic(np * np));
+            asgs.push(solver.assign(
+                np * np,
+                RowPolicy::Heuristic(Heuristic::IncreasingDepth),
+                ColPolicy::Heuristic(Heuristic::Cyclic),
+            ));
+        }
+        let handles: Vec<_> = asgs.iter().map(|a| solver.plan.exec_templates(a)).collect();
+        assert!(solver.plan.cached_exec_templates() <= plan::DEFAULT_EXEC_CAPACITY);
+        assert!(solver.plan.exec_evictions() > 0);
+        // Evicted entries rebuild on demand; held Arcs stay valid and the
+        // rebuild is structurally identical.
+        let rebuilt = solver.plan.exec_templates(&asgs[0]);
+        assert_eq!(rebuilt.plan.owner, handles[0].plan.owner);
     }
 }

@@ -12,7 +12,8 @@
 //! all. Lazy construction keeps one-shot `Solver` users from paying for any
 //! of it.
 
-use crate::{PhaseTimings, SolverOptions};
+use crate::cache::Lru;
+use crate::{PhaseSpan, PhaseTimings, SolverOptions};
 use balance::{BalanceReport, CommStats};
 use blockmat::{BlockMatrix, BlockWork};
 use fanout::{AssemblyTemplate, CriticalPath, CscTemplate, SolvePlan};
@@ -20,9 +21,13 @@ use mapping::{
     Assignment, ColPolicy, DomainPlan, Heuristic, ProcGrid, RowPolicy,
 };
 use simgrid::MachineModel;
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use symbolic::{Analysis, FactorStats};
+
+/// Bound on cached per-assignment execution structures (task DAG + solve
+/// plan) per plan. Each entry holds the full block DAG; a caller sweeping
+/// many grids/policies on one plan must not accumulate them all.
+pub const DEFAULT_EXEC_CAPACITY: usize = 16;
 
 /// Execution structures derived from one [`Assignment`]: the factorization
 /// task DAG and the distributed-solve structure. Cached per assignment
@@ -67,11 +72,16 @@ pub struct SymbolicPlan {
     /// Wall-clock of the analyze phases (`assemble`/`factor`/`solve`/
     /// `refactor`/`resolve` are 0 here; per-run methods fill copies).
     pub timings: PhaseTimings,
+    /// Per-subtree spans from the parallel symbolic analysis, on the same
+    /// clock as [`PhaseTimings::spans`] (0 = pipeline start). Empty when the
+    /// analysis ran sequentially. [`crate::FactorSession`] reports append
+    /// these to the pipeline track so Perfetto shows the subtree fan-out.
+    pub analyze_spans: Vec<PhaseSpan>,
     /// Lazily built numeric reuse templates (input scatter + CSC gather).
     numeric: OnceLock<Arc<NumericTemplates>>,
     /// Lazily built per-assignment execution structures, keyed by
-    /// [`Assignment::signature`].
-    exec: Mutex<HashMap<u64, Arc<ExecTemplates>>>,
+    /// [`Assignment::signature`], LRU-bounded at [`DEFAULT_EXEC_CAPACITY`].
+    exec: Mutex<Lru<Arc<ExecTemplates>>>,
 }
 
 impl SymbolicPlan {
@@ -83,6 +93,7 @@ impl SymbolicPlan {
         work: BlockWork,
         opts: SolverOptions,
         timings: PhaseTimings,
+        analyze_spans: Vec<PhaseSpan>,
     ) -> Self {
         Self {
             analysis,
@@ -90,8 +101,9 @@ impl SymbolicPlan {
             work,
             opts,
             timings,
+            analyze_spans,
             numeric: OnceLock::new(),
-            exec: Mutex::new(HashMap::new()),
+            exec: Mutex::new(Lru::new(DEFAULT_EXEC_CAPACITY)),
         }
     }
 
@@ -139,6 +151,13 @@ impl SymbolicPlan {
         )
     }
 
+    /// Builds an assignment using the policies configured in this plan's
+    /// [`SolverOptions`] (`row_policy`/`col_policy`). With default options
+    /// this matches [`assign_heuristic`](Self::assign_heuristic).
+    pub fn assign_default(&self, p: usize) -> Assignment {
+        self.assign(p, self.opts.row_policy, self.opts.col_policy)
+    }
+
     /// Load balance statistics of an assignment.
     pub fn balance(&self, asg: &Assignment) -> BalanceReport {
         BalanceReport::compute(&self.bm, &self.work, asg)
@@ -181,18 +200,27 @@ impl SymbolicPlan {
     pub fn exec_templates(&self, asg: &Assignment) -> Arc<ExecTemplates> {
         let key = asg.signature();
         let mut map = self.exec.lock().expect("exec template lock");
-        map.entry(key)
-            .or_insert_with(|| {
-                let plan = Arc::new(fanout::Plan::build(&self.bm, asg));
-                let solve = Arc::new(SolvePlan::build(&plan, &self.bm));
-                Arc::new(ExecTemplates { plan, solve })
-            })
-            .clone()
+        if let Some(t) = map.get(key) {
+            return t.clone();
+        }
+        let plan = Arc::new(fanout::Plan::build(&self.bm, asg));
+        let solve = Arc::new(SolvePlan::build(&plan, &self.bm));
+        let t = Arc::new(ExecTemplates { plan, solve });
+        map.insert(key, t.clone());
+        t
     }
 
     /// Number of distinct assignments with cached execution structures.
     pub fn cached_exec_templates(&self) -> usize {
         self.exec.lock().expect("exec template lock").len()
+    }
+
+    /// Execution structures dropped by the LRU bound
+    /// ([`DEFAULT_EXEC_CAPACITY`]) since this plan was built. Sessions
+    /// holding an `Arc<ExecTemplates>` keep theirs alive; eviction only
+    /// means the next request for that assignment rebuilds.
+    pub fn exec_evictions(&self) -> u64 {
+        self.exec.lock().expect("exec template lock").evictions()
     }
 
     /// The numeric reuse templates for this plan's input structure, built

@@ -3,7 +3,7 @@
 
 use crate::domains::{DomainPlan, ROOT};
 use crate::grid::ProcGrid;
-use crate::heuristics::{alt_row_map, greedy_map, subtree_col_map, Heuristic};
+use crate::heuristics::{alt_row_map, greedy_map, proportional_map, subtree_col_map, Heuristic};
 use blockmat::{BlockMatrix, BlockWork};
 
 /// A Cartesian-product mapping: independent panel → processor-row and
@@ -41,6 +41,22 @@ pub enum RowPolicy {
     /// The Section 4.2 alternative: minimize per-processor maxima given the
     /// already-chosen column map.
     AltPerProcessor,
+    /// Proportional mapping (PM): processor rows split recursively among
+    /// elimination-tree subtrees by subtree work, least-loaded placement
+    /// within each subtree's slice (see
+    /// [`proportional_map`](crate::heuristics::proportional_map)).
+    Proportional,
+}
+
+impl RowPolicy {
+    /// Short label for reports ("CY"/"DW"/… for the heuristics, "ALT", "PM").
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            RowPolicy::Heuristic(h) => h.abbrev(),
+            RowPolicy::AltPerProcessor => "ALT",
+            RowPolicy::Proportional => "PM",
+        }
+    }
 }
 
 /// Column mapping policy.
@@ -50,6 +66,21 @@ pub enum ColPolicy {
     Heuristic(Heuristic),
     /// The Section 5 subtree-to-processor-columns communication reducer.
     Subtree,
+    /// Proportional mapping (PM): the Section 5 subtree split with
+    /// least-loaded placement within each subtree's slice (see
+    /// [`proportional_map`](crate::heuristics::proportional_map)).
+    Proportional,
+}
+
+impl ColPolicy {
+    /// Short label for reports ("CY"/"DW"/… for the heuristics, "ST", "PM").
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            ColPolicy::Heuristic(h) => h.abbrev(),
+            ColPolicy::Subtree => "ST",
+            ColPolicy::Proportional => "PM",
+        }
+    }
 }
 
 /// A complete assignment of blocks to processors.
@@ -72,6 +103,30 @@ pub struct Assignment {
     /// work-stealing scheduler) pop high-priority tasks first; `None` lets
     /// the executor derive its own priorities.
     pub priority: Option<Vec<Vec<f64>>>,
+}
+
+/// Maximum per-processor root-portion work of a candidate Cartesian map —
+/// the quantity the overall balance bound divides by.
+fn per_proc_max(
+    bm: &BlockMatrix,
+    work: &BlockWork,
+    eligible: &[bool],
+    grid: ProcGrid,
+    map_i: &[u32],
+    map_j: &[u32],
+) -> u64 {
+    let mut load = vec![0u64; grid.p()];
+    for (j, &elig) in eligible.iter().enumerate() {
+        if !elig {
+            continue;
+        }
+        let c = map_j[j] as usize;
+        for (b, blk) in bm.cols[j].blocks.iter().enumerate() {
+            load[grid.rank(map_i[blk.row_panel as usize] as usize, c)] +=
+                work.per_block[j][b];
+        }
+    }
+    load.into_iter().max().unwrap_or(0)
 }
 
 impl Assignment {
@@ -107,16 +162,38 @@ impl Assignment {
             }
         }
         let depth = &bm.partition.depth;
-        let map_j = match col {
+        let mut map_j = match col {
             ColPolicy::Heuristic(h) => greedy_map(h, &col_work, depth, &eligible, grid.pc),
             ColPolicy::Subtree => subtree_col_map(bm, work, grid.pc),
+            ColPolicy::Proportional => proportional_map(bm, &col_work, &eligible, grid.pc),
         };
         let map_i = match row {
             RowPolicy::Heuristic(h) => greedy_map(h, &row_work, depth, &eligible, grid.pr),
             RowPolicy::AltPerProcessor => {
                 alt_row_map(bm, work, &map_j, &eligible, grid.pr, grid.pc)
             }
+            RowPolicy::Proportional => proportional_map(bm, &row_work, &eligible, grid.pr),
         };
+        // Balance guard for proportional columns (skipped under
+        // AltPerProcessor rows, which were optimized against the subtree
+        // map above): subtree clustering correlates with the row dimension
+        // through the sparsity itself, so per-column balance cannot see the
+        // realized per-processor maxima. With the row map fixed, keep the
+        // subtree-proportional column map only while no Section 4 heuristic
+        // column map yields a strictly lower per-processor maximum —
+        // locality when it is free, balance when it is not (the paper's
+        // Section 5 trade-off, resolved per structure).
+        if col == ColPolicy::Proportional && row != RowPolicy::AltPerProcessor {
+            let mut best = per_proc_max(bm, work, &eligible, grid, &map_i, &map_j);
+            for h in Heuristic::ALL {
+                let cand = greedy_map(h, &col_work, depth, &eligible, grid.pc);
+                let m = per_proc_max(bm, work, &eligible, grid, &map_i, &cand);
+                if m < best {
+                    best = m;
+                    map_j = cand;
+                }
+            }
+        }
         let cp = CpMap { grid, map_i, map_j };
         let mut owner = Vec::with_capacity(np);
         for (j, &elig) in eligible.iter().enumerate() {
@@ -298,6 +375,30 @@ mod tests {
         let max_cyc = *cyc.per_proc_work(&w).iter().max().unwrap();
         let max_heu = *heu.per_proc_work(&w).iter().max().unwrap();
         assert!(max_heu <= max_cyc, "heuristic {max_heu} vs cyclic {max_cyc}");
+    }
+
+    #[test]
+    fn proportional_policies_build_and_label() {
+        let (bm, w) = setup(12);
+        let grid = ProcGrid::new(2, 4);
+        let asg = Assignment::build(
+            &bm,
+            &w,
+            grid,
+            RowPolicy::Proportional,
+            ColPolicy::Proportional,
+            None,
+        );
+        assert_eq!(asg.owner.len(), bm.num_panels());
+        assert!(asg.cp.map_i.iter().all(|&r| r < 2));
+        assert!(asg.cp.map_j.iter().all(|&c| c < 4));
+        let load = asg.per_proc_work(&w);
+        assert_eq!(load.iter().sum::<u64>(), w.total);
+        assert_eq!(RowPolicy::Proportional.abbrev(), "PM");
+        assert_eq!(ColPolicy::Proportional.abbrev(), "PM");
+        assert_eq!(RowPolicy::AltPerProcessor.abbrev(), "ALT");
+        assert_eq!(ColPolicy::Subtree.abbrev(), "ST");
+        assert_eq!(ColPolicy::Heuristic(Heuristic::DecreasingWork).abbrev(), "DW");
     }
 
     #[test]

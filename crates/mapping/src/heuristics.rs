@@ -214,31 +214,52 @@ pub fn subtree_col_map(bm: &BlockMatrix, work: &BlockWork, pc: usize) -> Vec<u32
     let sn = &bm.sn;
     let num_sn = sn.count();
     // Work per supernode = sum of its panels' column work.
-    let mut sn_work = vec![0u64; num_sn];
+    let mut subtree = vec![0u64; num_sn];
     for j in 0..bm.num_panels() {
-        sn_work[bm.partition.sn_of_panel[j] as usize] += work.col_work[j];
+        subtree[bm.partition.sn_of_panel[j] as usize] += work.col_work[j];
     }
     // Subtree work, bottom-up (parents have larger indices).
-    let mut subtree = sn_work.clone();
     for s in 0..num_sn {
         let p = sn.parent[s];
         if p != symbolic::NONE {
             subtree[p as usize] += subtree[s];
         }
     }
+    let sn_range = proportional_ranges(&sn.parent, &subtree, pc);
+    // Panels: cyclic within their supernode's column range.
+    let mut map = vec![0u32; bm.num_panels()];
+    for (j, mj) in map.iter_mut().enumerate() {
+        let s = bm.partition.sn_of_panel[j] as usize;
+        let (lo, hi) = sn_range[s];
+        let span = (hi - lo).max(1);
+        *mj = lo + (j as u32) % span;
+    }
+    map
+}
+
+/// Recursive proportional split of `parts` processor slots over a supernode
+/// tree: each node inherits its parent's slot range and divides it among its
+/// children in proportion to their subtree work (`subtree[s]`, which must
+/// already include descendants), largest-first, in whole slots. Returns the
+/// `(lo, hi)` slot range of every node. Shared by [`subtree_col_map`]
+/// (cyclic placement within ranges) and [`proportional_map`] (least-loaded
+/// placement within ranges).
+pub fn proportional_ranges(parent: &[u32], subtree: &[u64], parts: usize) -> Vec<(u32, u32)> {
+    let num_sn = parent.len();
+    assert_eq!(subtree.len(), num_sn);
+    assert!(parts >= 1);
     let mut children: Vec<Vec<u32>> = vec![Vec::new(); num_sn];
     let mut roots = Vec::new();
-    for s in 0..num_sn {
-        let p = sn.parent[s];
+    for (s, &p) in parent.iter().enumerate() {
         if p == symbolic::NONE {
             roots.push(s as u32);
         } else {
             children[p as usize].push(s as u32);
         }
     }
-    // Recursive proportional split of processor-column ranges.
-    let mut sn_range: Vec<(u32, u32)> = vec![(0, pc as u32); num_sn];
-    let mut stack: Vec<(u32, u32, u32)> = roots.iter().map(|&r| (r, 0, pc as u32)).collect();
+    let mut sn_range: Vec<(u32, u32)> = vec![(0, parts as u32); num_sn];
+    let mut stack: Vec<(u32, u32, u32)> =
+        roots.iter().map(|&r| (r, 0, parts as u32)).collect();
     while let Some((s, lo, hi)) = stack.pop() {
         sn_range[s as usize] = (lo, hi);
         let kids = &children[s as usize];
@@ -253,7 +274,7 @@ pub fn subtree_col_map(bm: &BlockMatrix, work: &BlockWork, pc: usize) -> Vec<u32
             continue;
         }
         let total: u64 = kids.iter().map(|&c| subtree[c as usize]).sum::<u64>().max(1);
-        // Largest-first proportional allocation of whole columns.
+        // Largest-first proportional allocation of whole slots.
         let mut ordered: Vec<u32> = kids.clone();
         ordered.sort_by_key(|&c| std::cmp::Reverse(subtree[c as usize]));
         let mut cursor = lo;
@@ -270,7 +291,7 @@ pub fn subtree_col_map(bm: &BlockMatrix, work: &BlockWork, pc: usize) -> Vec<u32
             let give = give.max(u32::from(remaining_span >= (ordered.len() as u32)));
             let give = give.min(remaining_span);
             if give == 0 {
-                // Out of columns: share the last slot.
+                // Out of slots: share the last slot.
                 stack.push((c, hi - 1, hi));
                 continue;
             }
@@ -280,13 +301,88 @@ pub fn subtree_col_map(bm: &BlockMatrix, work: &BlockWork, pc: usize) -> Vec<u32
             remaining = remaining.saturating_sub(w);
         }
     }
-    // Panels: cyclic within their supernode's column range.
-    let mut map = vec![0u32; bm.num_panels()];
-    for (j, mj) in map.iter_mut().enumerate() {
-        let s = bm.partition.sn_of_panel[j] as usize;
+    sn_range
+}
+
+/// The proportional mapping (PM) heuristic: one grid dimension's processor
+/// slots are divided recursively among elimination-tree subtrees in
+/// proportion to subtree work — exactly the Section 5 subtree split — but
+/// within each subtree's slot range, panels are placed on the least-loaded
+/// slot in decreasing-work order instead of cyclically. The subtree split
+/// keeps a subtree's traffic inside its own slice of the grid dimension,
+/// while the in-range greedy keeps the dimension's balance competitive with
+/// the global greedy heuristics of Section 4.
+///
+/// `dim_work[i]` is panel `i`'s aggregate work in this dimension (row or
+/// column work, root-restricted as in `Assignment::build`). Ineligible
+/// panels get deterministic cyclic slots, consistent with [`greedy_map`].
+pub fn proportional_map(
+    bm: &BlockMatrix,
+    dim_work: &[u64],
+    eligible: &[bool],
+    parts: usize,
+) -> Vec<u32> {
+    let np = bm.num_panels();
+    assert_eq!(dim_work.len(), np);
+    assert_eq!(eligible.len(), np);
+    assert!(parts >= 1);
+    let sn = &bm.sn;
+    let num_sn = sn.count();
+    let mut subtree = vec![0u64; num_sn];
+    for j in 0..np {
+        if eligible[j] {
+            subtree[bm.partition.sn_of_panel[j] as usize] += dim_work[j];
+        }
+    }
+    for s in 0..num_sn {
+        let p = sn.parent[s];
+        if p != symbolic::NONE {
+            subtree[p as usize] += subtree[s];
+        }
+    }
+    let sn_range = proportional_ranges(&sn.parent, &subtree, parts);
+    let mut map = vec![0u32; np];
+    // Ineligible panels: cyclic over their own subsequence.
+    let mut next = 0u32;
+    for i in 0..np {
+        if !eligible[i] {
+            map[i] = next % parts as u32;
+            next += 1;
+        }
+    }
+    let mut order: Vec<u32> = (0..np as u32).filter(|&i| eligible[i as usize]).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse((dim_work[i as usize], i)));
+    let mut load = vec![0u64; parts];
+    for &i in &order {
+        let s = bm.partition.sn_of_panel[i as usize] as usize;
         let (lo, hi) = sn_range[s];
-        let span = (hi - lo).max(1);
-        *mj = lo + (j as u32) % span;
+        let hi = hi.max(lo + 1);
+        let slot = (lo..hi).min_by_key(|&q| load[q as usize]).unwrap();
+        map[i as usize] = slot;
+        load[slot as usize] += dim_work[i as usize];
+    }
+    // Repair pass. The range constraint preserves subtree locality, but
+    // whole-slot rounding can starve a heavy subtree (a 40 % share of two
+    // slots rounds to one). Move panels out of the most-loaded slot — the
+    // heaviest one that strictly lowers the maximum — until no single move
+    // helps. Each move trades one panel's locality for balance; the
+    // untouched majority keeps its subtree slot.
+    loop {
+        let hi = (0..parts).max_by_key(|&q| (load[q], q)).unwrap();
+        let lo = (0..parts).min_by_key(|&q| (load[q], q)).unwrap();
+        let gap = load[hi] - load[lo];
+        let mover = order
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let w = dim_work[i as usize];
+                map[i as usize] as usize == hi && w > 0 && w < gap
+            })
+            .max_by_key(|&i| (dim_work[i as usize], std::cmp::Reverse(i)));
+        let Some(i) = mover else { break };
+        map[i as usize] = lo as u32;
+        load[hi] -= dim_work[i as usize];
+        load[lo] += dim_work[i as usize];
     }
     map
 }
@@ -406,6 +502,81 @@ mod tests {
         assert!(m.iter().all(|&c| c < 4));
         for c in 0..4u32 {
             assert!(m.contains(&c), "column {c} unused");
+        }
+    }
+
+    #[test]
+    fn proportional_map_is_total_and_in_range() {
+        let (bm, w) = setup(12);
+        let eligible = vec![true; bm.num_panels()];
+        let m = proportional_map(&bm, &w.col_work, &eligible, 4);
+        assert_eq!(m.len(), bm.num_panels());
+        assert!(m.iter().all(|&c| c < 4));
+        for c in 0..4u32 {
+            assert!(m.contains(&c), "slot {c} unused");
+        }
+    }
+
+    #[test]
+    fn proportional_map_balances_no_worse_than_cyclic_subtree_map() {
+        // PM shares the subtree split with subtree_col_map but replaces the
+        // cyclic within-range placement by least-loaded greedy; on the same
+        // work vector its max slot load must not exceed the cyclic variant's.
+        let (bm, w) = setup(16);
+        let eligible = vec![true; bm.num_panels()];
+        let pc = 8;
+        let pm = proportional_map(&bm, &w.col_work, &eligible, pc);
+        let st = subtree_col_map(&bm, &w, pc);
+        let max_load = |m: &[u32]| -> u64 {
+            let mut load = vec![0u64; pc];
+            for (j, &c) in m.iter().enumerate() {
+                load[c as usize] += w.col_work[j];
+            }
+            load.into_iter().max().unwrap()
+        };
+        assert!(max_load(&pm) <= max_load(&st), "PM worse than cyclic subtree placement");
+    }
+
+    #[test]
+    fn proportional_map_separates_sibling_subtrees() {
+        let (bm, w) = setup(16);
+        let eligible = vec![true; bm.num_panels()];
+        let m = proportional_map(&bm, &w.col_work, &eligible, 8);
+        let sn = &bm.sn;
+        let root = (0..sn.count()).rfind(|&s| sn.parent[s] == symbolic::NONE).unwrap();
+        let kids: Vec<usize> = (0..sn.count())
+            .filter(|&s| sn.parent[s] != symbolic::NONE && sn.parent[s] as usize == root)
+            .collect();
+        if kids.len() >= 2 {
+            // Per-sibling work landed on each slot. The placement pass puts
+            // siblings on disjoint slot ranges; the repair pass may move a
+            // few panels across for balance, so assert *mostly* disjoint by
+            // work rather than strictly disjoint by slot set.
+            let work_on = |s0: usize| -> Vec<u64> {
+                let mut desc = vec![false; sn.count()];
+                desc[s0] = true;
+                for s in (0..s0).rev() {
+                    let p = sn.parent[s];
+                    if p != symbolic::NONE && desc[p as usize] {
+                        desc[s] = true;
+                    }
+                }
+                let mut on = vec![0u64; 8];
+                for j in 0..bm.num_panels() {
+                    if desc[bm.partition.sn_of_panel[j] as usize] {
+                        on[m[j] as usize] += w.col_work[j];
+                    }
+                }
+                on
+            };
+            let a = work_on(kids[0]);
+            let b = work_on(kids[1]);
+            let shared: u64 = a.iter().zip(&b).map(|(&x, &y)| x.min(y)).sum();
+            let smaller = a.iter().sum::<u64>().min(b.iter().sum::<u64>());
+            assert!(
+                2 * shared < smaller,
+                "PM siblings overlap {shared} of {smaller}: {a:?} vs {b:?}"
+            );
         }
     }
 

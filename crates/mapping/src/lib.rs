@@ -14,6 +14,11 @@
 //!   block rows to minimize the maximum *per-processor* (not per-row) work;
 //! * [`subtree_col_map`] — the Section 5 communication-reducing variant that
 //!   divides processor columns among elimination-tree subtrees;
+//! * [`proportional_map`] — proportional mapping (PM): the same recursive
+//!   subtree split of processor slots (shared via [`proportional_ranges`]),
+//!   but with least-loaded greedy placement inside each subtree's slice, so
+//!   it works for rows as well as columns and competes with the Section 4
+//!   heuristics on balance while retaining subtree communication locality;
 //! * [`DomainPlan`] — the fan-out method's domain portion: disjoint subtrees
 //!   assigned wholly to single processors (Section 2.3);
 //! * [`Assignment`] — the final per-block ownership table combining domains
@@ -27,4 +32,6 @@ pub mod heuristics;
 pub use assignment::{Assignment, ColPolicy, CpMap, RowPolicy};
 pub use domains::{DomainPlan, DomainParams};
 pub use grid::ProcGrid;
-pub use heuristics::{alt_row_map, greedy_map, subtree_col_map, Heuristic};
+pub use heuristics::{
+    alt_row_map, greedy_map, proportional_map, proportional_ranges, subtree_col_map, Heuristic,
+};

@@ -3,7 +3,7 @@
 //! The paper (Section 3.1) pre-orders the 2-D/3-D grid problems with nested
 //! dissection ("asymptotically optimal for these problems") and the irregular
 //! Harwell-Boeing problems with multiple minimum degree. This crate provides
-//! both:
+//! both, plus a coordinate-free dissection:
 //!
 //! * [`minimum_degree`] — a quotient-graph minimum external degree ordering
 //!   with supervariable (indistinguishable node) merging and element
@@ -13,18 +13,27 @@
 //! * [`nested_dissection`] — geometric nested dissection for problems with
 //!   node coordinates, recursing on coordinate-median planes and ordering
 //!   separators last, with minimum degree on the base regions.
-//! * [`order_problem`] — applies the ordering the paper uses for a given
-//!   benchmark problem.
+//! * [`nd_graph`] — graph-based nested dissection for patterns *without*
+//!   coordinates: supervariable compression, BFS level-set bisection with
+//!   greedy boundary refinement, minimum degree on base regions.
+//! * [`order_problem`] / [`order_problem_with_tree`] — applies the ordering
+//!   the paper uses for a given benchmark problem; the `_with_tree` variant
+//!   also returns the [`SeparatorTree`] when dissection ran, which drives
+//!   subtree-parallel symbolic analysis and proportional mapping downstream.
 //!
 //! The [`reference`] module contains a naive "elimination game" used by tests
 //! (here and in dependent crates) to validate fill counts independently.
 
 pub mod mindeg;
 pub mod nd;
+pub mod nd_graph;
 pub mod reference;
+pub mod septree;
 
 pub use mindeg::minimum_degree;
-pub use nd::{nested_dissection, BaseOrdering, NdOptions};
+pub use nd::{nested_dissection, nested_dissection_with_tree, BaseOrdering, NdOptions};
+pub use nd_graph::{nd_graph, NdGraphOptions};
+pub use septree::SeparatorTree;
 
 use sparsemat::gen::OrderingHint;
 use sparsemat::{Graph, Permutation, Problem};
@@ -33,15 +42,26 @@ use sparsemat::{Graph, Permutation, Problem};
 /// grid/cube problems (they carry coordinates), minimum degree for irregular
 /// problems, and the natural order for dense ones.
 pub fn order_problem(p: &Problem) -> Permutation {
+    order_problem_with_tree(p).0
+}
+
+/// [`order_problem`], also returning the separator tree when the chosen
+/// ordering was a dissection (geometric or graph-based). Minimum-degree and
+/// natural orderings have no tree.
+pub fn order_problem_with_tree(p: &Problem) -> (Permutation, Option<SeparatorTree>) {
     let g = Graph::from_pattern(p.matrix.pattern());
     match (p.ordering, &p.coords) {
-        (OrderingHint::Natural, _) => Permutation::identity(p.n()),
+        (OrderingHint::Natural, _) => (Permutation::identity(p.n()), None),
         (OrderingHint::NestedDissection, Some(coords)) => {
-            nested_dissection(&g, coords, &NdOptions::default())
+            let (perm, tree) = nested_dissection_with_tree(&g, coords, &NdOptions::default());
+            (perm, Some(tree))
         }
-        // No coordinates: fall back to minimum degree (still a good ordering).
-        (OrderingHint::NestedDissection, None) => minimum_degree(&g),
-        (OrderingHint::MinimumDegree, _) => minimum_degree(&g),
+        // No coordinates: dissect the graph structure directly.
+        (OrderingHint::NestedDissection, None) => {
+            let (perm, tree) = nd_graph(&g, &NdGraphOptions::default());
+            (perm, Some(tree))
+        }
+        (OrderingHint::MinimumDegree, _) => (minimum_degree(&g), None),
     }
 }
 
@@ -56,11 +76,24 @@ mod tests {
         assert_eq!(order_problem(&dense), Permutation::identity(10));
 
         let grid = gen::grid2d(6);
-        let p = order_problem(&grid);
+        let (p, tree) = order_problem_with_tree(&grid);
         assert_eq!(p.len(), 36);
+        assert!(tree.is_some(), "geometric nd must return a tree");
 
         let irr = gen::bcsstk_like("T", 60, 1);
-        let p = order_problem(&irr);
+        let (p, tree) = order_problem_with_tree(&irr);
         assert_eq!(p.len(), irr.n());
+        assert!(tree.is_none(), "minimum degree has no separator tree");
+    }
+
+    #[test]
+    fn nd_without_coords_uses_graph_dissection() {
+        let mut p = gen::bcsstk_like("T", 400, 1);
+        p.coords = None;
+        p.ordering = gen::OrderingHint::NestedDissection;
+        let (perm, tree) = order_problem_with_tree(&p);
+        assert_eq!(perm.len(), p.n());
+        let tree = tree.expect("nd_graph returns a tree");
+        tree.validate().unwrap();
     }
 }

@@ -6,8 +6,12 @@
 //! of vertices on the high side with a neighbor on the low side, the two
 //! halves are ordered recursively, and the separator is ordered last. Small
 //! base regions are ordered with minimum degree.
+//!
+//! Like the coordinate-free [`crate::nd_graph`], the recursion is recorded
+//! as a [`SeparatorTree`] (see [`nested_dissection_with_tree`]).
 
 use crate::minimum_degree;
+use crate::septree::{SeparatorTree, NONE};
 use sparsemat::{Graph, Permutation};
 
 /// How to order base-case regions.
@@ -39,106 +43,164 @@ impl Default for NdOptions {
 /// `coords[v]` is the physical position of vertex `v`; the generators in
 /// `sparsemat::gen` attach them for grid/cube problems.
 pub fn nested_dissection(g: &Graph, coords: &[[f32; 3]], opts: &NdOptions) -> Permutation {
-    assert_eq!(coords.len(), g.n());
-    let mut order = Vec::with_capacity(g.n());
-    let all: Vec<u32> = (0..g.n() as u32).collect();
-    let mut scratch = Scratch {
-        side: vec![0; g.n()],
-        member: vec![0; g.n()],
-        ctr: 0,
-    };
-    dissect(g, coords, opts, all, &mut scratch, &mut order);
-    Permutation::from_old_of_new(order).expect("dissection emits each vertex once")
+    nested_dissection_with_tree(g, coords, opts).0
 }
 
-/// Reusable per-vertex scratch: `side` holds low/high labels for the active
-/// region, `member[v] == ctr` marks membership in the active region.
-struct Scratch {
-    side: Vec<u8>,
-    member: Vec<u32>,
-    ctr: u32,
-}
-
-fn dissect(
+/// [`nested_dissection`], also returning the separator tree of the recursion
+/// for subtree-parallel analysis and proportional mapping.
+pub fn nested_dissection_with_tree(
     g: &Graph,
     coords: &[[f32; 3]],
     opts: &NdOptions,
-    mut region: Vec<u32>,
-    scratch: &mut Scratch,
-    order: &mut Vec<u32>,
-) {
-    if region.len() <= opts.base_cutoff {
-        order_base(g, opts, &region, order);
-        return;
+) -> (Permutation, SeparatorTree) {
+    assert_eq!(coords.len(), g.n());
+    let mut d = Dissector {
+        g,
+        coords,
+        opts,
+        order: Vec::with_capacity(g.n()),
+        side: vec![0; g.n()],
+        member: vec![0; g.n()],
+        ctr: 0,
+        parent: Vec::new(),
+        col_start: Vec::new(),
+        col_end: Vec::new(),
+        first_desc: Vec::new(),
+    };
+    if g.n() > 0 {
+        let all: Vec<u32> = (0..g.n() as u32).collect();
+        d.dissect(all);
     }
-    // Widest axis of the region's bounding box.
-    let mut lo = [f32::INFINITY; 3];
-    let mut hi = [f32::NEG_INFINITY; 3];
-    for &v in &region {
-        for a in 0..3 {
-            lo[a] = lo[a].min(coords[v as usize][a]);
-            hi[a] = hi[a].max(coords[v as usize][a]);
-        }
-    }
-    let axis = (0..3)
-        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
-        .unwrap();
-
-    // Median split along that axis.
-    region.sort_unstable_by(|&a, &b| {
-        coords[a as usize][axis]
-            .partial_cmp(&coords[b as usize][axis])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
-    let mid = region.len() / 2;
-    let pivot = coords[region[mid] as usize][axis];
-    // Low side: strictly below the pivot coordinate. (Ties all go high, which
-    // keeps the split deterministic; a degenerate split falls back below.)
-    let split = region.partition_point(|&v| coords[v as usize][axis] < pivot);
-    if split == 0 || split == region.len() {
-        // All coordinates equal along every axis (or pathological geometry):
-        // no plane separates; order the region directly.
-        order_base(g, opts, &region, order);
-        return;
-    }
-    let (low, high) = region.split_at(split);
-    scratch.ctr += 1;
-    let ctr = scratch.ctr;
-    for &v in low {
-        scratch.side[v as usize] = 0;
-        scratch.member[v as usize] = ctr;
-    }
-    for &v in high {
-        scratch.side[v as usize] = 1;
-        scratch.member[v as usize] = ctr;
-    }
-    // Separator: high-side vertices adjacent to a low-side vertex *of this
-    // region*.
-    let mut separator = Vec::new();
-    let mut rest_high = Vec::new();
-    for &v in high {
-        let is_sep = g
-            .neighbors(v as usize)
-            .iter()
-            .any(|&w| scratch.member[w as usize] == ctr && scratch.side[w as usize] == 0);
-        if is_sep {
-            separator.push(v);
-        } else {
-            rest_high.push(v);
-        }
-    }
-    let low = low.to_vec();
-    drop(region);
-    dissect(g, coords, opts, low, scratch, order);
-    dissect(g, coords, opts, rest_high, scratch, order);
-    // Separator last; its internal order is by coordinate (already sorted by
-    // the region sort, which is stable with respect to the axis key).
-    order.extend(separator);
+    let perm = Permutation::from_old_of_new(d.order).expect("dissection emits each vertex once");
+    let tree = SeparatorTree {
+        parent: d.parent,
+        col_start: d.col_start,
+        col_end: d.col_end,
+        first_desc_col: d.first_desc,
+        n: g.n() as u32,
+    };
+    debug_assert_eq!(tree.validate(), Ok(()));
+    (perm, tree)
 }
 
-fn order_base(g: &Graph, opts: &NdOptions, region: &[u32], order: &mut Vec<u32>) {
-    match opts.base {
+/// Recursion state: `side` holds low/high labels for the active region,
+/// `member[v] == ctr` marks membership in the active region; the four tree
+/// vectors grow one slot per finished node (postorder, roots last).
+struct Dissector<'a> {
+    g: &'a Graph,
+    coords: &'a [[f32; 3]],
+    opts: &'a NdOptions,
+    order: Vec<u32>,
+    side: Vec<u8>,
+    member: Vec<u32>,
+    ctr: u32,
+    parent: Vec<u32>,
+    col_start: Vec<u32>,
+    col_end: Vec<u32>,
+    first_desc: Vec<u32>,
+}
+
+impl Dissector<'_> {
+    fn push_node(&mut self, children: &[u32], first_desc: u32, col_start: u32) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(NONE);
+        self.col_start.push(col_start);
+        self.col_end.push(self.order.len() as u32);
+        self.first_desc.push(first_desc);
+        for &c in children {
+            self.parent[c as usize] = id;
+        }
+        id
+    }
+
+    fn leaf(&mut self, region: &[u32]) -> u32 {
+        let start = self.order.len() as u32;
+        order_base(self.g, self.opts.base, region, &mut self.order);
+        self.push_node(&[], start, start)
+    }
+
+    fn dissect(&mut self, mut region: Vec<u32>) -> u32 {
+        if region.len() <= self.opts.base_cutoff {
+            return self.leaf(&region);
+        }
+        // Widest axis of the region's bounding box. `total_cmp` keeps NaN
+        // coordinates from panicking; they sort deterministically and the
+        // degenerate-split fallback below catches any nonsense they cause.
+        let mut lo = [f32::INFINITY; 3];
+        let mut hi = [f32::NEG_INFINITY; 3];
+        for &v in &region {
+            for a in 0..3 {
+                lo[a] = lo[a].min(self.coords[v as usize][a]);
+                hi[a] = hi[a].max(self.coords[v as usize][a]);
+            }
+        }
+        let axis = (0..3)
+            .max_by(|&a, &b| (hi[a] - lo[a]).total_cmp(&(hi[b] - lo[b])))
+            .unwrap();
+
+        // Median split along that axis.
+        region.sort_unstable_by(|&a, &b| {
+            self.coords[a as usize][axis]
+                .total_cmp(&self.coords[b as usize][axis])
+                .then(a.cmp(&b))
+        });
+        let mid = region.len() / 2;
+        let pivot = self.coords[region[mid] as usize][axis];
+        // Low side: strictly below the pivot coordinate. (Ties all go high,
+        // which keeps the split deterministic; a degenerate split falls back
+        // below.)
+        let split = region.partition_point(|&v| self.coords[v as usize][axis] < pivot);
+        if split == 0 || split == region.len() {
+            // All coordinates equal along every axis (or pathological
+            // geometry, e.g. NaN): no plane separates; order directly.
+            return self.leaf(&region);
+        }
+        let (low, high) = region.split_at(split);
+        self.ctr += 1;
+        let ctr = self.ctr;
+        for &v in low {
+            self.side[v as usize] = 0;
+            self.member[v as usize] = ctr;
+        }
+        for &v in high {
+            self.side[v as usize] = 1;
+            self.member[v as usize] = ctr;
+        }
+        // Separator: high-side vertices adjacent to a low-side vertex *of
+        // this region*.
+        let mut separator = Vec::new();
+        let mut rest_high = Vec::new();
+        for &v in high {
+            let is_sep = self
+                .g
+                .neighbors(v as usize)
+                .iter()
+                .any(|&w| self.member[w as usize] == ctr && self.side[w as usize] == 0);
+            if is_sep {
+                separator.push(v);
+            } else {
+                rest_high.push(v);
+            }
+        }
+        let low = low.to_vec();
+        drop(region);
+        let first_desc = self.order.len() as u32;
+        let mut children = vec![self.dissect(low)];
+        if !rest_high.is_empty() {
+            children.push(self.dissect(rest_high));
+        }
+        // Separator last; its internal order is by coordinate (already
+        // sorted by the region sort, which kept the axis key order).
+        let col_start = self.order.len() as u32;
+        self.order.extend_from_slice(&separator);
+        self.push_node(&children, first_desc, col_start)
+    }
+}
+
+/// Orders a base-case region (shared with [`crate::nd_graph`]): natural
+/// order, or minimum degree on the extracted region subgraph.
+pub(crate) fn order_base(g: &Graph, base: BaseOrdering, region: &[u32], order: &mut Vec<u32>) {
+    match base {
         BaseOrdering::Natural => order.extend_from_slice(region),
         BaseOrdering::MinimumDegree => {
             if region.len() <= 2 {
@@ -194,12 +256,16 @@ mod tests {
         let g = Graph::from_pattern(p.matrix.pattern());
         let coords = p.coords.as_ref().unwrap();
         let opts = NdOptions { base_cutoff: 4, base: BaseOrdering::Natural };
-        let perm = nested_dissection(&g, coords, &opts);
+        let (perm, tree) = nested_dissection_with_tree(&g, coords, &opts);
+        tree.validate().unwrap();
         // The last k vertices must share one x (or y) coordinate: a plane.
         let tail: Vec<usize> = (k * k - k..k * k).map(|t| perm.old_of_new(t)).collect();
         let same_x = tail.iter().all(|&v| coords[v][0] == coords[tail[0]][0]);
         let same_y = tail.iter().all(|&v| coords[v][1] == coords[tail[0]][1]);
         assert!(same_x || same_y, "tail is not a grid line: {tail:?}");
+        // And the tree root owns exactly those separator columns.
+        let root = tree.len() - 1;
+        assert_eq!(tree.own_cols(root), (k * k - k) as u32..(k * k) as u32);
     }
 
     #[test]
@@ -221,6 +287,52 @@ mod tests {
         let opts = NdOptions { base_cutoff: 2, base: BaseOrdering::Natural };
         let perm = nested_dissection(&g, &coords, &opts);
         assert_eq!(perm.len(), 16);
+    }
+
+    #[test]
+    fn degenerate_empty_and_single_node() {
+        let p = sparsemat::SparsityPattern::from_coords(0, Vec::new()).unwrap();
+        let g = Graph::from_pattern(&p);
+        let (perm, tree) = nested_dissection_with_tree(&g, &[], &NdOptions::default());
+        assert_eq!(perm.len(), 0);
+        assert!(tree.is_empty());
+
+        let p = sparsemat::SparsityPattern::from_coords(1, Vec::new()).unwrap();
+        let g = Graph::from_pattern(&p);
+        let perm = nested_dissection(&g, &[[0.0; 3]], &NdOptions::default());
+        assert_eq!(perm.len(), 1);
+    }
+
+    #[test]
+    fn degenerate_disconnected_components() {
+        // 64 isolated vertices on a line: geometric splitting never finds a
+        // separator (halves are never adjacent), but must still emit a valid
+        // permutation and tree.
+        let p = sparsemat::SparsityPattern::from_coords(64, Vec::new()).unwrap();
+        let g = Graph::from_pattern(&p);
+        let coords: Vec<[f32; 3]> = (0..64).map(|i| [i as f32, 0.0, 0.0]).collect();
+        let opts = NdOptions { base_cutoff: 8, base: BaseOrdering::MinimumDegree };
+        let (perm, tree) = nested_dissection_with_tree(&g, &coords, &opts);
+        assert_eq!(perm.len(), 64);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_duplicate_and_nan_coords() {
+        // Half the grid collapses onto one point, and two coordinates are
+        // NaN: must not panic, must stay a bijection.
+        let p = gen::grid2d(8);
+        let g = Graph::from_pattern(p.matrix.pattern());
+        let mut coords = p.coords.clone().unwrap();
+        for c in coords.iter_mut().take(32) {
+            *c = [1.0, 1.0, 0.0];
+        }
+        coords[40] = [f32::NAN, 0.0, 0.0];
+        coords[41] = [0.0, f32::NAN, f32::NAN];
+        let opts = NdOptions { base_cutoff: 4, base: BaseOrdering::MinimumDegree };
+        let (perm, tree) = nested_dissection_with_tree(&g, &coords, &opts);
+        assert_eq!(perm.len(), 64);
+        tree.validate().unwrap();
     }
 
     #[test]

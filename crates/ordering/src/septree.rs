@@ -1,0 +1,195 @@
+//! The separator tree produced by nested dissection.
+//!
+//! Each dissection step orders two (or more) independent regions first and
+//! the separator last, so in the *new* label space every node of the
+//! recursion owns a contiguous column range and every subtree of the
+//! recursion owns a contiguous column range ending in the subtree root's own
+//! columns. Downstream consumers rely on exactly two properties:
+//!
+//! * **Disjoint independence** — the column sets of two subtrees with no
+//!   ancestor relation touch no common entries: every matrix entry `(i, j)`
+//!   with `i` in a subtree has `j` in the same subtree or in a separator
+//!   *above* it. This is what lets symbolic analysis run per subtree in
+//!   parallel and lets proportional mapping hand each subtree to a disjoint
+//!   processor subset.
+//! * **Contiguity** — a subtree's columns are the range
+//!   `[first_desc_col(s), col_end(s))`, with the node's own (separator or
+//!   base-region) columns `[col_start(s), col_end(s))` at the top of it.
+//!
+//! Nodes are stored in postorder: children always have smaller indices than
+//! their parent, and roots come last (mirroring the supernode-tree
+//! convention in `symbolic`).
+
+/// Sentinel parent value for roots (matches `symbolic::NONE`).
+pub const NONE: u32 = u32::MAX;
+
+/// The recursion tree of a nested dissection ordering, in the *new* (ordered)
+/// label space. See the module docs for the invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeparatorTree {
+    /// Parent node ([`NONE`] for roots). Parents have larger indices.
+    pub parent: Vec<u32>,
+    /// First own column of each node (separator columns for internal nodes,
+    /// base-region columns for leaves; may equal `col_end` for synthetic
+    /// nodes grouping disconnected components).
+    pub col_start: Vec<u32>,
+    /// One past the last own column of each node.
+    pub col_end: Vec<u32>,
+    /// First column of the node's whole subtree; the subtree columns are
+    /// `first_desc_col[s]..col_end[s]`, contiguous.
+    pub first_desc_col: Vec<u32>,
+    /// Total number of matrix columns.
+    pub n: u32,
+}
+
+impl SeparatorTree {
+    /// Number of tree nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the tree has no nodes (empty problem).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Own-column range of node `s`.
+    #[inline]
+    pub fn own_cols(&self, s: usize) -> std::ops::Range<u32> {
+        self.col_start[s]..self.col_end[s]
+    }
+
+    /// Column range of the whole subtree rooted at `s`.
+    #[inline]
+    pub fn subtree_cols(&self, s: usize) -> std::ops::Range<u32> {
+        self.first_desc_col[s]..self.col_end[s]
+    }
+
+    /// Children lists (ascending).
+    pub fn children(&self) -> Vec<Vec<u32>> {
+        let mut kids = vec![Vec::new(); self.len()];
+        for (s, &p) in self.parent.iter().enumerate() {
+            if p != NONE {
+                kids[p as usize].push(s as u32);
+            }
+        }
+        kids
+    }
+
+    /// Splits the column space into up to `target` disjoint independent
+    /// subtree ranges for parallel symbolic analysis: starting from the
+    /// roots, the widest subtree on the frontier is repeatedly replaced by
+    /// its children (its own separator columns drop out of the covered set
+    /// and are handled by the sequential stitch). Returns ranges sorted by
+    /// start; columns not covered by any range are separator columns.
+    pub fn parallel_ranges(&self, target: usize) -> Vec<std::ops::Range<u32>> {
+        let kids = self.children();
+        let mut frontier: Vec<u32> = (0..self.len() as u32)
+            .filter(|&s| self.parent[s as usize] == NONE)
+            .collect();
+        let width = |s: u32| {
+            let r = self.subtree_cols(s as usize);
+            r.end - r.start
+        };
+        while frontier.len() < target.max(1) {
+            // Split the widest splittable subtree.
+            let Some(pos) = frontier
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| !kids[s as usize].is_empty())
+                .max_by_key(|&(_, &s)| width(s))
+                .map(|(i, _)| i)
+            else {
+                break; // all leaves
+            };
+            let s = frontier.swap_remove(pos);
+            frontier.extend(kids[s as usize].iter().copied());
+        }
+        let mut ranges: Vec<std::ops::Range<u32>> = frontier
+            .into_iter()
+            .map(|s| self.subtree_cols(s as usize))
+            .filter(|r| !r.is_empty())
+            .collect();
+        ranges.sort_by_key(|r| r.start);
+        ranges
+    }
+
+    /// Structural sanity check; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let m = self.len();
+        for v in [&self.col_start, &self.col_end, &self.first_desc_col] {
+            if v.len() != m {
+                return Err("field length mismatch".into());
+            }
+        }
+        let mut covered = vec![false; self.n as usize];
+        for s in 0..m {
+            if self.col_start[s] > self.col_end[s]
+                || self.first_desc_col[s] > self.col_start[s]
+                || self.col_end[s] > self.n
+            {
+                return Err(format!("node {s}: inconsistent ranges"));
+            }
+            for c in self.own_cols(s) {
+                if covered[c as usize] {
+                    return Err(format!("column {c} owned twice"));
+                }
+                covered[c as usize] = true;
+            }
+            let p = self.parent[s];
+            if p != NONE {
+                let p = p as usize;
+                if p <= s || p >= m {
+                    return Err(format!("node {s}: bad parent {p}"));
+                }
+                // The child's subtree nests inside the parent's descendants.
+                if self.first_desc_col[s] < self.first_desc_col[p]
+                    || self.col_end[s] > self.col_start[p]
+                {
+                    return Err(format!("node {s}: subtree escapes parent {p}"));
+                }
+            }
+        }
+        if covered.iter().any(|&c| !c) {
+            return Err("column not owned by any node".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level() -> SeparatorTree {
+        // [0,4) leaf | [4,8) leaf | [8,10) separator root.
+        SeparatorTree {
+            parent: vec![2, 2, NONE],
+            col_start: vec![0, 4, 8],
+            col_end: vec![4, 8, 10],
+            first_desc_col: vec![0, 4, 0],
+            n: 10,
+        }
+    }
+
+    #[test]
+    fn validates_and_ranges() {
+        let t = two_level();
+        t.validate().unwrap();
+        assert_eq!(t.subtree_cols(2), 0..10);
+        assert_eq!(t.parallel_ranges(1), vec![0..10]);
+        assert_eq!(t.parallel_ranges(2), vec![0..4, 4..8]);
+        // Leaves cannot split further.
+        assert_eq!(t.parallel_ranges(8), vec![0..4, 4..8]);
+    }
+
+    #[test]
+    fn validate_rejects_overlap() {
+        let mut t = two_level();
+        t.col_start[1] = 3;
+        t.first_desc_col[1] = 3;
+        assert!(t.validate().is_err());
+    }
+}

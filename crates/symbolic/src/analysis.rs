@@ -19,7 +19,7 @@ pub struct FactorStats {
 /// Result of symbolic analysis: the fill-reducing-plus-postorder permutation,
 /// the permuted pattern, the elimination tree, per-column factor counts, the
 /// (amalgamated) supernode partition with structures, and factor statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Analysis {
     /// Combined permutation applied to the original matrix (fill-reducing
     /// ordering composed with an etree postorder).

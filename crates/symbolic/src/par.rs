@@ -1,0 +1,563 @@
+//! Subtree-parallel symbolic analysis.
+//!
+//! [`analyze_parallel_timed`] produces output **bit-identical** to
+//! [`crate::analyze_timed`] while running the three heavy stages (etree,
+//! column counts, supernodal structure) across scoped threads. The key
+//! observation: a column range `R = [lo, hi)` that is *closed* — every
+//! matrix entry `(i, j)` with row `i ∈ R` has `j ∈ R` — confines all state
+//! an algorithm touches while processing rows of `R` to `R` itself, so
+//! disjoint closed ranges can run concurrently on shared global arrays with
+//! provably disjoint writes. Rows covered by no range (separator columns)
+//! are then stitched in sequentially; because every stitch row index exceeds
+//! every range row index it shares state with, the per-column update
+//! sequences match a fully sequential ascending pass exactly.
+//!
+//! Where the closed ranges come from differs by stage:
+//!
+//! * **etree** runs before any tree exists, so its ranges are the separator
+//!   subtree column ranges handed in by the caller (from
+//!   `ordering::SeparatorTree::parallel_ranges`). Each range is validated
+//!   against the actual pattern — a range whose rows reach below `lo` is
+//!   demoted to the stitch — making the function safe for arbitrary input
+//!   ranges.
+//! * **column counts** and **supernode structure** run after the postorder
+//!   relabel (which scrambles the caller's ranges), so their ranges are
+//!   re-derived from the postordered etree itself: any antichain of etree
+//!   subtrees gives contiguous ranges `[v+1-size(v), v+1)`, closed by the
+//!   etree's defining property (`a_ij ≠ 0, j < i` ⇒ `j` is a descendant of
+//!   `i`). This also means those two stages parallelize under *any*
+//!   ordering, not just nested dissection.
+//!
+//! Supernode structure additionally needs the supernode-tree children lists
+//! *before* the parallel phase (the sequential code attaches children on the
+//! fly, a shared-state write). They are precomputed from the etree alone —
+//! for fundamental supernodes the first structure row below the last column
+//! `b_s` is exactly `etree_parent(b_s)` — and children of an in-range
+//! supernode are provably in-range, so each task only reads structures it
+//! already wrote. Amalgamation stays sequential (it is a cheap union-find
+//! pass whose merge cascade is inherently order-dependent).
+
+use crate::analysis::{Analysis, FactorStats, SymbolicTimings};
+use crate::colcount::{nnz_l_strictly_lower, sequential_ops};
+use crate::etree::{is_postordered, lower_row_structure, postorder, relabel, NONE};
+use crate::supernodes::{
+    detect, supernode_children, supernode_structure, AmalgamationOpts, Supernodes,
+};
+use sparsemat::{Permutation, SparsityPattern};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One per-subtree slice of the analysis, on a clock starting when the
+/// analysis started. Converted to a `trace::PhaseSpan` by the solver core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubtreeSpan {
+    /// `"analyze subtree k"` (etree), `"count subtree k"` (column counts),
+    /// or `"snode subtree k"` (supernode structure).
+    pub name: String,
+    /// Start, seconds since analysis start.
+    pub start_s: f64,
+    /// End, seconds since analysis start.
+    pub end_s: f64,
+}
+
+/// [`analyze_parallel_timed`] without the instrumentation.
+pub fn analyze_parallel(
+    a: &SparsityPattern,
+    fill_perm: &Permutation,
+    amalg: &AmalgamationOpts,
+    ranges: &[Range<u32>],
+    workers: usize,
+) -> Analysis {
+    analyze_parallel_timed(a, fill_perm, amalg, ranges, workers).0
+}
+
+/// Runs the full symbolic phase with subtree parallelism. Bit-identical to
+/// [`crate::analyze_timed`] for any `ranges` and `workers` (invalid or empty
+/// ranges simply shrink the parallel portion). See the module docs for the
+/// correctness argument.
+pub fn analyze_parallel_timed(
+    a: &SparsityPattern,
+    fill_perm: &Permutation,
+    amalg: &AmalgamationOpts,
+    ranges: &[Range<u32>],
+    workers: usize,
+) -> (Analysis, SymbolicTimings, Vec<SubtreeSpan>) {
+    assert_eq!(a.n(), fill_perm.len());
+    let n = a.n();
+    if n == 0 {
+        let (an, t) = crate::analysis::analyze_timed(a, fill_perm, amalg);
+        return (an, t, Vec::new());
+    }
+    let workers = workers.max(1);
+    let mut t = SymbolicTimings::default();
+    let mut spans: Vec<SubtreeSpan> = Vec::new();
+    let epoch = Instant::now();
+
+    // --- Permute + parallel etree + postorder. ---
+    let a1 = fill_perm.apply_to_pattern(a);
+    let (row_ptr, row_cols) = lower_row_structure(&a1);
+    let ranges = sanitize_ranges(ranges, n, &row_ptr, &row_cols);
+    let mut parent1 = vec![NONE; n];
+    let mut ancestor = vec![NONE; n];
+    {
+        let parent_p = SharedPtr(parent1.as_mut_ptr());
+        let ancestor_p = SharedPtr(ancestor.as_mut_ptr());
+        let (row_ptr, row_cols) = (&row_ptr, &row_cols);
+        run_spanned(workers, &ranges, epoch, "analyze subtree", &mut spans, |k| {
+            let r = &ranges[k];
+            // SAFETY: `ranges` are disjoint and closed, so the walks below
+            // read and write only indices in `ranges[k]` (see module docs).
+            unsafe {
+                etree_rows(
+                    r.start as usize..r.end as usize,
+                    row_ptr,
+                    row_cols,
+                    parent_p,
+                    ancestor_p,
+                );
+            }
+        });
+        // SAFETY: single-threaded from here; the stitch owns both arrays.
+        unsafe {
+            etree_rows(uncovered(&ranges, n), row_ptr, row_cols, parent_p, ancestor_p);
+        }
+    }
+    drop(ancestor);
+    let po = postorder(&parent1);
+    let identity_po = po == Permutation::identity(n);
+    let (pattern, parent, perm) = if identity_po {
+        (a1, parent1, fill_perm.clone())
+    } else {
+        let a2 = po.apply_to_pattern(&a1);
+        let parent2 = relabel(&parent1, &po);
+        (a2, parent2, fill_perm.then(&po))
+    };
+    debug_assert!(is_postordered(&parent));
+    t.etree_s = epoch.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+
+    // --- Parallel column counts over etree-derived subtree ranges. ---
+    let (row_ptr, row_cols) = if identity_po {
+        (row_ptr, row_cols)
+    } else {
+        lower_row_structure(&pattern)
+    };
+    let sub_ranges = subtree_ranges(&parent, 4 * workers);
+    let mut counts = vec![1u32; n];
+    let mut mark = vec![NONE; n];
+    {
+        let count_p = SharedPtr(counts.as_mut_ptr());
+        let mark_p = SharedPtr(mark.as_mut_ptr());
+        let (row_ptr, row_cols, parent) = (&row_ptr, &row_cols, &parent);
+        run_spanned(workers, &sub_ranges, epoch, "count subtree", &mut spans, |k| {
+            let r = &sub_ranges[k];
+            // SAFETY: etree subtree ranges are closed (module docs), so each
+            // task touches only `count`/`mark` slots inside its own range.
+            unsafe {
+                count_rows(
+                    r.start as usize..r.end as usize,
+                    row_ptr,
+                    row_cols,
+                    parent,
+                    count_p,
+                    mark_p,
+                );
+            }
+        });
+        // SAFETY: single-threaded stitch.
+        unsafe {
+            count_rows(uncovered(&sub_ranges, n), row_ptr, row_cols, parent, count_p, mark_p);
+        }
+    }
+    drop(mark);
+    let stats = FactorStats {
+        nnz_l: nnz_l_strictly_lower(&counts),
+        ops: sequential_ops(&counts),
+    };
+    t.colcount_s = t1.elapsed().as_secs_f64();
+    let t2 = Instant::now();
+
+    // --- Parallel supernodal structure, sequential amalgamation. ---
+    let (first_col, sn_of_col) = detect(&parent, &counts);
+    let children = supernode_children(&parent, &first_col, &sn_of_col);
+    let num_sn = first_col.len() - 1;
+    // Map column ranges to the (contiguous) runs of supernodes wholly inside
+    // them; straddlers at a range top go to the stitch.
+    let sn_ranges: Vec<Range<usize>> = sub_ranges
+        .iter()
+        .map(|r| {
+            let s_lo = first_col.partition_point(|&c| c < r.start);
+            let s_hi = first_col.partition_point(|&c| c <= r.end).saturating_sub(1);
+            s_lo..s_hi.max(s_lo)
+        })
+        .collect();
+    let mut covered_sn = vec![false; num_sn];
+    for r in &sn_ranges {
+        covered_sn[r.clone()].iter_mut().for_each(|c| *c = true);
+    }
+    let mut sn_rows: Vec<Vec<u32>> = vec![Vec::new(); num_sn];
+    {
+        let rows_p = SharedPtr(sn_rows.as_mut_ptr());
+        let (pattern, first_col, counts, children) = (&pattern, &first_col, &counts, &children);
+        run_spanned(workers, &sn_ranges, epoch, "snode subtree", &mut spans, |k| {
+            let mut stamp = vec![u32::MAX; n];
+            for s in sn_ranges[k].clone() {
+                // SAFETY: tasks write disjoint supernode slots, and children
+                // of an in-range supernode are in the same range and already
+                // written by this task (ascending order; module docs).
+                unsafe {
+                    let r = supernode_structure(
+                        pattern, first_col, counts, children, rows_p.get(), s, &mut stamp,
+                    );
+                    *rows_p.get().add(s) = r;
+                }
+            }
+        });
+        let mut stamp = vec![u32::MAX; n];
+        for (s, &covered) in covered_sn.iter().enumerate() {
+            if !covered {
+                // SAFETY: single-threaded stitch; all children computed.
+                unsafe {
+                    let r = supernode_structure(
+                        pattern, first_col, counts, children, rows_p.get(), s, &mut stamp,
+                    );
+                    *rows_p.get().add(s) = r;
+                }
+            }
+        }
+    }
+    let supernodes = Supernodes::finish(n, first_col, sn_of_col, sn_rows, amalg);
+    t.supernodes_s = t2.elapsed().as_secs_f64();
+
+    (
+        Analysis { perm, pattern, parent, counts, supernodes, stats },
+        t,
+        spans,
+    )
+}
+
+/// Raw-pointer wrapper so scoped threads can share arrays they write at
+/// provably disjoint indices.
+struct SharedPtr<T>(*mut T);
+unsafe impl<T> Send for SharedPtr<T> {}
+unsafe impl<T> Sync for SharedPtr<T> {}
+impl<T> Clone for SharedPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedPtr<T> {}
+
+impl<T> SharedPtr<T> {
+    /// Accessor that names the whole wrapper, so closures capture the `Sync`
+    /// struct rather than the raw pointer field (2021 precise capture).
+    #[inline]
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Runs `run(k)` for every task index over a small thread pool (or inline
+/// when one worker suffices) and records one [`SubtreeSpan`] per task.
+fn run_spanned<R>(
+    workers: usize,
+    tasks: &[R],
+    epoch: Instant,
+    span_name: &str,
+    spans: &mut Vec<SubtreeSpan>,
+    run: impl Fn(usize) + Sync,
+) {
+    let m = tasks.len();
+    if m == 0 {
+        return;
+    }
+    let mut times = vec![(0.0f64, 0.0f64); m];
+    let timed = |k: usize| -> (f64, f64) {
+        let s = epoch.elapsed().as_secs_f64();
+        run(k);
+        (s, epoch.elapsed().as_secs_f64())
+    };
+    let w = workers.min(m);
+    if w <= 1 {
+        for (k, slot) in times.iter_mut().enumerate() {
+            *slot = timed(k);
+        }
+    } else {
+        let times_p = SharedPtr(times.as_mut_ptr());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|sc| {
+            for _ in 0..w {
+                sc.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= m {
+                        break;
+                    }
+                    // SAFETY: each task index is claimed exactly once, so
+                    // writes to `times[k]` are disjoint.
+                    unsafe { *times_p.get().add(k) = timed(k) };
+                });
+            }
+        });
+    }
+    spans.extend(times.iter().enumerate().map(|(k, &(s, e))| SubtreeSpan {
+        name: format!("{span_name} {k}"),
+        start_s: s,
+        end_s: e,
+    }));
+}
+
+/// Liu's etree row walks for the given rows, over shared `parent`/`ancestor`
+/// arrays.
+///
+/// # Safety
+/// Concurrent callers must process disjoint *closed* row ranges (all entries
+/// of a processed row lie in the caller's range); a sequential caller may
+/// process any rows once no concurrent caller is active.
+unsafe fn etree_rows(
+    rows: impl IntoIterator<Item = usize>,
+    row_ptr: &[usize],
+    row_cols: &[u32],
+    parent: SharedPtr<u32>,
+    ancestor: SharedPtr<u32>,
+) {
+    for i in rows {
+        for &j in &row_cols[row_ptr[i]..row_ptr[i + 1]] {
+            let mut r = j as usize;
+            loop {
+                let anc = *ancestor.0.add(r);
+                if anc == i as u32 {
+                    break;
+                }
+                *ancestor.0.add(r) = i as u32;
+                if anc == NONE {
+                    *parent.0.add(r) = i as u32;
+                    break;
+                }
+                r = anc as usize;
+            }
+        }
+    }
+}
+
+/// Row-subtree column-count walks for the given rows, over shared
+/// `count`/`mark` arrays.
+///
+/// # Safety
+/// Same contract as [`etree_rows`]: concurrent callers need disjoint closed
+/// row ranges (here closure holds for any etree subtree range).
+unsafe fn count_rows(
+    rows: impl IntoIterator<Item = usize>,
+    row_ptr: &[usize],
+    row_cols: &[u32],
+    parent: &[u32],
+    count: SharedPtr<u32>,
+    mark: SharedPtr<u32>,
+) {
+    for i in rows {
+        for &j in &row_cols[row_ptr[i]..row_ptr[i + 1]] {
+            let mut c = j as usize;
+            while c != i && *mark.0.add(c) != i as u32 {
+                *mark.0.add(c) = i as u32;
+                *count.0.add(c) += 1;
+                let p = parent[c];
+                if p == NONE {
+                    break;
+                }
+                c = p as usize;
+            }
+        }
+    }
+}
+
+/// Keeps only ranges that are in-bounds, nonempty, mutually disjoint
+/// (sorted), and *closed* under the row structure — every row of the range
+/// has its smallest entry at or above the range start. Anything else is
+/// silently demoted to the sequential stitch.
+fn sanitize_ranges(
+    ranges: &[Range<u32>],
+    n: usize,
+    row_ptr: &[usize],
+    row_cols: &[u32],
+) -> Vec<Range<u32>> {
+    let mut rs: Vec<Range<u32>> = ranges
+        .iter()
+        .filter(|r| r.start < r.end && (r.end as usize) <= n)
+        .cloned()
+        .collect();
+    rs.sort_by_key(|r| r.start);
+    let mut out: Vec<Range<u32>> = Vec::with_capacity(rs.len());
+    'next: for r in rs {
+        if let Some(last) = out.last() {
+            if r.start < last.end {
+                continue; // overlaps an accepted range
+            }
+        }
+        for i in r.start as usize..r.end as usize {
+            // Entries are ascending, so the first is the smallest.
+            if row_ptr[i] < row_ptr[i + 1] && row_cols[row_ptr[i]] < r.start {
+                continue 'next; // not closed: demote to stitch
+            }
+        }
+        out.push(r);
+    }
+    out
+}
+
+/// Rows in `[0, n)` not covered by the (sorted, disjoint) ranges, ascending.
+fn uncovered(ranges: &[Range<u32>], n: usize) -> Vec<usize> {
+    let mut rows = Vec::new();
+    let mut at = 0usize;
+    for r in ranges {
+        rows.extend(at..r.start as usize);
+        at = r.end as usize;
+    }
+    rows.extend(at..n);
+    rows
+}
+
+/// An antichain of etree subtrees as contiguous column ranges, targeting
+/// about `target` ranges: roots start the frontier, the widest splittable
+/// subtree is repeatedly replaced by its children (the split node's own
+/// column joins the stitch), and finally adjacent ranges are coalesced
+/// toward the target so forests of many tiny trees don't degenerate into
+/// per-column tasks.
+pub(crate) fn subtree_ranges(parent: &[u32], target: usize) -> Vec<Range<u32>> {
+    let n = parent.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let target = target.max(1);
+    let mut size = vec![1u32; n];
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut frontier: Vec<u32> = Vec::new();
+    for v in 0..n {
+        let p = parent[v];
+        if p == NONE {
+            frontier.push(v as u32);
+        } else {
+            size[p as usize] += size[v];
+            children[p as usize].push(v as u32);
+        }
+    }
+    let min_split = (n / (8 * target)).max(64) as u32;
+    while frontier.len() < target {
+        let Some(pos) = frontier
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| size[v as usize] >= min_split && !children[v as usize].is_empty())
+            .max_by_key(|&(_, &v)| size[v as usize])
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let v = frontier.swap_remove(pos);
+        frontier.extend(children[v as usize].iter().copied());
+    }
+    let mut ranges: Vec<Range<u32>> = frontier
+        .into_iter()
+        .map(|v| (v + 1 - size[v as usize])..(v + 1))
+        .collect();
+    ranges.sort_by_key(|r| r.start);
+    // Coalesce adjacent ranges down toward the target (unions of adjacent
+    // full subtrees stay closed).
+    let goal = (n / target).max(1) as u32;
+    let mut out: Vec<Range<u32>> = Vec::with_capacity(target);
+    for r in ranges {
+        match out.last_mut() {
+            Some(last) if last.end == r.start && (r.end - last.start) <= goal => last.end = r.end,
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_timed;
+    use sparsemat::{gen, Graph};
+
+    fn ranges_for(p: &sparsemat::Problem) -> (Permutation, Vec<Range<u32>>) {
+        let g = Graph::from_pattern(p.matrix.pattern());
+        let (perm, tree) = ordering::nd_graph(&g, &ordering::NdGraphOptions::default());
+        (perm, tree.parallel_ranges(8))
+    }
+
+    #[test]
+    fn subtree_ranges_cover_disjoint_closed() {
+        let p = gen::grid2d(12);
+        let md = ordering::minimum_degree(&Graph::from_pattern(p.matrix.pattern()));
+        let a = crate::analysis::analyze(p.matrix.pattern(), &md, &AmalgamationOpts::off());
+        let rs = subtree_ranges(&a.parent, 8);
+        assert!(!rs.is_empty());
+        for w in rs.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+        // Closure: every range is a union of whole subtrees, so each row's
+        // smallest pattern entry stays in-range.
+        let (rp, rc) = lower_row_structure(&a.pattern);
+        assert_eq!(sanitize_ranges(&rs, a.pattern.n(), &rp, &rc), rs);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        for prob in [gen::grid2d(14), gen::cube3d(6), gen::bcsstk_like("P", 300, 2)] {
+            let (perm, ranges) = ranges_for(&prob);
+            for amalg in [AmalgamationOpts::off(), AmalgamationOpts::default()] {
+                let (seq, _) = analyze_timed(prob.matrix.pattern(), &perm, &amalg);
+                for workers in [1, 4] {
+                    let (par, _, spans) = analyze_parallel_timed(
+                        prob.matrix.pattern(),
+                        &perm,
+                        &amalg,
+                        &ranges,
+                        workers,
+                    );
+                    assert_eq!(par, seq, "workers={workers} {}", prob.name);
+                    assert!(!spans.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_under_mindeg_ranges_unused() {
+        // A minimum-degree ordering has no separator tree: passing no ranges
+        // must still work (etree stitched sequentially, later stages re-derive
+        // their own parallelism from the etree).
+        let p = gen::bcsstk_like("Q", 240, 1);
+        let md = ordering::minimum_degree(&Graph::from_pattern(p.matrix.pattern()));
+        let amalg = AmalgamationOpts::default();
+        let (seq, _) = analyze_timed(p.matrix.pattern(), &md, &amalg);
+        let (par, _, _) = analyze_parallel_timed(p.matrix.pattern(), &md, &amalg, &[], 4);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn bogus_ranges_are_demoted_not_trusted() {
+        let p = gen::grid2d(10);
+        let (perm, _) = ranges_for(&p);
+        let amalg = AmalgamationOpts::default();
+        let (seq, _) = analyze_timed(p.matrix.pattern(), &perm, &amalg);
+        // Overlapping, out-of-bounds, and non-closed ranges.
+        let bogus = vec![0u32..60, 40..80, 90..101, 50..100, 3..3];
+        let (par, _, _) =
+            analyze_parallel_timed(p.matrix.pattern(), &perm, &amalg, &bogus, 4);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let pat = sparsemat::SparsityPattern::from_coords(0, Vec::<(u32, u32)>::new()).unwrap();
+        let (an, _, spans) = analyze_parallel_timed(
+            &pat,
+            &Permutation::identity(0),
+            &AmalgamationOpts::default(),
+            &[],
+            4,
+        );
+        assert_eq!(an.supernodes.count(), 0);
+        assert!(spans.is_empty());
+    }
+}

@@ -59,7 +59,7 @@ impl AmalgamationOpts {
 
 /// The supernode partition of the factor columns plus the symbolic structure
 /// of each supernode.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Supernodes {
     /// `first_col[s]..first_col[s+1]` are the columns of supernode `s`.
     pub first_col: Vec<u32>,
@@ -134,65 +134,32 @@ impl Supernodes {
                 depth: Vec::new(),
             };
         }
-
-        // --- Fundamental supernode detection. ---
-        let mut first_col: Vec<u32> = vec![0];
-        for j in 1..n {
-            let continues =
-                parent[j - 1] == j as u32 && counts[j] == counts[j - 1] - 1;
-            if !continues {
-                first_col.push(j as u32);
-            }
-        }
-        first_col.push(n as u32);
+        let (first_col, sn_of_col) = detect(parent, counts);
+        let children = supernode_children(parent, &first_col, &sn_of_col);
         let num_sn = first_col.len() - 1;
-        let mut sn_of_col = vec![0u32; n];
-        for s in 0..num_sn {
-            for j in first_col[s]..first_col[s + 1] {
-                sn_of_col[j as usize] = s as u32;
-            }
-        }
-
-        // --- Supernodal symbolic structure, ascending. ---
-        let mut rows: Vec<Vec<u32>> = Vec::with_capacity(num_sn);
-        let mut children: Vec<Vec<u32>> = vec![Vec::new(); num_sn];
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); num_sn];
         let mut stamp = vec![u32::MAX; n];
         for s in 0..num_sn {
-            let (a_s, b_s) = (first_col[s] as usize, first_col[s + 1] as usize - 1);
-            let mut r: Vec<u32> = Vec::with_capacity(counts[a_s] as usize);
-            // Own columns (diagonal block is dense).
-            stamp[a_s..=b_s].fill(s as u32);
-            r.extend((a_s..=b_s).map(|j| j as u32));
-            // Original entries of member columns.
-            for j in a_s..=b_s {
-                for &i in a.col(j) {
-                    let i = i as usize;
-                    if stamp[i] != s as u32 {
-                        stamp[i] = s as u32;
-                        r.push(i as u32);
-                    }
-                }
-            }
-            // Child supernode contributions (rows beyond the child's columns).
-            for &c in &children[s] {
-                let c = c as usize;
-                let b_c = first_col[c + 1] - 1;
-                for &i in rows[c].iter() {
-                    if i > b_c && stamp[i as usize] != s as u32 {
-                        stamp[i as usize] = s as u32;
-                        r.push(i);
-                    }
-                }
-            }
-            r.sort_unstable();
-            // Attach to the supernode tree: parent holds the first row
-            // below our columns.
-            if let Some(&f) = r.iter().find(|&&i| i as usize > b_s) {
-                children[sn_of_col[f as usize] as usize].push(s as u32);
-            }
-            rows.push(r);
+            // SAFETY: sequential pass in ascending order — every child of
+            // `s` has a smaller index and its structure is already written.
+            rows[s] = unsafe {
+                supernode_structure(a, &first_col, counts, &children, rows.as_ptr(), s, &mut stamp)
+            };
         }
+        Self::finish(n, first_col, sn_of_col, rows, amalg)
+    }
 
+    /// Amalgamation + renumbering over already-computed fundamental
+    /// structures; the tail of [`Self::compute`], shared with the parallel
+    /// analysis in [`crate::par`].
+    pub(crate) fn finish(
+        n: usize,
+        first_col: Vec<u32>,
+        sn_of_col: Vec<u32>,
+        rows: Vec<Vec<u32>>,
+        amalg: &AmalgamationOpts,
+    ) -> Self {
+        let num_sn = first_col.len() - 1;
         // --- Relaxed amalgamation: bottom-up pass over the supernode etree
         // (the postorder guarantees children precede parents, so ascending
         // supernode order visits every child before its parent), merging a
@@ -296,6 +263,102 @@ impl Supernodes {
             depth: out_depth,
         }
     }
+}
+
+/// Fundamental supernode detection: maximal column runs where each column's
+/// etree parent is the next column and the factor count shrinks by one.
+/// Returns `(first_col, sn_of_col)`.
+pub(crate) fn detect(parent: &[u32], counts: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let n = parent.len();
+    let mut first_col: Vec<u32> = vec![0];
+    for j in 1..n {
+        let continues = parent[j - 1] == j as u32 && counts[j] == counts[j - 1] - 1;
+        if !continues {
+            first_col.push(j as u32);
+        }
+    }
+    first_col.push(n as u32);
+    let num_sn = first_col.len() - 1;
+    let mut sn_of_col = vec![0u32; n];
+    for s in 0..num_sn {
+        for j in first_col[s]..first_col[s + 1] {
+            sn_of_col[j as usize] = s as u32;
+        }
+    }
+    (first_col, sn_of_col)
+}
+
+/// Children lists of the fundamental supernode tree, derived from the etree
+/// alone: the parent of supernode `s` owns the etree parent of `s`'s last
+/// column (for fundamental supernodes that *is* the first structure row
+/// below the columns). Children appear in ascending order, and the lists are
+/// read-only during structure computation — which is what lets the parallel
+/// path compute structures for disjoint supernode ranges concurrently.
+pub(crate) fn supernode_children(
+    parent: &[u32],
+    first_col: &[u32],
+    sn_of_col: &[u32],
+) -> Vec<Vec<u32>> {
+    let num_sn = first_col.len() - 1;
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); num_sn];
+    for s in 0..num_sn {
+        let b_s = first_col[s + 1] as usize - 1;
+        let p = parent[b_s];
+        if p != NONE {
+            children[sn_of_col[p as usize] as usize].push(s as u32);
+        }
+    }
+    children
+}
+
+/// Symbolic structure of one supernode: its own columns, the original
+/// entries of its member columns, and each child's rows beyond the child's
+/// columns; sorted. Reads only `rows[c]` for children `c` of `s`; `stamp` is
+/// caller-provided scratch of length `n`. Takes `rows` as a raw pointer so
+/// the parallel path in [`crate::par`] can share the array across threads
+/// that write provably disjoint slots.
+///
+/// # Safety
+/// `rows` must point to an array of initialized `Vec<u32>` covering every
+/// child of `s`, the children's structures must already be computed, and no
+/// concurrent writer may touch those child slots while this runs.
+pub(crate) unsafe fn supernode_structure(
+    a: &SparsityPattern,
+    first_col: &[u32],
+    counts: &[u32],
+    children: &[Vec<u32>],
+    rows: *const Vec<u32>,
+    s: usize,
+    stamp: &mut [u32],
+) -> Vec<u32> {
+    let (a_s, b_s) = (first_col[s] as usize, first_col[s + 1] as usize - 1);
+    let mut r: Vec<u32> = Vec::with_capacity(counts[a_s] as usize);
+    // Own columns (diagonal block is dense).
+    stamp[a_s..=b_s].fill(s as u32);
+    r.extend((a_s..=b_s).map(|j| j as u32));
+    // Original entries of member columns.
+    for j in a_s..=b_s {
+        for &i in a.col(j) {
+            let i = i as usize;
+            if stamp[i] != s as u32 {
+                stamp[i] = s as u32;
+                r.push(i as u32);
+            }
+        }
+    }
+    // Child supernode contributions (rows beyond the child's columns).
+    for &c in &children[s] {
+        let c = c as usize;
+        let b_c = first_col[c + 1] - 1;
+        for &i in (*rows.add(c)).iter() {
+            if i > b_c && stamp[i as usize] != s as u32 {
+                stamp[i as usize] = s as u32;
+                r.push(i);
+            }
+        }
+    }
+    r.sort_unstable();
+    r
 }
 
 /// Nonzeros of a trapezoidal supernode: width `w`, total structure height

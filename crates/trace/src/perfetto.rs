@@ -80,7 +80,7 @@ impl Trace {
             }
             out.push_str(&format!(
                 ",{{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":{},\"cat\":\"phase\",\"ts\":{},\"dur\":{}}}",
-                json_str(p.name),
+                json_str(&p.name),
                 us(p.start_s),
                 us(p.dur_s())
             ));

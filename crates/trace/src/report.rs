@@ -32,12 +32,13 @@ impl From<&BalanceReport> for PredictedBalance {
 
 /// One named span of the end-to-end pipeline (`order`, `etree`, `colcount`,
 /// `supernodes`, `partition`, `assemble`, `factor`, `solve`, and — for
-/// plan-reusing sessions — `refactor`, `resolve`), on a clock starting at 0
-/// when the pipeline starts.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// plan-reusing sessions — `refactor`, `resolve`; parallel analysis adds one
+/// `analyze subtree k` span per subtree), on a clock starting at 0 when the
+/// pipeline starts.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseSpan {
     /// Phase name.
-    pub name: &'static str,
+    pub name: String,
     /// Start on the pipeline clock, seconds.
     pub start_s: f64,
     /// End on the pipeline clock, seconds.
@@ -53,12 +54,12 @@ impl PhaseSpan {
 }
 
 /// Lays out durations as consecutive [`PhaseSpan`]s starting at 0.
-pub fn phase_spans(durations: &[(&'static str, f64)]) -> Vec<PhaseSpan> {
+pub fn phase_spans(durations: &[(&str, f64)]) -> Vec<PhaseSpan> {
     let mut t = 0.0;
     durations
         .iter()
         .map(|&(name, d)| {
-            let s = PhaseSpan { name, start_s: t, end_s: t + d };
+            let s = PhaseSpan { name: name.to_string(), start_s: t, end_s: t + d };
             t += d;
             s
         })

@@ -184,6 +184,45 @@ proptest! {
     }
 }
 
+/// Eviction pressure on a bounded plan cache must never invalidate live
+/// sessions: a solver holding an evicted plan's `Arc` keeps factoring
+/// bit-identically, and a re-request of the evicted structure rebuilds a
+/// fresh (non-identical) plan that produces the same bits.
+#[test]
+fn plan_cache_eviction_keeps_live_sessions_valid() {
+    let cache = PlanCache::with_capacity(2);
+    let o = opts(4, true);
+    let problems: Vec<_> = (6..11).map(gen::grid2d).collect();
+
+    // Analyze the first structure and keep a live session on its plan.
+    let s0 = cache.solver_for(&problems[0].matrix, &o);
+    let plan0 = s0.plan.clone();
+    let mut session = s0.session();
+    session.refactor(problems[0].matrix.values()).unwrap();
+    let bits_before = csc_bits(session.factor());
+
+    // Flood the cache with other structures until plan 0 is evicted.
+    for p in &problems[1..] {
+        let _ = cache.solver_for(&p.matrix, &o);
+    }
+    assert_eq!(cache.len(), 2, "capacity bound holds");
+    assert!(cache.evictions() >= 3, "evictions counted: {}", cache.evictions());
+
+    // The live session is untouched by eviction: same plan Arc, same bits.
+    assert!(std::sync::Arc::ptr_eq(session.plan(), &plan0));
+    session.refactor(problems[0].matrix.values()).unwrap();
+    assert_eq!(csc_bits(session.factor()), bits_before);
+
+    // Re-requesting the evicted structure is a miss that rebuilds an
+    // equivalent plan: a different allocation, identical factor bits.
+    let hits_before = cache.hits();
+    let s0_again = cache.solver_for(&problems[0].matrix, &o);
+    assert_eq!(cache.hits(), hits_before, "evicted structure cannot hit");
+    assert!(!std::sync::Arc::ptr_eq(&s0_again.plan, &plan0));
+    let f = s0_again.factor_seq().unwrap();
+    assert_eq!(csc_bits(&f), bits_before);
+}
+
 /// Concurrent sessions over one shared plan must not interfere: every
 /// thread factors its own value set and gets its own correct bits.
 #[test]
