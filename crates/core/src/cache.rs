@@ -14,12 +14,21 @@
 //! so plans are shared across callers with different parallelism settings
 //! (the first caller's options are the ones stored in the plan).
 
-use crate::{OrderingChoice, Solver, SolverOptions, SymbolicPlan};
+use crate::{OrderingChoice, Solver, SolverError, SolverOptions, SymbolicPlan};
 use mapping::{ColPolicy, RowPolicy};
 use sparsemat::{Problem, SparsityPattern, SymCscMatrix};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering the guard if a panicking holder poisoned it.
+/// The cache mutex guards an [`Lru`] whose mutations are single `HashMap`
+/// operations on already-constructed `Arc`s — no multi-step invariant can
+/// be observed half-done — so the poison flag carries no information and a
+/// caller's panic must not wedge the shared cache for every other thread.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -182,7 +191,7 @@ impl PlanCache {
     }
 
     fn lookup(&self, key: u64) -> Option<Arc<SymbolicPlan>> {
-        let found = self.map.lock().expect("plan cache lock").get(key).cloned();
+        let found = lock_ignore_poison(&self.map).get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -191,7 +200,7 @@ impl PlanCache {
     }
 
     fn store(&self, key: u64, plan: Arc<SymbolicPlan>) {
-        self.map.lock().expect("plan cache lock").insert(key, plan);
+        lock_ignore_poison(&self.map).insert(key, plan);
     }
 
     /// A solver for a raw matrix: reuses the cached plan when this
@@ -225,9 +234,45 @@ impl PlanCache {
         s
     }
 
+    /// [`Self::solver_for`] behind admission control: after the plan is
+    /// obtained (cached or freshly analyzed — and cached *either way*, so a
+    /// rejected structure never re-analyzes), its symbolic cost estimate is
+    /// checked against [`SolverOptions::budget`] and the request is
+    /// rejected with [`SolverError::BudgetExceeded`] before any numeric
+    /// storage would be allocated.
+    pub fn try_solver_for(
+        &self,
+        a: &SymCscMatrix,
+        opts: &SolverOptions,
+    ) -> Result<Solver, SolverError> {
+        Self::admit(self.solver_for(a, opts), opts)
+    }
+
+    /// [`Self::solver_for_problem`] behind admission control (see
+    /// [`Self::try_solver_for`]).
+    pub fn try_solver_for_problem(
+        &self,
+        p: &Problem,
+        opts: &SolverOptions,
+    ) -> Result<Solver, SolverError> {
+        Self::admit(self.solver_for_problem(p, opts), opts)
+    }
+
+    /// Admission check against the *caller's* budget — a cached plan
+    /// carries the first caller's options, and budgets are per-request.
+    fn admit(s: Solver, opts: &SolverOptions) -> Result<Solver, SolverError> {
+        if let Some(budget) = opts.budget {
+            let estimate = s.plan.resource_estimate();
+            if !budget.admits(&estimate) {
+                return Err(SolverError::BudgetExceeded { estimate, budget });
+            }
+        }
+        Ok(s)
+    }
+
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("plan cache lock").len()
+        lock_ignore_poison(&self.map).len()
     }
 
     /// True when no plan is cached.
@@ -247,12 +292,12 @@ impl PlanCache {
 
     /// Plans dropped by the LRU bound since construction.
     pub fn evictions(&self) -> u64 {
-        self.map.lock().expect("plan cache lock").evictions()
+        lock_ignore_poison(&self.map).evictions()
     }
 
     /// Drops all cached plans (sessions holding `Arc`s keep theirs alive).
     pub fn clear(&self) {
-        self.map.lock().expect("plan cache lock").clear();
+        lock_ignore_poison(&self.map).clear();
     }
 }
 
@@ -323,5 +368,68 @@ mod tests {
         assert_eq!(cache.misses(), before + 1, "plan 1 was evicted");
         // Evicted-plan holders keep a working solver (Arc keeps it alive).
         assert!(s0.factor_seq().is_ok());
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers_and_keeps_serving() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let cache = PlanCache::new();
+        let p = sparsemat::gen::grid2d(7);
+        let opts = SolverOptions { block_size: 4, ..Default::default() };
+        let s1 = cache.solver_for_problem(&p, &opts);
+        // Poison the cache mutex: panic while holding its guard, exactly
+        // what a panicking caller mid-lookup would do.
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = cache.map.lock().unwrap();
+            panic!("injected panic under the plan cache lock");
+        }));
+        assert!(poisoned.is_err());
+        assert!(cache.map.is_poisoned());
+        // Every entry point keeps working; the cached plan is still served.
+        assert_eq!(cache.len(), 1);
+        let s2 = cache.solver_for_problem(&p, &opts);
+        assert!(Arc::ptr_eq(&s1.plan, &s2.plan));
+        assert_eq!(cache.hits(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn admission_rejects_over_budget_but_still_caches_the_plan() {
+        use crate::resilience::ResourceBudget;
+        let cache = PlanCache::new();
+        let p = sparsemat::gen::grid2d(8);
+        let mut opts = SolverOptions { block_size: 4, ..Default::default() };
+        opts.budget =
+            Some(ResourceBudget { max_factor_bytes: Some(1), max_flops: None });
+        let err = cache.try_solver_for_problem(&p, &opts).map(|_| ()).unwrap_err();
+        let crate::SolverError::BudgetExceeded { estimate, budget } = err else {
+            panic!("expected BudgetExceeded, got {err:?}");
+        };
+        assert!(estimate.factor_bytes > 1);
+        assert_eq!(budget.max_factor_bytes, Some(1));
+        // The plan was analyzed once and cached despite the rejection …
+        assert_eq!((cache.len(), cache.misses()), (1, 1));
+        // … so an admissible retry is a pure cache hit.
+        opts.budget = Some(ResourceBudget {
+            max_factor_bytes: Some(estimate.factor_bytes),
+            max_flops: Some(estimate.flops),
+        });
+        let _ = cache.try_solver_for_problem(&p, &opts).unwrap();
+        assert_eq!(cache.hits(), 1);
+        // Budgetless callers are never rejected.
+        opts.budget = None;
+        assert!(cache.try_solver_for_problem(&p, &opts).is_ok());
+        // try_session consults the *plan's* stored budget (the options the
+        // solver was analyzed with): admissible here, tight below.
+        let direct = crate::Solver::analyze_problem(&p, &opts);
+        assert!(direct.try_session().is_ok());
+        let mut tight = opts;
+        tight.budget = Some(ResourceBudget { max_factor_bytes: Some(1), max_flops: None });
+        let rejected = crate::Solver::analyze_problem(&p, &tight);
+        assert!(matches!(
+            rejected.try_session(),
+            Err(crate::SolverError::BudgetExceeded { .. })
+        ));
     }
 }

@@ -66,19 +66,21 @@ use std::sync::Arc;
 
 pub mod cache;
 pub mod plan;
+pub mod resilience;
 pub mod session;
 
 pub use balance::{BalanceReport, CommStats};
 pub use blockmat::{BlockMatrix, BlockWork, WorkModel};
 pub use cache::PlanCache;
 pub use fanout::{
-    CriticalPath, FaultPlan, NumericFactor, Plan, SchedOptions, SchedStats, SimOutcome,
-    SimPolicy, StallReport,
+    CancelReason, CancelToken, CriticalPath, FactorOpts, FaultPlan, NumericFactor, Plan,
+    SchedOptions, SchedStats, SimOutcome, SimPolicy, StallReport,
 };
 pub use mapping::{
     Assignment, ColPolicy, DomainParams, DomainPlan, Heuristic, ProcGrid, RowPolicy,
 };
 pub use plan::{ExecTemplates, NumericTemplates, SymbolicPlan};
+pub use resilience::{ResilienceStats, ResourceBudget, ResourceEstimate, RetryPolicy};
 pub use session::{FactorSession, SolveWorkspace};
 pub use simgrid::MachineModel;
 pub use sparsemat::{Permutation, Problem, SymCscMatrix};
@@ -96,8 +98,26 @@ pub enum SolverError {
     /// [`Parse`](sparsemat::Error::Parse) errors from the readers).
     Matrix(sparsemat::Error),
     /// Numeric factorization failed (see [`fanout::Error`]: pivot failure,
-    /// contained worker panic, or scheduler stall).
+    /// contained worker panic, scheduler stall, or cooperative
+    /// cancellation / deadline expiry).
     Factor(fanout::Error),
+    /// Admission control rejected the request: the factorization's
+    /// symbolic cost estimate exceeds the configured
+    /// [`ResourceBudget`] (see [`SolverOptions::budget`],
+    /// [`PlanCache::try_solver_for`], [`Solver::try_session`]). The plan
+    /// itself was still analyzed and cached — only numeric admission was
+    /// refused.
+    BudgetExceeded {
+        /// The symbolic cost of the rejected factorization.
+        estimate: ResourceEstimate,
+        /// The budget it failed to fit under.
+        budget: ResourceBudget,
+    },
+    /// A solve was requested on a session holding no valid factor: either
+    /// no [`FactorSession::refactor`] succeeded yet, or the latest one
+    /// failed and poisoned the numeric state (see
+    /// [`FactorSession::is_poisoned`]).
+    NotFactored,
 }
 
 impl std::fmt::Display for SolverError {
@@ -105,6 +125,15 @@ impl std::fmt::Display for SolverError {
         match self {
             SolverError::Matrix(e) => write!(f, "matrix error: {e}"),
             SolverError::Factor(e) => write!(f, "factorization error: {e}"),
+            SolverError::BudgetExceeded { estimate, budget } => write!(
+                f,
+                "admission rejected: estimated {estimate} exceeds budget \
+                 (max {:?} bytes, {:?} flops)",
+                budget.max_factor_bytes, budget.max_flops
+            ),
+            SolverError::NotFactored => {
+                write!(f, "session holds no valid factor (refactor first)")
+            }
         }
     }
 }
@@ -114,6 +143,7 @@ impl std::error::Error for SolverError {
         match self {
             SolverError::Matrix(e) => Some(e),
             SolverError::Factor(e) => Some(e),
+            SolverError::BudgetExceeded { .. } | SolverError::NotFactored => None,
         }
     }
 }
@@ -190,6 +220,26 @@ pub struct SolverOptions {
     /// Default column mapping policy, used by
     /// [`SymbolicPlan::assign_default`].
     pub col_policy: ColPolicy,
+    /// Wall-clock deadline for numeric factorization runs started from this
+    /// solver ([`Solver::factor_seq`], [`Solver::factor_sched`], and every
+    /// session refactor), measured per attempt from executor entry. On
+    /// expiry workers drain cooperatively and the run returns
+    /// [`fanout::Error::Cancelled`] with a progress snapshot. Explicit
+    /// [`SchedOptions::deadline`] / [`fanout::FactorOpts::deadline`] values
+    /// take precedence. `None` (default) = no deadline.
+    pub deadline: Option<std::time::Duration>,
+    /// Stall-watchdog timeout for scheduled runs: if no task retires for
+    /// this long the run halts with [`fanout::Error::Stalled`]. Overrides
+    /// [`SchedOptions::stall_timeout`] only when the latter is at its
+    /// default; `None` disables the watchdog. Precedence among the three
+    /// stop mechanisms when several fire concurrently: caller cancellation
+    /// > deadline > stall watchdog.
+    pub stall_timeout: Option<std::time::Duration>,
+    /// Admission-control budget consulted by the fallible entry points
+    /// ([`PlanCache::try_solver_for`], [`Solver::try_session`]); the
+    /// infallible ones ignore it. Excluded from [`PlanCache`] keys — it
+    /// gates numeric admission, never what analysis produces.
+    pub budget: Option<ResourceBudget>,
 }
 
 impl Default for SolverOptions {
@@ -203,6 +253,10 @@ impl Default for SolverOptions {
             // The paper's recommended mapping (Table 7).
             row_policy: RowPolicy::Heuristic(Heuristic::IncreasingDepth),
             col_policy: ColPolicy::Heuristic(Heuristic::Cyclic),
+            deadline: None,
+            // Matches the scheduler's own default watchdog.
+            stall_timeout: Some(std::time::Duration::from_secs(60)),
+            budget: None,
         }
     }
 }
@@ -455,12 +509,35 @@ impl Solver {
         FactorSession::new(self, None)
     }
 
+    /// [`Self::session`] behind admission control: rejects with
+    /// [`SolverError::BudgetExceeded`] when the plan's
+    /// [`resource_estimate`](SymbolicPlan::resource_estimate) exceeds the
+    /// configured [`SolverOptions::budget`], *before* the session's block
+    /// storage is allocated.
+    pub fn try_session(&self) -> Result<FactorSession, SolverError> {
+        self.plan.check_budget()?;
+        Ok(self.session())
+    }
+
     /// Opens a repeated factor/solve session running the work-stealing
     /// scheduler on the assignment's cached task DAG; `resolve_many_parallel`
-    /// is available on such sessions.
+    /// is available on such sessions. The plan's
+    /// [`SolverOptions::deadline`]/[`SolverOptions::stall_timeout`] are
+    /// merged into `opts` (explicit `opts` values win).
     pub fn session_sched(&self, asg: &Assignment, opts: &SchedOptions) -> FactorSession {
         let t = self.plan.exec_templates(asg);
-        FactorSession::new(self, Some((t, opts.clone())))
+        FactorSession::new(self, Some((t, self.plan.merged_sched_opts(opts))))
+    }
+
+    /// [`Self::session_sched`] behind admission control (see
+    /// [`Self::try_session`]).
+    pub fn try_session_sched(
+        &self,
+        asg: &Assignment,
+        opts: &SchedOptions,
+    ) -> Result<FactorSession, SolverError> {
+        self.plan.check_budget()?;
+        Ok(self.session_sched(asg, opts))
     }
 
     /// Scatters the permuted input into fresh block storage, using the
@@ -474,10 +551,16 @@ impl Solver {
         )
     }
 
-    /// Sequential numeric factorization.
+    /// Sequential numeric factorization. Honors
+    /// [`SolverOptions::deadline`], checked once per block column.
     pub fn factor_seq(&self) -> Result<NumericFactor, fanout::Error> {
         let mut f = self.assemble();
-        fanout::factorize_seq(&mut f)?;
+        if self.opts.deadline.is_some() {
+            let opts = FactorOpts { deadline: self.opts.deadline, ..Default::default() };
+            fanout::factorize_seq_opts(&mut f, &opts)?;
+        } else {
+            fanout::factorize_seq(&mut f)?;
+        }
         Ok(f)
     }
 
@@ -502,9 +585,12 @@ impl Solver {
     }
 
     /// Work-stealing scheduler factorization with explicit
-    /// [`SchedOptions`] — the entry point that exposes the fault-tolerance
-    /// layer at the facade level: stall watchdog timeout, deterministic
-    /// fault injection, and NPD pivot perturbation.
+    /// [`SchedOptions`] — the entry point that exposes the robustness
+    /// layer at the facade level: stall watchdog timeout, deadline,
+    /// cancellation token, deterministic fault injection, and NPD pivot
+    /// perturbation. The plan's [`SolverOptions::deadline`] and
+    /// [`SolverOptions::stall_timeout`] fill any fields `opts` leaves at
+    /// their defaults.
     pub fn factor_sched(
         &self,
         asg: &Assignment,
@@ -512,7 +598,8 @@ impl Solver {
     ) -> Result<(NumericFactor, SchedStats), SolverError> {
         let t = self.plan.exec_templates(asg);
         let mut f = self.assemble();
-        let stats = fanout::factorize_sched_opts(&mut f, &t.plan, opts)?;
+        let opts = self.plan.merged_sched_opts(opts);
+        let stats = fanout::factorize_sched_opts(&mut f, &t.plan, &opts)?;
         Ok((f, stats))
     }
 
@@ -526,7 +613,7 @@ impl Solver {
         asg: &Assignment,
         opts: &SchedOptions,
     ) -> Result<(NumericFactor, SchedStats, RunReport), SolverError> {
-        let mut opts = opts.clone();
+        let mut opts = self.plan.merged_sched_opts(opts);
         if !opts.trace.enabled {
             opts.trace = TraceOpts::on();
         }

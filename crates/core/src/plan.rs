@@ -13,7 +13,8 @@
 //! of it.
 
 use crate::cache::Lru;
-use crate::{PhaseSpan, PhaseTimings, SolverOptions};
+use crate::resilience::ResourceEstimate;
+use crate::{PhaseSpan, PhaseTimings, SolverError, SolverOptions};
 use balance::{BalanceReport, CommStats};
 use blockmat::{BlockMatrix, BlockWork};
 use fanout::{AssemblyTemplate, CriticalPath, CscTemplate, SolvePlan};
@@ -21,8 +22,18 @@ use mapping::{
     Assignment, ColPolicy, DomainPlan, Heuristic, ProcGrid, RowPolicy,
 };
 use simgrid::MachineModel;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use symbolic::{Analysis, FactorStats};
+
+/// Locks a mutex, recovering the guard if a panicking holder poisoned it.
+/// The plan's only mutex guards the exec-template LRU, whose entries are
+/// immutable `Arc`s inserted after construction completes — a panic can
+/// never leave a half-built entry visible, so the poison flag carries no
+/// information and dropping it keeps the shared plan usable by every other
+/// session after one caller's panic.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Bound on cached per-assignment execution structures (task DAG + solve
 /// plan) per plan. Each entry holds the full block DAG; a caller sweeping
@@ -117,6 +128,55 @@ impl SymbolicPlan {
         self.analysis.stats
     }
 
+    /// The cost of one numeric factorization on this plan, known exactly
+    /// from the symbolic fill: bytes of block storage every factor/session
+    /// allocates (each diagonal block stored as a full dense square, each
+    /// off-diagonal block as dense rows × panel width — exactly the
+    /// assembly layout) and factorization flops. The basis of admission
+    /// control ([`Self::check_budget`]).
+    pub fn resource_estimate(&self) -> ResourceEstimate {
+        let mut elems = 0u64;
+        for j in 0..self.bm.num_panels() {
+            let w = self.bm.col_width(j) as u64;
+            for (k, b) in self.bm.cols[j].blocks.iter().enumerate() {
+                elems += if k == 0 { w * w } else { b.nrows() as u64 * w };
+            }
+        }
+        ResourceEstimate { factor_bytes: elems * 8, flops: self.analysis.stats.ops }
+    }
+
+    /// Checks [`Self::resource_estimate`] against the plan's configured
+    /// [`SolverOptions::budget`](crate::SolverOptions); `Err` is
+    /// [`SolverError::BudgetExceeded`] carrying both sides. A plan with no
+    /// budget admits everything.
+    pub fn check_budget(&self) -> Result<(), SolverError> {
+        let Some(budget) = self.opts.budget else { return Ok(()) };
+        let estimate = self.resource_estimate();
+        if budget.admits(&estimate) {
+            Ok(())
+        } else {
+            Err(SolverError::BudgetExceeded { estimate, budget })
+        }
+    }
+
+    /// Merges the plan's [`SolverOptions`] robustness settings into
+    /// scheduler options: `deadline` fills in when `opts` has none, and
+    /// `stall_timeout` overrides `opts` only when the latter sits at the
+    /// [`fanout::SchedOptions`] default (an explicitly configured watchdog
+    /// always wins).
+    pub(crate) fn merged_sched_opts(&self, opts: &fanout::SchedOptions) -> fanout::SchedOptions {
+        let mut o = opts.clone();
+        if o.deadline.is_none() {
+            o.deadline = self.opts.deadline;
+        }
+        if o.stall_timeout == fanout::SchedOptions::default().stall_timeout
+            && self.opts.stall_timeout != o.stall_timeout
+        {
+            o.stall_timeout = self.opts.stall_timeout;
+        }
+        o
+    }
+
     /// Builds a block-to-processor assignment on a square `√P × √P` grid.
     pub fn assign(&self, p: usize, row: RowPolicy, col: ColPolicy) -> Assignment {
         self.assign_on_grid(ProcGrid::square(p), row, col)
@@ -199,7 +259,7 @@ impl SymbolicPlan {
     /// `Plan::build`/`SolvePlan::build` entirely.
     pub fn exec_templates(&self, asg: &Assignment) -> Arc<ExecTemplates> {
         let key = asg.signature();
-        let mut map = self.exec.lock().expect("exec template lock");
+        let mut map = lock_ignore_poison(&self.exec);
         if let Some(t) = map.get(key) {
             return t.clone();
         }
@@ -212,7 +272,7 @@ impl SymbolicPlan {
 
     /// Number of distinct assignments with cached execution structures.
     pub fn cached_exec_templates(&self) -> usize {
-        self.exec.lock().expect("exec template lock").len()
+        lock_ignore_poison(&self.exec).len()
     }
 
     /// Execution structures dropped by the LRU bound
@@ -220,7 +280,7 @@ impl SymbolicPlan {
     /// holding an `Arc<ExecTemplates>` keep theirs alive; eviction only
     /// means the next request for that assignment rebuilds.
     pub fn exec_evictions(&self) -> u64 {
-        self.exec.lock().expect("exec template lock").evictions()
+        lock_ignore_poison(&self.exec).evictions()
     }
 
     /// The numeric reuse templates for this plan's input structure, built
@@ -273,4 +333,50 @@ fn original_entry_targets(
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Solver, SolverOptions};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn exec_template_lock_survives_a_panicking_holder() {
+        let p = sparsemat::gen::grid2d(8);
+        let solver = Solver::analyze_problem(
+            &p,
+            &SolverOptions { block_size: 4, ..Default::default() },
+        );
+        let asg = solver.assign_cyclic(4);
+        let t_before = solver.plan.exec_templates(&asg);
+        // Poison the exec-template mutex: panic while holding its guard.
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = solver.plan.exec.lock().unwrap();
+            panic!("injected panic under the exec template lock");
+        }));
+        assert!(poisoned.is_err());
+        assert!(solver.plan.exec.is_poisoned());
+        // Every accessor keeps working and the cached entry is intact.
+        assert_eq!(solver.plan.cached_exec_templates(), 1);
+        assert_eq!(solver.plan.exec_evictions(), 0);
+        let t_after = solver.plan.exec_templates(&asg);
+        assert!(std::sync::Arc::ptr_eq(&t_before, &t_after));
+        // The plan still drives a full factorization.
+        let f = solver.factor_parallel(&asg).unwrap();
+        assert!(solver.residual(&f) < 1e-12);
+    }
+
+    #[test]
+    fn resource_estimate_matches_allocated_storage() {
+        let p = sparsemat::gen::grid2d(8);
+        let solver = Solver::analyze_problem(
+            &p,
+            &SolverOptions { block_size: 4, ..Default::default() },
+        );
+        let est = solver.plan.resource_estimate();
+        let f = solver.assemble();
+        let allocated: u64 = f.data.iter().map(|d| d.len() as u64 * 8).sum();
+        assert_eq!(est.factor_bytes, allocated);
+        assert!(est.flops > 0);
+    }
 }

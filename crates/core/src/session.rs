@@ -18,9 +18,11 @@
 //! keeps each lane's operation sequence identical to the single-RHS one).
 
 use crate::plan::{ExecTemplates, NumericTemplates, SymbolicPlan};
+use crate::resilience::{ResilienceStats, RetryPolicy};
 use crate::{PhaseTimings, Solver, SolverError};
-use fanout::{FactorOpts, NumericFactor, SchedOptions, SchedStats};
+use fanout::{CancelReason, CancelToken, FactorOpts, NumericFactor, SchedOptions, SchedStats};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Reusable buffers for the solve paths ([`Solver::solve_into`],
 /// [`Solver::solve_refined_with`], [`Solver::solve_parallel_with`], and the
@@ -76,12 +78,33 @@ pub struct FactorSession {
     arena: dense::KernelArena,
     ws: SolveWorkspace,
     factored: bool,
+    /// True after a failed refactor attempt left the block storage in a
+    /// partially-updated state; cleared by the next successful refactor,
+    /// which rebuilds numeric state from the immutable plan.
+    poisoned: bool,
+    /// Retry policy [`Self::refactor`] applies on failed attempts.
+    /// Defaults to [`RetryPolicy::default`]; set
+    /// [`RetryPolicy::disabled`] for fail-fast semantics.
+    pub retry: RetryPolicy,
+    /// Per-attempt deadline on [`Self::refactor`], measured from executor
+    /// entry. Seeded from [`crate::SolverOptions::deadline`] at session
+    /// creation; an explicit [`SchedOptions::deadline`] on a scheduled
+    /// session takes precedence.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation token polled by refactor attempts. `None`
+    /// (default) = not cancellable; install one to cancel from another
+    /// thread. An explicit [`SchedOptions::cancel`] on a scheduled session
+    /// takes precedence.
+    pub cancel: Option<CancelToken>,
+    resilience: ResilienceStats,
     /// Wall-clock of the latest `refactor` / `resolve` calls, on top of the
     /// plan's analyze timings (the `refactor_s`/`resolve_s` phases feed the
     /// Perfetto pipeline track).
     pub timings: PhaseTimings,
     /// Stats of the latest scheduled refactorization (`None` for sequential
-    /// sessions or before the first refactor).
+    /// sessions or before the first refactor). When tracing was enabled,
+    /// the trace additionally carries the session's [`ResilienceStats`] as
+    /// counter tracks (one sample per successful refactor).
     pub sched_stats: Option<SchedStats>,
 }
 
@@ -101,6 +124,11 @@ impl FactorSession {
             arena: dense::KernelArena::new(),
             ws: SolveWorkspace::new(),
             factored: false,
+            poisoned: false,
+            retry: RetryPolicy::default(),
+            deadline: solver.plan.opts.deadline,
+            cancel: None,
+            resilience: ResilienceStats::default(),
             timings: solver.plan.timings,
             sched_stats: None,
         }
@@ -126,6 +154,22 @@ impl FactorSession {
         self.factored
     }
 
+    /// True while the numeric state is dirty: the latest refactor attempt
+    /// failed (panic, stall, pivot failure, cancellation, deadline) and
+    /// left block storage partially updated. A poisoned session is safe to
+    /// keep — the next [`Self::refactor`] rebuilds all numeric state from
+    /// the immutable plan and, on success, is bit-identical to the same
+    /// refactor on a fresh session.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Cumulative robustness counters of this session (attempts, retries,
+    /// contained panics, perturbed pivots, …).
+    pub fn resilience(&self) -> &ResilienceStats {
+        &self.resilience
+    }
+
     /// The current numeric factor (most recent successful refactorization).
     pub fn factor(&self) -> &NumericFactor {
         &self.factor
@@ -141,6 +185,15 @@ impl FactorSession {
     /// executor factors in place, and the factor CSC is re-gathered for the
     /// solve paths. The factor is bit-identical to a fresh
     /// permute + assemble + factorize of the same values.
+    ///
+    /// Failed attempts are governed by [`Self::retry`]: contained worker
+    /// panics and scheduler stalls retry after a deterministic backoff,
+    /// non-positive-definite pivots retry with escalating perturbation
+    /// (`ε`, `10ε`, …), and cancellation / an expired [`Self::deadline`]
+    /// returns immediately. Every attempt re-scatters the input through
+    /// the plan's immutable map first, so a session whose previous
+    /// refactor failed ([`Self::is_poisoned`]) recovers automatically —
+    /// its next successful refactor is bit-identical to a fresh session's.
     pub fn refactor(&mut self, values: &[f64]) -> Result<(), SolverError> {
         assert_eq!(
             values.len(),
@@ -148,30 +201,110 @@ impl FactorSession {
             "value count != analyzed pattern nnz"
         );
         let t0 = std::time::Instant::now();
-        for buf in &mut self.factor.data {
-            buf.iter_mut().for_each(|x| *x = 0.0);
+        if self.poisoned {
+            self.resilience.recoveries += 1;
         }
-        for (&(p, at), &v) in self.templates.targets.iter().zip(values) {
-            self.factor.data[p as usize][at] = v;
-        }
-        self.factored = false;
-        match &self.exec {
-            SessionExecutor::Seq => {
-                fanout::factorize_seq_with_arena(
-                    &mut self.factor,
-                    &FactorOpts::default(),
-                    &mut self.arena,
-                )?;
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            self.resilience.attempts += 1;
+            // Zero-fill + scatter rebuilds the numeric state from the
+            // immutable plan on every attempt — this is also the recovery
+            // path after a failed attempt left the storage partially
+            // updated.
+            for buf in &mut self.factor.data {
+                buf.iter_mut().for_each(|x| *x = 0.0);
             }
-            SessionExecutor::Sched(t, opts) => {
-                let stats = fanout::factorize_sched_opts(&mut self.factor, &t.plan, opts)?;
-                self.sched_stats = Some(stats);
+            for (&(p, at), &v) in self.templates.targets.iter().zip(values) {
+                self.factor.data[p as usize][at] = v;
+            }
+            self.factored = false;
+            let perturb = self.retry.perturb_for(attempt);
+            let result = match &self.exec {
+                SessionExecutor::Seq => {
+                    let opts = FactorOpts {
+                        perturb_npd: perturb,
+                        deadline: self.deadline,
+                        cancel: self.cancel.clone(),
+                        ..Default::default()
+                    };
+                    fanout::factorize_seq_with_arena(&mut self.factor, &opts, &mut self.arena)
+                        .map(|stats| {
+                            self.resilience.perturbed_pivots +=
+                                stats.perturbed_pivots.len() as u64;
+                        })
+                }
+                SessionExecutor::Sched(t, opts) => {
+                    let mut o = opts.clone();
+                    o.perturb_npd = perturb.or(o.perturb_npd);
+                    if o.deadline.is_none() {
+                        o.deadline = self.deadline;
+                    }
+                    if o.cancel.is_none() {
+                        o.cancel = self.cancel.clone();
+                    }
+                    fanout::factorize_sched_opts(&mut self.factor, &t.plan, &o).map(|stats| {
+                        self.resilience.perturbed_pivots += stats.pivot_perturbations;
+                        self.sched_stats = Some(stats);
+                    })
+                }
+            };
+            match result {
+                Ok(()) => {
+                    self.templates.csc.gather_into(&self.factor, &mut self.csc_values);
+                    self.factored = true;
+                    self.poisoned = false;
+                    self.timings.refactor_s = t0.elapsed().as_secs_f64();
+                    self.export_resilience_counters();
+                    return Ok(());
+                }
+                Err(e) => {
+                    self.poisoned = true;
+                    attempt += 1;
+                    let retryable = match &e {
+                        fanout::Error::Cancelled { reason, .. } => {
+                            self.resilience.cancellations += 1;
+                            if *reason == CancelReason::Deadline {
+                                self.resilience.deadline_misses += 1;
+                            }
+                            false
+                        }
+                        fanout::Error::NotPositiveDefinite { .. } => {
+                            self.retry.npd_perturb.is_some()
+                        }
+                        fanout::Error::WorkerPanicked { .. } => {
+                            self.resilience.panics_contained += 1;
+                            true
+                        }
+                        fanout::Error::Stalled(_) => {
+                            self.resilience.stalls += 1;
+                            true
+                        }
+                    };
+                    if !retryable || attempt >= max_attempts {
+                        self.timings.refactor_s = t0.elapsed().as_secs_f64();
+                        return Err(e.into());
+                    }
+                    self.resilience.retries += 1;
+                    let delay = self.retry.delay_before(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
             }
         }
-        self.templates.csc.gather_into(&self.factor, &mut self.csc_values);
-        self.factored = true;
-        self.timings.refactor_s = t0.elapsed().as_secs_f64();
-        Ok(())
+    }
+
+    /// Stamps the session's [`ResilienceStats`] onto the latest scheduled
+    /// trace as counter tracks (no-op for untraced or sequential runs).
+    fn export_resilience_counters(&mut self) {
+        let Some(trace) = self.sched_stats.as_mut().and_then(|s| s.trace.as_mut()) else {
+            return;
+        };
+        let t = trace.end_s();
+        for (name, value) in self.resilience.counters() {
+            trace.push_counter(name, t, value as f64);
+        }
     }
 
     /// Solves `A·x = b` with the session factor, handling the fill
@@ -182,6 +315,18 @@ impl FactorSession {
         let mut x = vec![0.0; self.n()];
         self.resolve_into(b, &mut x);
         x
+    }
+
+    /// [`Self::resolve`] that reports an unusable session instead of
+    /// panicking: [`SolverError::NotFactored`] when no refactor succeeded
+    /// yet or the latest one failed ([`Self::is_poisoned`]). The service
+    /// entry point — a caller juggling many sessions under cancellation
+    /// and deadlines should not die on one that is mid-recovery.
+    pub fn try_resolve(&mut self, b: &[f64]) -> Result<Vec<f64>, SolverError> {
+        if !self.factored || self.poisoned {
+            return Err(SolverError::NotFactored);
+        }
+        Ok(self.resolve(b))
     }
 
     /// [`Self::resolve`] into a caller-provided buffer — the fully

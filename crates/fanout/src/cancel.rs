@@ -1,0 +1,216 @@
+//! Cooperative cancellation for the executors.
+//!
+//! A [`CancelToken`] is a tiny shared atomic that a caller (or a deadline /
+//! watchdog supervisor) fires once and every worker polls at task-claim
+//! boundaries. Firing never interrupts a kernel mid-flight: workers finish
+//! the task in hand, drain to quiescence, and the run returns a structured
+//! [`Error::Cancelled`](crate::Error::Cancelled) carrying the cancellation
+//! [`CancelReason`] and a progress snapshot (the same diagnostics a stall
+//! report carries).
+//!
+//! The token packs a *generation* counter next to the reason so one token
+//! can serve a whole retry loop: [`CancelToken::reset`] advances the
+//! generation and clears the reason, and a late `cancel` from an observer of
+//! the previous attempt cannot leak into the next one (reasons are
+//! first-wins *within* a generation only).
+//!
+//! Precedence when several causes race: a caller cancel beats a deadline,
+//! and a deadline beats the stall watchdog — enforced by the supervisor
+//! checking the token before its own timers, not by the token itself (the
+//! token is strictly first-wins).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Why a run was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The caller fired the token explicitly ([`CancelToken::cancel`]).
+    Caller,
+    /// A configured deadline expired before the run completed.
+    Deadline,
+    /// The stall watchdog fired: no task retired within its timeout.
+    /// Executors report this as the back-compatible
+    /// [`Error::Stalled`](crate::Error::Stalled); the reason exists so
+    /// token observers (sessions, retry loops) see stalls through the same
+    /// channel as every other cancellation cause.
+    Stalled,
+}
+
+impl CancelReason {
+    fn bits(self) -> u64 {
+        match self {
+            CancelReason::Caller => 1,
+            CancelReason::Deadline => 2,
+            CancelReason::Stalled => 3,
+        }
+    }
+
+    fn from_bits(v: u64) -> Option<CancelReason> {
+        match v & REASON_MASK {
+            1 => Some(CancelReason::Caller),
+            2 => Some(CancelReason::Deadline),
+            3 => Some(CancelReason::Stalled),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name (also the JSON field value in bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            CancelReason::Caller => "caller",
+            CancelReason::Deadline => "deadline",
+            CancelReason::Stalled => "stalled",
+        }
+    }
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const REASON_MASK: u64 = 0b11;
+const GEN_SHIFT: u64 = 2;
+
+/// A shared, cloneable cancellation flag: one `AtomicU64` holding
+/// `generation << 2 | reason`. Clones share state ([`Arc`] inside); firing
+/// is a single CAS and polling is a single relaxed-ish load, so threading a
+/// token through an executor costs one branch per task claim.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU64>,
+}
+
+/// Token identity is the shared cell, not the current value: two clones of
+/// one token are equal, two independently created tokens are not. (This is
+/// what lets option structs carrying a token keep a meaningful `PartialEq`.)
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
+    }
+}
+
+impl CancelToken {
+    /// A fresh, unfired token at generation 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token with [`CancelReason::Caller`]. Returns `true` if this
+    /// call won the race (the token was not already fired this generation).
+    pub fn cancel(&self) -> bool {
+        self.cancel_with(CancelReason::Caller)
+    }
+
+    /// Fires the token with an explicit reason; first reason wins within the
+    /// current generation.
+    pub fn cancel_with(&self, reason: CancelReason) -> bool {
+        let mut cur = self.state.load(Ordering::Acquire);
+        loop {
+            if cur & REASON_MASK != 0 {
+                return false;
+            }
+            match self.state.compare_exchange_weak(
+                cur,
+                cur | reason.bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// The reason the token was fired with, or `None` while unfired.
+    pub fn cancelled(&self) -> Option<CancelReason> {
+        CancelReason::from_bits(self.state.load(Ordering::Acquire))
+    }
+
+    /// True once fired (this generation).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled().is_some()
+    }
+
+    /// Clears the fired state by advancing the generation — the retry-loop
+    /// entry point. A concurrent `cancel_with` racing the reset lands in
+    /// exactly one generation; the caller deciding to retry has, by calling
+    /// `reset`, already consumed the previous one.
+    pub fn reset(&self) {
+        let mut cur = self.state.load(Ordering::Acquire);
+        loop {
+            let next = ((cur >> GEN_SHIFT) + 1) << GEN_SHIFT;
+            match self.state.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// The reset count — diagnostic only.
+    pub fn generation(&self) -> u64 {
+        self.state.load(Ordering::Acquire) >> GEN_SHIFT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_reason_wins_and_reset_clears() {
+        let t = CancelToken::new();
+        assert_eq!(t.cancelled(), None);
+        assert!(!t.is_cancelled());
+        assert!(t.cancel_with(CancelReason::Deadline));
+        assert!(!t.cancel()); // caller lost the race this generation
+        assert_eq!(t.cancelled(), Some(CancelReason::Deadline));
+        t.reset();
+        assert_eq!(t.cancelled(), None);
+        assert_eq!(t.generation(), 1);
+        assert!(t.cancel());
+        assert_eq!(t.cancelled(), Some(CancelReason::Caller));
+    }
+
+    #[test]
+    fn clones_share_state_and_equality_is_identity() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        let c = CancelToken::new();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(!c.is_cancelled());
+    }
+
+    #[test]
+    fn concurrent_fires_agree_on_one_reason() {
+        let t = CancelToken::new();
+        let winners: usize = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..8)
+                .map(|i| {
+                    let t = t.clone();
+                    s.spawn(move || {
+                        let r = if i % 2 == 0 {
+                            CancelReason::Caller
+                        } else {
+                            CancelReason::Deadline
+                        };
+                        usize::from(t.cancel_with(r))
+                    })
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(winners, 1);
+        assert!(t.is_cancelled());
+    }
+}

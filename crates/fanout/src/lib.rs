@@ -23,6 +23,7 @@
 //! exercise the identical protocol logic that the numeric runs validate for
 //! correctness.
 
+pub mod cancel;
 pub mod critpath;
 pub mod factor;
 pub mod faults;
@@ -38,6 +39,7 @@ pub mod simplicial;
 pub mod solve;
 pub mod threaded;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use critpath::{block_levels, critical_path, CriticalPath};
 pub use factor::NumericFactor;
 pub use faults::{Fault, FaultPlan};
@@ -58,14 +60,16 @@ pub use solve::{residual_norm, solve, solve_csc, solve_csc_multi, solve_many};
 pub use threaded::{factorize_fifo, factorize_fifo_opts, FifoOptions, FifoStats};
 // Tracing vocabulary, re-exported so executor callers need no direct `trace`
 // dependency to configure or consume a trace.
-pub use trace::{TaskKind, Trace, TraceEvent, TraceOpts};
+pub use trace::{CounterEvent, TaskKind, Trace, TraceEvent, TraceOpts};
 
 /// Errors from numeric factorization.
 ///
 /// Every executor degrades into one of these — never a propagated panic,
 /// never a hang: worker panics are caught and reported as
-/// [`Error::WorkerPanicked`], and a run that stops retiring tasks trips the
-/// stall watchdog and returns [`Error::Stalled`] with a diagnostic snapshot.
+/// [`Error::WorkerPanicked`], a run that stops retiring tasks trips the
+/// stall watchdog and returns [`Error::Stalled`] with a diagnostic snapshot,
+/// and a fired [`CancelToken`] or expired deadline drains the run into
+/// [`Error::Cancelled`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// A diagonal block was not positive definite.
@@ -89,6 +93,22 @@ pub enum Error {
     /// unfactored and no pivot failure. Carries a diagnostic snapshot of
     /// the run at the moment the stall was detected.
     Stalled(Box<StallReport>),
+    /// The run was cancelled cooperatively — the caller fired a
+    /// [`CancelToken`] or a configured deadline expired. Workers finished
+    /// the tasks in hand and drained to quiescence before returning, so the
+    /// factor storage is in a partially-updated but data-race-free state; a
+    /// fresh refactor from the original values fully recovers it. (A
+    /// watchdog-detected stall also travels through the token internally
+    /// but is still reported as [`Error::Stalled`] for back-compatibility.)
+    Cancelled {
+        /// What fired the token (caller vs deadline).
+        reason: cancel::CancelReason,
+        /// Progress snapshot at cancellation time, same shape as a stall
+        /// report: columns done, tasks retired, queue depths, worker trace
+        /// tails. For deadline cancels `progress.timeout` carries the
+        /// deadline duration that expired.
+        progress: Box<StallReport>,
+    },
 }
 
 /// Diagnostic snapshot captured when the scheduler stalls (see
@@ -198,6 +218,14 @@ impl std::fmt::Display for Error {
                     )
                 }
             }
+            Error::Cancelled { reason, progress } => match reason {
+                cancel::CancelReason::Deadline => write!(
+                    f,
+                    "factorization deadline of {:?} expired: {progress}",
+                    progress.timeout
+                ),
+                _ => write!(f, "factorization cancelled ({reason}): {progress}"),
+            },
         }
     }
 }

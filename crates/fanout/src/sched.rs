@@ -42,6 +42,7 @@
 //! whose kernel-path selection depends on the row count and would otherwise
 //! diverge in the last bits under FMA contraction.
 
+use crate::cancel::{CancelReason, CancelToken};
 use crate::critpath::block_levels;
 use crate::factor::NumericFactor;
 use crate::faults::{Fault, FaultPlan};
@@ -92,6 +93,22 @@ pub struct SchedOptions {
     /// heartbeat is task *retirement*, so long-running tasks do not trip it
     /// as long as some task finishes within the window.
     pub stall_timeout: Option<Duration>,
+    /// Wall-clock deadline for the whole run, measured from entry into
+    /// [`factorize_sched_opts`]. When it expires the supervisor fires the
+    /// cancellation token with [`CancelReason::Deadline`], workers drain to
+    /// quiescence, and the run returns [`Error::Cancelled`]. `None` (the
+    /// default) imposes no deadline.
+    pub deadline: Option<Duration>,
+    /// External cancellation token. Workers poll it at every task-claim
+    /// boundary; firing it drains the run into [`Error::Cancelled`] with
+    /// the token's reason. `None` still creates a run-internal token (the
+    /// deadline and watchdog need one), it just isn't externally reachable.
+    ///
+    /// Precedence when several causes race: the first reason to land in the
+    /// token wins, and the supervisor checks the token before its own
+    /// timers — so an explicit caller cancel beats a deadline beats the
+    /// stall watchdog.
+    pub cancel: Option<CancelToken>,
     /// Deterministic fault injection (panics / delays / lost tasks)
     /// consulted per task; `None` for production runs. NPD injection is
     /// data-level — apply [`FaultPlan::inject_npd`] to the factor before
@@ -117,6 +134,8 @@ impl Default for SchedOptions {
             use_priorities: true,
             seed: None,
             stall_timeout: Some(Duration::from_secs(60)),
+            deadline: None,
+            cancel: None,
             faults: None,
             perturb_npd: None,
             trace: TraceOpts::off(),
@@ -232,6 +251,10 @@ pub fn factorize_sched_opts(
         fail_col: AtomicUsize::new(usize::MAX),
         panic_slot: Mutex::new(None),
         stall_slot: Mutex::new(None),
+        cancel_slot: Mutex::new(None),
+        cancel: opts.cancel.clone().unwrap_or_default(),
+        deadline: opts.deadline,
+        stall_timeout: opts.stall_timeout,
         faults: opts.faults.as_ref(),
         perturb_npd: opts.perturb_npd,
         stealers: Vec::new(),
@@ -280,13 +303,23 @@ pub fn factorize_sched_opts(
         .max()
         .unwrap_or(0);
 
+    // An already-expired deadline (zero, or a caller-computed remainder
+    // that ran out) must cancel deterministically even when the run would
+    // beat the supervisor's first tick: fire the token before workers
+    // start, exactly as if the caller had pre-fired it.
+    if opts.deadline.is_some_and(|d| d.is_zero()) {
+        shared.cancel.cancel_with(CancelReason::Deadline);
+    }
+
     let t0 = Instant::now();
     let locals: Vec<LocalStats> = std::thread::scope(|scope| {
-        // The watchdog shares the workers' scope: it exits as soon as the
-        // done flag is raised, which every termination path sets.
-        if let Some(timeout) = opts.stall_timeout {
+        // The supervisor (stall watchdog + deadline timer) shares the
+        // workers' scope: it exits as soon as the done flag is raised,
+        // which every termination path sets. Pure external-cancel runs
+        // don't need it — workers poll the token themselves.
+        if opts.stall_timeout.is_some() || opts.deadline.is_some() {
             let shared = &shared;
-            scope.spawn(move || watchdog(shared, timeout));
+            scope.spawn(move || supervisor(shared));
         }
         let mut handles = Vec::with_capacity(workers);
         for (me, deque) in deques.into_iter().enumerate() {
@@ -327,11 +360,16 @@ pub fn factorize_sched_opts(
     let wall = t0.elapsed().as_secs_f64();
 
     // Resolve the run outcome. Priority: a contained panic trumps
-    // everything (the factor state is unspecified), then a watchdog stall,
-    // then a pivot failure, then the drain-time stall check that turns any
-    // termination-race regression into a structured, debuggable error.
+    // everything (the factor state is unspecified), then a cancellation
+    // (caller / deadline — the run drained early, so downstream results
+    // like `fail_col` only describe a prefix of the work), then a watchdog
+    // stall, then a pivot failure, then the drain-time stall check that
+    // turns any termination-race regression into a structured error.
     if let Some((block, payload)) = lock_ignore_poison(&shared.panic_slot).take() {
         return Err(Error::WorkerPanicked { block, payload });
+    }
+    if let Some((reason, report)) = lock_ignore_poison(&shared.cancel_slot).take() {
+        return Err(Error::Cancelled { reason, progress: Box::new(report) });
     }
     if let Some(report) = lock_ignore_poison(&shared.stall_slot).take() {
         return Err(Error::Stalled(Box::new(report)));
@@ -377,12 +415,19 @@ pub fn factorize_sched_opts(
     Ok(stats)
 }
 
-/// Progress watchdog: wakes on the workers' condvar (or every poll tick),
-/// and halts the run with a diagnostic [`StallReport`] when the
-/// tasks-retired heartbeat stops advancing for `timeout` while the run is
-/// incomplete.
-fn watchdog(s: &Shared, timeout: Duration) {
-    let poll = (timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(100));
+/// Run supervisor: unifies the stall watchdog and the deadline timer onto
+/// the run's cancellation token. It wakes on the workers' condvar (or every
+/// poll tick) and, in precedence order, (1) honors an externally fired
+/// token, (2) fires the token with [`CancelReason::Deadline`] when
+/// `s.deadline` expires, (3) fires it with [`CancelReason::Stalled`] when
+/// the tasks-retired heartbeat stops advancing for `s.stall_timeout`.
+/// Whatever reason wins, [`Shared::record_cancel`] halts the run.
+fn supervisor(s: &Shared) {
+    let mut poll = Duration::from_millis(100);
+    for d in [s.stall_timeout, s.deadline].into_iter().flatten() {
+        poll = poll.min((d / 4).clamp(Duration::from_millis(1), Duration::from_millis(100)));
+    }
+    let start = Instant::now();
     let mut last = s.tasks_retired.load(Ordering::Relaxed);
     let mut last_progress = Instant::now();
     loop {
@@ -399,18 +444,30 @@ fn watchdog(s: &Shared, timeout: Duration) {
         if s.done.load(Ordering::Acquire) {
             return;
         }
-        let retired = s.tasks_retired.load(Ordering::Relaxed);
-        if retired != last {
-            last = retired;
-            last_progress = Instant::now();
-            continue;
-        }
-        if last_progress.elapsed() >= timeout {
-            let report = s.snapshot(timeout);
-            *lock_ignore_poison(&s.stall_slot) = Some(report);
-            s.done.store(true, Ordering::Release);
-            s.wake_all();
+        if let Some(reason) = s.cancel.cancelled() {
+            s.record_cancel(reason);
             return;
+        }
+        if let Some(deadline) = s.deadline {
+            if start.elapsed() >= deadline {
+                s.cancel.cancel_with(CancelReason::Deadline);
+                // Re-read the token: a racing caller cancel may have won.
+                s.record_cancel(s.cancel.cancelled().unwrap_or(CancelReason::Deadline));
+                return;
+            }
+        }
+        if let Some(timeout) = s.stall_timeout {
+            let retired = s.tasks_retired.load(Ordering::Relaxed);
+            if retired != last {
+                last = retired;
+                last_progress = Instant::now();
+                continue;
+            }
+            if last_progress.elapsed() >= timeout {
+                s.cancel.cancel_with(CancelReason::Stalled);
+                s.record_cancel(s.cancel.cancelled().unwrap_or(CancelReason::Stalled));
+                return;
+            }
         }
     }
 }
@@ -582,6 +639,19 @@ struct Shared<'a> {
     panic_slot: Mutex<Option<(Option<usize>, String)>>,
     /// Diagnostic snapshot written by the watchdog on stall.
     stall_slot: Mutex<Option<StallReport>>,
+    /// Caller/deadline cancellation outcome with its progress snapshot
+    /// (stall-reason cancellations land in `stall_slot` instead, keeping
+    /// [`Error::Stalled`] back-compatible).
+    cancel_slot: Mutex<Option<(CancelReason, StallReport)>>,
+    /// The run's cancellation token: the caller's clone when one was passed
+    /// in [`SchedOptions::cancel`], otherwise run-internal. Workers poll it
+    /// at every task-claim boundary; the supervisor fires it for deadline
+    /// and stall causes so every halt travels through one mechanism.
+    cancel: CancelToken,
+    /// Configured deadline (for the supervisor and progress reports).
+    deadline: Option<Duration>,
+    /// Configured stall watchdog timeout.
+    stall_timeout: Option<Duration>,
     /// Per-task fault injection; `None` in production.
     faults: Option<&'a FaultPlan>,
     /// NPD graceful degradation threshold; `None` = structured NPD errors.
@@ -640,6 +710,36 @@ impl Shared<'_> {
             let mut slot = lock_ignore_poison(&self.panic_slot);
             if slot.is_none() {
                 *slot = Some((block, payload));
+            }
+        }
+        self.done.store(true, Ordering::Release);
+        self.wake_all();
+    }
+
+    /// Records a cancellation outcome (first writer wins) and triggers the
+    /// same cooperative drain as a contained panic: done flag up, sleepers
+    /// woken, every worker exits at its next claim boundary. The progress
+    /// snapshot's `timeout` field carries the expired deadline for
+    /// [`CancelReason::Deadline`] and the watchdog timeout for
+    /// [`CancelReason::Stalled`] (which is routed to `stall_slot` so it
+    /// still surfaces as the back-compatible [`Error::Stalled`]).
+    fn record_cancel(&self, reason: CancelReason) {
+        match reason {
+            CancelReason::Stalled => {
+                let mut slot = lock_ignore_poison(&self.stall_slot);
+                if slot.is_none() {
+                    *slot = Some(self.snapshot(self.stall_timeout.unwrap_or(Duration::ZERO)));
+                }
+            }
+            CancelReason::Caller | CancelReason::Deadline => {
+                let timeout = match reason {
+                    CancelReason::Deadline => self.deadline.unwrap_or(Duration::ZERO),
+                    _ => Duration::ZERO,
+                };
+                let mut slot = lock_ignore_poison(&self.cancel_slot);
+                if slot.is_none() {
+                    *slot = Some((reason, self.snapshot(timeout)));
+                }
             }
         }
         self.done.store(true, Ordering::Release);
@@ -731,6 +831,13 @@ impl WorkerCtx<'_> {
         let s = self.shared;
         loop {
             if s.done.load(Ordering::Acquire) {
+                break;
+            }
+            // Cancellation poll at the task-claim boundary: one atomic load
+            // per iteration. The task in hand (if any) was already finished;
+            // nothing is torn mid-kernel.
+            if let Some(reason) = s.cancel.cancelled() {
+                s.record_cancel(reason);
                 break;
             }
             let task = match self.deque.pop() {

@@ -1,8 +1,9 @@
 //! Sequential right-looking block factorization, plus the numeric kernels
 //! shared by every executor.
 
+use crate::cancel::{CancelReason, CancelToken};
 use crate::factor::NumericFactor;
-use crate::Error;
+use crate::{Error, StallReport};
 use blockmat::BlockMatrix;
 use dense::kernels::{
     gemm_abt_set_strided, gemm_abt_sub_strided, potrf_with, syrk_lt_set_strided,
@@ -28,6 +29,16 @@ pub struct FactorOpts {
     /// perturbation count is a factor of a *modified* matrix and should be
     /// paired with iterative refinement.
     pub perturb_npd: Option<f64>,
+    /// Wall-clock deadline for the run, measured from entry. Checked once
+    /// per block column; on expiry the run stops between columns and
+    /// returns [`Error::Cancelled`](crate::Error::Cancelled) with
+    /// [`CancelReason::Deadline`] and a columns-done progress snapshot.
+    /// `None` (the default) imposes no deadline.
+    pub deadline: Option<std::time::Duration>,
+    /// Cooperative cancellation token, polled once per block column.
+    /// Firing it stops the run between columns with
+    /// [`Error::Cancelled`](crate::Error::Cancelled). `None` by default.
+    pub cancel: Option<CancelToken>,
     /// Execution tracing: when enabled, each column completion (`bfac`,
     /// covering `BFAC` + the whole-column `TRSM`) and each `BMOD` lands in
     /// a single-track [`Trace`] returned via [`SeqStats::trace`]. Event
@@ -85,7 +96,38 @@ pub fn factorize_seq_with_arena(
             t_end: epoch.elapsed().as_secs_f64(),
         });
     };
-    for k in 0..bm.num_panels() {
+    let np = bm.num_panels();
+    for k in 0..np {
+        // Cancellation / deadline poll at the column boundary (the
+        // sequential analogue of the scheduler's task-claim poll). The
+        // prefix of columns already factored is left in place; a fresh
+        // refactor from the original values fully recovers the run.
+        if opts.cancel.is_some() || opts.deadline.is_some() {
+            let external = opts.cancel.as_ref().and_then(|t| t.cancelled());
+            let reason = match external {
+                Some(r) => Some(r),
+                None if opts.deadline.is_some_and(|d| epoch.elapsed() >= d) => {
+                    if let Some(t) = &opts.cancel {
+                        t.cancel_with(CancelReason::Deadline);
+                    }
+                    Some(CancelReason::Deadline)
+                }
+                None => None,
+            };
+            if let Some(reason) = reason {
+                let progress = StallReport {
+                    timeout: match reason {
+                        CancelReason::Deadline => opts.deadline.unwrap_or_default(),
+                        _ => std::time::Duration::ZERO,
+                    },
+                    tasks_retired: k as u64,
+                    columns_done: k,
+                    columns_total: np,
+                    ..StallReport::default()
+                };
+                return Err(Error::Cancelled { reason, progress: Box::new(progress) });
+            }
+        }
         let t0 = if tracing { epoch.elapsed().as_secs_f64() } else { 0.0 };
         match opts.perturb_npd {
             None => factor_block_column(f, &bm, k, arena)?,

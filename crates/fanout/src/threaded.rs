@@ -12,17 +12,18 @@
 //! overhead [`FifoStats::blocks_copied`] counts and the scheduler
 //! eliminates.
 
+use crate::cancel::{CancelReason, CancelToken};
 use crate::factor::NumericFactor;
 use crate::plan::Plan;
 use crate::proto::{Action, ProtocolState};
 use crate::seq::apply_bmod;
-use crate::Error;
+use crate::{Error, StallReport};
 use blockmat::BlockMatrix;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dense::kernels::{potrf_with, trsm_right_lower_trans_with};
 use dense::KernelArena;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use trace::{TaskKind, Trace, TraceBuf, TraceOpts, WorkerRing};
 
 enum Msg {
@@ -52,6 +53,15 @@ pub struct FifoOptions {
     /// `recv` intervals covering each blocking channel wait, one ring per
     /// virtual processor. Event `block` ids are the plan's flat block ids.
     pub trace: TraceOpts,
+    /// Wall-clock deadline for the run, measured from entry. When armed
+    /// (this or [`FifoOptions::cancel`] set), workers swap their blocking
+    /// channel waits for short timed waits and poll the run token between
+    /// messages; on expiry the run drains and returns
+    /// [`Error::Cancelled`](crate::Error::Cancelled). `None` by default.
+    pub deadline: Option<Duration>,
+    /// External cancellation token, polled by every virtual processor
+    /// between messages. `None` by default (no polling overhead).
+    pub cancel: Option<CancelToken>,
 }
 
 /// Factors `f` in place using `plan.p` concurrent virtual processors, one
@@ -83,9 +93,20 @@ pub fn factorize_fifo_opts(
 ) -> Result<FifoStats, Error> {
     let bm = f.bm.clone();
     let p = plan.p;
+    let np = bm.num_panels();
     let nb = plan.num_blocks();
     let tracebuf = TraceBuf::new(p, &opts.trace);
     let epoch = Instant::now();
+    // One run-level token even when only a deadline was configured: the
+    // first worker to observe the expiry fires it, so every worker (and the
+    // join) agrees on a single cancellation reason.
+    let cancel_armed = opts.cancel.is_some() || opts.deadline.is_some();
+    let run_token: CancelToken = opts.cancel.clone().unwrap_or_default();
+    // An already-expired deadline cancels deterministically even if every
+    // worker would finish before its first poll: fire the token up front.
+    if opts.deadline.is_some_and(|d| d.is_zero()) {
+        run_token.cancel_with(CancelReason::Deadline);
+    }
     // Hand each virtual processor exclusive mutable views of its blocks,
     // flat-indexed by `plan.block_base` (no hash map on the hot path).
     let mut owned: Vec<Vec<Option<&mut [f64]>>> = (0..p)
@@ -99,15 +120,17 @@ pub fn factorize_fifo_opts(
     let (senders, receivers): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
         (0..p).map(|_| unbounded()).unzip();
 
-    let results: Vec<Result<(FifoStats, Option<usize>), Error>> = std::thread::scope(|scope| {
+    let results: Vec<Result<WorkerOut, Error>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (me, (mine, rx)) in owned.into_iter().zip(receivers).enumerate() {
             let senders = senders.clone();
             let bm = bm.clone();
             let tracer = tracebuf.as_ref().map(|tb| tb.ring(me));
+            let token = cancel_armed.then_some(&run_token);
+            let deadline = opts.deadline;
             handles.push(scope.spawn({
                 let plan = &*plan;
-                move || worker(me as u32, plan, &bm, mine, rx, senders, tracer, epoch)
+                move || worker(me as u32, plan, &bm, mine, rx, senders, tracer, epoch, token, deadline)
             }));
         }
         drop(senders);
@@ -125,17 +148,24 @@ pub fn factorize_fifo_opts(
     });
 
     // Smallest failing column wins, independent of worker index or timing;
-    // a contained panic trumps a pivot failure (as in the scheduler — the
-    // factor state after a panic is unspecified).
+    // a contained panic trumps a cancellation trumps a pivot failure (as in
+    // the scheduler — after a panic the factor state is unspecified, and a
+    // cancelled run drained early so `min_col` only describes a prefix).
     let mut stats = FifoStats::default();
     let mut min_col = None;
     let mut panicked: Option<Error> = None;
+    let mut cancelled = false;
+    let mut cols_done = 0usize;
+    let mut tasks_done = 0u64;
     for res in results {
         match res {
-            Ok((s, fail)) => {
-                stats.blocks_copied += s.blocks_copied;
-                stats.messages += s.messages;
-                if let Some(col) = fail {
+            Ok(out) => {
+                stats.blocks_copied += out.stats.blocks_copied;
+                stats.messages += out.stats.messages;
+                cancelled |= out.cancelled;
+                cols_done += out.cols_done;
+                tasks_done += out.blocks_done as u64;
+                if let Some(col) = out.fail_col {
                     min_col = Some(min_col.map_or(col, |c: usize| c.min(col)));
                 }
             }
@@ -145,6 +175,20 @@ pub fn factorize_fifo_opts(
     if let Some(e) = panicked {
         return Err(e);
     }
+    if cancelled {
+        let reason = run_token.cancelled().unwrap_or(CancelReason::Caller);
+        let progress = StallReport {
+            timeout: match reason {
+                CancelReason::Deadline => opts.deadline.unwrap_or_default(),
+                _ => Duration::ZERO,
+            },
+            tasks_retired: tasks_done,
+            columns_done: cols_done,
+            columns_total: np,
+            ..StallReport::default()
+        };
+        return Err(Error::Cancelled { reason, progress: Box::new(progress) });
+    }
     match min_col {
         None => {
             stats.trace = tracebuf.as_ref().map(TraceBuf::collect);
@@ -152,6 +196,20 @@ pub fn factorize_fifo_opts(
         }
         Some(col) => Err(Error::NotPositiveDefinite { col }),
     }
+}
+
+/// Per-worker results folded at join time.
+struct WorkerOut {
+    stats: FifoStats,
+    /// Smallest global column whose pivot failed on this processor.
+    fail_col: Option<usize>,
+    /// Diagonal-block (column) completions this processor performed.
+    cols_done: usize,
+    /// Block completions (diagonal + off-diagonal) this processor performed.
+    blocks_done: usize,
+    /// True when this processor stopped because it observed the run token
+    /// fired (or fired it itself on deadline expiry).
+    cancelled: bool,
 }
 
 /// Broadcasts [`Msg::Abort`] to every peer unless disarmed — armed for the
@@ -190,6 +248,10 @@ struct Worker<'a, 'data> {
     stats: FifoStats,
     /// Smallest global column whose pivot failed on this processor.
     fail_col: Option<usize>,
+    /// Diagonal-block completions (column progress for cancellation reports).
+    cols_done: usize,
+    /// All block completions.
+    blocks_done: usize,
     /// This virtual processor's event ring, when tracing is enabled.
     tracer: Option<&'a WorkerRing>,
     /// Time origin for trace timestamps.
@@ -206,7 +268,9 @@ fn worker(
     senders: Vec<Sender<Msg>>,
     tracer: Option<&WorkerRing>,
     epoch: Instant,
-) -> (FifoStats, Option<usize>) {
+    token: Option<&CancelToken>,
+    deadline: Option<Duration>,
+) -> WorkerOut {
     let mut state = ProtocolState::new(plan, bm, me);
     let mut actions = Vec::new();
     let nb = plan.num_blocks();
@@ -220,16 +284,42 @@ fn worker(
         arena: KernelArena::new(),
         stats: FifoStats::default(),
         fail_col: None,
+        cols_done: 0,
+        blocks_done: 0,
         tracer,
         epoch,
     };
     let mut guard = AbortGuard { senders: w.senders.clone(), me, armed: true };
     state.start(plan, bm, &mut actions);
     w.execute(&actions);
+    let mut cancelled = false;
     while !state.is_done() {
+        // Cancellation / deadline poll between messages. When armed, the
+        // blocking recv below becomes a short timed wait, so a fired token
+        // is observed within one poll tick even by a starved processor.
+        if let Some(t) = token {
+            if t.is_cancelled() {
+                cancelled = true;
+                break;
+            }
+            if deadline.is_some_and(|d| epoch.elapsed() >= d) {
+                t.cancel_with(CancelReason::Deadline);
+                cancelled = true;
+                break;
+            }
+        }
         let t_recv = w.tracer.map(|_| w.epoch.elapsed().as_secs_f64());
-        match rx.recv() {
-            Ok(Msg::Block(id, data)) => {
+        let msg = if token.is_some() {
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => None,
+            }
+        } else {
+            rx.recv().ok()
+        };
+        match msg {
+            Some(Msg::Block(id, data)) => {
                 if let (Some(ring), Some(t0)) = (w.tracer, t_recv) {
                     // The recv interval covers the blocking wait for this
                     // block — the baseline's communication stall time.
@@ -240,15 +330,25 @@ fn worker(
                 state.on_receive(plan, bm, j, b, &mut actions);
                 w.execute(&actions);
             }
-            Ok(Msg::Abort) | Err(_) => {
-                // A peer panicked (or all senders dropped unexpectedly);
-                // return what we have without an error of our own.
+            Some(Msg::Abort) | None => {
+                // A peer panicked or cancelled (or all senders dropped
+                // unexpectedly); return what we have without an error of
+                // our own — the join resolves the run outcome.
                 break;
             }
         }
     }
-    guard.armed = false;
-    (w.stats, w.fail_col)
+    // A cancelling worker leaves the guard armed: its drop broadcasts Abort
+    // so peers still blocked on this worker's blocks drain immediately
+    // instead of waiting out their own poll ticks.
+    guard.armed = cancelled;
+    WorkerOut {
+        stats: w.stats,
+        fail_col: w.fail_col,
+        cols_done: w.cols_done,
+        blocks_done: w.blocks_done,
+        cancelled,
+    }
 }
 
 /// Inverse of [`Plan::block_id`] (binary search over `block_base`).
@@ -356,6 +456,10 @@ impl<'data> Worker<'_, 'data> {
                         let kind = if b == 0 { TaskKind::Bfac } else { TaskKind::Bdiv };
                         ring.record(kind, id as u32, t0, self.epoch.elapsed().as_secs_f64());
                     }
+                    self.blocks_done += 1;
+                    if b == 0 {
+                        self.cols_done += 1;
+                    }
                     // Ship a snapshot only if someone remote needs it; local
                     // consumers read the in-place slice.
                     let dests = &self.plan.send_to[j as usize][b as usize];
@@ -418,7 +522,7 @@ mod tests {
     fn traced_fifo_run_records_completions_updates_and_receives() {
         let prob = sparsemat::gen::grid2d(8);
         let (mut f, plan, pa) = prepared(&prob, 3, 4);
-        let opts = FifoOptions { trace: TraceOpts::on() };
+        let opts = FifoOptions { trace: TraceOpts::on(), ..Default::default() };
         let stats = factorize_fifo_opts(&mut f, &plan, &opts).unwrap();
         let tr = stats.trace.as_ref().expect("tracing was enabled");
         assert_eq!(tr.workers(), plan.p);

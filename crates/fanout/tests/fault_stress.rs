@@ -111,6 +111,11 @@ fn run_one(f0: &NumericFactor, plan: &Plan, fp: &FaultPlan, seed: u64, what: &st
         Err(Error::Stalled(report)) => {
             assert!(fp.vanish_per_mille > 0, "{what}: spurious stall: {report}");
         }
+        Err(e @ Error::Cancelled { .. }) => {
+            // No token or deadline is armed in this harness; a watchdog
+            // stall must keep reporting as Stalled, never as Cancelled.
+            panic!("{what}: spurious cancellation: {e}");
+        }
     }
 }
 

@@ -169,6 +169,20 @@ impl Default for TraceOpts {
     }
 }
 
+/// One sampled counter value: a named scalar at a point in time. Exported
+/// to Perfetto as a `"ph":"C"` counter track, so resilience metrics
+/// (attempts, cancellations, perturbed pivots, deadline misses) render as
+/// step charts alongside the worker timelines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterEvent {
+    /// Counter track name (e.g. `"attempts"`).
+    pub name: String,
+    /// Sample offset in seconds from the run epoch.
+    pub t_s: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
 /// A collected execution trace: per-worker event lists, each sorted by
 /// start time, timestamps in seconds from the run epoch.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -177,6 +191,8 @@ pub struct Trace {
     pub per_worker: Vec<Vec<TraceEvent>>,
     /// Events lost to ring overwrite (0 unless a ring filled up).
     pub dropped: u64,
+    /// Sampled counter values (empty unless the producer pushed any).
+    pub counters: Vec<CounterEvent>,
 }
 
 impl Trace {
@@ -187,7 +203,12 @@ impl Trace {
         for evs in &mut per_worker {
             evs.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
         }
-        Self { per_worker, dropped: 0 }
+        Self { per_worker, dropped: 0, counters: Vec::new() }
+    }
+
+    /// Appends a counter sample (kept in push order; the exporter sorts).
+    pub fn push_counter(&mut self, name: impl Into<String>, t_s: f64, value: f64) {
+        self.counters.push(CounterEvent { name: name.into(), t_s, value });
     }
 
     /// Number of worker tracks.

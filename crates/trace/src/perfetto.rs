@@ -101,6 +101,21 @@ impl Trace {
                 out.push('}');
             }
         }
+        // Counter samples as "ph":"C" on the pipeline tid: Perfetto renders
+        // each distinct name as its own step-chart track. Sorted by time so
+        // the chart steps monotonically even if producers pushed out of
+        // order. Counter timestamps share the worker-event clock.
+        let mut counters: Vec<&crate::CounterEvent> = self.counters.iter().collect();
+        counters.sort_by(|a, b| a.t_s.total_cmp(&b.t_s));
+        for c in counters {
+            out.push_str(&format!(
+                ",{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":{},\"ts\":{},\"args\":{{{}:{}}}}}",
+                json_str(&c.name),
+                us((c.t_s - t0 + shift).max(0.0)),
+                json_str(&c.name),
+                if c.value.is_finite() { format!("{}", c.value) } else { "0".to_string() },
+            ));
+        }
         out.push_str("]}");
         out
     }
@@ -174,6 +189,21 @@ mod tests {
         assert!(!j.contains("\"name\":\"solve\""));
         // order + refactor + resolve slices, one worker event.
         assert_eq!(j.matches("\"ph\":\"X\"").count(), 4);
+    }
+
+    #[test]
+    fn counter_events_render_as_counter_track() {
+        let mut t = Trace::from_events(vec![vec![ev(TaskKind::Bfac, 0, 0.0, 0.5)]]);
+        t.push_counter("attempts", 0.4, 2.0);
+        t.push_counter("attempts", 0.1, 1.0);
+        t.push_counter("perturbed_pivots", 0.2, 3.5);
+        let j = t.to_perfetto_json("resil");
+        assert!(validate_json(&j).is_ok(), "{j}");
+        assert_eq!(j.matches("\"ph\":\"C\"").count(), 3);
+        assert!(j.contains("\"attempts\":1") && j.contains("\"attempts\":2"));
+        assert!(j.contains("\"perturbed_pivots\":3.5"));
+        // Sorted by time: the t=0.1 sample renders before the t=0.4 one.
+        assert!(j.find("\"attempts\":1").unwrap() < j.find("\"attempts\":2").unwrap());
     }
 
     #[test]
