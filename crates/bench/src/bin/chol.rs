@@ -109,6 +109,17 @@ fn main() {
     };
     let t0 = std::time::Instant::now();
     let solver = Solver::analyze(&a, &opts);
+    if o.ordering == OrderingChoice::Auto {
+        eprintln!(
+            "ordering: auto resolved to {}",
+            match solver.resolved_ordering {
+                OrderingChoice::NestedDissection => "nested dissection (structure probe)",
+                OrderingChoice::MinimumDegree => "minimum degree (structure probe)",
+                OrderingChoice::Natural => "natural",
+                OrderingChoice::Auto => "auto",
+            }
+        );
+    }
     eprintln!(
         "analysis: NZ(L) = {}, {:.1} Mflops, {} supernodes ({:.2}s)",
         solver.stats().nnz_l,

@@ -5,22 +5,31 @@
 //! graph path ([`ordering::nd_graph`]):
 //!
 //! * modeled factor size/flops under minimum degree vs nested dissection;
+//! * the `Auto` structure probe's resolution ([`ordering::probe_structure`])
+//!   against which ordering actually modeled cheaper;
 //! * the balance bound of proportional mapping (PM) on the ND plan against
 //!   the best of the DW/IN/DN/ID Cartesian heuristics;
 //! * sequential vs subtree-parallel symbolic analysis wall clock at 4
 //!   workers (bit-identity is asserted on every sample);
 //! * the end-to-end residual of the ND-ordered factorization.
 //!
-//! Writes `BENCH_order.json`. The run is self-gating:
+//! Writes `BENCH_order.json`. The run is self-gating (full scale; `--quick`
+//! records the scale-dependent gates in `skipped_gates` instead):
 //!
 //! * on at least two structures, ND must cut modeled flops by ≥ 10 % or
 //!   improve the balance bound by ≥ 10 % over minimum degree;
+//! * the probe must agree with the cheaper-by-modeled-flops ordering on
+//!   every structure;
+//! * multilevel FM dissection must hold its quality floor: flops ratio
+//!   (nd/md) ≤ 0.88 on the grid, ≤ 0.39 on the cube, ≤ 2.0 on every
+//!   BCSSTK structure;
 //! * PM's balance bound must not lose to the best Section 4 heuristic on
 //!   any ND (separator-tree) plan;
 //! * parallel analysis must reproduce the sequential analysis bit for bit,
 //!   and reach ≥ 1.5× speedup when the host actually has ≥ 4 cores (on
-//!   smaller hosts the run is flagged oversubscribed instead — wall-clock
-//!   speedups under oversubscription measure contention, not the code);
+//!   smaller hosts the gate is recorded in `skipped_gates` and the run is
+//!   flagged oversubscribed instead — wall-clock speedups under
+//!   oversubscription measure contention, not the code);
 //! * every ND factorization must solve to a relative residual below 1e-10;
 //! * the JSON artifact must validate.
 //!
@@ -48,6 +57,9 @@ struct Row {
     nd_pm_balance: f64,
     nd_best_heur: &'static str,
     nd_best_heur_balance: f64,
+    probe_choice: ordering::ProbeChoice,
+    probe_nd_est: f64,
+    probe_md_est: f64,
     seq_analyze_s: f64,
     par_analyze_s: f64,
     subtree_spans: usize,
@@ -57,6 +69,19 @@ struct Row {
 impl Row {
     fn flops_ratio(&self) -> f64 {
         self.nd_ops as f64 / self.md_ops as f64
+    }
+
+    fn probe_abbrev(&self) -> &'static str {
+        match self.probe_choice {
+            ordering::ProbeChoice::NestedDissection => "nd",
+            ordering::ProbeChoice::MinimumDegree => "md",
+        }
+    }
+
+    /// True when the probe picked whichever ordering modeled cheaper.
+    fn probe_agrees(&self) -> bool {
+        let probe_nd = self.probe_choice == ordering::ProbeChoice::NestedDissection;
+        probe_nd == (self.nd_ops < self.md_ops)
     }
 
     fn balance_gain(&self) -> f64 {
@@ -71,6 +96,16 @@ impl Row {
     /// flops, or by ≥ 10 % on the balance bound.
     fn nd_wins(&self) -> bool {
         self.flops_ratio() <= 0.90 || self.balance_gain() >= 1.10
+    }
+}
+
+/// A finite f64 as a JSON number, a non-finite one (the probe reports an
+/// infinite dissection estimate when no separator exists) as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4e}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -90,6 +125,11 @@ fn median(mut times: Vec<f64>) -> f64 {
 
 fn run_structure(prob: &sparsemat::Problem, block_size: usize, p: usize, samples: usize) -> Row {
     let a = &prob.matrix;
+    let g = sparsemat::Graph::from_pattern(a.pattern());
+
+    // The Auto structure probe, on the pattern alone (what
+    // `Solver::analyze` with `OrderingChoice::Auto` consults).
+    let probe = ordering::probe_structure(&g);
 
     // Minimum degree baseline with the paper's recommended ID/CY mapping.
     let md_opts = SolverOptions {
@@ -140,7 +180,6 @@ fn run_structure(prob: &sparsemat::Problem, block_size: usize, p: usize, samples
     // permutation, timed directly around the symbolic layer so the
     // comparison excludes ordering and partitioning. Every parallel sample
     // is checked bit-identical against the sequential result.
-    let g = sparsemat::Graph::from_pattern(a.pattern());
     let (nd_perm, tree) = ordering::nd_graph(&g, &ordering::NdGraphOptions::default());
     let workers = 4usize;
     let ranges = tree.parallel_ranges(4 * workers);
@@ -186,6 +225,9 @@ fn run_structure(prob: &sparsemat::Problem, block_size: usize, p: usize, samples
         nd_pm_balance,
         nd_best_heur,
         nd_best_heur_balance,
+        probe_choice: probe.choice,
+        probe_nd_est: probe.nd_flops_est,
+        probe_md_est: probe.md_flops_est,
         seq_analyze_s: median(seq_times),
         par_analyze_s: median(par_times),
         subtree_spans,
@@ -235,12 +277,13 @@ fn main() {
     let rows: Vec<Row> =
         problems.iter().map(|pb| run_structure(pb, block_size, p, samples)).collect();
 
-    let env = bench::WorkerEnv::probe_and_warn("ordbench");
+    let mut env = bench::WorkerEnv::probe_and_warn("ordbench");
     let enforce_speedup = !quick && env.cores >= 4;
 
     // Gate: ND wins (flops or balance) on at least two structures. Tiny
     // (--quick) problems have no asymptotic separator advantage to show, so
-    // the gate only applies at full scale.
+    // the scale-dependent gates only apply at full scale (and are recorded
+    // as skipped otherwise).
     let wins = rows.iter().filter(|r| r.nd_wins()).count();
     assert!(
         quick || wins >= 2,
@@ -248,7 +291,38 @@ fn main() {
          (flops ratios: {:?})",
         rows.iter().map(|r| (r.problem.as_str(), r.flops_ratio())).collect::<Vec<_>>()
     );
+    if quick {
+        env.skip_gate("nd_wins");
+        env.skip_gate("probe_agreement");
+        env.skip_gate("flops_ratio_floor");
+    }
     for r in &rows {
+        if !quick {
+            // Gate: the Auto probe resolves to whichever ordering actually
+            // modeled cheaper on this structure.
+            assert!(
+                r.probe_agrees(),
+                "{}: probe picked {} (nd_est {:.3e}, md_est {:.3e}) but modeled flops say \
+                 nd {} vs md {}",
+                r.problem, r.probe_abbrev(), r.probe_nd_est, r.probe_md_est,
+                r.nd_ops, r.md_ops
+            );
+            // Gate: multilevel FM dissection quality floor per structure
+            // family (the pre-multilevel greedy thinning sat at 3.6–6.4×
+            // minimum degree on the BCSSTK meshes).
+            let cap = if r.problem.starts_with("GRID") {
+                0.88
+            } else if r.problem.starts_with("CUBE") {
+                0.39
+            } else {
+                2.0
+            };
+            assert!(
+                r.flops_ratio() <= cap,
+                "{}: nd/md flops ratio {:.3} above the {:.2} floor",
+                r.problem, r.flops_ratio(), cap
+            );
+        }
         // Gate: PM does not lose to the best Section 4 heuristic on the
         // separator-tree plan.
         assert!(
@@ -280,9 +354,9 @@ fn main() {
 
     let mut table = TextTable::new(
         "Ordering: graph nested dissection vs minimum degree (flops model, balance bound, \
-         parallel analyze)",
-        &["problem", "n", "md ops", "nd ops", "ratio", "md bal", "PM bal", "best heur",
-          "seq ms", "par ms", "spd", "residual"],
+         Auto probe, parallel analyze)",
+        &["problem", "n", "md ops", "nd ops", "ratio", "probe", "md bal", "PM bal",
+          "best heur", "seq ms", "par ms", "spd", "residual"],
     );
     for r in &rows {
         table.row(vec![
@@ -291,6 +365,7 @@ fn main() {
             r.md_ops.to_string(),
             r.nd_ops.to_string(),
             format!("{:.3}", r.flops_ratio()),
+            r.probe_abbrev().to_string(),
             format!("{:.4}", r.md_balance),
             format!("{} {:.4}", r.nd_pm_rows, r.nd_pm_balance),
             format!("{} {:.4}", r.nd_best_heur, r.nd_best_heur_balance),
@@ -302,6 +377,7 @@ fn main() {
     }
     println!("{table}");
     if !enforce_speedup && !quick {
+        env.skip_gate("analyze_speedup");
         eprintln!(
             "note: ordbench: speedup gate skipped ({} core(s) < 4); \
              parallel-analyze numbers record oversubscription",
@@ -320,6 +396,8 @@ fn main() {
                 "  {{\"problem\":{},\"n\":{},\"nnz\":{},{},",
                 "\"md_nnz_l\":{},\"md_ops\":{},\"md_balance\":{:.6},",
                 "\"nd_nnz_l\":{},\"nd_ops\":{},\"flops_ratio\":{:.4},",
+                "\"probe_choice\":{},\"probe_nd_est\":{},\"probe_md_est\":{},",
+                "\"probe_agrees\":{},",
                 "\"nd_pm_rows\":{},\"nd_pm_balance\":{:.6},\"nd_best_heur\":{},",
                 "\"nd_best_heur_balance\":{:.6},",
                 "\"seq_analyze_s\":{:.6e},\"par_analyze_s\":{:.6e},",
@@ -337,6 +415,10 @@ fn main() {
             r.nd_nnz_l,
             r.nd_ops,
             r.flops_ratio(),
+            json_str(r.probe_abbrev()),
+            json_f64(r.probe_nd_est),
+            json_f64(r.probe_md_est),
+            r.probe_agrees(),
             json_str(r.nd_pm_rows),
             r.nd_pm_balance,
             json_str(r.nd_best_heur),

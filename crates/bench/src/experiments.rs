@@ -178,7 +178,7 @@ pub fn sweep(ctx: &Ctx, p: usize) -> SweepResult {
     let problems = ctx.paper_problems();
     for prob in &problems {
         // Analyze locally (not cached) to keep peak memory to one matrix.
-        let solver = Solver::analyze_problem(prob, &ctx.opts);
+        let solver = Solver::analyze_problem_paper(prob, &ctx.opts);
         let mut base_bal = 0.0;
         let mut base_perf = 0.0;
         for (ri, rh) in Heuristic::ALL.iter().enumerate() {
@@ -252,7 +252,7 @@ pub fn alt_heuristic(ctx: &Ctx) -> TextTable {
         &["matrix", "bal DW", "bal alt", "perf DW (rel)", "perf alt (rel)"],
     );
     for prob in ctx.paper_problems() {
-        let solver = Solver::analyze_problem(&prob, &ctx.opts);
+        let solver = Solver::analyze_problem_paper(&prob, &ctx.opts);
         let col = ColPolicy::Heuristic(Heuristic::Cyclic);
         let dw = solver.assign(p, RowPolicy::Heuristic(Heuristic::DecreasingWork), col);
         let alt = solver.assign(p, RowPolicy::AltPerProcessor, col);
@@ -286,7 +286,7 @@ pub fn coprime_grids(ctx: &Ctx) -> TextTable {
         let mut gain_heu = 0.0;
         let problems = ctx.paper_problems();
         for prob in &problems {
-            let solver = Solver::analyze_problem(prob, &ctx.opts);
+            let solver = Solver::analyze_problem_paper(prob, &ctx.opts);
             let model = MachineModel::paragon();
             let cyc = solver.simulate(&solver.assign_cyclic(p), &model);
             let (r, c) = policies(Heuristic::Cyclic, Heuristic::Cyclic);
@@ -319,7 +319,7 @@ pub fn table7(ctx: &mut Ctx) -> TextTable {
           "paper impr (144/196)"],
     );
     for prob in ctx.large_problems() {
-        let solver = Solver::analyze_problem(&prob, &ctx.opts);
+        let solver = Solver::analyze_problem_paper(&prob, &ctx.opts);
         let ops = solver.stats().ops;
         let mut cells = vec![prob.name.clone()];
         for p in [p1, p2] {
@@ -361,7 +361,7 @@ pub fn ablation_subtree(ctx: &Ctx) -> TextTable {
         if prob.name.starts_with("DENSE") {
             continue;
         }
-        let solver = Solver::analyze_problem(&prob, &ctx.opts);
+        let solver = Solver::analyze_problem_paper(&prob, &ctx.opts);
         let row = RowPolicy::Heuristic(Heuristic::IncreasingDepth);
         let cyc = solver.assign(p, row, ColPolicy::Heuristic(Heuristic::Cyclic));
         let sub = solver.assign(p, row, ColPolicy::Subtree);
@@ -401,7 +401,7 @@ pub fn ablation_block_size(ctx: &Ctx, name: &str) -> TextTable {
     let mut base = 0.0;
     for &bs in sizes {
         let opts = cholesky_core::SolverOptions { block_size: bs, ..ctx.opts };
-        let solver = Solver::analyze_problem(&prob, &opts);
+        let solver = Solver::analyze_problem_paper(&prob, &opts);
         let asg = solver.assign_heuristic(p);
         let out = solver.simulate(&asg, &MachineModel::paragon());
         let rep = solver.balance(&asg);
@@ -432,7 +432,7 @@ pub fn discussion(ctx: &Ctx) -> TextTable {
     );
     let model = MachineModel::paragon();
     for prob in ctx.paper_problems() {
-        let solver = Solver::analyze_problem(&prob, &ctx.opts);
+        let solver = Solver::analyze_problem_paper(&prob, &ctx.opts);
         let asg = solver.assign_heuristic(p);
         let out = solver.simulate(&asg, &model);
         let rep = solver.balance(&asg);
@@ -468,7 +468,7 @@ pub fn one_d_vs_two_d(ctx: &Ctx, name: &str) -> TextTable {
         .into_iter()
         .find(|p| p.name == name)
         .expect("matrix in suite");
-    let solver = Solver::analyze_problem(&prob, &ctx.opts);
+    let solver = Solver::analyze_problem_paper(&prob, &ctx.opts);
     let ops = solver.stats().ops;
     let mut t = TextTable::new(
         format!("§1: 1-D column mapping vs 2-D block mapping on {name}"),
@@ -518,7 +518,7 @@ pub fn task_granularity_critical_path(ctx: &Ctx, name: &str) -> TextTable {
     let model = MachineModel::paragon();
     for (label, bs) in [("column (1-D style)", 1usize), ("block", ctx.opts.block_size)] {
         let opts = cholesky_core::SolverOptions { block_size: bs, ..ctx.opts };
-        let solver = Solver::analyze_problem(&prob, &opts);
+        let solver = Solver::analyze_problem_paper(&prob, &opts);
         let cp = solver.critical_path(&model);
         t.row(vec![
             label.to_string(),
@@ -614,7 +614,7 @@ pub fn slow_network(ctx: &Ctx, name: &str) -> TextTable {
         .into_iter()
         .find(|p| p.name == name)
         .expect("matrix in suite");
-    let solver = Solver::analyze_problem(&prob, &ctx.opts);
+    let solver = Solver::analyze_problem_paper(&prob, &ctx.opts);
     let p = ctx.p_small[0];
     let mut t = TextTable::new(
         format!("machine ablation on {name} (P = {p}): Paragon vs 10× slower network"),

@@ -15,17 +15,22 @@ use sparsemat::gen::SuiteScale;
 use std::collections::HashMap;
 
 /// Thread environment of a benchmark run: workers requested via
-/// `SCHED_WORKERS` against the cores the host actually has. Every `BENCH_*`
-/// JSON writer embeds this (via [`WorkerEnv::json_fields`]) so downstream
-/// analysis can discard oversubscribed runs, whose wall-clock numbers
-/// measure scheduler contention rather than the code under test.
-#[derive(Debug, Clone, Copy)]
+/// `SCHED_WORKERS` against the cores the host actually has, plus the
+/// self-gates the run decided to skip. Every `BENCH_*` JSON writer embeds
+/// this (via [`WorkerEnv::json_fields`]) so downstream analysis can discard
+/// oversubscribed runs — whose wall-clock numbers measure scheduler
+/// contention rather than the code under test — and can tell a gate that
+/// *passed* apart from one that never ran (e.g. speedup gates on hosts with
+/// too few cores), instead of that fact living only in a stderr note.
+#[derive(Debug, Clone)]
 pub struct WorkerEnv {
     /// Workers requested through the `SCHED_WORKERS` environment variable
     /// (0 when unset — executors then size themselves to the machine).
     pub requested: usize,
     /// Cores available to this process.
     pub cores: usize,
+    /// Names of self-gates this run skipped (see [`Self::skip_gate`]).
+    skipped: Vec<String>,
 }
 
 impl WorkerEnv {
@@ -34,7 +39,24 @@ impl WorkerEnv {
         Self {
             requested: fanout::env_workers().unwrap_or(0),
             cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            skipped: Vec::new(),
         }
+    }
+
+    /// Records that a named self-gate did not run this time (host too
+    /// small, `--quick` scale, …). The name lands in the
+    /// `"skipped_gates"` JSON array of every row this environment stamps;
+    /// callers should still print a human-readable stderr note with the
+    /// reason. Recording the same gate twice keeps one entry.
+    pub fn skip_gate(&mut self, name: &str) {
+        if !self.skipped.iter().any(|s| s == name) {
+            self.skipped.push(name.to_string());
+        }
+    }
+
+    /// The gates skipped so far, in recording order.
+    pub fn skipped_gates(&self) -> &[String] {
+        &self.skipped
     }
 
     /// True when more workers were requested than cores exist.
@@ -58,14 +80,19 @@ impl WorkerEnv {
     }
 
     /// The shared JSON fields of every `BENCH_*` row:
-    /// `"requested_workers":…,"available_cores":…,"oversubscribed":…`
-    /// (no trailing comma).
+    /// `"requested_workers":…,"available_cores":…,"oversubscribed":…,`
+    /// `"skipped_gates":[…]` (no trailing comma). The array is empty when
+    /// every self-gate ran.
     pub fn json_fields(&self) -> String {
+        let skipped: Vec<String> =
+            self.skipped.iter().map(|s| table::json_str(s)).collect();
         format!(
-            "\"requested_workers\":{},\"available_cores\":{},\"oversubscribed\":{}",
+            "\"requested_workers\":{},\"available_cores\":{},\"oversubscribed\":{},\
+             \"skipped_gates\":[{}]",
             self.requested,
             self.cores,
-            self.oversubscribed()
+            self.oversubscribed(),
+            skipped.join(",")
         )
     }
 }
@@ -149,10 +176,14 @@ impl Ctx {
         out
     }
 
-    /// Orders + analyzes a problem, caching the result by name.
+    /// Orders + analyzes a problem, caching the result by name. Uses the
+    /// paper's ordering regime ([`Solver::analyze_problem_paper`]: the
+    /// generator hint, not the Auto probe) so the reproduced tables stay
+    /// comparable to the published numbers as the production default
+    /// ordering improves.
     pub fn solver(&mut self, problem: &sparsemat::Problem) -> &Solver {
         if !self.solvers.contains_key(&problem.name) {
-            let solver = Solver::analyze_problem(problem, &self.opts);
+            let solver = Solver::analyze_problem_paper(problem, &self.opts);
             self.solvers.insert(problem.name.clone(), solver);
         }
         &self.solvers[&problem.name]

@@ -13,6 +13,13 @@
 //! from the key: it changes how fast analysis runs, never what it produces,
 //! so plans are shared across callers with different parallelism settings
 //! (the first caller's options are the ones stored in the plan).
+//!
+//! The ordering choice enters the key *resolved*
+//! ([`crate::resolve_ordering`]): `Auto` hashes as whatever the structure
+//! probe picks for the pattern, so an `Auto` request and the equivalent
+//! explicit request share one entry instead of analyzing the same
+//! structure twice. The probe itself is memoized per structure hash so
+//! repeated `Auto` lookups stay cheap.
 
 use crate::{OrderingChoice, Solver, SolverError, SolverOptions, SymbolicPlan};
 use mapping::{ColPolicy, RowPolicy};
@@ -117,6 +124,12 @@ impl<V> Lru<V> {
 #[derive(Debug)]
 pub struct PlanCache {
     map: Mutex<Lru<Arc<SymbolicPlan>>>,
+    /// Memoized `Auto` probe resolutions, keyed by structure hash. The
+    /// probe is deterministic in the pattern, so this only saves its cost
+    /// (a trial bisection + a minimum-degree fill sample) on repeat
+    /// lookups; capacity is a multiple of the plan capacity since entries
+    /// are tiny.
+    resolved: Mutex<Lru<OrderingChoice>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -137,15 +150,38 @@ impl PlanCache {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             map: Mutex::new(Lru::new(capacity)),
+            resolved: Mutex::new(Lru::new(4 * capacity.max(1))),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
+    /// Resolves `opts.ordering` for this pattern, memoizing `Auto` probe
+    /// results by structure hash.
+    fn resolve(&self, pattern: &SparsityPattern, opts: &SolverOptions) -> OrderingChoice {
+        if opts.ordering != OrderingChoice::Auto {
+            return opts.ordering;
+        }
+        let h = pattern.structure_hash();
+        if let Some(c) = lock_ignore_poison(&self.resolved).get(h).copied() {
+            return c;
+        }
+        let c = crate::resolve_ordering(pattern, OrderingChoice::Auto);
+        lock_ignore_poison(&self.resolved).insert(h, c);
+        c
+    }
+
     /// The cache key: structure hash of the pattern, mixed with every
     /// option that affects analysis output, plus a caller-supplied salt
     /// (used to separate geometry-dependent orderings by problem name).
-    fn key(pattern: &SparsityPattern, opts: &SolverOptions, salt: u64) -> u64 {
+    /// The ordering enters *resolved* (never `Auto`), so `Auto` and the
+    /// equivalent explicit choice produce the same key.
+    fn key(
+        pattern: &SparsityPattern,
+        opts: &SolverOptions,
+        salt: u64,
+        resolved: OrderingChoice,
+    ) -> u64 {
         let mut h = mix(FNV_OFFSET, pattern.structure_hash());
         h = mix(h, salt);
         h = mix(h, opts.block_size as u64);
@@ -154,7 +190,7 @@ impl PlanCache {
         h = mix(h, opts.analyze.amalg.min_width as u64);
         h = mix(
             h,
-            match opts.ordering {
+            match resolved {
                 OrderingChoice::Auto => 0,
                 OrderingChoice::Natural => 1,
                 OrderingChoice::MinimumDegree => 2,
@@ -205,31 +241,34 @@ impl PlanCache {
 
     /// A solver for a raw matrix: reuses the cached plan when this
     /// structure + options combination has been analyzed before, analyzes
-    /// and caches otherwise. The orderings used here (minimum degree /
-    /// natural) are deterministic functions of the pattern, so a cached
+    /// and caches otherwise. Every ordering here (probe-resolved `Auto`
+    /// included) is a deterministic function of the pattern, so a cached
     /// plan is exactly what a fresh analysis would produce.
     pub fn solver_for(&self, a: &SymCscMatrix, opts: &SolverOptions) -> Solver {
-        let key = Self::key(a.pattern(), opts, 0);
+        let resolved = self.resolve(a.pattern(), opts);
+        let key = Self::key(a.pattern(), opts, 0, resolved);
         if let Some(plan) = self.lookup(key) {
             return Solver::from_plan(plan, a);
         }
-        let s = Solver::analyze(a, opts);
+        let s = Solver::analyze_resolved(a, opts, resolved, std::time::Instant::now());
         self.store(key, s.plan.clone());
         s
     }
 
-    /// A solver for a benchmark [`Problem`]. `Auto` ordering may consult
-    /// problem geometry, so the key additionally includes the problem name.
+    /// A solver for a benchmark [`Problem`]. A resolved nested dissection
+    /// may consult problem geometry, so the key additionally includes the
+    /// problem name.
     pub fn solver_for_problem(&self, p: &Problem, opts: &SolverOptions) -> Solver {
         let mut salt = FNV_OFFSET;
         for b in p.name.as_bytes() {
             salt = mix(salt, u64::from(*b));
         }
-        let key = Self::key(p.matrix.pattern(), opts, salt);
+        let resolved = self.resolve(p.matrix.pattern(), opts);
+        let key = Self::key(p.matrix.pattern(), opts, salt, resolved);
         if let Some(plan) = self.lookup(key) {
             return Solver::from_plan(plan, &p.matrix);
         }
-        let s = Solver::analyze_problem(p, opts);
+        let s = Solver::analyze_problem_resolved(p, opts, resolved, std::time::Instant::now());
         self.store(key, s.plan.clone());
         s
     }
@@ -348,6 +387,48 @@ mod tests {
         op.row_policy = mapping::RowPolicy::Proportional;
         let _ = cache.solver_for(&p8.matrix, &op);
         assert_eq!((cache.hits(), cache.len()), (1, 4));
+    }
+
+    #[test]
+    fn auto_and_equivalent_explicit_choice_share_one_entry() {
+        use crate::OrderingChoice;
+        // bcsstk_like(S, 400, 7): the probe resolves Auto to minimum
+        // degree on this pattern (asserted below so a probe retune that
+        // flips it fails loudly here, not silently downstream).
+        let p = sparsemat::gen::bcsstk_like("S", 400, 7);
+        let cache = PlanCache::new();
+        let auto_opts = SolverOptions { block_size: 8, ..Default::default() };
+        assert_eq!(auto_opts.ordering, OrderingChoice::Auto);
+        let s_auto = cache.solver_for(&p.matrix, &auto_opts);
+        assert_eq!(s_auto.plan.resolved_ordering, OrderingChoice::MinimumDegree);
+
+        // The explicit equivalent is a pure hit: same key, same Arc.
+        let mut md_opts = auto_opts;
+        md_opts.ordering = OrderingChoice::MinimumDegree;
+        let s_md = cache.solver_for(&p.matrix, &md_opts);
+        assert!(Arc::ptr_eq(&s_auto.plan, &s_md.plan));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+
+        // And a second Auto lookup hits the same entry (memoized probe).
+        let s_auto2 = cache.solver_for(&p.matrix, &auto_opts);
+        assert!(Arc::ptr_eq(&s_auto.plan, &s_auto2.plan));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (2, 1, 1));
+
+        // A genuinely different ordering still misses.
+        let mut nat = auto_opts;
+        nat.ordering = OrderingChoice::Natural;
+        let s_nat = cache.solver_for(&p.matrix, &nat);
+        assert!(!Arc::ptr_eq(&s_auto.plan, &s_nat.plan));
+        assert_eq!((cache.misses(), cache.len()), (2, 2));
+
+        // Problem path: same sharing, and factors are bit-identical
+        // between the Auto plan and the explicit plan (one plan, so this
+        // is sharing by construction).
+        let cache2 = PlanCache::new();
+        let sa = cache2.solver_for_problem(&p, &auto_opts);
+        let sb = cache2.solver_for_problem(&p, &md_opts);
+        assert!(Arc::ptr_eq(&sa.plan, &sb.plan));
+        assert_eq!((cache2.hits(), cache2.misses()), (1, 1));
     }
 
     #[test]

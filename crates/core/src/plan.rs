@@ -14,7 +14,7 @@
 
 use crate::cache::Lru;
 use crate::resilience::ResourceEstimate;
-use crate::{PhaseSpan, PhaseTimings, SolverError, SolverOptions};
+use crate::{OrderingChoice, PhaseSpan, PhaseTimings, SolverError, SolverOptions};
 use balance::{BalanceReport, CommStats};
 use blockmat::{BlockMatrix, BlockWork};
 use fanout::{AssemblyTemplate, CriticalPath, CscTemplate, SolvePlan};
@@ -80,6 +80,15 @@ pub struct SymbolicPlan {
     pub work: BlockWork,
     /// Options used.
     pub opts: SolverOptions,
+    /// The concrete ordering that produced this plan's permutation. When
+    /// `opts.ordering` is [`OrderingChoice::Auto`], this records what the
+    /// structure probe resolved it to ([`crate::resolve_ordering`]) —
+    /// never `Auto` on plans built by [`crate::Solver::analyze`] /
+    /// [`crate::Solver::analyze_problem`]. Plans built around a
+    /// caller-provided permutation
+    /// ([`crate::Solver::analyze_with_permutation`]) ran no ordering and
+    /// record the caller's option verbatim.
+    pub resolved_ordering: OrderingChoice,
     /// Wall-clock of the analyze phases (`assemble`/`factor`/`solve`/
     /// `refactor`/`resolve` are 0 here; per-run methods fill copies).
     pub timings: PhaseTimings,
@@ -103,6 +112,7 @@ impl SymbolicPlan {
         bm: Arc<BlockMatrix>,
         work: BlockWork,
         opts: SolverOptions,
+        resolved_ordering: OrderingChoice,
         timings: PhaseTimings,
         analyze_spans: Vec<PhaseSpan>,
     ) -> Self {
@@ -111,6 +121,7 @@ impl SymbolicPlan {
             bm,
             work,
             opts,
+            resolved_ordering,
             timings,
             analyze_spans,
             numeric: OnceLock::new(),

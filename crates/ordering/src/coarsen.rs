@@ -1,0 +1,339 @@
+//! Weighted graphs and heavy-edge matching coarsening for multilevel
+//! dissection.
+//!
+//! Supervariable compression (identical closed neighborhoods) only collapses
+//! *exact* duplicates; mesh interiors keep their full vertex count and a
+//! single BFS level cut on them yields wide, jagged separators. The standard
+//! remedy is multilevel partitioning: repeatedly contract a heavy-edge
+//! matching until the graph is small, bisect the coarsest graph, then project
+//! the partition back level by level, refining at each step (see
+//! [`crate::fm`]). This module provides the graph representation shared by
+//! those stages and the matching-based contraction.
+//!
+//! A [`LevelGraph`] is a CSR adjacency with integer vertex weights (original
+//! vertices represented) and edge weights (original edges crossing the pair).
+//! The finest level is built from a region of the (possibly compressed)
+//! dissection graph; each coarsening level sums weights so that separator
+//! size and balance measured on any level mean the same thing they mean on
+//! the original matrix.
+
+/// A weighted undirected graph for one level of the multilevel hierarchy.
+///
+/// `adj`/`ewt` are parallel CSR arrays; every edge appears in both endpoint
+/// lists with the same weight. Vertex `v`'s weight `vwt[v]` counts original
+/// matrix columns collapsed into it.
+#[derive(Debug, Clone)]
+pub struct LevelGraph {
+    /// CSR row pointers, length `n + 1`.
+    pub adj_ptr: Vec<usize>,
+    /// Neighbor lists, ascending within each vertex.
+    pub adj: Vec<u32>,
+    /// Edge weights parallel to `adj`.
+    pub ewt: Vec<usize>,
+    /// Vertex weights (original columns represented).
+    pub vwt: Vec<usize>,
+}
+
+impl LevelGraph {
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.vwt.len()
+    }
+
+    /// Neighbors of `v`, ascending.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[self.adj_ptr[v]..self.adj_ptr[v + 1]]
+    }
+
+    /// Edge weights parallel to [`LevelGraph::neighbors`].
+    pub fn edge_weights(&self, v: usize) -> &[usize] {
+        &self.ewt[self.adj_ptr[v]..self.adj_ptr[v + 1]]
+    }
+
+    /// Total vertex weight.
+    pub fn total_weight(&self) -> usize {
+        self.vwt.iter().sum()
+    }
+
+    /// Builds the level graph induced by `region` (ascending vertex ids of
+    /// `g`), with vertex weights from `vwt_of` and edge weights
+    /// `vwt_of(u) * vwt_of(v)` — exact for supervariable quotients, where two
+    /// adjacent groups are fully interconnected.
+    pub fn from_region(
+        g: &sparsemat::Graph,
+        region: &[u32],
+        vwt_of: &dyn Fn(u32) -> usize,
+    ) -> LevelGraph {
+        debug_assert!(region.windows(2).all(|w| w[0] < w[1]));
+        let mut local = vec![u32::MAX; g.n()];
+        for (i, &v) in region.iter().enumerate() {
+            local[v as usize] = i as u32;
+        }
+        let mut adj_ptr = Vec::with_capacity(region.len() + 1);
+        let mut adj = Vec::new();
+        let mut ewt = Vec::new();
+        let mut vwt = Vec::with_capacity(region.len());
+        adj_ptr.push(0);
+        for &v in region {
+            let wv = vwt_of(v);
+            for &u in g.neighbors(v as usize) {
+                let lu = local[u as usize];
+                if lu != u32::MAX {
+                    adj.push(lu);
+                    ewt.push(wv * vwt_of(u));
+                }
+            }
+            vwt.push(wv);
+            adj_ptr.push(adj.len());
+        }
+        LevelGraph { adj_ptr, adj, ewt, vwt }
+    }
+
+    /// Builds the sub-level-graph induced by `verts` (ascending local ids),
+    /// carrying vertex and edge weights through.
+    pub fn subgraph(&self, verts: &[u32]) -> LevelGraph {
+        debug_assert!(verts.windows(2).all(|w| w[0] < w[1]));
+        let mut local = vec![u32::MAX; self.n()];
+        for (i, &v) in verts.iter().enumerate() {
+            local[v as usize] = i as u32;
+        }
+        let mut adj_ptr = Vec::with_capacity(verts.len() + 1);
+        let mut adj = Vec::new();
+        let mut ewt = Vec::new();
+        let mut vwt = Vec::with_capacity(verts.len());
+        adj_ptr.push(0);
+        for &v in verts {
+            let (lo, hi) = (self.adj_ptr[v as usize], self.adj_ptr[v as usize + 1]);
+            for k in lo..hi {
+                let lu = local[self.adj[k] as usize];
+                if lu != u32::MAX {
+                    adj.push(lu);
+                    ewt.push(self.ewt[k]);
+                }
+            }
+            vwt.push(self.vwt[v as usize]);
+            adj_ptr.push(adj.len());
+        }
+        LevelGraph { adj_ptr, adj, ewt, vwt }
+    }
+
+    /// BFS over the whole graph from `start`: visit order and per-vertex
+    /// level, `u32::MAX` for unreached vertices (disconnected graphs).
+    pub fn bfs(&self, start: usize) -> (Vec<u32>, Vec<u32>) {
+        let n = self.n();
+        let mut level = vec![u32::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        level[start] = 0;
+        order.push(start as u32);
+        let mut head = 0;
+        while head < order.len() {
+            let v = order[head] as usize;
+            head += 1;
+            for &u in self.neighbors(v) {
+                if level[u as usize] == u32::MAX {
+                    level[u as usize] = level[v] + 1;
+                    order.push(u);
+                }
+            }
+        }
+        (order, level)
+    }
+
+    /// A pseudo-peripheral vertex found by repeated BFS from the last vertex
+    /// of the deepest level structure seen so far.
+    pub fn pseudo_peripheral(&self, start: usize) -> usize {
+        let mut v = start;
+        let (order, levels) = self.bfs(v);
+        let mut depth = levels[*order.last().expect("nonempty") as usize];
+        loop {
+            let far = *order.last().expect("nonempty") as usize;
+            if far == v {
+                return v;
+            }
+            let (order2, levels2) = self.bfs(far);
+            let d2 = levels2[*order2.last().expect("nonempty") as usize];
+            if d2 > depth {
+                depth = d2;
+                v = far;
+                continue;
+            }
+            return far;
+        }
+    }
+}
+
+/// One level of heavy-edge matching contraction.
+///
+/// Vertices are visited in ascending order; each unmatched vertex pairs with
+/// its unmatched neighbor of maximum edge weight (ties: lighter vertex, then
+/// smaller index — all deterministic), subject to the merged weight staying
+/// under a cap that keeps a balanced bisection of the coarse graph possible.
+/// Returns the coarse graph and the fine→coarse vertex map, or `None` when
+/// matching no longer shrinks the graph enough to be worth another level.
+pub fn coarsen(g: &LevelGraph) -> Option<(LevelGraph, Vec<u32>)> {
+    let n = g.n();
+    if n < 8 {
+        return None;
+    }
+    let total = g.total_weight();
+    let max_vwt = (total / 10).max(2);
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    for v in 0..n {
+        if mate[v] != UNMATCHED {
+            continue;
+        }
+        let (mut best, mut best_ewt, mut best_vwt) = (v, 0usize, usize::MAX);
+        for (&u, &w) in g.neighbors(v).iter().zip(g.edge_weights(v)) {
+            let u = u as usize;
+            if u == v || mate[u] != UNMATCHED || g.vwt[v] + g.vwt[u] > max_vwt {
+                continue;
+            }
+            if w > best_ewt || (w == best_ewt && g.vwt[u] < best_vwt) {
+                best = u;
+                best_ewt = w;
+                best_vwt = g.vwt[u];
+            }
+        }
+        mate[v] = best as u32;
+        mate[best] = v as u32;
+    }
+
+    // Coarse ids in order of first appearance — deterministic.
+    let mut map = vec![u32::MAX; n];
+    let mut cn = 0u32;
+    for v in 0..n {
+        if map[v] == u32::MAX {
+            map[v] = cn;
+            map[mate[v] as usize] = cn;
+            cn += 1;
+        }
+    }
+    let cn = cn as usize;
+    if cn * 20 > n * 19 {
+        return None; // matching stalled; another level buys nothing
+    }
+
+    // Coarse members: at most two fine vertices per coarse vertex.
+    let mut first = vec![u32::MAX; cn];
+    let mut second = vec![u32::MAX; cn];
+    for (v, &cm) in map.iter().enumerate() {
+        let c = cm as usize;
+        if first[c] == u32::MAX {
+            first[c] = v as u32;
+        } else {
+            second[c] = v as u32;
+        }
+    }
+
+    let mut adj_ptr = Vec::with_capacity(cn + 1);
+    let mut adj: Vec<u32> = Vec::new();
+    let mut ewt: Vec<usize> = Vec::new();
+    let mut vwt = Vec::with_capacity(cn);
+    adj_ptr.push(0);
+    let mut seen = vec![u32::MAX; cn]; // marker: last coarse vertex to touch c
+    let mut slot = vec![0usize; cn];
+    let mut pairs: Vec<(u32, usize)> = Vec::new();
+    for c in 0..cn {
+        pairs.clear();
+        let mut w = 0usize;
+        for &f in [first[c], second[c]].iter().filter(|&&f| f != u32::MAX) {
+            let f = f as usize;
+            w += g.vwt[f];
+            for (&u, &we) in g.neighbors(f).iter().zip(g.edge_weights(f)) {
+                let cu = map[u as usize];
+                if cu as usize == c {
+                    continue; // interior edge contracts away
+                }
+                if seen[cu as usize] == c as u32 {
+                    pairs[slot[cu as usize]].1 += we;
+                } else {
+                    seen[cu as usize] = c as u32;
+                    slot[cu as usize] = pairs.len();
+                    pairs.push((cu, we));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        for &(cu, we) in &pairs {
+            adj.push(cu);
+            ewt.push(we);
+        }
+        vwt.push(w);
+        adj_ptr.push(adj.len());
+    }
+    Some((LevelGraph { adj_ptr, adj, ewt, vwt }, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::{Graph, SparsityPattern};
+
+    fn path_graph(n: usize) -> LevelGraph {
+        let coords: Vec<(u32, u32)> = (1..n as u32).map(|i| (i, i - 1)).collect();
+        let p = SparsityPattern::from_coords(n, coords).unwrap();
+        let g = Graph::from_pattern(&p);
+        let region: Vec<u32> = (0..n as u32).collect();
+        LevelGraph::from_region(&g, &region, &|_| 1)
+    }
+
+    #[test]
+    fn coarsen_path_halves_and_preserves_weight() {
+        let g = path_graph(64);
+        let (cg, map) = coarsen(&g).expect("path must coarsen");
+        assert!(cg.n() <= 33, "coarse n {}", cg.n());
+        assert_eq!(cg.total_weight(), 64);
+        assert_eq!(map.len(), 64);
+        // Every coarse edge connects distinct vertices and weights are symmetric.
+        for v in 0..cg.n() {
+            for (&u, &w) in cg.neighbors(v).iter().zip(cg.edge_weights(v)) {
+                assert_ne!(u as usize, v);
+                let back = cg
+                    .neighbors(u as usize)
+                    .iter()
+                    .position(|&x| x as usize == v)
+                    .expect("symmetric edge");
+                assert_eq!(cg.edge_weights(u as usize)[back], w);
+            }
+        }
+    }
+
+    #[test]
+    fn coarsen_is_deterministic() {
+        let g = path_graph(100);
+        let a = coarsen(&g).unwrap();
+        let b = coarsen(&g).unwrap();
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.0.adj, b.0.adj);
+        assert_eq!(a.0.vwt, b.0.vwt);
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_coarsen() {
+        let g = path_graph(4);
+        assert!(coarsen(&g).is_none());
+    }
+
+    #[test]
+    fn subgraph_carries_weights() {
+        let g = path_graph(10);
+        let sub = g.subgraph(&[2, 3, 4, 7]);
+        assert_eq!(sub.n(), 4);
+        assert_eq!(sub.total_weight(), 4);
+        // 2-3 and 3-4 survive; 7 is isolated within the subgraph.
+        assert_eq!(sub.neighbors(1), &[0, 2]);
+        assert!(sub.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn bfs_levels_and_pseudo_peripheral() {
+        let g = path_graph(16);
+        let (order, levels) = g.bfs(8);
+        assert_eq!(order.len(), 16);
+        assert_eq!(levels[8], 0);
+        assert_eq!(levels[0], 8);
+        let p = g.pseudo_peripheral(8);
+        assert!(p == 0 || p == 15, "path endpoint expected, got {p}");
+    }
+}

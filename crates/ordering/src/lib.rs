@@ -14,8 +14,14 @@
 //!   node coordinates, recursing on coordinate-median planes and ordering
 //!   separators last, with minimum degree on the base regions.
 //! * [`nd_graph`] — graph-based nested dissection for patterns *without*
-//!   coordinates: supervariable compression, BFS level-set bisection with
-//!   greedy boundary refinement, minimum degree on base regions.
+//!   coordinates: supervariable compression, multilevel heavy-edge
+//!   coarsening ([`coarsen`]), BFS level-set bisection of the coarsest
+//!   graph, and Fiduccia–Mattheyses separator refinement ([`fm`]) during
+//!   projection, minimum degree on base regions.
+//! * [`probe_structure`] — the structure probe that resolves an `Auto`
+//!   ordering choice deterministically from the pattern: a trial bisection
+//!   (separator weight, balance, growth exponent) scored against an exact
+//!   minimum-degree fill sample.
 //! * [`order_problem`] / [`order_problem_with_tree`] — applies the ordering
 //!   the paper uses for a given benchmark problem; the `_with_tree` variant
 //!   also returns the [`SeparatorTree`] when dissection ran, which drives
@@ -24,15 +30,19 @@
 //! The [`reference`] module contains a naive "elimination game" used by tests
 //! (here and in dependent crates) to validate fill counts independently.
 
+pub mod coarsen;
+pub mod fm;
 pub mod mindeg;
 pub mod nd;
 pub mod nd_graph;
+pub mod probe;
 pub mod reference;
 pub mod septree;
 
 pub use mindeg::minimum_degree;
 pub use nd::{nested_dissection, nested_dissection_with_tree, BaseOrdering, NdOptions};
-pub use nd_graph::{nd_graph, NdGraphOptions};
+pub use nd_graph::{nd_graph, NdGraphOptions, RefineKind};
+pub use probe::{probe_structure, ProbeChoice, ProbeReport};
 pub use septree::SeparatorTree;
 
 use sparsemat::gen::OrderingHint;

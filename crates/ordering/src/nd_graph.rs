@@ -9,13 +9,16 @@
 //!    neighborhoods (dense node blocks: the 3-dof groups of BCSSTK-style
 //!    problems, amalgamated element faces) collapse into one weighted
 //!    quotient vertex, shrinking the graph the bisection works on.
-//! 2. **BFS level-set bisection** — from a pseudo-peripheral vertex, the
-//!    level structure is cut at the level that best halves the region's
-//!    weight; the low side is every level below the cut.
-//! 3. **Boundary refinement** — the initial (wide) separator is the
-//!    high-side boundary; a few greedy passes move separator vertices with
-//!    no neighbor on the opposite side into a region (preferring the
-//!    lighter side), thinning the separator.
+//! 2. **Multilevel bisection** — each connected region becomes a weighted
+//!    [`LevelGraph`]; heavy-edge matching ([`crate::coarsen`]) contracts it
+//!    until it is small, the coarsest graph is split by a BFS level-set cut
+//!    from a pseudo-peripheral vertex, and the partition is projected back
+//!    level by level.
+//! 3. **FM boundary refinement** — at every projection step (and on the
+//!    coarsest cut itself) Fiduccia–Mattheyses separator refinement with
+//!    gain buckets ([`crate::fm`]) thins and slides the separator under a
+//!    balance cap. The pre-multilevel greedy thinning survives as
+//!    [`RefineKind::Greedy`] for baselines.
 //! 4. **Recursion** — halves recurse, the separator is ordered *last*;
 //!    regions at or below a weight cutoff are ordered with minimum degree.
 //!
@@ -24,10 +27,22 @@
 //! and every subtree owns a contiguous column range, which is what the
 //! subtree-parallel symbolic analysis and the proportional mapping consume.
 
+use crate::coarsen::{coarsen, LevelGraph};
+use crate::fm::{self, FmOptions, HIGH, LOW, SEP};
 use crate::nd::{order_base, BaseOrdering};
 use crate::septree::{SeparatorTree, NONE};
 use sparsemat::{Graph, Permutation, SparsityPattern};
 use std::collections::HashMap;
+
+/// Separator refinement flavor used at each level of the bisection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineKind {
+    /// Greedy thinning: move separator vertices with no opposite-side
+    /// neighbor. The pre-multilevel behavior; kept as a baseline.
+    Greedy,
+    /// Fiduccia–Mattheyses refinement with gain buckets ([`crate::fm`]).
+    Fm,
+}
 
 /// Options for [`nd_graph`].
 #[derive(Debug, Clone, Copy)]
@@ -37,10 +52,16 @@ pub struct NdGraphOptions {
     pub base_cutoff: usize,
     /// Base-case ordering.
     pub base: BaseOrdering,
-    /// Greedy boundary-refinement passes over each separator.
+    /// Refinement passes over each separator (FM passes, or greedy sweeps).
     pub refine_passes: usize,
     /// Merge vertices with identical closed neighborhoods before dissecting.
     pub compress: bool,
+    /// Coarsen regions by heavy-edge matching before bisecting.
+    pub multilevel: bool,
+    /// Stop coarsening once a region has at most this many vertices.
+    pub coarsest: usize,
+    /// Separator refinement flavor.
+    pub refine: RefineKind,
 }
 
 impl Default for NdGraphOptions {
@@ -48,8 +69,25 @@ impl Default for NdGraphOptions {
         Self {
             base_cutoff: 64,
             base: BaseOrdering::MinimumDegree,
-            refine_passes: 2,
+            refine_passes: 6,
             compress: true,
+            multilevel: true,
+            coarsest: 96,
+            refine: RefineKind::Fm,
+        }
+    }
+}
+
+impl NdGraphOptions {
+    /// The pre-multilevel configuration — one-shot level-set bisection with
+    /// greedy boundary thinning — kept as a regression baseline for tests
+    /// and benches.
+    pub fn single_level_greedy() -> Self {
+        Self {
+            multilevel: false,
+            refine: RefineKind::Greedy,
+            refine_passes: 2,
+            ..Default::default()
         }
     }
 }
@@ -68,13 +106,12 @@ pub fn nd_graph(g: &Graph, opts: &NdGraphOptions) -> (Permutation, SeparatorTree
         };
         return (Permutation::identity(0), tree);
     }
-    let compressed;
-    let (qg, members) = if opts.compress {
-        compressed = compress(g);
-        (&compressed.0, compressed.1.as_slice())
-    } else {
-        compressed = (g.clone(), (0..n as u32).map(|v| vec![v]).collect());
-        (&compressed.0, compressed.1.as_slice())
+    // `compress` returns None when nothing merges; the quotient graph then
+    // *is* the input graph, borrowed — no clone, no singleton member lists.
+    let compressed = if opts.compress { compress(g) } else { None };
+    let (qg, members) = match &compressed {
+        Some((q, m)) => (q, Some(m.as_slice())),
+        None => (g, None),
     };
     let qn = qg.n();
     let mut d = Dissector {
@@ -84,7 +121,6 @@ pub fn nd_graph(g: &Graph, opts: &NdGraphOptions) -> (Permutation, SeparatorTree
         opts,
         order: Vec::with_capacity(n),
         alive: vec![false; qn],
-        label: vec![0u8; qn],
         parent: Vec::new(),
         col_start: Vec::new(),
         col_end: Vec::new(),
@@ -107,8 +143,9 @@ pub fn nd_graph(g: &Graph, opts: &NdGraphOptions) -> (Permutation, SeparatorTree
 
 /// Groups vertices with identical closed neighborhoods into supervariables.
 /// Returns the quotient graph and, per quotient vertex, the original members
-/// (ascending). Quotient vertices are numbered by smallest member.
-fn compress(g: &Graph) -> (Graph, Vec<Vec<u32>>) {
+/// (ascending), or `None` when no two vertices merge. Quotient vertices are
+/// numbered by smallest member.
+pub(crate) fn compress(g: &Graph) -> Option<(Graph, Vec<Vec<u32>>)> {
     let n = g.n();
     let mut groups: HashMap<Vec<u32>, u32> = HashMap::with_capacity(n);
     let mut members: Vec<Vec<u32>> = Vec::new();
@@ -129,7 +166,7 @@ fn compress(g: &Graph) -> (Graph, Vec<Vec<u32>>) {
     }
     let qn = members.len();
     if qn == n {
-        return (g.clone(), members);
+        return None;
     }
     let mut coords: Vec<(u32, u32)> = Vec::new();
     for v in 0..n {
@@ -144,20 +181,160 @@ fn compress(g: &Graph) -> (Graph, Vec<Vec<u32>>) {
     coords.sort_unstable();
     coords.dedup();
     let p = SparsityPattern::from_coords(qn, coords).expect("quotient coords valid");
-    (Graph::from_pattern(&p), members)
+    Some((Graph::from_pattern(&p), members))
 }
 
-/// Recursion state. `alive` and `label` are reusable per-quotient-vertex
-/// scratch; the four tree vectors grow one slot per finished node, so node
-/// indices come out in postorder (children before parents, roots last).
+/// Splits a connected [`LevelGraph`] by a BFS level structure from a
+/// pseudo-peripheral vertex, cut at the level that best halves the weight;
+/// the separator is the high-side boundary. A hopeless cut (one side under
+/// 1/8 of the weight) falls back to splitting the BFS order at its weight
+/// median.
+pub(crate) fn initial_bisection(lg: &LevelGraph) -> Vec<u8> {
+    let n = lg.n();
+    let w = lg.total_weight();
+    let start = lg.pseudo_peripheral(0);
+    let (bfs_order, levels) = lg.bfs(start);
+    debug_assert_eq!(bfs_order.len(), n, "initial_bisection needs a connected graph");
+    let max_level = levels[*bfs_order.last().expect("nonempty") as usize] as usize;
+    let mut cut = 0usize; // index into bfs_order: low = bfs_order[..cut]
+    if max_level >= 1 {
+        let mut level_w = vec![0usize; max_level + 1];
+        let mut level_cnt = vec![0usize; max_level + 1];
+        for &v in &bfs_order {
+            level_w[levels[v as usize] as usize] += lg.vwt[v as usize];
+            level_cnt[levels[v as usize] as usize] += 1;
+        }
+        let (mut cum, mut cnt, mut best_gap) = (0usize, 0usize, usize::MAX);
+        for lv in 0..max_level {
+            cum += level_w[lv];
+            cnt += level_cnt[lv];
+            let gap = cum.abs_diff(w - cum);
+            if gap < best_gap {
+                best_gap = gap;
+                cut = cnt;
+            }
+        }
+        let low_w: usize = bfs_order[..cut].iter().map(|&v| lg.vwt[v as usize]).sum();
+        if low_w.min(w - low_w) * 8 < w {
+            cut = 0;
+        }
+    }
+    if cut == 0 {
+        // Fallback: split the BFS order itself at the weight median.
+        let (mut cum, mut k) = (0usize, 0usize);
+        while k < bfs_order.len() - 1 && 2 * cum < w {
+            cum += lg.vwt[bfs_order[k] as usize];
+            k += 1;
+        }
+        cut = k.max(1);
+    }
+    let mut label = vec![HIGH; n];
+    for &v in &bfs_order[..cut] {
+        label[v as usize] = LOW;
+    }
+    for &v in &bfs_order[cut..] {
+        if lg.neighbors(v as usize).iter().any(|&u| label[u as usize] == LOW) {
+            label[v as usize] = SEP;
+        }
+    }
+    label
+}
+
+/// Greedy thinning: a separator vertex with no neighbor on one side moves to
+/// the other; with no neighbor on either, to the lighter. Skipped when the
+/// separator *is* the whole high side — every vertex would drain into low
+/// and the recursion would stop shrinking.
+fn greedy_refine(lg: &LevelGraph, label: &mut [u8], passes: usize) {
+    let n = lg.n();
+    let mut w_low = 0usize;
+    let mut w_high = 0usize;
+    let mut n_high = 0usize;
+    for (v, &l) in label.iter().enumerate() {
+        match l {
+            LOW => w_low += lg.vwt[v],
+            HIGH => {
+                w_high += lg.vwt[v];
+                n_high += 1;
+            }
+            _ => {}
+        }
+    }
+    if n_high == 0 {
+        return;
+    }
+    for _ in 0..passes {
+        let mut moved = false;
+        for v in 0..n {
+            if label[v] != SEP {
+                continue;
+            }
+            let (mut has_low, mut has_high) = (false, false);
+            for &u in lg.neighbors(v) {
+                match label[u as usize] {
+                    LOW => has_low = true,
+                    HIGH => has_high = true,
+                    _ => {}
+                }
+            }
+            let side = match (has_low, has_high) {
+                (true, true) => continue,
+                (true, false) => HIGH,
+                (false, true) => LOW,
+                (false, false) => u8::from(w_low > w_high),
+            };
+            label[v] = side;
+            if side == LOW {
+                w_low += lg.vwt[v];
+            } else {
+                w_high += lg.vwt[v];
+            }
+            moved = true;
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+fn refine_labels(lg: &LevelGraph, label: &mut [u8], opts: &NdGraphOptions) {
+    match opts.refine {
+        RefineKind::Fm => {
+            fm::refine(lg, label, &FmOptions { passes: opts.refine_passes, ..Default::default() })
+        }
+        RefineKind::Greedy => greedy_refine(lg, label, opts.refine_passes),
+    }
+}
+
+/// Bisects a connected level graph, coarsening through heavy-edge matching
+/// first when enabled, refining after the coarsest cut and after every
+/// projection step.
+pub(crate) fn multilevel_labels(lg: &LevelGraph, opts: &NdGraphOptions, depth: usize) -> Vec<u8> {
+    if opts.multilevel && lg.n() > opts.coarsest.max(8) && depth < 48 {
+        if let Some((cg, map)) = coarsen(lg) {
+            let cl = multilevel_labels(&cg, opts, depth + 1);
+            // A fine vertex inherits its coarse label; a fine low–high edge
+            // would imply a coarse low–high edge, so the FM invariant holds.
+            let mut label: Vec<u8> = map.iter().map(|&c| cl[c as usize]).collect();
+            refine_labels(lg, &mut label, opts);
+            return label;
+        }
+    }
+    let mut label = initial_bisection(lg);
+    refine_labels(lg, &mut label, opts);
+    label
+}
+
+/// Recursion state. `alive` is reusable per-quotient-vertex scratch; the four
+/// tree vectors grow one slot per finished node, so node indices come out in
+/// postorder (children before parents, roots last). `members` is `None` when
+/// the graph was not compressed — the quotient graph is then `og` itself.
 struct Dissector<'a> {
     qg: &'a Graph,
     og: &'a Graph,
-    members: &'a [Vec<u32>],
+    members: Option<&'a [Vec<u32>]>,
     opts: &'a NdGraphOptions,
     order: Vec<u32>,
     alive: Vec<bool>,
-    label: Vec<u8>,
     parent: Vec<u32>,
     col_start: Vec<u32>,
     col_end: Vec<u32>,
@@ -165,12 +342,22 @@ struct Dissector<'a> {
 }
 
 impl Dissector<'_> {
+    fn mlen(&self, v: u32) -> usize {
+        self.members.map_or(1, |m| m[v as usize].len())
+    }
+
     fn weight(&self, region: &[u32]) -> usize {
-        region.iter().map(|&v| self.members[v as usize].len()).sum()
+        match self.members {
+            None => region.len(),
+            Some(m) => region.iter().map(|&v| m[v as usize].len()).sum(),
+        }
     }
 
     fn emit(&mut self, v: u32) {
-        self.order.extend_from_slice(&self.members[v as usize]);
+        match self.members {
+            None => self.order.push(v),
+            Some(m) => self.order.extend_from_slice(&m[v as usize]),
+        }
     }
 
     fn push_node(&mut self, children: &[u32], first_desc: u32, col_start: u32) -> u32 {
@@ -192,8 +379,13 @@ impl Dissector<'_> {
             self.emit(region[0]);
         } else {
             let mut verts: Vec<u32> = Vec::with_capacity(self.weight(region));
-            for &v in region {
-                verts.extend_from_slice(&self.members[v as usize]);
+            match self.members {
+                None => verts.extend_from_slice(region),
+                Some(m) => {
+                    for &v in region {
+                        verts.extend_from_slice(&m[v as usize]);
+                    }
+                }
             }
             verts.sort_unstable();
             order_base(self.og, self.opts.base, &verts, &mut self.order);
@@ -236,146 +428,29 @@ impl Dissector<'_> {
             return roots;
         }
 
-        // Connected region: BFS level structure from a pseudo-peripheral
-        // vertex, cut at the level that best halves the weight.
-        let bfs_order = comps.pop().expect("one component");
-        drop(region);
-        for &v in &bfs_order {
-            self.alive[v as usize] = true;
-        }
-        let start = self.qg.pseudo_peripheral(bfs_order[0] as usize, &self.alive);
-        let (bfs_order, levels) = self.qg.bfs(start, &self.alive);
-        let max_level = *levels.last().expect("nonempty") as usize;
-        let mut cut = 0usize; // index into bfs_order: low = bfs_order[..cut]
-        if max_level >= 1 {
-            let mut level_w = vec![0usize; max_level + 1];
-            let mut level_cnt = vec![0usize; max_level + 1];
-            for (i, &lv) in levels.iter().enumerate() {
-                level_w[lv as usize] += self.members[bfs_order[i] as usize].len();
-                level_cnt[lv as usize] += 1;
-            }
-            let (mut cum, mut cnt, mut best_gap) = (0usize, 0usize, usize::MAX);
-            for lv in 0..max_level {
-                cum += level_w[lv];
-                cnt += level_cnt[lv];
-                let gap = cum.abs_diff(w - cum);
-                if gap < best_gap {
-                    best_gap = gap;
-                    cut = cnt;
-                }
-            }
-            // A hopeless cut (one side under 1/8 of the weight, e.g. tiny
-            // level structures on near-dense graphs) falls through to the
-            // weight-median fallback below.
-            let low_w: usize = bfs_order[..cut]
-                .iter()
-                .map(|&v| self.members[v as usize].len())
-                .sum();
-            if low_w.min(w - low_w) * 8 < w {
-                cut = 0;
-            }
-        }
-        if cut == 0 {
-            // Fallback: split the BFS order itself at the weight median.
-            let (mut cum, mut k) = (0usize, 0usize);
-            while k < bfs_order.len() - 1 && 2 * cum < w {
-                cum += self.members[bfs_order[k] as usize].len();
-                k += 1;
-            }
-            cut = k.max(1);
-        }
-
-        // Label: 0 = low, 1 = high interior, 2 = separator (high boundary).
-        // The whole region is labeled up front — `label` carries stale values
-        // from sibling regions, and the boundary scan below must only ever
-        // see this region's labels.
-        for &v in &bfs_order[..cut] {
-            self.label[v as usize] = 0;
-        }
-        for &v in &bfs_order[cut..] {
-            self.label[v as usize] = 1;
-        }
-        let mut w_low: usize = bfs_order[..cut]
-            .iter()
-            .map(|&v| self.members[v as usize].len())
-            .sum();
-        let mut w_high = 0usize;
-        let mut n_high = 0usize;
-        for &v in &bfs_order[cut..] {
-            let is_sep = self
-                .qg
-                .neighbors(v as usize)
-                .iter()
-                .any(|&u| self.alive[u as usize] && self.label[u as usize] == 0);
-            self.label[v as usize] = if is_sep { 2 } else { 1 };
-            if !is_sep {
-                w_high += self.members[v as usize].len();
-                n_high += 1;
-            }
-        }
-
-        // Greedy thinning: a separator vertex with no neighbor on one side
-        // moves to the other; with no neighbor on either, to the lighter.
-        // Skipped when the separator *is* the whole high side — every vertex
-        // would drain into low and the recursion would stop shrinking.
-        if n_high > 0 {
-            for _ in 0..self.opts.refine_passes {
-                let mut moved = false;
-                for &v in &bfs_order[cut..] {
-                    if self.label[v as usize] != 2 {
-                        continue;
-                    }
-                    let (mut has_low, mut has_high) = (false, false);
-                    for &u in self.qg.neighbors(v as usize) {
-                        if self.alive[u as usize] {
-                            match self.label[u as usize] {
-                                0 => has_low = true,
-                                1 => has_high = true,
-                                _ => {}
-                            }
-                        }
-                    }
-                    let side = match (has_low, has_high) {
-                        (true, true) => continue,
-                        (true, false) => 1,
-                        (false, true) => 0,
-                        (false, false) => u8::from(w_low > w_high),
-                    };
-                    self.label[v as usize] = side;
-                    let wv = self.members[v as usize].len();
-                    if side == 0 {
-                        w_low += wv;
-                    } else {
-                        w_high += wv;
-                    }
-                    moved = true;
-                }
-                if !moved {
-                    break;
-                }
-            }
-        }
+        // Connected region: multilevel bisection on the induced weighted
+        // graph (local indices follow the sorted region order).
+        let mut region = comps.pop().expect("one component");
+        region.sort_unstable();
+        let lg = LevelGraph::from_region(self.qg, &region, &|v| self.mlen(v));
+        let labels = multilevel_labels(&lg, self.opts, 0);
 
         let mut low = Vec::new();
         let mut high = Vec::new();
         let mut sep = Vec::new();
-        for &v in &bfs_order {
-            match self.label[v as usize] {
-                0 => low.push(v),
-                1 => high.push(v),
+        for (i, &v) in region.iter().enumerate() {
+            match labels[i] {
+                LOW => low.push(v),
+                HIGH => high.push(v),
                 _ => sep.push(v),
             }
         }
-        for &v in &bfs_order {
-            self.alive[v as usize] = false;
-        }
-        drop(bfs_order);
+        drop(region);
 
         let first_desc = self.order.len() as u32;
         let mut children = self.dissect(low);
         children.extend(self.dissect(high));
         let col_start = self.order.len() as u32;
-        sep.sort_unstable();
         for &v in &sep {
             self.emit(v);
         }
@@ -425,12 +500,44 @@ mod tests {
         // connectivity — compression must find them.
         let p = gen::bcsstk_like("C", 120, 1);
         let g = graph_of(&p);
-        let (qg, members) = compress(&g);
+        let (qg, members) = compress(&g).expect("dof blocks must compress");
         assert!(qg.n() < g.n(), "no compression on {} vertices", g.n());
         assert_eq!(members.iter().map(Vec::len).sum::<usize>(), g.n());
         let (perm, tree) = nd_graph(&g, &NdGraphOptions::default());
         assert_eq!(perm.len(), g.n());
         tree.validate().unwrap();
+    }
+
+    #[test]
+    fn no_compress_path_borrows_and_matches_compressed_quality() {
+        let p = gen::grid2d(20); // grids have no identical closed neighborhoods
+        let g = graph_of(&p);
+        assert!(compress(&g).is_none(), "grid must not compress");
+        let on = nd_graph(&g, &NdGraphOptions::default());
+        let off = nd_graph(&g, &NdGraphOptions { compress: false, ..Default::default() });
+        // With nothing to compress both paths see the same graph.
+        assert_eq!(on.0, off.0);
+        on.1.validate().unwrap();
+        off.1.validate().unwrap();
+    }
+
+    #[test]
+    fn multilevel_fm_does_not_lose_to_greedy_baseline() {
+        for (name, p) in [
+            ("grid", gen::grid2d(24)),
+            ("bcsstk", gen::bcsstk_like("R", 360, 7)),
+        ] {
+            let g = graph_of(&p);
+            let (new_perm, new_tree) = nd_graph(&g, &NdGraphOptions::default());
+            new_tree.validate().unwrap();
+            let (old_perm, _) = nd_graph(&g, &NdGraphOptions::single_level_greedy());
+            let f_new = reference::factor_nnz_lower(&g, &new_perm);
+            let f_old = reference::factor_nnz_lower(&g, &old_perm);
+            assert!(
+                f_new as f64 <= 1.05 * f_old as f64,
+                "{name}: multilevel fill {f_new} vs greedy {f_old}"
+            );
+        }
     }
 
     #[test]
@@ -455,7 +562,8 @@ mod tests {
         tree.validate().unwrap();
 
         // Dense clique larger than the cutoff: no separator exists; the
-        // fallback still returns a valid permutation.
+        // fallback still returns a valid permutation — with and without
+        // compression (a clique compresses to one supervariable).
         let mut coords = Vec::new();
         for i in 0..80u32 {
             for j in 0..i {
@@ -463,9 +571,16 @@ mod tests {
             }
         }
         let p = SparsityPattern::from_coords(80, coords).unwrap();
-        let (perm, tree) = nd_graph(&Graph::from_pattern(&p), &NdGraphOptions::default());
-        assert_eq!(perm.len(), 80);
-        tree.validate().unwrap();
+        let g = Graph::from_pattern(&p);
+        for opts in [
+            NdGraphOptions::default(),
+            NdGraphOptions { compress: false, ..Default::default() },
+            NdGraphOptions { compress: false, ..NdGraphOptions::single_level_greedy() },
+        ] {
+            let (perm, tree) = nd_graph(&g, &opts);
+            assert_eq!(perm.len(), 80);
+            tree.validate().unwrap();
+        }
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! Structure probe: deterministically resolves the `Auto` ordering choice
+//! from the sparsity pattern alone.
+//!
+//! The paper picks orderings per problem family — nested dissection for
+//! grid-like problems, minimum degree for irregular meshes (Section 3.1).
+//! When the solver receives a bare matrix that family knowledge is gone,
+//! so the probe reconstructs it from structure, cheaply, before symbolic
+//! analysis:
+//!
+//! * **Dissection side**: run the same compressed first-level bisection the
+//!   real [`crate::nd_graph`] would (level-set cut + FM refinement), giving
+//!   the top separator weight `s₁` and balance. Bisect the heavier half once
+//!   more for `s₂` and fit a separator growth exponent
+//!   `α = ln(s₁/s₂) / ln(w₁/w₂)` — grids have `α ≈ 1/2` (2-D) or `2/3`
+//!   (3-D), while graphs without small separators push `α` toward 1. The
+//!   dissection flop estimate is the geometric series over the separator
+//!   tree, `Σᵢ 2ⁱ (s₁ 2^{-αi})³ / 3`, plus a minimum-degree term for the
+//!   base regions, scaled by a balance penalty.
+//! * **Minimum-degree side**: carve one or two BFS-ball samples out of the
+//!   original graph, run the real [`crate::minimum_degree`] on them, count
+//!   fill *exactly* with an elimination-tree column-merge (linear in sample
+//!   factor size — not the quadratic reference eliminator), and fit a flop
+//!   growth exponent to extrapolate to full size. When the matrix is small
+//!   the "sample" is the whole graph and the estimate is exact.
+//!
+//! Everything is deterministic: BFS orders, the FM tie-breaking, and the
+//! minimum-degree implementation are all deterministic, so the same pattern
+//! always resolves to the same choice — which lets plan caches key on the
+//! *resolved* ordering.
+
+use crate::coarsen::LevelGraph;
+use crate::fm::{self, FmOptions, HIGH, LOW, SEP};
+use crate::mindeg::minimum_degree;
+use crate::nd_graph::{compress, initial_bisection};
+use sparsemat::Graph;
+
+/// The concrete ordering the probe resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeChoice {
+    /// Graph nested dissection ([`crate::nd_graph`]) is predicted cheaper.
+    NestedDissection,
+    /// Minimum degree ([`crate::minimum_degree`]) is predicted cheaper.
+    MinimumDegree,
+}
+
+/// Probe measurements backing a [`ProbeChoice`]; all deterministic functions
+/// of the pattern.
+#[derive(Debug, Clone)]
+pub struct ProbeReport {
+    /// The resolved ordering.
+    pub choice: ProbeChoice,
+    /// Matrix order.
+    pub n: usize,
+    /// Refined first-level separator weight (original vertices), 0 when no
+    /// bisection ran.
+    pub sep_weight: usize,
+    /// First-level balance: lighter side weight over region weight.
+    pub balance: f64,
+    /// Fitted separator growth exponent (`s ~ w^α`).
+    pub alpha: f64,
+    /// Modeled dissection factorization flops.
+    pub nd_flops_est: f64,
+    /// Extrapolated minimum-degree factorization flops.
+    pub md_flops_est: f64,
+}
+
+/// Below this many vertices the probe does not bother with estimates:
+/// minimum degree is robust and dissection has no asymptotic edge to claim.
+const SMALL_N: usize = 192;
+/// Largest minimum-degree sample; matrices at most this large are measured
+/// exactly rather than extrapolated.
+const SAMPLE_N: usize = 1600;
+
+/// Resolves `Auto` for the graph of a sparsity pattern. See module docs.
+pub fn probe_structure(g: &Graph) -> ProbeReport {
+    let n = g.n();
+    let md_report = |md_est: f64| ProbeReport {
+        choice: ProbeChoice::MinimumDegree,
+        n,
+        sep_weight: 0,
+        balance: 0.0,
+        alpha: 0.0,
+        nd_flops_est: f64::INFINITY,
+        md_flops_est: md_est,
+    };
+    if n < SMALL_N {
+        return md_report(0.0);
+    }
+
+    // Work on the compressed graph, like the dissection itself would.
+    let compressed = compress(g);
+    let (qg, members) = match &compressed {
+        Some((q, m)) => (q, Some(m.as_slice())),
+        None => (g, None),
+    };
+    let wt = |v: u32| members.map_or(1, |m| m[v as usize].len());
+    let alive = vec![true; qg.n()];
+    let comp = qg
+        .components(&alive)
+        .into_iter()
+        .max_by_key(|c| (c.iter().map(|&v| wt(v)).sum::<usize>(), usize::MAX - c.first().map_or(0, |&v| v as usize)))
+        .expect("n > 0");
+    // A graph that compresses into a handful of supervariables is a union of
+    // dense blocks; there is no separator worth finding.
+    if comp.len() < 16 {
+        return md_report(md_estimate(g, None).1);
+    }
+    let mut comp = comp;
+    comp.sort_unstable();
+    let lg = LevelGraph::from_region(qg, &comp, &|v| wt(v));
+    let w1 = lg.total_weight();
+
+    let (s1, bal, heavy) = bisect(&lg);
+    if s1 == 0 || heavy.is_empty() {
+        return md_report(md_estimate(g, None).1);
+    }
+
+    // Second-level separator on the heavier side (largest connected piece).
+    let sub = lg.subgraph(&heavy);
+    let piece = largest_component(&sub);
+    let (s2, w2) = if piece.len() >= 16 {
+        let sub2 = sub.subgraph(&piece);
+        let w2 = sub2.total_weight();
+        let (s2, _, _) = bisect(&sub2);
+        (s2, w2)
+    } else {
+        (0, 0)
+    };
+    let alpha = if s2 >= 1 && w2 >= 2 && w1 > w2 {
+        ((s1 as f64 / s2 as f64).ln() / (w1 as f64 / w2 as f64).ln()).clamp(0.35, 1.5)
+    } else {
+        // No usable second level: assume the unfavorable end.
+        1.0
+    };
+
+    let (md_beta, md_est) = md_estimate(g, Some(alpha));
+
+    // Dissection cost: separators at depth i number 2^i and weigh
+    // s1 * 2^(-alpha*i); a (near-dense by elimination time) separator of
+    // weight s costs ~ s^3/3. Base regions are ordered by minimum degree;
+    // reuse the sample exponent for their cost. Poor top-level balance
+    // inflates the whole estimate — the heavy side recurses deeper than the
+    // model assumes. ND_CALIB covers what the series model leaves out
+    // (subtree-column updates into ancestor separators, separator fill
+    // beyond the separator block itself); it was fitted once against exact
+    // fill counts on the benchmark suite, where the model sits 5–10× low
+    // with little spread.
+    const ND_CALIB: f64 = 5.0;
+    let cutoff = 64.0f64;
+    let levels = (w1 as f64 / cutoff).log2().max(0.0);
+    let ratio = (1.0f64 - 3.0 * alpha).exp2();
+    let s = s1 as f64;
+    let series = if (ratio - 1.0).abs() < 1e-9 {
+        levels + 1.0
+    } else {
+        (1.0 - ratio.powf(levels + 1.0)) / (1.0 - ratio)
+    };
+    let sep_flops = s * s * s / 3.0 * series;
+    let leaf_flops = {
+        let per_leaf = md_sample_scale(md_est, n, cutoff as usize, md_beta);
+        (w1 as f64 / cutoff) * per_leaf
+    };
+    let bal_pen = (0.5 / bal.max(0.05)).min(4.0);
+    let nd_est = ND_CALIB * bal_pen * (sep_flops + leaf_flops);
+
+    ProbeReport {
+        choice: if nd_est < md_est {
+            ProbeChoice::NestedDissection
+        } else {
+            ProbeChoice::MinimumDegree
+        },
+        n,
+        sep_weight: s1,
+        balance: bal,
+        alpha,
+        nd_flops_est: nd_est,
+        md_flops_est: md_est,
+    }
+}
+
+/// Scales a full-size minimum-degree flop estimate down to a region of
+/// `target` vertices using the fitted growth exponent.
+fn md_sample_scale(md_est: f64, n: usize, target: usize, beta: f64) -> f64 {
+    md_est * (target as f64 / n as f64).powf(beta)
+}
+
+/// Level-cut + FM bisection of a connected level graph. Returns the refined
+/// separator weight, the balance (lighter side over total), and the heavier
+/// side's vertices (ascending local ids).
+fn bisect(lg: &LevelGraph) -> (usize, f64, Vec<u32>) {
+    let mut label = initial_bisection(lg);
+    fm::refine(lg, &mut label, &FmOptions::default());
+    let mut w = [0usize; 3];
+    for (v, &l) in label.iter().enumerate() {
+        w[l as usize] += lg.vwt[v];
+    }
+    let total = w[0] + w[1] + w[2];
+    let bal = if total == 0 { 0.0 } else { w[0].min(w[1]) as f64 / total as f64 };
+    let heavy_side = if w[0] >= w[1] { LOW } else { HIGH };
+    let heavy: Vec<u32> = (0..lg.n() as u32)
+        .filter(|&v| label[v as usize] == heavy_side)
+        .collect();
+    debug_assert!(label.iter().all(|&l| l == LOW || l == HIGH || l == SEP));
+    (w[2], bal, heavy)
+}
+
+/// Largest connected component of a level graph (ascending local ids).
+fn largest_component(lg: &LevelGraph) -> Vec<u32> {
+    let n = lg.n();
+    let mut seen = vec![false; n];
+    let mut best: Vec<u32> = Vec::new();
+    for v in 0..n {
+        if seen[v] {
+            continue;
+        }
+        let (order, _) = lg.bfs(v);
+        let mut comp: Vec<u32> = order.into_iter().filter(|&u| !seen[u as usize]).collect();
+        for &u in &comp {
+            seen[u as usize] = true;
+        }
+        if comp.len() > best.len() {
+            comp.sort_unstable();
+            best = comp;
+        }
+    }
+    best
+}
+
+/// Estimates full-size minimum-degree factorization flops from one or two
+/// BFS-ball samples: exact symbolic fill on each sample, exponent fit
+/// between them. Returns `(beta, flops_estimate)`; exact when the whole
+/// graph fits in one sample.
+///
+/// The two-ball fit sees only the pre-asymptotic regime and sits low on 3-D
+/// problems, so when the separator growth exponent `alpha` is available the
+/// exponent is floored at `1.5 + alpha/2` — dissection flops grow like
+/// `n^(3α)` and minimum degree cannot beat that order, so its own growth
+/// exponent is at least in that regime (`α = 1/2` → 1.75 vs the 2-D
+/// theoretical 1.5; `α = 2/3` → ~1.83 vs the measured ~2.3 — a floor, not a
+/// fit).
+fn md_estimate(g: &Graph, alpha: Option<f64>) -> (f64, f64) {
+    let n = g.n();
+    let m1 = n.min(SAMPLE_N);
+    let ball1 = bfs_ball(g, m1);
+    let f1 = sample_md_flops(g, &ball1);
+    if m1 == n {
+        return (2.0, f1);
+    }
+    let m2 = m1 / 2;
+    let ball2: Vec<u32> = {
+        // The half-size ball grows from the same center: a prefix of the
+        // same BFS order, re-sorted.
+        let mut b = bfs_ball(g, m2);
+        b.sort_unstable();
+        b
+    };
+    let f2 = sample_md_flops(g, &ball2);
+    let mut beta = if f2 > 0.0 && f1 > f2 {
+        ((f1 / f2).ln() / (m1 as f64 / m2 as f64).ln()).clamp(1.0, 2.6)
+    } else {
+        1.5
+    };
+    if let Some(a) = alpha {
+        beta = beta.max(1.5 + a / 2.0).min(2.8);
+    }
+    (beta, f1 * (n as f64 / m1 as f64).powf(beta))
+}
+
+/// The first `m` vertices of a BFS from a central vertex (the median of the
+/// BFS order from a pseudo-peripheral vertex), ascending.
+fn bfs_ball(g: &Graph, m: usize) -> Vec<u32> {
+    let alive = vec![true; g.n()];
+    let pp = g.pseudo_peripheral(0, &alive);
+    let (order, _) = g.bfs(pp, &alive);
+    let center = order[order.len() / 2] as usize;
+    let (order, _) = g.bfs(center, &alive);
+    let mut ball: Vec<u32> = order.into_iter().take(m).collect();
+    // BFS may exhaust a small component before reaching m; top up from the
+    // remaining vertices so sample sizes stay comparable.
+    if ball.len() < m {
+        let mut inb = vec![false; g.n()];
+        for &v in &ball {
+            inb[v as usize] = true;
+        }
+        for v in 0..g.n() as u32 {
+            if ball.len() == m {
+                break;
+            }
+            if !inb[v as usize] {
+                ball.push(v);
+            }
+        }
+    }
+    ball.sort_unstable();
+    ball
+}
+
+/// Exact factorization flops of the subgraph induced by `verts` (ascending)
+/// under its own minimum-degree ordering.
+fn sample_md_flops(g: &Graph, verts: &[u32]) -> f64 {
+    let m = verts.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let mut local = vec![u32::MAX; g.n()];
+    for (i, &v) in verts.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+    let mut coords: Vec<(u32, u32)> = Vec::new();
+    for (i, &v) in verts.iter().enumerate() {
+        for &u in g.neighbors(v as usize) {
+            let lu = local[u as usize];
+            if lu != u32::MAX && lu < i as u32 {
+                coords.push((i as u32, lu));
+            }
+        }
+    }
+    let p = sparsemat::SparsityPattern::from_coords(m, coords).expect("sample coords valid");
+    let sub = Graph::from_pattern(&p);
+    let perm = minimum_degree(&sub);
+    factor_flops(&sub, &perm)
+}
+
+/// Exact factorization flop count (`Σ η(η+3)`, the [`crate::reference`]
+/// convention) for `g` under `perm`, via elimination-tree column merging:
+/// `struct(k)` = A-column k below the diagonal unioned with each etree
+/// child's structure minus k. O(nnz(L)), not the reference eliminator's
+/// O(n·d²) — usable on full-size benchmark structures.
+pub fn factor_flops(g: &Graph, perm: &sparsemat::Permutation) -> f64 {
+    let m = g.n();
+    const NONE: u32 = u32::MAX;
+    let mut cols: Vec<Vec<u32>> = vec![Vec::new(); m];
+    let mut head = vec![NONE; m]; // first child in the etree
+    let mut next = vec![NONE; m]; // sibling list
+    let mut mark = vec![NONE; m];
+    let mut flops = 0.0f64;
+    for k in 0..m {
+        let old = perm.old_of_new(k);
+        mark[k] = k as u32;
+        let mut st: Vec<u32> = Vec::new();
+        for &u in g.neighbors(old) {
+            let nu = perm.new_of_old(u as usize) as u32;
+            if nu > k as u32 && mark[nu as usize] != k as u32 {
+                mark[nu as usize] = k as u32;
+                st.push(nu);
+            }
+        }
+        let mut c = head[k];
+        while c != NONE {
+            for &x in &cols[c as usize] {
+                if x != k as u32 && mark[x as usize] != k as u32 {
+                    mark[x as usize] = k as u32;
+                    st.push(x);
+                }
+            }
+            cols[c as usize] = Vec::new();
+            c = next[c as usize];
+        }
+        let eta = st.len() as f64;
+        flops += eta * (eta + 3.0);
+        if let Some(&p) = st.iter().min() {
+            next[k] = head[p as usize];
+            head[p as usize] = k as u32;
+            cols[k] = st;
+        }
+    }
+    flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sparsemat::gen;
+
+    fn graph_of(p: &sparsemat::Problem) -> Graph {
+        Graph::from_pattern(p.matrix.pattern())
+    }
+
+    #[test]
+    fn probe_is_deterministic() {
+        for p in [gen::cube3d(10), gen::bcsstk_like("P", 600, 3), gen::grid2d(24)] {
+            let g = graph_of(&p);
+            let a = probe_structure(&g);
+            let b = probe_structure(&g);
+            assert_eq!(a.choice, b.choice);
+            assert_eq!(a.sep_weight, b.sep_weight);
+            assert_eq!(a.nd_flops_est.to_bits(), b.nd_flops_est.to_bits());
+            assert_eq!(a.md_flops_est.to_bits(), b.md_flops_est.to_bits());
+        }
+    }
+
+    #[test]
+    fn small_matrices_short_circuit_to_minimum_degree() {
+        let g = graph_of(&gen::grid2d(8));
+        assert_eq!(probe_structure(&g).choice, ProbeChoice::MinimumDegree);
+    }
+
+    #[test]
+    fn dense_blocks_resolve_to_minimum_degree() {
+        let g = graph_of(&gen::dense(256));
+        assert_eq!(probe_structure(&g).choice, ProbeChoice::MinimumDegree);
+    }
+
+    #[test]
+    fn sample_fill_matches_reference_eliminator() {
+        let p = gen::grid2d(12);
+        let g = graph_of(&p);
+        let verts: Vec<u32> = (0..g.n() as u32).collect();
+        let flops = sample_md_flops(&g, &verts);
+        let perm = minimum_degree(&g);
+        let want = reference::factor_ops(&g, &perm) as f64;
+        assert_eq!(flops, want, "column-merge count must be exact");
+    }
+}

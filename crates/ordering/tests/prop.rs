@@ -1,6 +1,8 @@
 //! Property-based tests for the ordering algorithms.
 
-use ordering::{minimum_degree, nested_dissection, reference, BaseOrdering, NdOptions};
+use ordering::{
+    minimum_degree, nested_dissection, probe_structure, reference, BaseOrdering, NdOptions,
+};
 use proptest::prelude::*;
 use sparsemat::{Graph, Permutation, SparsityPattern};
 
@@ -96,6 +98,21 @@ proptest! {
                 seen[v] = true;
             }
         }
+    }
+
+    #[test]
+    fn probe_is_deterministic_and_total_on_arbitrary_graphs(g in arb_graph(60)) {
+        // The Auto probe must accept any pattern (disconnected, empty,
+        // near-dense) without panicking, and two runs on the same graph
+        // must agree bit for bit — the plan cache keys on its resolution.
+        let a = probe_structure(&g);
+        let b = probe_structure(&g);
+        prop_assert_eq!(a.choice, b.choice);
+        prop_assert_eq!(a.sep_weight, b.sep_weight);
+        prop_assert_eq!(a.nd_flops_est.to_bits(), b.nd_flops_est.to_bits());
+        prop_assert_eq!(a.md_flops_est.to_bits(), b.md_flops_est.to_bits());
+        prop_assert_eq!(a.alpha.to_bits(), b.alpha.to_bits());
+        prop_assert_eq!(a.balance.to_bits(), b.balance.to_bits());
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! The `Auto` ordering resolves through the structure probe: deterministic
+//! per pattern, recorded on the plan, and cache-keyed so an `Auto` request
+//! and the equivalent explicit request share one [`PlanCache`] entry.
+
+use block_fanout_cholesky::core::{
+    resolve_ordering, OrderingChoice, PlanCache, Solver, SolverOptions,
+};
+use block_fanout_cholesky::sparsemat::gen;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Same pattern → same resolved ordering, and an Auto analysis through
+    /// the cache is Arc-identical to the explicit equivalent (one plan, so
+    /// factors are bit-identical by construction).
+    #[test]
+    fn auto_probe_is_deterministic_and_cache_shares_with_explicit(
+        n in 60usize..420,
+        seed in 0u64..1_000,
+    ) {
+        let p = gen::bcsstk_like("prop", n, seed);
+        let pattern = p.matrix.pattern();
+
+        let r1 = resolve_ordering(pattern, OrderingChoice::Auto);
+        let r2 = resolve_ordering(pattern, OrderingChoice::Auto);
+        prop_assert_eq!(r1, r2);
+        prop_assert_ne!(r1, OrderingChoice::Auto, "Auto must resolve to a concrete choice");
+
+        let opts = SolverOptions { block_size: 8, ..Default::default() };
+        prop_assert_eq!(opts.ordering, OrderingChoice::Auto);
+        let cache = PlanCache::new();
+        let s_auto = cache.solver_for(&p.matrix, &opts);
+        prop_assert_eq!(s_auto.plan.resolved_ordering, r1);
+
+        let mut explicit = opts;
+        explicit.ordering = r1;
+        let s_exp = cache.solver_for(&p.matrix, &explicit);
+        prop_assert!(Arc::ptr_eq(&s_auto.plan, &s_exp.plan),
+            "explicit {:?} did not hit the Auto entry", r1);
+        prop_assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+}
+
+/// Direct (cache-less) analysis: an Auto solver and an explicit solver with
+/// the probe's choice produce bit-identical factors.
+#[test]
+fn auto_analysis_matches_explicit_equivalent_bit_for_bit() {
+    for p in [gen::cube3d(9), gen::bcsstk_like("S", 400, 7)] {
+        let opts = SolverOptions { block_size: 8, ..Default::default() };
+        let s_auto = Solver::analyze(&p.matrix, &opts);
+        let resolved = s_auto.plan.resolved_ordering;
+        assert_ne!(resolved, OrderingChoice::Auto);
+
+        let mut exp_opts = opts;
+        exp_opts.ordering = resolved;
+        let s_exp = Solver::analyze(&p.matrix, &exp_opts);
+        assert_eq!(s_exp.plan.resolved_ordering, resolved);
+
+        let fa = s_auto.factor_seq().unwrap();
+        let fb = s_exp.factor_seq().unwrap();
+        let (_, _, va) = fa.to_csc();
+        let (_, _, vb) = fb.to_csc();
+        assert_eq!(va.len(), vb.len(), "{}", p.name);
+        for (x, y) in va.iter().zip(&vb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{}", p.name);
+        }
+    }
+}
+
+/// `analyze_problem` resolves Auto from the pattern alone — stripping
+/// coordinates and generator hints must not change what Auto resolves to.
+#[test]
+fn auto_resolution_ignores_coordinates_and_hints() {
+    let mut with_meta = gen::cube3d(9);
+    let opts = SolverOptions { block_size: 8, ..Default::default() };
+    let r_full = Solver::analyze_problem(&with_meta, &opts).plan.resolved_ordering;
+    with_meta.coords = None;
+    with_meta.ordering = gen::OrderingHint::MinimumDegree;
+    let r_stripped = Solver::analyze_problem(&with_meta, &opts).plan.resolved_ordering;
+    assert_eq!(r_full, r_stripped);
+    assert_eq!(r_full, resolve_ordering(with_meta.matrix.pattern(), OrderingChoice::Auto));
+}
