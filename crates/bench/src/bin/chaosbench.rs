@@ -485,7 +485,7 @@ fn main() {
     let out = format!(
         concat!(
             "{{\"chaos\":[\n",
-            "  {{\"problem\":{},\"n\":{},{},\"seeds\":{},\"sessions\":{},",
+            "  {{\"problem\":{},\"n\":{},\"block_policy\":\"uniform\",{},\"seeds\":{},\"sessions\":{},",
             "\"value_sets\":{},\"wall_s\":{:.6e},\n",
             "  \"gates\":{{\"zero_hangs\":true,\"ok_bit_identical_to_seq\":true,",
             "\"all_sessions_recovered\":true,\"admission_enforced\":true,",

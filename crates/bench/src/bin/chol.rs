@@ -9,6 +9,7 @@
 //!   --block-size <B>    block size (default 48)
 //!   --mapping <name>    cyclic | heuristic (default heuristic)
 //!   --ordering <name>   auto | natural | mindeg | nd (default auto)
+//!   --block-policy <p>  uniform | workeq | rect (default uniform)
 //!   --simulate          also report a simulated Paragon run at P
 //!   --stats             print analysis statistics and balance report
 //! ```
@@ -16,7 +17,7 @@
 //! Reads a symmetric real Matrix Market file, factors it, solves, and
 //! reports the relative residual.
 
-use cholesky_core::{MachineModel, OrderingChoice, Solver, SolverOptions};
+use cholesky_core::{BlockPolicy, MachineModel, OrderingChoice, Solver, SolverOptions};
 use std::io::{BufRead, BufReader, Write};
 
 struct Opts {
@@ -27,6 +28,7 @@ struct Opts {
     block_size: usize,
     mapping: String,
     ordering: OrderingChoice,
+    block_policy: BlockPolicy,
     simulate: bool,
     stats: bool,
 }
@@ -34,7 +36,8 @@ struct Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: chol <matrix.mtx> [--rhs f] [--out f] [-p N] [--block-size B] \
-         [--mapping cyclic|heuristic] [--ordering auto|natural|mindeg|nd] [--simulate] [--stats]"
+         [--mapping cyclic|heuristic] [--ordering auto|natural|mindeg|nd] \
+         [--block-policy uniform|workeq|rect] [--simulate] [--stats]"
     );
     std::process::exit(2);
 }
@@ -48,6 +51,7 @@ fn parse() -> Opts {
         block_size: 48,
         mapping: "heuristic".into(),
         ordering: OrderingChoice::Auto,
+        block_policy: BlockPolicy::Uniform,
         simulate: false,
         stats: false,
     };
@@ -76,6 +80,14 @@ fn parse() -> Opts {
                     _ => usage(),
                 }
             }
+            "--block-policy" => {
+                o.block_policy = match args.next().as_deref() {
+                    Some("uniform") => BlockPolicy::Uniform,
+                    Some("workeq") => BlockPolicy::WorkEqualized,
+                    Some("rect") => BlockPolicy::Rectilinear { sweeps: 2 },
+                    _ => usage(),
+                }
+            }
             "--simulate" => o.simulate = true,
             "--stats" => o.stats = true,
             f if f.starts_with('-') => usage(),
@@ -87,6 +99,39 @@ fn parse() -> Opts {
         usage();
     }
     o
+}
+
+/// The realized panel-width histogram and the padded per-panel work
+/// spread: what the active block policy actually did to the partition.
+fn print_partition_shape(solver: &Solver) {
+    let part = &solver.bm.partition;
+    let work = &solver.work;
+    let np = part.count();
+    let mut hist: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for p in 0..np {
+        *hist.entry(part.width(p)).or_default() += 1;
+    }
+    let bars: Vec<String> = hist.iter().map(|(w, c)| format!("{w}:{c}")).collect();
+    eprintln!(
+        "blocking: policy {}, {} panels, nominal B = {}, max width {}",
+        solver.opts.block_policy.label(),
+        np,
+        part.block_size,
+        part.max_width()
+    );
+    eprintln!("  width histogram (width:count): {}", bars.join(" "));
+    let max_w = (0..np).map(|j| work.col_work[j] + work.row_work[j]).max().unwrap_or(0);
+    let mean_w = if np == 0 {
+        0.0
+    } else {
+        (0..np).map(|j| work.col_work[j] + work.row_work[j]).sum::<u64>() as f64 / np as f64
+    };
+    eprintln!(
+        "  padded work spread: max panel {:.3} Mops, mean {:.3} Mops, max/mean {:.2}",
+        max_w as f64 / 1e6,
+        mean_w / 1e6,
+        if mean_w > 0.0 { max_w as f64 / mean_w } else { 0.0 }
+    );
 }
 
 fn main() {
@@ -104,6 +149,7 @@ fn main() {
 
     let opts = SolverOptions {
         block_size: o.block_size,
+        block_policy: o.block_policy,
         ordering: o.ordering,
         ..Default::default()
     };
@@ -127,6 +173,9 @@ fn main() {
         solver.analysis.supernodes.count(),
         t0.elapsed().as_secs_f64()
     );
+    if o.stats || o.block_policy != BlockPolicy::Uniform {
+        print_partition_shape(&solver);
+    }
 
     let b: Vec<f64> = match &o.rhs {
         Some(path) => {

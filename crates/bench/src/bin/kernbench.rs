@@ -212,7 +212,7 @@ fn main() {
             out.push_str(",\n");
         }
         out.push_str(&format!(
-            "  {{\"kernel\":{},\"shape\":{},{env_fields},\"flops\":{},\"ref_s\":{:.6e},\"new_s\":{:.6e},\"ref_mflops\":{:.1},\"new_mflops\":{:.1},\"speedup\":{:.3}}}",
+            "  {{\"kernel\":{},\"shape\":{},\"block_policy\":\"n/a\",{env_fields},\"flops\":{},\"ref_s\":{:.6e},\"new_s\":{:.6e},\"ref_mflops\":{:.1},\"new_mflops\":{:.1},\"speedup\":{:.3}}}",
             json_str(r.kernel),
             json_str(&r.shape),
             r.flops,

@@ -393,7 +393,7 @@ fn main() {
         }
         out.push_str(&format!(
             concat!(
-                "  {{\"problem\":{},\"n\":{},\"nnz\":{},{},",
+                "  {{\"problem\":{},\"n\":{},\"nnz\":{},\"block_policy\":\"uniform\",{},",
                 "\"md_nnz_l\":{},\"md_ops\":{},\"md_balance\":{:.6},",
                 "\"nd_nnz_l\":{},\"nd_ops\":{},\"flops_ratio\":{:.4},",
                 "\"probe_choice\":{},\"probe_nd_est\":{},\"probe_md_est\":{},",

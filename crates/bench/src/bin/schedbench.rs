@@ -144,7 +144,7 @@ fn main() {
         let busy: f64 = r.sched.busy_s.iter().sum();
         out.push_str(&format!(
             concat!(
-                "  {{\"problem\":{},\"n\":{},\"p\":{},\"workers\":{},{},",
+                "  {{\"problem\":{},\"n\":{},\"p\":{},\"block_policy\":\"uniform\",\"workers\":{},{},",
                 "\"fifo_s\":{:.6e},\"sched_s\":{:.6e},\"speedup\":{:.3},",
                 "\"fifo_blocks_copied\":{},\"fifo_messages\":{},",
                 "\"sched_blocks_copied\":{},\"steals\":{},\"steal_attempts\":{},",

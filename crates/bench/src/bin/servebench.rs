@@ -271,7 +271,7 @@ fn main() {
     let out = format!(
         concat!(
             "{{\"serve\":[\n",
-            "  {{\"problem\":{},\"n\":{},{},\"value_sets\":{},",
+            "  {{\"problem\":{},\"n\":{},\"block_policy\":\"uniform\",{},\"value_sets\":{},",
             "\"fresh_s\":{:.6e},\"refactor_s\":{:.6e},\"refactor_speedup\":{:.3},",
             "\"bit_identical\":{},\"plan_cache_hits\":{},\"plan_cache_misses\":{},",
             "\"sessions\":{},\"cycles_per_session\":{},\"total_cycles\":{},",

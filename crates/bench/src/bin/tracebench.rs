@@ -163,7 +163,7 @@ fn main() {
         let pred = r.report.predicted.as_ref();
         out.push_str(&format!(
             concat!(
-                "  {{\"problem\":{},\"p\":{},\"kind\":{},\"workers\":{},{}," ,
+                "  {{\"problem\":{},\"p\":{},\"kind\":{},\"block_policy\":\"uniform\",\"workers\":{},{}," ,
                 "\"predicted_overall\":{:.4},\"predicted_row\":{:.4},",
                 "\"predicted_col\":{:.4},\"predicted_diag\":{:.4},",
                 "\"utilization\":{:.4},\"bound_realized\":{:.4},",

@@ -14,10 +14,12 @@
 
 pub mod ops;
 pub mod partition;
+pub mod policy;
 pub mod structure;
 pub mod work;
 
 pub use ops::{for_each_bmod, BmodOp};
 pub use partition::BlockPartition;
+pub use policy::BlockPolicy;
 pub use structure::{Block, BlockCol, BlockMatrix};
 pub use work::{BlockWork, WorkModel};

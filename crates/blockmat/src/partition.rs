@@ -46,8 +46,7 @@ impl BlockPartition {
         width_of: impl Fn(usize, u32) -> usize,
         nominal: usize,
     ) -> Self {
-        let block_size = nominal;
-        assert!(block_size >= 1);
+        assert!(nominal >= 1);
         let mut first_col = vec![0u32];
         let mut sn_of_panel = Vec::new();
         for s in 0..sn.count() {
@@ -67,6 +66,44 @@ impl BlockPartition {
             }
             debug_assert_eq!(start, cols.end);
         }
+        Self::finish(sn, first_col, sn_of_panel, nominal)
+    }
+
+    /// Builds a partition from an explicit boundary vector.
+    ///
+    /// `first_col` must start at 0, end at `n`, be strictly increasing, and
+    /// every panel `first_col[p]..first_col[p+1]` must lie within a single
+    /// supernode (boundaries are free to fall anywhere *inside* one). This
+    /// is the seam the irregular [`crate::policy::BlockPolicy`] boundary
+    /// selectors feed; `nominal` is recorded as the partition's
+    /// `block_size` but panels may be wider (see [`Self::max_width`]).
+    pub fn from_boundaries(sn: &Supernodes, first_col: Vec<u32>, nominal: usize) -> Self {
+        assert!(nominal >= 1);
+        assert!(first_col.len() >= 2, "at least one panel");
+        assert_eq!(first_col[0], 0);
+        assert_eq!(*first_col.last().unwrap() as usize, sn.n());
+        let mut sn_of_panel = Vec::with_capacity(first_col.len() - 1);
+        for p in 0..first_col.len() - 1 {
+            let (a, b) = (first_col[p] as usize, first_col[p + 1] as usize);
+            assert!(a < b, "panel {p} is empty");
+            let s = sn.sn_of_col[a] as usize;
+            assert!(
+                b <= sn.cols(s).end,
+                "panel {p} ({a}..{b}) straddles supernode {s}"
+            );
+            sn_of_panel.push(s as u32);
+        }
+        Self::finish(sn, first_col, sn_of_panel, nominal)
+    }
+
+    /// Shared tail of every constructor: derives `panel_of_col` and the
+    /// panel-tree depths from validated boundaries.
+    fn finish(
+        sn: &Supernodes,
+        first_col: Vec<u32>,
+        sn_of_panel: Vec<u32>,
+        nominal: usize,
+    ) -> Self {
         let n = sn.n();
         let np = first_col.len() - 1;
         let mut panel_of_col = vec![0u32; n];
@@ -95,7 +132,7 @@ impl BlockPartition {
                 depth[p] = depth[par as usize] + 1;
             }
         }
-        Self { first_col, panel_of_col, sn_of_panel, depth, block_size }
+        Self { first_col, panel_of_col, sn_of_panel, depth, block_size: nominal }
     }
 
     /// Number of panels `N`.
@@ -114,6 +151,16 @@ impl BlockPartition {
     #[inline]
     pub fn width(&self, p: usize) -> usize {
         (self.first_col[p + 1] - self.first_col[p]) as usize
+    }
+
+    /// The widest panel actually present.
+    ///
+    /// With [`Self::new`] this never exceeds `block_size`, but
+    /// [`Self::with_width_fn`] and [`Self::from_boundaries`] can produce
+    /// panels wider than the nominal — anything sizing a buffer by panel
+    /// width must use this, not `block_size`.
+    pub fn max_width(&self) -> usize {
+        (0..self.count()).map(|p| self.width(p)).max().unwrap_or(0)
     }
 }
 

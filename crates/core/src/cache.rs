@@ -185,6 +185,10 @@ impl PlanCache {
         let mut h = mix(FNV_OFFSET, pattern.structure_hash());
         h = mix(h, salt);
         h = mix(h, opts.block_size as u64);
+        // The blocking policy changes the panel partition (and with it
+        // every downstream structure), so it discriminates plans exactly
+        // like the block size does.
+        h = mix(h, opts.block_policy.cache_code());
         h = mix(h, opts.analyze.amalg.max_fill_frac.to_bits());
         h = mix(h, opts.analyze.amalg.max_zero_cols);
         h = mix(h, opts.analyze.amalg.min_width as u64);
@@ -429,6 +433,44 @@ mod tests {
         let sb = cache2.solver_for_problem(&p, &md_opts);
         assert!(Arc::ptr_eq(&sa.plan, &sb.plan));
         assert_eq!((cache2.hits(), cache2.misses()), (1, 1));
+    }
+
+    #[test]
+    fn block_policy_discriminates_plans_and_identical_policies_hit() {
+        use blockmat::BlockPolicy;
+        let p = sparsemat::gen::grid2d(10);
+        let cache = PlanCache::new();
+        let uni = SolverOptions { block_size: 4, ..Default::default() };
+        let weq = SolverOptions {
+            block_size: 4,
+            block_policy: BlockPolicy::WorkEqualized,
+            ..Default::default()
+        };
+        let rect1 = SolverOptions {
+            block_size: 4,
+            block_policy: BlockPolicy::Rectilinear { sweeps: 1 },
+            ..Default::default()
+        };
+        let rect2 = SolverOptions {
+            block_size: 4,
+            block_policy: BlockPolicy::Rectilinear { sweeps: 2 },
+            ..Default::default()
+        };
+        // Each distinct policy (sweeps included) is its own entry.
+        let s_uni = cache.solver_for(&p.matrix, &uni);
+        let s_weq = cache.solver_for(&p.matrix, &weq);
+        let s_r1 = cache.solver_for(&p.matrix, &rect1);
+        let s_r2 = cache.solver_for(&p.matrix, &rect2);
+        assert!(!Arc::ptr_eq(&s_uni.plan, &s_weq.plan));
+        assert!(!Arc::ptr_eq(&s_weq.plan, &s_r1.plan));
+        assert!(!Arc::ptr_eq(&s_r1.plan, &s_r2.plan));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 4, 4));
+        // An identical policy is a pure hit: same Arc.
+        let s_weq2 = cache.solver_for(&p.matrix, &weq);
+        assert!(Arc::ptr_eq(&s_weq.plan, &s_weq2.plan));
+        let s_r1b = cache.solver_for(&p.matrix, &rect1);
+        assert!(Arc::ptr_eq(&s_r1.plan, &s_r1b.plan));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (2, 4, 4));
     }
 
     #[test]

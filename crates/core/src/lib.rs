@@ -70,7 +70,7 @@ pub mod resilience;
 pub mod session;
 
 pub use balance::{BalanceReport, CommStats};
-pub use blockmat::{BlockMatrix, BlockWork, WorkModel};
+pub use blockmat::{BlockMatrix, BlockPolicy, BlockWork, WorkModel};
 pub use cache::PlanCache;
 pub use fanout::{
     CancelReason, CancelToken, CriticalPath, FactorOpts, FaultPlan, NumericFactor, Plan,
@@ -212,6 +212,11 @@ impl AnalyzeOpts {
 pub struct SolverOptions {
     /// Block size `B` (the paper uses 48 throughout).
     pub block_size: usize,
+    /// How panel boundaries are chosen within supernodes: uniform `B`, or
+    /// the structure-aware work-equalized / rectilinear-refined irregular
+    /// boundaries (DESIGN.md §17). Irregular policies may produce panels
+    /// up to `2·B` wide. A [`PlanCache`] discriminant, like ordering.
+    pub block_policy: BlockPolicy,
     /// Analyze/assembly options (amalgamation, front-half thread count).
     pub analyze: AnalyzeOpts,
     /// Ordering selection.
@@ -251,6 +256,7 @@ impl Default for SolverOptions {
     fn default() -> Self {
         Self {
             block_size: 48,
+            block_policy: BlockPolicy::Uniform,
             analyze: AnalyzeOpts::default(),
             ordering: OrderingChoice::Auto,
             work_model: WorkModel::default(),
@@ -535,8 +541,11 @@ impl Solver {
             .collect();
         let permuted = analysis.perm.apply_to_matrix(a);
         let t0 = std::time::Instant::now();
-        let partition =
-            blockmat::BlockPartition::new(&analysis.supernodes, opts.block_size);
+        let partition = opts.block_policy.build_partition(
+            &analysis.supernodes,
+            opts.block_size,
+            &opts.work_model,
+        );
         let bm = Arc::new(BlockMatrix::from_partition_parallel(
             analysis.supernodes.clone(),
             partition,

@@ -295,13 +295,14 @@ pub fn factorize_sched_opts(
         shared.done.store(true, Ordering::Relaxed);
     }
 
+    // Widest buffer any kernel can need: the tallest real block or the
+    // widest panel. `max_width()`, not the nominal `block_size` — irregular
+    // policies (width_fn, BlockPolicy) produce panels wider than nominal.
     let max_dim = (0..np)
-        .map(|j| {
-            let c = bm.col_width(j);
-            bm.cols[j].blocks.iter().map(|b| b.nrows()).max().unwrap_or(0).max(c)
-        })
+        .map(|j| bm.cols[j].blocks.iter().map(|b| b.nrows()).max().unwrap_or(0))
         .max()
-        .unwrap_or(0);
+        .unwrap_or(0)
+        .max(bm.partition.max_width());
 
     // An already-expired deadline (zero, or a caller-computed remainder
     // that ran out) must cancel deterministically even when the run would
